@@ -1,0 +1,308 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"o2pc/internal/coord"
+	"o2pc/internal/core"
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/txn"
+	"o2pc/internal/workload"
+)
+
+// runF1 — Figure 1: regular cycles form under bare O2PC in the Section 4
+// interleaving and never under P1; the Section 5 auditor classifies them.
+func runF1(e *env) {
+	iters := e.scale(20, 5)
+	e.row("marking", "runs", "reader committed", "effective regular", "doomed regular", "benign", "criterion violated")
+	for _, marking := range []proto.MarkProtocol{proto.MarkNone, proto.MarkP1} {
+		var committed, effective, doomed, benign, violated int
+		for i := 0; i < iters; i++ {
+			cl, reader := dangerousScenario(marking, e.seed+int64(i))
+			if reader.Committed() {
+				committed++
+			}
+			audit := cl.Audit()
+			effective += audit.EffectiveCount
+			doomed += audit.DoomedCount
+			benign += audit.BenignCount
+			if !audit.Correct() {
+				violated++
+			}
+			if i == 0 {
+				e.dumpHistory(cl, "F1-"+marking.String())
+			}
+		}
+		e.row(marking.String(), d(int64(iters)), d(int64(committed)),
+			d(int64(effective)), d(int64(doomed)), d(int64(benign)), d(int64(violated)))
+	}
+}
+
+// runF2 — Figure 2: walk one transaction's marking through every
+// transition of the state machine, printing the observed state at each
+// protocol event.
+func runF2(e *env) {
+	cl := core.NewCluster(core.Config{Sites: 2, Record: true})
+	cl.SeedInt64("a", 100)
+	state := func(site int) string {
+		if cl.Site(site).Marks().Contains("Tdead") {
+			return "undone"
+		}
+		return "unmarked"
+	}
+	e.row("event", "s0 marking wrt Tdead", "s1 marking wrt Tdead")
+	e.row("initial", state(0), state(1))
+
+	// Doomed write at both sites: s1 votes NO (-> undone via rollback-as-
+	// compensation), s0 votes YES then compensates on the abort decision
+	// (-> undone via rule R2).
+	cl.DoomAtSite("Tdead", "s1")
+	cl.Run(bg(), coord.TxnSpec{
+		ID: "Tdead", Protocol: proto.O2PC, Marking: proto.MarkP1,
+		Subtxns: []coord.SubtxnSpec{
+			{Site: "s0", Ops: []proto.Operation{proto.Add("a", 1)}, Comp: proto.CompSemantic},
+			{Site: "s1", Ops: []proto.Operation{proto.Add("a", 1)}, Comp: proto.CompSemantic},
+		},
+	})
+	quiesce(cl)
+	e.row("abort decided (NO vote at s1; CT at s0)", state(0), state(1))
+
+	// Witness transactions at each site establish UDUM1...
+	for _, site := range []string{"s0", "s1"} {
+		cl.Run(bg(), coord.TxnSpec{
+			Protocol: proto.O2PC, Marking: proto.MarkP1,
+			Subtxns: []coord.SubtxnSpec{
+				{Site: site, Ops: []proto.Operation{proto.Add("a", 1)}, Comp: proto.CompSemantic},
+			},
+		})
+	}
+	e.row("after witnesses at both sites", state(0), state(1))
+
+	// ...and the unmark notices ride the next decisions (rule R3).
+	deadline := time.Now().Add(5 * time.Second)
+	for (cl.Site(0).Marks().Contains("Tdead") || cl.Site(1).Marks().Contains("Tdead")) &&
+		time.Now().Before(deadline) {
+		for _, site := range []string{"s0", "s1"} {
+			cl.Run(bg(), coord.TxnSpec{
+				Protocol: proto.O2PC, Marking: proto.MarkP1,
+				Subtxns: []coord.SubtxnSpec{
+					{Site: site, Ops: []proto.Operation{proto.Add("a", 1)}, Comp: proto.CompSemantic},
+				},
+			})
+		}
+	}
+	e.row("after R3 unmark notices delivered", state(0), state(1))
+}
+
+// runE1 — early lock release: mean exclusive-lock hold time as one-way
+// latency grows. 2PC's hold time includes the decision round trip; O2PC's
+// does not.
+func runE1(e *env) {
+	latencies := []time.Duration{
+		100 * time.Microsecond, 500 * time.Microsecond,
+		1 * time.Millisecond, 5 * time.Millisecond, 25 * time.Millisecond,
+	}
+	if e.quick {
+		latencies = latencies[:3]
+	}
+	e.row("one-way latency", "2PC holdX mean (ms)", "O2PC holdX mean (ms)", "ratio")
+	for _, lat := range latencies {
+		hold := map[string]float64{}
+		for _, st := range []stack{st2PC, stO2PC} {
+			rep, _ := runLoad(e, core.Config{
+				Sites:   4,
+				Network: rpc.Config{MinLatency: lat, MaxLatency: lat + lat/4, Seed: e.seed},
+			}, workload.Config{
+				Clients:       4,
+				TxnsPerClient: e.scale(50, 15),
+				SitesPerTxn:   2,
+				KeysPerSite:   2048,
+				ReadFrac:      0.2,
+				Protocol:      st.protocol,
+				Marking:       st.marking,
+			})
+			hold[st.name] = rep.LockHoldX.Mean
+		}
+		ratio := 0.0
+		if hold["O2PC"] > 0 {
+			ratio = hold["2PC"] / hold["O2PC"]
+		}
+		e.row(lat.String(), ms(hold["2PC"]), ms(hold["O2PC"]), fmt.Sprintf("%.1fx", ratio))
+	}
+}
+
+// runE2 — data contention: throughput and p99 latency as the hot set
+// shrinks. The shorter lock windows of O2PC matter more the hotter the
+// data.
+func runE2(e *env) {
+	hotSets := []int{1024, 256, 64, 16, 4}
+	if e.quick {
+		hotSets = []int{256, 16}
+	}
+	e.row("hot keys", "2PC txn/s", "2PC p99 (ms)", "O2PC txn/s", "O2PC p99 (ms)", "speedup")
+	for _, hot := range hotSets {
+		type res struct {
+			tps float64
+			p99 float64
+		}
+		out := map[string]res{}
+		for _, st := range []stack{st2PC, stO2PC} {
+			rep, _ := runLoad(e, core.Config{
+				Sites:   4,
+				Network: rpc.Config{MinLatency: 500 * time.Microsecond, MaxLatency: 800 * time.Microsecond, Seed: e.seed},
+			}, workload.Config{
+				Clients:       8,
+				TxnsPerClient: e.scale(60, 15),
+				SitesPerTxn:   2,
+				KeysPerSite:   1024,
+				HotKeys:       hot,
+				HotProb:       0.8,
+				ReadFrac:      0.2,
+				Protocol:      st.protocol,
+				Marking:       st.marking,
+			})
+			out[st.name] = res{tps: rep.Throughput, p99: rep.Latency.P99}
+		}
+		speedup := 0.0
+		if out["2PC"].tps > 0 {
+			speedup = out["O2PC"].tps / out["2PC"].tps
+		}
+		e.row(d(int64(hot)), f0(out["2PC"].tps), ms(out["2PC"].p99),
+			f0(out["O2PC"].tps), ms(out["O2PC"].p99), fmt.Sprintf("%.2fx", speedup))
+	}
+}
+
+// runE3 — blocking under coordinator failure: how long a conflicting
+// transaction at a participant waits, as the coordinator outage grows.
+// 2PC tracks the outage (unbounded in the limit); O2PC stays flat.
+func runE3(e *env) {
+	outages := []time.Duration{
+		10 * time.Millisecond, 50 * time.Millisecond,
+		200 * time.Millisecond, 800 * time.Millisecond,
+	}
+	if e.quick {
+		outages = outages[:2]
+	}
+	e.row("outage", "2PC conflicting wait", "O2PC conflicting wait")
+	for _, outage := range outages {
+		waits := map[string]time.Duration{}
+		for _, st := range []stack{st2PC, stO2PC} {
+			waits[st.name] = measureBlocking(st.protocol, outage)
+		}
+		e.row(outage.String(), dur(waits["2PC"]), dur(waits["O2PC"]))
+	}
+}
+
+func measureBlocking(protocol proto.Protocol, outage time.Duration) time.Duration {
+	cl := core.NewCluster(core.Config{Sites: 2, LockTimeout: time.Hour})
+	cl.SeedInt64("x", 0)
+	cl.Coordinator(0).SetCrashInjector(func(id string, phase coord.CrashPhase) bool {
+		return id == "Tcrash" && phase == coord.CrashAfterVotes
+	})
+	cl.Run(bg(), coord.TxnSpec{
+		ID: "Tcrash", Protocol: protocol,
+		Subtxns: []coord.SubtxnSpec{
+			{Site: "s0", Ops: []proto.Operation{proto.Add("x", 1)}, Comp: proto.CompSemantic},
+			{Site: "s1", Ops: []proto.Operation{proto.Add("x", 1)}, Comp: proto.CompSemantic},
+		},
+	})
+	cl.Network().SetDown("c0", true)
+
+	start := time.Now()
+	done := make(chan time.Duration, 1)
+	go func() {
+		_ = cl.RunLocal(bg(), 0, func(t *txn.Txn) error {
+			_, err := t.ReadInt64(bg(), "x")
+			return err
+		})
+		done <- time.Since(start)
+	}()
+	time.Sleep(outage)
+	_ = cl.RecoverCoordinator(bg(), 0)
+	wait := <-done
+	quiesce(cl)
+	return wait
+}
+
+// runE4 — the optimistic-assumption crossover: committed throughput as the
+// abort probability rises. O2PC wins while aborts are rare; compensation
+// (and under P1, marking aborts) erode the win as the assumption fails.
+func runE4(e *env) {
+	probs := []float64{0, 0.02, 0.05, 0.10, 0.20, 0.50}
+	if e.quick {
+		probs = []float64{0, 0.05, 0.20}
+	}
+	e.row("abort prob", "2PC txn/s", "O2PC txn/s", "O2PC+P1 txn/s", "O2PC comps", "P1 commit rate")
+	for _, p := range probs {
+		tps := map[string]float64{}
+		var comps int64
+		var p1Rate float64
+		for _, st := range []stack{st2PC, stO2PC, stO2PCP1} {
+			rep, _ := runLoad(e, core.Config{
+				Sites:   8,
+				Network: rpc.Config{MinLatency: 300 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: e.seed},
+			}, workload.Config{
+				Clients:       8,
+				TxnsPerClient: e.scale(50, 12),
+				SitesPerTxn:   2,
+				KeysPerSite:   512,
+				HotKeys:       32,
+				HotProb:       0.5,
+				ReadFrac:      0.3,
+				AbortProb:     p,
+				Protocol:      st.protocol,
+				Marking:       st.marking,
+			})
+			tps[st.name] = rep.Throughput
+			if st == stO2PC {
+				comps = rep.Compensations
+			}
+			if st == stO2PCP1 {
+				p1Rate = rep.CommitRate
+			}
+		}
+		e.row(pct(p), f0(tps["2PC"]), f0(tps["O2PC"]), f0(tps["O2PC+P1"]),
+			d(comps), pct(p1Rate))
+	}
+}
+
+// runE5 — P1's price: rejection profile vs abort rate, and the
+// autonomy guarantee — local transactions see no P1 restriction.
+func runE5(e *env) {
+	probs := []float64{0, 0.05, 0.20}
+	e.row("abort prob", "raw O2PC commit", "P1 commit", "P1 retries", "P1 fatal rejects",
+		"local p50 no-P1 (ms)", "local p50 P1 (ms)")
+	for _, p := range probs {
+		var rawCommit, p1Commit float64
+		var retries, fatals int64
+		var localNoP1, localP1 float64
+		for _, st := range []stack{stO2PC, stO2PCP1} {
+			rep, _ := runLoad(e, core.Config{Sites: 6}, workload.Config{
+				Clients:          6,
+				TxnsPerClient:    e.scale(50, 12),
+				SitesPerTxn:      2,
+				KeysPerSite:      512,
+				HotKeys:          32,
+				HotProb:          0.5,
+				ReadFrac:         0.3,
+				AbortProb:        p,
+				LocalTxnsPerSite: e.scale(100, 25),
+				Protocol:         st.protocol,
+				Marking:          st.marking,
+			})
+			if st == stO2PC {
+				rawCommit = rep.CommitRate
+				localNoP1 = rep.LocalLatency.P50
+			} else {
+				p1Commit = rep.CommitRate
+				retries = rep.MarkRetries
+				fatals = rep.RejectsFatal
+				localP1 = rep.LocalLatency.P50
+			}
+		}
+		e.row(pct(p), pct(rawCommit), pct(p1Commit), d(retries), d(fatals),
+			ms(localNoP1), ms(localP1))
+	}
+}

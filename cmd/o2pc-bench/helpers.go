@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"o2pc/internal/coord"
+	"o2pc/internal/core"
+	"o2pc/internal/history"
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/workload"
+)
+
+func bg() context.Context { return context.Background() }
+
+// stack names a protocol combination under test.
+type stack struct {
+	name     string
+	protocol proto.Protocol
+	marking  proto.MarkProtocol
+}
+
+var (
+	st2PC    = stack{"2PC", proto.TwoPC, proto.MarkNone}
+	stO2PC   = stack{"O2PC", proto.O2PC, proto.MarkNone}
+	stO2PCP1 = stack{"O2PC+P1", proto.O2PC, proto.MarkP1}
+	stO2PCP2 = stack{"O2PC+P2", proto.O2PC, proto.MarkP2}
+	stSimple = stack{"O2PC+simple", proto.O2PC, proto.MarkSimple}
+)
+
+// runLoad builds a cluster with cfgCluster, runs the workload, and returns
+// the report (and the cluster for further inspection).
+func runLoad(e *env, cfgCluster core.Config, cfgLoad workload.Config) (workload.Report, *core.Cluster) {
+	if cfgLoad.Seed == 0 {
+		cfgLoad.Seed = e.seed
+	}
+	cl := core.NewCluster(cfgCluster)
+	rep := workload.Run(bg(), cl, cfgLoad)
+	return rep, cl
+}
+
+// scale shrinks a count in quick mode.
+func (e *env) scale(full, quick int) int {
+	if e.quick {
+		return quick
+	}
+	return full
+}
+
+// dumpHistory writes the cluster's recorded history for sgcheck.
+func (e *env) dumpHistory(cl *core.Cluster, name string) {
+	if e.dump == "" {
+		return
+	}
+	h := cl.History()
+	if h == nil {
+		return
+	}
+	path := filepath.Join(e.dump, name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "o2pc-bench: dump:", err)
+		return
+	}
+	defer f.Close()
+	if err := history.WriteJSON(f, h); err != nil {
+		fmt.Fprintln(os.Stderr, "o2pc-bench: dump:", err)
+	}
+}
+
+// quiesce drains a cluster with a bounded wait.
+func quiesce(cl *core.Cluster) {
+	ctx, cancel := context.WithTimeout(bg(), 30*time.Second)
+	defer cancel()
+	_ = cl.Quiesce(ctx)
+}
+
+// dangerousScenario reproduces the Section 4 interleaving (experiments F1,
+// E7, E8): transaction Ta writes at two sites; one site votes NO and rolls
+// back; the coordinator crashes before the abort decision, leaving the
+// other site's update exposed; a reader transaction Tb then observes the
+// exposed update at one site and the rolled-back state at the other; the
+// recovered coordinator's presumed abort finally compensates the exposed
+// site — after the reader. Without P1 this yields a regular cycle
+// (Tb -> CTa at one site, CTa -> Tb at the other) and a Theorem 2
+// violation; under P1 the reader is refused.
+//
+// Returns the cluster (quiesced, history recorded) and the reader's
+// outcome.
+func dangerousScenario(marking proto.MarkProtocol, seed int64) (*core.Cluster, coord.Result) {
+	cl := core.NewCluster(core.Config{
+		Sites:        2,
+		Coordinators: 2,
+		Record:       true,
+		Network:      rpc.Config{Seed: seed},
+	})
+	cl.SeedInt64("x", 100)
+	cl.SeedInt64("y", 100)
+
+	cl.Coordinator(0).SetCrashInjector(func(id string, phase coord.CrashPhase) bool {
+		return id == "Ta" && phase == coord.CrashAfterVotes
+	})
+	cl.DoomAtSite("Ta", "s1")
+	cl.Run(bg(), coord.TxnSpec{
+		ID: "Ta", Protocol: proto.O2PC, Marking: marking,
+		Subtxns: []coord.SubtxnSpec{
+			{Site: "s0", Ops: []proto.Operation{proto.Add("x", 5)}, Comp: proto.CompSemantic},
+			{Site: "s1", Ops: []proto.Operation{proto.Add("y", 5)}, Comp: proto.CompSemantic},
+		},
+	})
+
+	reader := cl.RunAt(bg(), 1, coord.TxnSpec{
+		ID: "Tb", Protocol: proto.O2PC, Marking: marking,
+		Subtxns: []coord.SubtxnSpec{
+			{Site: "s0", Ops: []proto.Operation{proto.Read("x"), proto.Add("sum", 1)}, Comp: proto.CompSemantic},
+			{Site: "s1", Ops: []proto.Operation{proto.Read("y"), proto.Add("sum", 1)}, Comp: proto.CompSemantic},
+		},
+	})
+
+	_ = cl.RecoverCoordinator(bg(), 0)
+	quiesce(cl)
+	return cl, reader
+}
+
+func pct(x float64) string       { return fmt.Sprintf("%.1f%%", 100*x) }
+func ms(x float64) string        { return fmt.Sprintf("%.3f", x) }
+func f0(x float64) string        { return fmt.Sprintf("%.0f", x) }
+func d(x int64) string           { return fmt.Sprintf("%d", x) }
+func b(x bool) string            { return fmt.Sprintf("%v", x) }
+func dur(x time.Duration) string { return x.Round(10 * time.Microsecond).String() }

@@ -1,0 +1,280 @@
+// Command o2pc-coord runs a coordinator process over TCP: it serves
+// Resolve inquiries from blocked participants and executes global
+// transactions against o2pc-site processes.
+//
+// A transaction is described with -txn as slash-separated subtransactions,
+// each "site:op:key[:arg[:arg]]" with ops:
+//
+//	read:key              read a key
+//	write:key:value       write a string value
+//	add:key:delta         int64 increment
+//	addmin:key:delta:min  increment that votes NO below min
+//
+// Example:
+//
+//	o2pc-coord -name c0 -listen 127.0.0.1:7001 \
+//	    -site s0=127.0.0.1:7101 -site s1=127.0.0.1:7102 \
+//	    -txn "s0:addmin:acct:-40:0 / s1:add:acct:40" -protocol o2pc -marking p1
+//
+// With -repeat N the transaction runs N times and a latency summary is
+// printed. Without -txn the coordinator just serves Resolve requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"o2pc/internal/coord"
+	"o2pc/internal/metrics"
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/wal"
+)
+
+type addrList map[string]string
+
+func (a addrList) String() string { return fmt.Sprint(map[string]string(a)) }
+func (a addrList) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=host:port, got %q", v)
+	}
+	a[name] = addr
+	return nil
+}
+
+func main() {
+	name := flag.String("name", "c0", "coordinator node name")
+	listen := flag.String("listen", "127.0.0.1:7001", "listen address for Resolve inquiries")
+	walPath := flag.String("wal", "", "decision log file (default: in-memory)")
+	txnSpec := flag.String("txn", "", "transaction description (see package docs)")
+	protocolName := flag.String("protocol", "o2pc", "commit protocol: 2pc | o2pc")
+	markingName := flag.String("marking", "p1", "marking protocol: none | p1 | p2")
+	repeat := flag.Int("repeat", 1, "run the transaction N times")
+	demo := flag.Int("demo", 0, "run N random transfers of key 'acct' across the sites and report")
+	demoDoom := flag.Float64("demo-doom", 0.1, "fraction of demo transfers that attempt an over-withdrawal (aborted by the AddMin constraint)")
+	comp := flag.String("comp", "semantic", "compensation mode: semantic | before-image | none")
+	sites := addrList{}
+	flag.Var(sites, "site", "site address as name=host:port (repeatable)")
+	flag.Parse()
+
+	proto.RegisterGob()
+
+	cfg := coord.Config{Name: *name}
+	if *walPath != "" {
+		fl, err := wal.OpenFileLog(*walPath)
+		if err != nil {
+			log.Fatalf("o2pc-coord: open wal: %v", err)
+		}
+		defer fl.Close()
+		cfg.Log = fl
+	}
+	client := rpc.NewTCPClient(sites)
+	c := coord.New(cfg, client)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("o2pc-coord: listen: %v", err)
+	}
+	srv := rpc.NewServer(*name, c.Handle)
+	go srv.Serve(ln)
+	log.Printf("coordinator %s serving on %s", *name, ln.Addr())
+
+	if *demo > 0 {
+		runDemo(c, sites, *demo, *demoDoom, protocolOf(*protocolName), markingOf(*markingName))
+		return
+	}
+
+	if *txnSpec == "" {
+		select {} // serve Resolve inquiries forever
+	}
+
+	subtxns, err := parseTxn(*txnSpec, parseComp(*comp))
+	if err != nil {
+		log.Fatalf("o2pc-coord: %v", err)
+	}
+	protocol := protocolOf(*protocolName)
+	marking := markingOf(*markingName)
+
+	lat := metrics.NewHistogram()
+	committed := 0
+	for i := 0; i < *repeat; i++ {
+		res := c.Run(context.Background(), coord.TxnSpec{
+			Protocol: protocol,
+			Marking:  marking,
+			Subtxns:  subtxns,
+		})
+		if res.Committed() {
+			committed++
+			lat.ObserveDuration(res.Latency)
+		}
+		if *repeat == 1 {
+			fmt.Printf("%s: %v (latency %v)\n", res.ID, res.Outcome, res.Latency.Round(time.Microsecond))
+			if res.Err != nil {
+				fmt.Println("  error:", res.Err)
+			}
+			for site, reads := range res.Reads {
+				for key, val := range reads {
+					fmt.Printf("  read %s@%s = %q\n", key, site, val)
+				}
+			}
+		}
+	}
+	if *repeat > 1 {
+		fmt.Printf("%d/%d committed; latency(ms): %s\n", committed, *repeat, lat.Snapshot())
+	}
+}
+
+func protocolOf(name string) proto.Protocol {
+	if strings.EqualFold(name, "2pc") {
+		return proto.TwoPC
+	}
+	return proto.O2PC
+}
+
+func markingOf(name string) proto.MarkProtocol {
+	switch strings.ToLower(name) {
+	case "p1":
+		return proto.MarkP1
+	case "p2":
+		return proto.MarkP2
+	case "simple":
+		return proto.MarkSimple
+	default:
+		return proto.MarkNone
+	}
+}
+
+// runDemo drives random transfers of the key "acct" between the configured
+// sites, with a fraction refused at vote time, and prints outcome counts
+// and a latency summary — a self-contained way to exercise a TCP
+// deployment (seed the sites with -seed acct=<amount> first).
+func runDemo(c *coord.Coordinator, sites addrList, n int, doom float64, protocol proto.Protocol, marking proto.MarkProtocol) {
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) < 2 {
+		log.Fatal("o2pc-coord: -demo needs at least two -site entries")
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	lat := metrics.NewHistogram()
+	committed, refused, failed := 0, 0, 0
+	for i := 0; i < n; i++ {
+		from := names[rng.Intn(len(names))]
+		to := names[rng.Intn(len(names))]
+		for to == from {
+			to = names[rng.Intn(len(names))]
+		}
+		amount := int64(1 + rng.Intn(25))
+		if rng.Float64() < doom {
+			amount = 1 << 40 // guaranteed over-withdrawal: the source site aborts the transaction
+		}
+		spec := coord.TxnSpec{
+			Protocol: protocol,
+			Marking:  marking,
+			Subtxns: []coord.SubtxnSpec{
+				{Site: from, Ops: []proto.Operation{proto.AddMin("acct", -amount, 0)}, Comp: proto.CompSemantic},
+				{Site: to, Ops: []proto.Operation{proto.Add("acct", amount)}, Comp: proto.CompSemantic},
+			},
+		}
+		res := c.Run(context.Background(), spec)
+		switch {
+		case res.Committed():
+			committed++
+			lat.ObserveDuration(res.Latency)
+		case res.Outcome == coord.AbortedExec:
+			failed++
+		default:
+			refused++
+		}
+	}
+	fmt.Printf("demo: %d committed, %d insufficient-funds, %d other aborts\n", committed, failed, refused)
+	fmt.Printf("latency(ms): %s\n", lat.Snapshot())
+}
+
+func parseComp(s string) proto.CompMode {
+	switch strings.ToLower(s) {
+	case "before-image":
+		return proto.CompBeforeImage
+	case "none":
+		return proto.CompNone
+	default:
+		return proto.CompSemantic
+	}
+}
+
+// parseTxn parses "site:op:key[:arg[:arg]] / site:op:..." descriptions.
+func parseTxn(s string, comp proto.CompMode) ([]coord.SubtxnSpec, error) {
+	bySite := make(map[string]*coord.SubtxnSpec)
+	var order []string
+	for _, part := range strings.Split(s, "/") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("bad subtransaction %q", part)
+		}
+		site, opName, key := fields[0], fields[1], fields[2]
+		var op proto.Operation
+		switch strings.ToLower(opName) {
+		case "read":
+			op = proto.Read(key)
+		case "write":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("write needs a value: %q", part)
+			}
+			op = proto.Write(key, []byte(fields[3]))
+		case "add":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("add needs a delta: %q", part)
+			}
+			d, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			op = proto.Add(key, d)
+		case "addmin":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("addmin needs delta and min: %q", part)
+			}
+			d, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			m, err := strconv.ParseInt(fields[4], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			op = proto.AddMin(key, d, m)
+		default:
+			return nil, fmt.Errorf("unknown op %q", opName)
+		}
+		st, ok := bySite[site]
+		if !ok {
+			st = &coord.SubtxnSpec{Site: site, Comp: comp}
+			bySite[site] = st
+			order = append(order, site)
+		}
+		st.Ops = append(st.Ops, op)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("empty transaction")
+	}
+	out := make([]coord.SubtxnSpec, 0, len(order))
+	for _, site := range order {
+		out = append(out, *bySite[site])
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	"o2pc/internal/proto"
+)
+
+func TestParseTxnSingleOps(t *testing.T) {
+	subs, err := parseTxn("s0:addmin:acct:-40:0 / s1:add:acct:40 / s1:read:acct", proto.CompSemantic)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("subs = %+v", subs)
+	}
+	if subs[0].Site != "s0" || len(subs[0].Ops) != 1 {
+		t.Fatalf("sub0 = %+v", subs[0])
+	}
+	op := subs[0].Ops[0]
+	if op.Kind != proto.OpAdd || op.Delta != -40 || !op.HasMin || op.Min != 0 {
+		t.Fatalf("op0 = %+v", op)
+	}
+	// Ops for the same site merge into one subtransaction, in order.
+	if len(subs[1].Ops) != 2 || subs[1].Ops[0].Kind != proto.OpAdd || subs[1].Ops[1].Kind != proto.OpRead {
+		t.Fatalf("sub1 = %+v", subs[1])
+	}
+	if subs[0].Comp != proto.CompSemantic {
+		t.Fatalf("comp = %v", subs[0].Comp)
+	}
+}
+
+func TestParseTxnWriteAndDelete(t *testing.T) {
+	subs, err := parseTxn("s0:write:name:alice", proto.CompBeforeImage)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if string(subs[0].Ops[0].Value) != "alice" {
+		t.Fatalf("value = %q", subs[0].Ops[0].Value)
+	}
+}
+
+func TestParseTxnErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"s0",
+		"s0:frobnicate:k",
+		"s0:write:k",      // missing value
+		"s0:add:k",        // missing delta
+		"s0:add:k:notnum", // bad delta
+		"s0:addmin:k:-1",  // missing min
+	} {
+		if _, err := parseTxn(bad, proto.CompSemantic); err == nil {
+			t.Errorf("parseTxn(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseComp(t *testing.T) {
+	if parseComp("before-image") != proto.CompBeforeImage {
+		t.Fatalf("before-image")
+	}
+	if parseComp("none") != proto.CompNone {
+		t.Fatalf("none")
+	}
+	if parseComp("anything-else") != proto.CompSemantic {
+		t.Fatalf("default")
+	}
+}

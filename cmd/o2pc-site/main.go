@@ -1,0 +1,116 @@
+// Command o2pc-site runs one participant DBMS as a standalone process
+// serving the commit-protocol messages over TCP. Together with o2pc-coord
+// it deploys the system as a real multi-process multidatabase.
+//
+// Example (three shells):
+//
+//	o2pc-site -name s0 -listen 127.0.0.1:7101 -coord c0=127.0.0.1:7001 -seed acct=100
+//	o2pc-site -name s1 -listen 127.0.0.1:7102 -coord c0=127.0.0.1:7001 -seed acct=100
+//	o2pc-coord -name c0 -listen 127.0.0.1:7001 \
+//	    -site s0=127.0.0.1:7101 -site s1=127.0.0.1:7102 \
+//	    -txn "s0:addmin:acct:-40:0 / s1:add:acct:40" -protocol o2pc -marking p1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/site"
+	"o2pc/internal/storage"
+	"o2pc/internal/wal"
+)
+
+// addrList collects repeated name=addr flags.
+type addrList map[string]string
+
+func (a addrList) String() string { return fmt.Sprint(map[string]string(a)) }
+func (a addrList) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=host:port, got %q", v)
+	}
+	a[name] = addr
+	return nil
+}
+
+// seedList collects repeated key=int64 flags.
+type seedList map[string]int64
+
+func (s seedList) String() string { return fmt.Sprint(map[string]int64(s)) }
+func (s seedList) Set(v string) error {
+	key, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want key=int, got %q", v)
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return err
+	}
+	s[key] = n
+	return nil
+}
+
+func main() {
+	name := flag.String("name", "s0", "site node name")
+	listen := flag.String("listen", "127.0.0.1:7101", "listen address")
+	walPath := flag.String("wal", "", "write-ahead log file (default: in-memory)")
+	recover := flag.Bool("recover", false, "recover state from the WAL before serving")
+	coords := addrList{}
+	flag.Var(coords, "coord", "coordinator address as name=host:port (repeatable)")
+	seeds := seedList{}
+	flag.Var(seeds, "seed", "initial integer value as key=value (repeatable)")
+	flag.Parse()
+
+	proto.RegisterGob()
+
+	cfg := site.Config{Name: *name}
+	if *walPath != "" {
+		fl, err := wal.OpenFileLog(*walPath)
+		if err != nil {
+			log.Fatalf("o2pc-site: open wal: %v", err)
+		}
+		defer fl.Close()
+		cfg.Log = fl
+	}
+	s := site.NewSite(cfg)
+	if len(coords) > 0 {
+		s.SetCaller(rpc.NewTCPClient(coords))
+	}
+	if *recover {
+		res, err := s.Recover(context.Background())
+		if err != nil {
+			log.Fatalf("o2pc-site: recover: %v", err)
+		}
+		log.Printf("recovered: %d redone, %d undone, %d in doubt",
+			len(res.Redone), len(res.Undone), len(res.InDoubt))
+	}
+	for key, val := range seeds {
+		s.SeedInt64(storage.Key(key), val)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("o2pc-site: listen: %v", err)
+	}
+	log.Printf("site %s serving on %s (wal=%s)", *name, ln.Addr(), walOrMemory(*walPath))
+	srv := rpc.NewServer(*name, s.Handle)
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "o2pc-site:", err)
+		os.Exit(1)
+	}
+}
+
+func walOrMemory(p string) string {
+	if p == "" {
+		return "memory"
+	}
+	return p
+}

@@ -1,0 +1,144 @@
+// Command sgcheck audits a recorded execution history against the paper's
+// Section 5 theory: it builds the local and global serialization graphs,
+// reports local cycles, enumerates and classifies global cycles into
+// regular (forbidden) and benign compensating-transaction cycles, checks
+// the stratification properties S1/S2, and checks atomicity of
+// compensation (Theorem 2).
+//
+// Usage:
+//
+//	sgcheck [-max-cycles N] [-max-len N] [-v] history.json
+//
+// The input is a history file written by history.WriteJSON (the o2pc-bench
+// tool's -dump flag produces them). Exit status is 0 when the history
+// satisfies the correctness criterion and 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"o2pc/internal/history"
+	"o2pc/internal/sg"
+)
+
+func main() {
+	maxCycles := flag.Int("max-cycles", 10000, "bound on enumerated global cycles")
+	maxLen := flag.Int("max-len", 10, "bound on cycle length (junctions)")
+	verbose := flag.Bool("v", false, "print every classified cycle")
+	dotPath := flag.String("dot", "", "write a Graphviz rendering of the SGs to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sgcheck [-max-cycles N] [-max-len N] [-v] history.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgcheck:", err)
+		os.Exit(2)
+	}
+	h, err := history.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgcheck:", err)
+		os.Exit(2)
+	}
+
+	nGlobal, nComp, nLocal := 0, 0, 0
+	for _, info := range h.Txns {
+		switch info.Kind {
+		case history.KindGlobal:
+			nGlobal++
+		case history.KindCompensating:
+			nComp++
+		default:
+			nLocal++
+		}
+	}
+	fmt.Printf("history: %d ops, %d sites, %d global / %d compensating / %d local transactions\n",
+		len(h.Ops), len(h.Sites()), nGlobal, nComp, nLocal)
+
+	audit := sg.AuditHistory(h, *maxLen, *maxCycles)
+	for site, cyc := range audit.LocalCycles {
+		fmt.Printf("LOCAL CYCLE at %s: %s\n", site, strings.Join(cyc, " -> "))
+	}
+	fmt.Printf("global cycles: %d effective regular (forbidden), %d doomed-reader regular (tolerated), %d benign CT-only",
+		audit.EffectiveCount, audit.DoomedCount, audit.BenignCount)
+	if audit.Truncated {
+		fmt.Printf(" (enumeration truncated at %d)", len(audit.Cycles))
+	}
+	fmt.Println()
+	if *verbose {
+		for _, c := range audit.Cycles {
+			kind := "benign "
+			switch {
+			case c.Effective:
+				kind = "REGULAR"
+			case c.Regular:
+				kind = "doomed "
+			}
+			fmt.Printf("  %s cycle %s; minimal representations: %v\n",
+				kind, strings.Join(c.Junctions, " -> "), c.MinimalReps)
+		}
+	}
+
+	if *dotPath != "" {
+		df, err := os.Create(*dotPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgcheck:", err)
+			os.Exit(2)
+		}
+		if err := sg.WriteDOT(df, h); err != nil {
+			fmt.Fprintln(os.Stderr, "sgcheck:", err)
+			df.Close()
+			os.Exit(2)
+		}
+		df.Close()
+		fmt.Printf("graphviz rendering written to %s\n", *dotPath)
+	}
+
+	strat := sg.NewStratification(h)
+	s1 := strat.CheckS1()
+	s2 := strat.CheckS2()
+	fmt.Printf("stratification: S1 %s (%d violating pairs), S2 %s (%d violating pairs)\n",
+		holds(len(s1) == 0), len(s1), holds(len(s2) == 0), len(s2))
+
+	viol := sg.CheckCompensationAtomicity(h)
+	committedViol := sg.CommittedViolations(viol)
+	if len(viol) == 0 {
+		fmt.Println("atomicity of compensation: preserved")
+	} else {
+		for _, v := range viol {
+			tag := "ATOMICITY VIOLATION"
+			if v.ReaderFate == history.FateAborted {
+				tag = "doomed-reader atomicity residue (tolerated)"
+			}
+			fmt.Printf("%s: %s read from both %s and %s\n",
+				tag, v.Reader, v.Forward, v.Comp)
+		}
+	}
+
+	if cyc, checked := sg.SerializableWithoutAborts(h); checked {
+		if cyc == nil {
+			fmt.Println("no aborted globals: history is (conflict-)serializable")
+		} else {
+			fmt.Printf("no aborted globals but SG cyclic: %s\n", strings.Join(cyc, " -> "))
+		}
+	}
+
+	if audit.Correct() && len(committedViol) == 0 {
+		fmt.Println("verdict: CORRECT (criterion of Section 5 satisfied)")
+		return
+	}
+	fmt.Println("verdict: INCORRECT")
+	os.Exit(1)
+}
+
+func holds(b bool) string {
+	if b {
+		return "holds"
+	}
+	return "violated"
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"o2pc"
+	"time"
+)
+
+func main() {
+	reg := o2pc.NewRegistry()
+	reg.Register("release", func(ctx context.Context, t *o2pc.Txn, f o2pc.Forward) error {
+		for _, op := range f.Ops {
+			if op.Kind != o2pc.OpAdd {
+				continue
+			}
+			cur, err := t.ReadInt64(ctx, o2pc.Key(op.Key))
+			if err != nil {
+				return err
+			}
+			if err := t.WriteInt64(ctx, o2pc.Key(op.Key), cur-op.Delta); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	cl := o2pc.NewCluster(o2pc.ClusterConfig{Sites: 3, Compensators: reg})
+	cl.SeedSiteInt64(0, "seats", 30)
+	cl.SeedSiteInt64(1, "rooms", 25)
+	cl.SeedSiteInt64(2, "cars", 20)
+	ctx := context.Background()
+	sem := make(chan struct{}, 8)
+	done := make(chan struct{}, 60)
+	for i := 0; i < 60; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; done <- struct{}{} }()
+			id := fmt.Sprintf("trip%d", i)
+			if i%10 == 9 {
+				cl.DoomAtSite(id, "s2")
+			}
+			res := cl.Run(ctx, o2pc.TxnSpec{
+				ID: id, Protocol: o2pc.O2PC, Marking: o2pc.MarkP1,
+				Subtxns: []o2pc.SubtxnSpec{
+					{Site: "s0", Ops: []o2pc.Operation{o2pc.AddMin("seats", -1, 0)}, Comp: o2pc.CompCustom, Compensator: "release"},
+					{Site: "s1", Ops: []o2pc.Operation{o2pc.AddMin("rooms", -1, 0)}, Comp: o2pc.CompCustom, Compensator: "release"},
+					{Site: "s2", Ops: []o2pc.Operation{o2pc.AddMin("cars", -1, 0)}, Comp: o2pc.CompCustom, Compensator: "release"},
+				},
+			})
+			if !res.Committed() {
+				fmt.Printf("%s: %v err=%v\n", id, res.Outcome, res.Err)
+			}
+		}(i)
+	}
+	for i := 0; i < 60; i++ {
+		<-done
+	}
+	qctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	_ = cl.Quiesce(qctx)
+	fmt.Println("left:", cl.Site(0).ReadInt64("seats"), cl.Site(1).ReadInt64("rooms"), cl.Site(2).ReadInt64("cars"))
+}

@@ -1,0 +1,3 @@
+module o2pc
+
+go 1.22

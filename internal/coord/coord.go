@@ -1,0 +1,319 @@
+// Package coord implements the coordinator of the commit protocols: it
+// decomposes global transactions into subtransactions, ships them to the
+// participating sites, runs the vote and decision rounds of 2PC/O2PC, logs
+// decisions for recovery, answers in-doubt Resolve inquiries, and hosts the
+// marking Board that aggregates UDUM1 witnesses.
+//
+// The coordinator deliberately uses the same message pattern for every
+// protocol variant — ExecRequest, VoteRequest, Decision per participant —
+// so that the message census of experiment E6 compares like with like and
+// reproduces the paper's "no extra messages" claim.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"o2pc/internal/history"
+	"o2pc/internal/marking"
+	"o2pc/internal/metrics"
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/wal"
+)
+
+// SubtxnSpec is one site's share of a global transaction.
+type SubtxnSpec struct {
+	// Site is the participant's node name.
+	Site string
+	// Ops is the operation list shipped to the site.
+	Ops []proto.Operation
+	// Comp selects the compensation mode; CompNone marks a real action
+	// (the site will retain locks until the decision even under O2PC).
+	Comp proto.CompMode
+	// Compensator names a registered custom compensator for CompCustom.
+	Compensator string
+}
+
+// TxnSpec describes a global transaction.
+type TxnSpec struct {
+	// ID optionally fixes the transaction's node ID; when empty the
+	// coordinator assigns "T<n>" (with its configured prefix).
+	ID string
+	// Protocol selects 2PC or O2PC.
+	Protocol proto.Protocol
+	// Marking selects the correctness protocol layered over O2PC.
+	Marking proto.MarkProtocol
+	// Subtxns lists the per-site work, executed in order (marking state
+	// accumulates site by site, as rule R1 requires).
+	Subtxns []SubtxnSpec
+	// MarkingRetries bounds retries of a retryable R1 rejection before the
+	// transaction is aborted. Defaults to 3.
+	MarkingRetries int
+}
+
+// Outcome classifies how a global transaction ended.
+type Outcome uint8
+
+const (
+	// Committed means every site voted YES and the decision was commit.
+	Committed Outcome = iota + 1
+	// AbortedVote means at least one site voted NO.
+	AbortedVote
+	// AbortedExec means a subtransaction failed during execution (site
+	// autonomy, constraint violation, deadlock victim, or site crash).
+	AbortedExec
+	// AbortedMarking means the R1 compatibility check rejected the
+	// transaction unresolvably.
+	AbortedMarking
+	// AbortedCoordinator means the coordinator failed before deciding and
+	// presumed abort during recovery.
+	AbortedCoordinator
+)
+
+// String returns the outcome mnemonic.
+func (o Outcome) String() string {
+	switch o {
+	case Committed:
+		return "committed"
+	case AbortedVote:
+		return "aborted-vote"
+	case AbortedExec:
+		return "aborted-exec"
+	case AbortedMarking:
+		return "aborted-marking"
+	case AbortedCoordinator:
+		return "aborted-coordinator"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Result reports one global transaction's execution.
+type Result struct {
+	ID      string
+	Outcome Outcome
+	Reads   map[string]map[string][]byte // site -> key -> value
+	Latency time.Duration
+	Err     error
+	// MarkRetries counts retryable R1 rejections absorbed along the way.
+	MarkRetries int
+}
+
+// Committed reports whether the transaction committed.
+func (r Result) Committed() bool { return r.Outcome == Committed }
+
+// CrashPhase identifies coordinator crash-injection points.
+type CrashPhase uint8
+
+const (
+	// CrashAfterVotes fires after all votes are collected, before the
+	// decision is logged — recovery presumes abort.
+	CrashAfterVotes CrashPhase = iota + 1
+	// CrashAfterDecisionLogged fires after the decision is durable but
+	// before any participant learns it — recovery re-sends it.
+	CrashAfterDecisionLogged
+)
+
+// Stats aggregates coordinator measurements.
+type Stats struct {
+	Commits        *metrics.Counter
+	Aborts         *metrics.Counter
+	MarkingAborts  *metrics.Counter
+	MarkingRetries *metrics.Counter
+	Latency        *metrics.Histogram // ms, all outcomes
+	CommitLatency  *metrics.Histogram // ms, committed only
+}
+
+func newStats() *Stats {
+	return &Stats{
+		Commits:        &metrics.Counter{},
+		Aborts:         &metrics.Counter{},
+		MarkingAborts:  &metrics.Counter{},
+		MarkingRetries: &metrics.Counter{},
+		Latency:        metrics.NewHistogram(),
+		CommitLatency:  metrics.NewHistogram(),
+	}
+}
+
+// decided tracks a logged decision and its undelivered participants.
+type decided struct {
+	commit bool
+	// trackMarks is set for aborts under protocol P1: Marked flags on the
+	// acks feed the UDUM1 board, and the marked-site set is finalized once
+	// every participant has acked.
+	trackMarks bool
+	pending    map[string]bool // sites not yet acked
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Name is the coordinator's node name.
+	Name string
+	// IDPrefix prefixes generated transaction IDs (distinct coordinators
+	// in one cluster must use distinct prefixes).
+	IDPrefix string
+	// Recorder, when non-nil, receives global fate events.
+	Recorder *history.Recorder
+	// Board aggregates UDUM1 witnesses; share one Board among the
+	// coordinators of a cluster.
+	Board *marking.Board
+	// Log stores decisions durably (defaults to an in-memory WAL).
+	Log wal.Log
+	// DecisionRetry is the delay between decision re-sends to unreachable
+	// participants. Defaults to 2ms.
+	DecisionRetry time.Duration
+	// MarkingRetryDelay is the backoff before retrying a retryable R1
+	// rejection. Defaults to 1ms.
+	MarkingRetryDelay time.Duration
+}
+
+// Coordinator drives global transactions.
+type Coordinator struct {
+	cfg    Config
+	caller rpc.Caller
+	board  *marking.Board
+	log    wal.Log
+	stats  *Stats
+
+	mu      sync.Mutex
+	seq     uint64
+	decided map[string]*decided
+	started map[string][]string // txn -> exec sites (for presumed abort)
+	crashed bool
+	crash   func(txnID string, phase CrashPhase) bool
+}
+
+// New assembles a coordinator over the given transport.
+func New(cfg Config, caller rpc.Caller) *Coordinator {
+	if cfg.DecisionRetry <= 0 {
+		cfg.DecisionRetry = 2 * time.Millisecond
+	}
+	if cfg.MarkingRetryDelay <= 0 {
+		cfg.MarkingRetryDelay = time.Millisecond
+	}
+	board := cfg.Board
+	if board == nil {
+		board = marking.NewBoard()
+	}
+	log := cfg.Log
+	if log == nil {
+		log = wal.NewMemoryLog()
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		caller:  caller,
+		board:   board,
+		log:     log,
+		stats:   newStats(),
+		decided: make(map[string]*decided),
+		started: make(map[string][]string),
+	}
+}
+
+// Name returns the coordinator's node name.
+func (c *Coordinator) Name() string { return c.cfg.Name }
+
+// Stats returns the coordinator's counters.
+func (c *Coordinator) Stats() *Stats { return c.stats }
+
+// Board returns the shared marking board.
+func (c *Coordinator) Board() *marking.Board { return c.board }
+
+// SetCrashInjector installs a crash predicate consulted at the two
+// injection points. A true return crashes the coordinator: every in-flight
+// and subsequent Run fails with ErrCrashed until Recover.
+func (c *Coordinator) SetCrashInjector(f func(txnID string, phase CrashPhase) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crash = f
+}
+
+// ErrCrashed is returned while the coordinator is crashed.
+var ErrCrashed = errors.New("coord: coordinator crashed")
+
+// Crashed reports whether the coordinator is currently crashed.
+func (c *Coordinator) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Handle implements rpc.Handler for the coordinator node (Resolve
+// inquiries from blocked participants).
+func (c *Coordinator) Handle(ctx context.Context, from string, req any) (any, error) {
+	c.mu.Lock()
+	crashed := c.crashed
+	c.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	switch m := req.(type) {
+	case proto.ResolveRequest:
+		c.mu.Lock()
+		d, ok := c.decided[m.TxnID]
+		c.mu.Unlock()
+		if !ok {
+			return proto.ResolveReply{Known: false}, nil
+		}
+		return proto.ResolveReply{Known: true, Commit: d.commit}, nil
+	default:
+		return nil, fmt.Errorf("coord %s: unknown message %T", c.cfg.Name, req)
+	}
+}
+
+// nextID generates a transaction ID.
+func (c *Coordinator) nextID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return fmt.Sprintf("%sT%d", c.cfg.IDPrefix, c.seq)
+}
+
+// writesAt reports whether a subtransaction's ops include a write.
+func writesAt(ops []proto.Operation) bool {
+	for _, op := range ops {
+		if op.Kind != proto.OpRead {
+			return true
+		}
+	}
+	return false
+}
+
+// execSites lists the sites of a spec, in order.
+func execSites(spec TxnSpec) []string {
+	out := make([]string, len(spec.Subtxns))
+	for i, st := range spec.Subtxns {
+		out[i] = st.Site
+	}
+	return out
+}
+
+// writeSites lists the sites where the transaction writes.
+func writeSites(spec TxnSpec) []string {
+	var out []string
+	for _, st := range spec.Subtxns {
+		if writesAt(st.Ops) {
+			out = append(out, st.Site)
+		}
+	}
+	return out
+}
+
+// checkCrash consults the injector and transitions to crashed when it
+// fires.
+func (c *Coordinator) checkCrash(txnID string, phase CrashPhase) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return true
+	}
+	if c.crash != nil && c.crash(txnID, phase) {
+		c.crashed = true
+		return true
+	}
+	return false
+}

@@ -1,0 +1,353 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"o2pc/internal/history"
+	"o2pc/internal/marking"
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/site"
+	"o2pc/internal/storage"
+)
+
+func bg() context.Context { return context.Background() }
+
+type rig struct {
+	net   *rpc.Network
+	sites []*site.Site
+	coord *Coordinator
+	rec   *history.Recorder
+}
+
+func newRig(t *testing.T, nSites int) *rig {
+	t.Helper()
+	r := &rig{
+		net: rpc.NewNetwork(rpc.Config{}),
+		rec: history.NewRecorder(),
+	}
+	for i := 0; i < nSites; i++ {
+		name := siteName(i)
+		s := site.NewSite(site.Config{Name: name, Recorder: r.rec, ResolvePeriod: 2 * time.Millisecond})
+		s.SetCaller(r.net)
+		r.net.Register(name, s.Handle)
+		r.sites = append(r.sites, s)
+	}
+	r.coord = New(Config{Name: "c0", Recorder: r.rec, Board: marking.NewBoard()}, r.net)
+	r.net.Register("c0", r.coord.Handle)
+	return r
+}
+
+func siteName(i int) string { return string(rune('a'+i)) + "site" }
+
+func (r *rig) seed(key string, v int64) {
+	for _, s := range r.sites {
+		s.SeedInt64(storage.Key(key), v)
+	}
+}
+
+func transfer(r *rig, protocol proto.Protocol, marking proto.MarkProtocol, id string, amount int64) TxnSpec {
+	return TxnSpec{
+		ID:       id,
+		Protocol: protocol,
+		Marking:  marking,
+		Subtxns: []SubtxnSpec{
+			{Site: siteName(0), Ops: []proto.Operation{proto.AddMin("acct", -amount, 0)}, Comp: proto.CompSemantic},
+			{Site: siteName(1), Ops: []proto.Operation{proto.Add("acct", amount)}, Comp: proto.CompSemantic},
+		},
+	}
+}
+
+func TestRunCommit(t *testing.T) {
+	r := newRig(t, 2)
+	r.seed("acct", 100)
+	res := r.coord.Run(bg(), transfer(r, proto.O2PC, proto.MarkP1, "", 25))
+	if res.Outcome != Committed {
+		t.Fatalf("outcome = %v err=%v", res.Outcome, res.Err)
+	}
+	if res.ID != "T1" {
+		t.Fatalf("generated ID = %q", res.ID)
+	}
+	if r.sites[0].ReadInt64("acct") != 75 || r.sites[1].ReadInt64("acct") != 125 {
+		t.Fatalf("balances: %d %d", r.sites[0].ReadInt64("acct"), r.sites[1].ReadInt64("acct"))
+	}
+	if r.coord.Stats().Commits.Value() != 1 {
+		t.Fatalf("commit counter = %d", r.coord.Stats().Commits.Value())
+	}
+}
+
+func TestRunEmptySpec(t *testing.T) {
+	r := newRig(t, 1)
+	res := r.coord.Run(bg(), TxnSpec{})
+	if res.Err == nil {
+		t.Fatalf("empty spec accepted")
+	}
+}
+
+func TestRunVoteAbort(t *testing.T) {
+	r := newRig(t, 2)
+	r.seed("acct", 100)
+	r.sites[1].SetVoteAbortInjector(func(id string) bool { return id == "Tx" })
+	res := r.coord.Run(bg(), transfer(r, proto.O2PC, proto.MarkP1, "Tx", 25))
+	if res.Outcome != AbortedVote {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	waitQuiesce(t, r)
+	if r.sites[0].ReadInt64("acct") != 100 || r.sites[1].ReadInt64("acct") != 100 {
+		t.Fatalf("balances after abort: %d %d",
+			r.sites[0].ReadInt64("acct"), r.sites[1].ReadInt64("acct"))
+	}
+	if r.rec.Snapshot().FateOf("Tx") != history.FateAborted {
+		t.Fatalf("fate not recorded")
+	}
+}
+
+func TestRunExecFailureAbortsEarlierSites(t *testing.T) {
+	r := newRig(t, 2)
+	r.seed("acct", 10)
+	// Site 1's AddMin fails (insufficient funds at destination? use a min
+	// that the Add violates).
+	spec := TxnSpec{
+		ID: "Tf", Protocol: proto.O2PC, Marking: proto.MarkP1,
+		Subtxns: []SubtxnSpec{
+			{Site: siteName(0), Ops: []proto.Operation{proto.Add("acct", 5)}, Comp: proto.CompSemantic},
+			{Site: siteName(1), Ops: []proto.Operation{proto.AddMin("acct", -50, 0)}, Comp: proto.CompSemantic},
+		},
+	}
+	res := r.coord.Run(bg(), spec)
+	if res.Outcome != AbortedExec {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	waitQuiesce(t, r)
+	if r.sites[0].ReadInt64("acct") != 10 {
+		t.Fatalf("site0 acct = %d, want rollback to 10", r.sites[0].ReadInt64("acct"))
+	}
+	// Exec-phase abort: no marks anywhere (nothing was exposed).
+	if r.sites[0].Marks().Len() != 0 || r.sites[1].Marks().Len() != 0 {
+		t.Fatalf("exec-phase abort left marks")
+	}
+}
+
+func TestSiteDownDuringExecAborts(t *testing.T) {
+	r := newRig(t, 2)
+	r.seed("acct", 100)
+	r.net.SetDown(siteName(1), true)
+	ctx, cancel := context.WithTimeout(bg(), time.Second)
+	defer cancel()
+	res := r.coord.Run(ctx, transfer(r, proto.O2PC, proto.MarkP1, "Td", 10))
+	if res.Outcome == Committed {
+		t.Fatalf("committed with a dead participant")
+	}
+	waitQuiesce(t, r)
+	if r.sites[0].ReadInt64("acct") != 100 {
+		t.Fatalf("site0 not rolled back: %d", r.sites[0].ReadInt64("acct"))
+	}
+}
+
+func TestResolveHandler(t *testing.T) {
+	r := newRig(t, 2)
+	r.seed("acct", 100)
+	res := r.coord.Run(bg(), transfer(r, proto.TwoPC, proto.MarkNone, "Tr", 5))
+	if !res.Committed() {
+		t.Fatalf("setup commit failed")
+	}
+	raw, err := r.coord.Handle(bg(), "asite", proto.ResolveRequest{TxnID: "Tr"})
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	reply := raw.(proto.ResolveReply)
+	if !reply.Known || !reply.Commit {
+		t.Fatalf("reply = %+v", reply)
+	}
+	raw, _ = r.coord.Handle(bg(), "asite", proto.ResolveRequest{TxnID: "ghost"})
+	if raw.(proto.ResolveReply).Known {
+		t.Fatalf("ghost transaction resolved")
+	}
+}
+
+func TestCrashAfterVotesPresumesAbortOnRecovery(t *testing.T) {
+	r := newRig(t, 2)
+	r.seed("acct", 100)
+	r.coord.SetCrashInjector(func(id string, phase CrashPhase) bool {
+		return id == "Tc" && phase == CrashAfterVotes
+	})
+	res := r.coord.Run(bg(), transfer(r, proto.O2PC, proto.MarkP1, "Tc", 30))
+	if res.Outcome != AbortedCoordinator || !errors.Is(res.Err, ErrCrashed) {
+		t.Fatalf("res = %+v", res)
+	}
+	// O2PC: site0 locally committed and exposed the debit; site1 too.
+	if r.sites[0].ReadInt64("acct") != 70 {
+		t.Fatalf("site0 = %d, want exposed 70", r.sites[0].ReadInt64("acct"))
+	}
+	// Recovery presumes abort and compensation restores both.
+	if err := r.coord.Recover(bg()); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	waitQuiesce(t, r)
+	if got := r.sites[0].ReadInt64("acct"); got != 100 {
+		t.Fatalf("site0 = %d after presumed abort", got)
+	}
+	if got := r.sites[1].ReadInt64("acct"); got != 100 {
+		t.Fatalf("site1 = %d after presumed abort", got)
+	}
+}
+
+func TestCrashAfterDecisionLoggedResendsOnRecovery(t *testing.T) {
+	r := newRig(t, 2)
+	r.seed("acct", 100)
+	r.coord.SetCrashInjector(func(id string, phase CrashPhase) bool {
+		return id == "Tc" && phase == CrashAfterDecisionLogged
+	})
+	res := r.coord.Run(bg(), transfer(r, proto.TwoPC, proto.MarkNone, "Tc", 30))
+	if res.Outcome != Committed {
+		t.Fatalf("res = %+v", res)
+	}
+	// Decision logged but never delivered: 2PC participants blocked.
+	if !r.sites[0].Manager().Locks().HoldsAny("Tc") {
+		t.Fatalf("participant not blocked in doubt")
+	}
+	if err := r.coord.Recover(bg()); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	waitFor(t, time.Second, func() bool {
+		return !r.sites[0].Manager().Locks().HoldsAny("Tc") &&
+			r.sites[0].ReadInt64("acct") == 70
+	}, "decision re-delivery")
+}
+
+func TestBlockedParticipantResolvesAfterCoordRecovery(t *testing.T) {
+	r := newRig(t, 2)
+	r.seed("acct", 100)
+	r.coord.SetCrashInjector(func(id string, phase CrashPhase) bool {
+		return id == "Tc" && phase == CrashAfterDecisionLogged
+	})
+	r.coord.Run(bg(), transfer(r, proto.TwoPC, proto.MarkNone, "Tc", 30))
+	// Instead of Recover pushing, let the participant's Resolve inquiry
+	// pull the decision once the coordinator is back (handlers answer as
+	// soon as crashed=false).
+	r.coord.mu.Lock()
+	r.coord.crashed = false
+	r.coord.crash = nil
+	r.coord.mu.Unlock()
+	waitFor(t, 2*time.Second, func() bool {
+		return r.sites[0].ReadInt64("acct") == 70
+	}, "participant-initiated resolution")
+}
+
+func TestMessageCensusIdenticalAcrossProtocols(t *testing.T) {
+	// E6 in miniature: committed transactions exchange exactly the same
+	// number of messages under 2PC, O2PC, and O2PC+P1.
+	counts := func(p proto.Protocol, m proto.MarkProtocol) map[string]int64 {
+		r := newRig(t, 2)
+		r.seed("acct", 1000)
+		for i := 0; i < 5; i++ {
+			res := r.coord.Run(bg(), transfer(r, p, m, "", 1))
+			if !res.Committed() {
+				t.Fatalf("%v/%v txn failed: %v", p, m, res.Err)
+			}
+		}
+		out := make(map[string]int64)
+		reg := r.net.Counts()
+		for _, name := range reg.CounterNames() {
+			out[name] = reg.Counter(name).Value()
+		}
+		return out
+	}
+	base := counts(proto.TwoPC, proto.MarkNone)
+	for _, tc := range []struct {
+		p proto.Protocol
+		m proto.MarkProtocol
+	}{{proto.O2PC, proto.MarkNone}, {proto.O2PC, proto.MarkP1}} {
+		got := counts(tc.p, tc.m)
+		if len(got) != len(base) {
+			t.Fatalf("%v/%v message types differ: %v vs %v", tc.p, tc.m, got, base)
+		}
+		for name, n := range base {
+			if got[name] != n {
+				t.Fatalf("%v/%v: %s = %d, want %d (extra messages!)", tc.p, tc.m, name, got[name], n)
+			}
+		}
+	}
+}
+
+func TestMarkingRetryCounted(t *testing.T) {
+	r := newRig(t, 2)
+	r.seed("acct", 100)
+	// Pre-mark site1 so a transaction that first visits site0 (adopting
+	// nothing) then site1 hits a fatal rejection; first visiting site1
+	// adopts the mark and then retries at site0 until giving up.
+	r.sites[0].Marks().MarkUndone("Tdead")
+	spec := transfer(r, proto.O2PC, proto.MarkP1, "Tm", 5)
+	res := r.coord.Run(bg(), spec)
+	if res.Outcome != AbortedMarking {
+		t.Fatalf("outcome = %v (retries=%d)", res.Outcome, res.MarkRetries)
+	}
+	if res.MarkRetries == 0 {
+		t.Fatalf("no retries recorded before the marking abort")
+	}
+	if r.coord.Stats().MarkingAborts.Value() != 1 {
+		t.Fatalf("marking aborts = %d", r.coord.Stats().MarkingAborts.Value())
+	}
+}
+
+func waitQuiesce(t *testing.T, r *rig) {
+	t.Helper()
+	waitFor(t, 2*time.Second, func() bool {
+		for _, s := range r.sites {
+			if s.Manager().ActiveCount() > 0 {
+				return false
+			}
+		}
+		return true
+	}, "site quiescence")
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestReadOnlyParticipantsSkipDecisionRound(t *testing.T) {
+	// Two rigs: optimization off vs on; the read-only site must receive
+	// fewer Decision messages when enabled, with identical outcomes.
+	run := func(readOnly bool) (committed bool, decisions int64) {
+		r := &rig{net: rpc.NewNetwork(rpc.Config{}), rec: history.NewRecorder()}
+		for i := 0; i < 2; i++ {
+			name := siteName(i)
+			s := site.NewSite(site.Config{Name: name, Recorder: r.rec, ReadOnlyVotes: readOnly})
+			s.SetCaller(r.net)
+			r.net.Register(name, s.Handle)
+			r.sites = append(r.sites, s)
+		}
+		r.coord = New(Config{Name: "c0", Recorder: r.rec}, r.net)
+		r.net.Register("c0", r.coord.Handle)
+		r.seed("acct", 100)
+
+		res := r.coord.Run(bg(), TxnSpec{
+			Protocol: proto.O2PC,
+			Subtxns: []SubtxnSpec{
+				{Site: siteName(0), Ops: []proto.Operation{proto.Add("acct", 1)}, Comp: proto.CompSemantic},
+				{Site: siteName(1), Ops: []proto.Operation{proto.Read("acct")}, Comp: proto.CompSemantic},
+			},
+		})
+		return res.Committed(), r.net.Counts().Counter("proto.Decision").Value()
+	}
+	okOff, decOff := run(false)
+	okOn, decOn := run(true)
+	if !okOff || !okOn {
+		t.Fatalf("commit failed: off=%v on=%v", okOff, okOn)
+	}
+	if decOff != 2 || decOn != 1 {
+		t.Fatalf("decisions off=%d (want 2) on=%d (want 1)", decOff, decOn)
+	}
+}

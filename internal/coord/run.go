@@ -1,0 +1,481 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"o2pc/internal/history"
+	"o2pc/internal/proto"
+	"o2pc/internal/wal"
+)
+
+// Run executes one global transaction end to end and reports its result.
+// Run blocks until the transaction is resolved at the coordinator (the
+// decision is logged and delivery has been attempted); decision delivery
+// to unreachable participants continues in the background.
+func (c *Coordinator) Run(ctx context.Context, spec TxnSpec) Result {
+	start := time.Now()
+	res := c.run(ctx, spec)
+	res.Latency = time.Since(start)
+	c.stats.Latency.ObserveDuration(res.Latency)
+	switch res.Outcome {
+	case Committed:
+		c.stats.Commits.Inc()
+		c.stats.CommitLatency.ObserveDuration(res.Latency)
+	case AbortedMarking:
+		c.stats.MarkingAborts.Inc()
+		c.stats.Aborts.Inc()
+	default:
+		c.stats.Aborts.Inc()
+	}
+	return res
+}
+
+func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
+	if len(spec.Subtxns) == 0 {
+		return Result{Err: fmt.Errorf("coord: empty transaction spec")}
+	}
+	id := spec.ID
+	if id == "" {
+		id = c.nextID()
+	}
+	retries := spec.MarkingRetries
+	if retries == 0 {
+		retries = 3
+	}
+	res := Result{ID: id}
+	if rec := c.cfg.Recorder; rec != nil {
+		rec.Declare(id, history.KindGlobal, "")
+	}
+	c.mu.Lock()
+	crashed := c.crashed
+	c.started[id] = execSites(spec)
+	c.mu.Unlock()
+	if crashed {
+		res.Outcome = AbortedCoordinator
+		res.Err = ErrCrashed
+		return res
+	}
+	_, _ = c.log.Append(wal.Record{
+		Type:  wal.RecBegin,
+		TxnID: id,
+		Aux:   joinSites(execSites(spec)) + "|" + spec.Marking.String(),
+	})
+
+	// ---- Execution phase: ship subtransactions in site order, carrying
+	// the accumulating transmarks (rule R1 state).
+	var transmarks []string
+	visited := false
+	var executed []string
+	for _, st := range spec.Subtxns {
+		req := proto.ExecRequest{
+			TxnID:       id,
+			Ops:         st.Ops,
+			Comp:        st.Comp,
+			Compensator: st.Compensator,
+			Protocol:    spec.Protocol,
+			Marking:     spec.Marking,
+			TransMarks:  transmarks,
+			Visited:     visited,
+		}
+		reply, err := c.execWithRetry(ctx, id, st.Site, req, retries, &res)
+		if err != nil {
+			// Site unreachable, subtransaction failed, or fatal marking
+			// rejection: abort whatever already executed. The failing
+			// site is included in the abort delivery — it may have
+			// executed the subtransaction even though its reply was lost
+			// (decisions are idempotent, so a site that never saw the
+			// request just acks).
+			res.Err = err
+			if res.Outcome == 0 {
+				res.Outcome = AbortedExec
+			}
+			c.decide(ctx, id, false, append(executed, st.Site), spec)
+			return res
+		}
+		if len(reply.Reads) > 0 {
+			if res.Reads == nil {
+				res.Reads = make(map[string]map[string][]byte)
+			}
+			res.Reads[st.Site] = reply.Reads
+		}
+		transmarks = reply.Marks
+		visited = true
+		executed = append(executed, st.Site)
+	}
+
+	// ---- Vote phase: VOTE-REQ to every participant in parallel.
+	votes, readOnly := c.collectVotes(ctx, id, executed)
+	allYes := true
+	for _, v := range votes {
+		if !v {
+			allYes = false
+		}
+	}
+	// Read-only participants have left the protocol; decisions go only to
+	// the rest.
+	if len(readOnly) > 0 {
+		var rest []string
+		for _, s := range executed {
+			if !readOnly[s] {
+				rest = append(rest, s)
+			}
+		}
+		executed = rest
+	}
+
+	if c.checkCrash(id, CrashAfterVotes) {
+		// Crash before the decision is durable: participants are left
+		// prepared (2PC: blocked; O2PC: locally committed, awaiting the
+		// decision). Recovery will presume abort.
+		res.Outcome = AbortedCoordinator
+		res.Err = ErrCrashed
+		return res
+	}
+
+	if !allYes {
+		res.Outcome = AbortedVote
+		c.decide(ctx, id, false, executed, spec)
+		return res
+	}
+	res.Outcome = Committed
+	c.decide(ctx, id, true, executed, spec)
+	return res
+}
+
+// execWithRetry ships one subtransaction, absorbing retryable marking
+// rejections up to the retry budget.
+func (c *Coordinator) execWithRetry(ctx context.Context, id, site string, req proto.ExecRequest, retries int, res *Result) (proto.ExecReply, error) {
+	for attempt := 0; ; attempt++ {
+		raw, err := c.caller.Call(ctx, c.cfg.Name, site, req)
+		if err != nil {
+			return proto.ExecReply{}, fmt.Errorf("coord: exec %s at %s: %w", id, site, err)
+		}
+		reply, ok := raw.(proto.ExecReply)
+		if !ok {
+			return proto.ExecReply{}, fmt.Errorf("coord: exec %s at %s: unexpected reply %T", id, site, raw)
+		}
+		for _, w := range reply.Witnesses {
+			c.board.AddWitness(w.Forward, w.Site)
+		}
+		switch {
+		case reply.OK:
+			return reply, nil
+		case reply.Rejected && !reply.Fatal && attempt < retries:
+			res.MarkRetries++
+			c.stats.MarkingRetries.Inc()
+			if err := sleepCtx(ctx, c.cfg.MarkingRetryDelay); err != nil {
+				return proto.ExecReply{}, err
+			}
+			continue
+		case reply.Rejected:
+			res.Outcome = AbortedMarking
+			return proto.ExecReply{}, fmt.Errorf("coord: exec %s at %s rejected by marking protocol: %s", id, site, reply.Reason)
+		default:
+			return proto.ExecReply{}, fmt.Errorf("coord: exec %s at %s failed: %s", id, site, reply.Err)
+		}
+	}
+}
+
+// collectVotes runs the vote round in parallel, feeding witness deltas to
+// the board. Unreachable participants count as NO votes. The second return
+// lists participants that answered READ-ONLY: they have left the protocol
+// and receive no decision.
+func (c *Coordinator) collectVotes(ctx context.Context, id string, sites []string) (map[string]bool, map[string]bool) {
+	votes := make(map[string]bool, len(sites))
+	readOnly := make(map[string]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, site := range sites {
+		wg.Add(1)
+		go func(site string) {
+			defer wg.Done()
+			raw, err := c.caller.Call(ctx, c.cfg.Name, site, proto.VoteRequest{TxnID: id})
+			commit, ro := false, false
+			if err == nil {
+				if reply, ok := raw.(proto.VoteReply); ok {
+					commit, ro = reply.Commit, reply.ReadOnly
+					for _, w := range reply.Witnesses {
+						c.board.AddWitness(w.Forward, w.Site)
+					}
+				}
+			}
+			mu.Lock()
+			votes[site] = commit
+			if ro {
+				readOnly[site] = true
+			}
+			mu.Unlock()
+		}(site)
+	}
+	wg.Wait()
+	return votes, readOnly
+}
+
+// decide logs the decision, registers abort bookkeeping, and delivers the
+// decision to every executed participant, retrying in the background until
+// each acks.
+func (c *Coordinator) decide(ctx context.Context, id string, commit bool, executed []string, spec TxnSpec) {
+	if len(executed) == 0 {
+		c.finishTxn(id, commit)
+		return
+	}
+	_, _ = c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: decisionAux(commit)})
+	_ = c.log.Sync()
+
+	d := &decided{
+		commit:     commit,
+		trackMarks: !commit && spec.Marking != proto.MarkNone,
+		pending:    make(map[string]bool, len(executed)),
+	}
+	for _, s := range executed {
+		d.pending[s] = true
+	}
+	c.mu.Lock()
+	c.decided[id] = d
+	delete(c.started, id)
+	c.mu.Unlock()
+
+	if rec := c.cfg.Recorder; rec != nil {
+		if commit {
+			rec.SetFate(id, history.FateCommitted)
+		} else {
+			rec.SetFate(id, history.FateAborted)
+		}
+	}
+
+	if c.checkCrash(id, CrashAfterDecisionLogged) {
+		return // recovery will re-send
+	}
+	c.deliverDecision(ctx, id, d)
+}
+
+// finishTxn records a decision that needed no participant delivery.
+func (c *Coordinator) finishTxn(id string, commit bool) {
+	c.mu.Lock()
+	c.decided[id] = &decided{commit: commit, pending: map[string]bool{}}
+	delete(c.started, id)
+	c.mu.Unlock()
+}
+
+// deliverDecision sends the decision to all pending participants in
+// parallel and synchronously retries unreachable ones until ctx expires;
+// remaining deliveries continue in the background so Run can return.
+func (c *Coordinator) deliverDecision(ctx context.Context, id string, d *decided) {
+	c.mu.Lock()
+	sites := make([]string, 0, len(d.pending))
+	for s := range d.pending {
+		sites = append(sites, s)
+	}
+	commit := d.commit
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, site := range sites {
+		wg.Add(1)
+		go func(site string) {
+			defer wg.Done()
+			c.sendDecisionUntilAcked(ctx, id, site, commit, d)
+		}(site)
+	}
+	wg.Wait()
+
+	// Once every participant has acked an abort, the marked-site set is
+	// final and the UDUM1 board can start looking for completion.
+	c.mu.Lock()
+	finalize := d.trackMarks && len(d.pending) == 0
+	if finalize {
+		d.trackMarks = false // finalize exactly once
+	}
+	c.mu.Unlock()
+	if finalize {
+		c.board.FinalizeMarked(id)
+	}
+}
+
+// sendDecisionUntilAcked delivers one decision, re-queuing undelivered
+// unmark notices on failure.
+func (c *Coordinator) sendDecisionUntilAcked(ctx context.Context, id, site string, commit bool, d *decided) {
+	for {
+		unmarks := c.board.DrainUnmarks(site)
+		msg := proto.Decision{TxnID: id, Commit: commit, Unmarks: unmarks}
+		raw, err := c.caller.Call(ctx, c.cfg.Name, site, msg)
+		if err == nil {
+			if ack, ok := raw.(proto.Ack); ok {
+				c.mu.Lock()
+				delete(d.pending, site)
+				track := d.trackMarks
+				c.mu.Unlock()
+				if track && ack.Marked {
+					c.board.AddMarked(id, site)
+				}
+				return
+			}
+		}
+		// Delivery failed: the unmark notices were not applied; requeue.
+		c.board.Requeue(site, unmarks)
+		if c.Crashed() {
+			return // recovery re-sends
+		}
+		if err := sleepCtx(ctx, c.cfg.DecisionRetry); err != nil {
+			return
+		}
+	}
+}
+
+// Recover restarts a crashed coordinator: undecided transactions are
+// presumed aborted (their participants may be blocked waiting — this is
+// the moment 2PC participants finally unblock), and decided-but-
+// undelivered transactions have their decisions re-sent.
+func (c *Coordinator) Recover(ctx context.Context) error {
+	records, err := c.log.Records()
+	if err != nil {
+		return err
+	}
+	begun := make(map[string][]string)
+	wasP1 := make(map[string]bool)
+	decidedLog := make(map[string]bool)
+	for _, rec := range records {
+		switch rec.Type {
+		case wal.RecBegin:
+			sites, marking := splitBeginAux(rec.Aux)
+			begun[rec.TxnID] = sites
+			wasP1[rec.TxnID] = marking != "" && marking != proto.MarkNone.String()
+		case wal.RecDecision:
+			decidedLog[rec.TxnID] = rec.Aux == "commit"
+		}
+	}
+
+	c.mu.Lock()
+	c.crashed = false
+	// Rebuild the decided set from the log; in-memory ack state is lost,
+	// so every participant of every decided transaction is re-notified
+	// (decisions are idempotent at the sites, and the Marked flags on the
+	// fresh acks rebuild the UDUM1 board's view).
+	for id, commit := range decidedLog {
+		c.decided[id] = &decided{
+			commit:     commit,
+			trackMarks: !commit && wasP1[id],
+			pending:    toSet(begun[id]),
+		}
+	}
+	var presume []string
+	for id := range begun {
+		if _, ok := decidedLog[id]; !ok {
+			presume = append(presume, id)
+		}
+	}
+	c.mu.Unlock()
+
+	// Presumed abort for undecided transactions.
+	for _, id := range presume {
+		_, _ = c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: "abort"})
+		c.mu.Lock()
+		c.decided[id] = &decided{
+			commit:     false,
+			trackMarks: wasP1[id],
+			pending:    toSet(begun[id]),
+		}
+		delete(c.started, id)
+		c.mu.Unlock()
+		if rec := c.cfg.Recorder; rec != nil {
+			rec.SetFate(id, history.FateAborted)
+		}
+	}
+	_ = c.log.Sync()
+
+	// Re-deliver everything still pending.
+	c.mu.Lock()
+	toDeliver := make(map[string]*decided)
+	for id, d := range c.decided {
+		if len(d.pending) > 0 {
+			toDeliver[id] = d
+		}
+	}
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for id, d := range toDeliver {
+		wg.Add(1)
+		go func(id string, d *decided) {
+			defer wg.Done()
+			c.deliverDecision(ctx, id, d)
+		}(id, d)
+	}
+	wg.Wait()
+	return nil
+}
+
+func decisionAux(commit bool) string {
+	if commit {
+		return "commit"
+	}
+	return "abort"
+}
+
+func joinSites(sites []string) string {
+	out := ""
+	for i, s := range sites {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
+
+func splitSites(aux string) []string {
+	if aux == "" {
+		return nil
+	}
+	var out []string
+	start := 0
+	for i := 0; i <= len(aux); i++ {
+		if i == len(aux) || aux[i] == ',' {
+			if i > start {
+				out = append(out, aux[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// splitBeginAux parses a RecBegin Aux of the form "s0,s1|P1".
+func splitBeginAux(aux string) (sites []string, marking string) {
+	for i := len(aux) - 1; i >= 0; i-- {
+		if aux[i] == '|' {
+			return splitSites(aux[:i]), aux[i+1:]
+		}
+	}
+	return splitSites(aux), ""
+}
+
+func toSet(sites []string) map[string]bool {
+	m := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		m[s] = true
+	}
+	return m
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,311 @@
+// Package core assembles the full system — sites, coordinators, simulated
+// network, marking board, history recorder — into a runnable multidatabase
+// cluster, and is the engine behind the public o2pc package.
+//
+// A Cluster is the paper's distributed environment in miniature: N
+// autonomous site DBMSs (package site) joined by a message network
+// (package rpc), with one or more coordinators (package coord) processing
+// global transactions under either distributed-2PL 2PC (the baseline) or
+// the optimistic O2PC protocol, optionally layered with marking protocol
+// P1 or P2. Failure injection (site crash, coordinator crash, link
+// partition) and the Section 5 verifier are first-class operations so
+// every experiment in EXPERIMENTS.md can be expressed against this one
+// type.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"o2pc/internal/compensate"
+	"o2pc/internal/coord"
+	"o2pc/internal/history"
+	"o2pc/internal/marking"
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/sg"
+	"o2pc/internal/site"
+	"o2pc/internal/storage"
+	"o2pc/internal/txn"
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Sites is the number of participant DBMSs (default 3). Site node
+	// names are "s0", "s1", ....
+	Sites int
+	// Coordinators is the number of coordinator nodes (default 1), named
+	// "c0", "c1", ....
+	Coordinators int
+	// Network configures the simulated transport (latency, loss, seed).
+	Network rpc.Config
+	// Record enables history capture for the Section 5 verifier. Leave it
+	// on except in throughput-sensitive benchmarks.
+	Record bool
+	// ReleaseSharedAtVote releases read locks at VOTE-REQ (ablation A1).
+	ReleaseSharedAtVote bool
+	// CheckStrategy selects the marking-set locking discipline
+	// (ablation A2).
+	CheckStrategy site.CheckStrategy
+	// DisableWriteCoverage turns off Theorem 2 write-set coverage in
+	// compensating transactions.
+	DisableWriteCoverage bool
+	// Compensators registers custom compensators at every site.
+	Compensators *compensate.Registry
+	// ResolvePeriod tunes the blocked-participant inquiry period.
+	ResolvePeriod time.Duration
+	// LockTimeout tunes the distributed-deadlock lock-wait timeout at the
+	// sites (see site.Config.LockTimeout).
+	LockTimeout time.Duration
+	// ReadOnlyVotes enables the read-only participant optimization at
+	// every site (see site.Config.ReadOnlyVotes; experiment A4).
+	ReadOnlyVotes bool
+}
+
+// Cluster is a complete in-process multidatabase.
+type Cluster struct {
+	cfg      Config
+	network  *rpc.Network
+	sites    []*site.Site
+	coords   []*coord.Coordinator
+	recorder *history.Recorder
+	board    *marking.Board
+
+	doomed doomedSet
+}
+
+// NewCluster assembles and wires a cluster.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Sites <= 0 {
+		cfg.Sites = 3
+	}
+	if cfg.Coordinators <= 0 {
+		cfg.Coordinators = 1
+	}
+	cl := &Cluster{
+		cfg:     cfg,
+		network: rpc.NewNetwork(cfg.Network),
+		board:   marking.NewBoard(),
+	}
+	if cfg.Record {
+		cl.recorder = history.NewRecorder()
+	}
+	cl.doomed.init()
+
+	for i := 0; i < cfg.Sites; i++ {
+		name := fmt.Sprintf("s%d", i)
+		s := site.NewSite(site.Config{
+			Name:                 name,
+			ReleaseSharedAtVote:  cfg.ReleaseSharedAtVote,
+			CheckStrategy:        cfg.CheckStrategy,
+			Compensators:         cfg.Compensators,
+			DisableWriteCoverage: cfg.DisableWriteCoverage,
+			Recorder:             cl.recorder,
+			ResolvePeriod:        cfg.ResolvePeriod,
+			LockTimeout:          cfg.LockTimeout,
+			ReadOnlyVotes:        cfg.ReadOnlyVotes,
+		})
+		s.SetCaller(cl.network)
+		s.SetVoteAbortInjector(cl.doomed.injectorFor(name))
+		cl.network.Register(name, s.Handle)
+		cl.sites = append(cl.sites, s)
+	}
+	for i := 0; i < cfg.Coordinators; i++ {
+		name := fmt.Sprintf("c%d", i)
+		c := coord.New(coord.Config{
+			Name:     name,
+			IDPrefix: prefixFor(i),
+			Recorder: cl.recorder,
+			Board:    cl.board,
+		}, cl.network)
+		cl.network.Register(name, c.Handle)
+		cl.coords = append(cl.coords, c)
+	}
+	return cl
+}
+
+// prefixFor gives coordinator i a distinct transaction-ID prefix;
+// coordinator 0 uses none so single-coordinator IDs read "T1", "T2", ...
+func prefixFor(i int) string {
+	if i == 0 {
+		return ""
+	}
+	return fmt.Sprintf("c%d.", i)
+}
+
+// Network exposes the simulated transport (failure injection, message
+// census).
+func (cl *Cluster) Network() *rpc.Network { return cl.network }
+
+// Sites returns the participant list.
+func (cl *Cluster) Sites() []*site.Site { return cl.sites }
+
+// Site returns participant i.
+func (cl *Cluster) Site(i int) *site.Site { return cl.sites[i] }
+
+// SiteNames returns every participant node name, in index order.
+func (cl *Cluster) SiteNames() []string {
+	out := make([]string, len(cl.sites))
+	for i, s := range cl.sites {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// Coordinator returns coordinator i (0 is the default).
+func (cl *Cluster) Coordinator(i int) *coord.Coordinator { return cl.coords[i] }
+
+// Coordinators returns all coordinators.
+func (cl *Cluster) Coordinators() []*coord.Coordinator { return cl.coords }
+
+// Board returns the shared marking board.
+func (cl *Cluster) Board() *marking.Board { return cl.board }
+
+// Recorder returns the history recorder (nil when Record is off).
+func (cl *Cluster) Recorder() *history.Recorder { return cl.recorder }
+
+// Run executes one global transaction through coordinator 0.
+func (cl *Cluster) Run(ctx context.Context, spec coord.TxnSpec) coord.Result {
+	return cl.coords[0].Run(ctx, spec)
+}
+
+// RunAt executes one global transaction through a specific coordinator.
+func (cl *Cluster) RunAt(ctx context.Context, coordIdx int, spec coord.TxnSpec) coord.Result {
+	return cl.coords[coordIdx].Run(ctx, spec)
+}
+
+// RunLocal executes a local transaction directly at site i, outside every
+// global protocol (site autonomy).
+func (cl *Cluster) RunLocal(ctx context.Context, siteIdx int, fn func(t *txn.Txn) error) error {
+	return cl.sites[siteIdx].RunLocal(ctx, fn)
+}
+
+// SeedInt64 installs an initial integer value at every site under the same
+// key (bootstrap convenience).
+func (cl *Cluster) SeedInt64(key string, v int64) {
+	for _, s := range cl.sites {
+		s.SeedInt64(storage.Key(key), v)
+	}
+}
+
+// SeedSiteInt64 installs an initial integer value at one site.
+func (cl *Cluster) SeedSiteInt64(siteIdx int, key string, v int64) {
+	cl.sites[siteIdx].SeedInt64(storage.Key(key), v)
+}
+
+// History snapshots the recorded execution (nil without Record).
+func (cl *Cluster) History() *history.History {
+	if cl.recorder == nil {
+		return nil
+	}
+	return cl.recorder.Snapshot()
+}
+
+// Audit runs the Section 5 verifier over the recorded history.
+func (cl *Cluster) Audit() *sg.Audit {
+	h := cl.History()
+	if h == nil {
+		return nil
+	}
+	return sg.AuditHistory(h, 0, 0)
+}
+
+// CompensationViolations runs the Theorem 2 (atomicity of compensation)
+// check over the recorded history, reporting violations whose reader was
+// not aborted — the enforceable form of the theorem (use package sg
+// directly for the unfiltered list including doomed readers).
+func (cl *Cluster) CompensationViolations() []sg.CompensationViolation {
+	h := cl.History()
+	if h == nil {
+		return nil
+	}
+	return sg.CommittedViolations(sg.CheckCompensationAtomicity(h))
+}
+
+// ---- Failure injection ----
+
+// CrashCoordinator takes coordinator i off the network and marks it
+// crashed; in-flight transactions stall exactly as a real coordinator
+// failure would cause.
+func (cl *Cluster) CrashCoordinator(i int) {
+	c := cl.coords[i]
+	c.SetCrashInjector(func(string, coord.CrashPhase) bool { return true })
+	cl.network.SetDown(c.Name(), true)
+}
+
+// RecoverCoordinator restores coordinator i: presumed-abort for undecided
+// transactions and re-delivery of logged decisions.
+func (cl *Cluster) RecoverCoordinator(ctx context.Context, i int) error {
+	c := cl.coords[i]
+	c.SetCrashInjector(nil)
+	cl.network.SetDown(c.Name(), false)
+	return c.Recover(ctx)
+}
+
+// CrashSite takes site i off the network and fails its handlers.
+func (cl *Cluster) CrashSite(i int) {
+	s := cl.sites[i]
+	s.SetCrashed(true)
+	cl.network.SetDown(s.Name(), true)
+}
+
+// RecoverSite restores site i from its WAL.
+func (cl *Cluster) RecoverSite(ctx context.Context, i int) error {
+	s := cl.sites[i]
+	cl.network.SetDown(s.Name(), false)
+	_, err := s.Recover(ctx)
+	return err
+}
+
+// DoomAtSite arranges for the named site to vote NO on the given
+// transaction — the controlled unilateral abort used by workloads to sweep
+// the abort rate.
+func (cl *Cluster) DoomAtSite(txnID, siteName string) {
+	cl.doomed.doom(txnID, siteName)
+}
+
+// MessageCounts returns the per-message-type census (experiment E6):
+// counter names are the proto type names.
+func (cl *Cluster) MessageCounts() map[string]int64 {
+	reg := cl.network.Counts()
+	out := make(map[string]int64)
+	for _, name := range reg.CounterNames() {
+		out[name] = reg.Counter(name).Value()
+	}
+	return out
+}
+
+// Quiesce waits until no site has active transactions and no coordinator
+// is mid-delivery, bounded by the context. Used by audits so compensation
+// has fully completed before the history snapshot.
+func (cl *Cluster) Quiesce(ctx context.Context) error {
+	for {
+		busy := false
+		for _, s := range cl.sites {
+			if s.Manager().ActiveCount() > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Protocol and marking re-exports so callers of core need not import proto.
+const (
+	TwoPC = proto.TwoPC
+	O2PC  = proto.O2PC
+
+	MarkNone   = proto.MarkNone
+	MarkP1     = proto.MarkP1
+	MarkP2     = proto.MarkP2
+	MarkSimple = proto.MarkSimple
+)

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"o2pc/internal/coord"
+	"o2pc/internal/proto"
+)
+
+func testCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	cfg.Record = true
+	return NewCluster(cfg)
+}
+
+func transferSpec(protocol proto.Protocol, marking proto.MarkProtocol, amount int64) coord.TxnSpec {
+	return coord.TxnSpec{
+		Protocol: protocol,
+		Marking:  marking,
+		Subtxns: []coord.SubtxnSpec{
+			{Site: "s0", Ops: []proto.Operation{proto.AddMin("acct", -amount, 0)}, Comp: proto.CompSemantic},
+			{Site: "s1", Ops: []proto.Operation{proto.Add("acct", amount)}, Comp: proto.CompSemantic},
+		},
+	}
+}
+
+func TestO2PCCommit(t *testing.T) {
+	cl := testCluster(t, Config{Sites: 2})
+	cl.SeedInt64("acct", 100)
+	ctx := context.Background()
+
+	res := cl.Run(ctx, transferSpec(proto.O2PC, proto.MarkP1, 30))
+	if !res.Committed() {
+		t.Fatalf("transfer did not commit: %+v err=%v", res, res.Err)
+	}
+	if got := cl.Site(0).ReadInt64("acct"); got != 70 {
+		t.Errorf("s0 acct = %d, want 70", got)
+	}
+	if got := cl.Site(1).ReadInt64("acct"); got != 130 {
+		t.Errorf("s1 acct = %d, want 130", got)
+	}
+}
+
+func TestO2PCVoteAbortCompensates(t *testing.T) {
+	cl := testCluster(t, Config{Sites: 2})
+	cl.SeedInt64("acct", 100)
+	ctx := context.Background()
+
+	spec := transferSpec(proto.O2PC, proto.MarkP1, 30)
+	spec.ID = "Tdoomed"
+	cl.DoomAtSite("Tdoomed", "s1")
+
+	res := cl.Run(ctx, spec)
+	if res.Committed() {
+		t.Fatalf("doomed transfer committed: %+v", res)
+	}
+	if res.Outcome != coord.AbortedVote {
+		t.Fatalf("outcome = %v, want aborted-vote", res.Outcome)
+	}
+	if err := cl.Quiesce(ctxWithTimeout(t)); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	// Semantic atomicity: both balances restored.
+	if got := cl.Site(0).ReadInt64("acct"); got != 100 {
+		t.Errorf("s0 acct = %d, want 100 after compensation", got)
+	}
+	if got := cl.Site(1).ReadInt64("acct"); got != 100 {
+		t.Errorf("s1 acct = %d, want 100 after rollback", got)
+	}
+	// Under P1, the writing sites are marked undone w.r.t. the aborted txn
+	// (s0 locally committed then compensated; s1 rolled back at vote).
+	if !cl.Site(0).Marks().Contains("Tdoomed") {
+		t.Errorf("s0 not marked undone wrt Tdoomed")
+	}
+	if !cl.Site(1).Marks().Contains("Tdoomed") {
+		t.Errorf("s1 not marked undone wrt Tdoomed")
+	}
+}
+
+func TestTwoPCCommitAndAbort(t *testing.T) {
+	cl := testCluster(t, Config{Sites: 2})
+	cl.SeedInt64("acct", 100)
+	ctx := context.Background()
+
+	if res := cl.Run(ctx, transferSpec(proto.TwoPC, proto.MarkNone, 10)); !res.Committed() {
+		t.Fatalf("2PC transfer did not commit: err=%v", res.Err)
+	}
+	spec := transferSpec(proto.TwoPC, proto.MarkNone, 10)
+	spec.ID = "Tno"
+	cl.DoomAtSite("Tno", "s0")
+	if res := cl.Run(ctx, spec); res.Committed() {
+		t.Fatalf("doomed 2PC transfer committed")
+	}
+	if err := cl.Quiesce(ctxWithTimeout(t)); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	if got := cl.Site(0).ReadInt64("acct"); got != 90 {
+		t.Errorf("s0 acct = %d, want 90", got)
+	}
+	if got := cl.Site(1).ReadInt64("acct"); got != 110 {
+		t.Errorf("s1 acct = %d, want 110", got)
+	}
+}
+
+func TestExecConstraintFailureAborts(t *testing.T) {
+	cl := testCluster(t, Config{Sites: 2})
+	cl.SeedInt64("acct", 10)
+	ctx := context.Background()
+
+	// Withdraw more than the balance: s0's AddMin fails during execution.
+	res := cl.Run(ctx, transferSpec(proto.O2PC, proto.MarkP1, 50))
+	if res.Committed() {
+		t.Fatalf("over-withdrawal committed")
+	}
+	if res.Outcome != coord.AbortedExec {
+		t.Fatalf("outcome = %v, want aborted-exec", res.Outcome)
+	}
+	if got := cl.Site(0).ReadInt64("acct"); got != 10 {
+		t.Errorf("s0 acct = %d, want 10", got)
+	}
+	if got := cl.Site(1).ReadInt64("acct"); got != 10 {
+		t.Errorf("s1 acct = %d, want 10 (never executed)", got)
+	}
+}
+
+func TestAuditCleanRun(t *testing.T) {
+	cl := testCluster(t, Config{Sites: 3})
+	cl.SeedInt64("x", 0)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		res := cl.Run(ctx, coord.TxnSpec{
+			Protocol: proto.O2PC,
+			Marking:  proto.MarkP1,
+			Subtxns: []coord.SubtxnSpec{
+				{Site: "s0", Ops: []proto.Operation{proto.Add("x", 1)}, Comp: proto.CompSemantic},
+				{Site: "s1", Ops: []proto.Operation{proto.Add("x", 1)}, Comp: proto.CompSemantic},
+				{Site: "s2", Ops: []proto.Operation{proto.Add("x", 1)}, Comp: proto.CompSemantic},
+			},
+		})
+		if !res.Committed() {
+			t.Fatalf("txn %d did not commit: %v", i, res.Err)
+		}
+	}
+	audit := cl.Audit()
+	if !audit.Correct() {
+		t.Fatalf("audit failed: local cycles=%v regular=%d", audit.LocalCycles, audit.RegularCount)
+	}
+	if v := cl.CompensationViolations(); len(v) != 0 {
+		t.Fatalf("compensation atomicity violations: %v", v)
+	}
+}
+
+func ctxWithTimeout(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}

@@ -1,0 +1,31 @@
+package core
+
+import "sync"
+
+// doomedSet routes controlled unilateral aborts: a transaction doomed at a
+// site makes exactly that site's vote-abort injector fire once.
+type doomedSet struct {
+	mu sync.Mutex
+	m  map[string]string // txnID -> site name that will vote NO
+}
+
+func (d *doomedSet) init() { d.m = make(map[string]string) }
+
+func (d *doomedSet) doom(txnID, siteName string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m[txnID] = siteName
+}
+
+// injectorFor returns the per-site predicate consulted at VOTE-REQ time.
+func (d *doomedSet) injectorFor(siteName string) func(txnID string) bool {
+	return func(txnID string) bool {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.m[txnID] == siteName {
+			delete(d.m, txnID)
+			return true
+		}
+		return false
+	}
+}

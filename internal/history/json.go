@@ -1,0 +1,118 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"o2pc/internal/storage"
+)
+
+// jsonOp is the serialized form of an Op.
+type jsonOp struct {
+	Site     string `json:"site"`
+	Txn      string `json:"txn"`
+	Type     string `json:"type"` // "r" or "w"
+	Key      string `json:"key"`
+	Seq      uint64 `json:"seq"`
+	ReadFrom string `json:"readFrom,omitempty"`
+}
+
+// jsonTxn is the serialized form of a TxnInfo.
+type jsonTxn struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"` // "T", "CT", "L"
+	Fate    string `json:"fate"` // "committed", "aborted", "unknown"
+	Forward string `json:"forward,omitempty"`
+}
+
+// jsonHistory is the on-disk document.
+type jsonHistory struct {
+	Txns []jsonTxn `json:"txns"`
+	Ops  []jsonOp  `json:"ops"`
+}
+
+// WriteJSON serializes h so that offline tools (cmd/sgcheck) can audit it.
+func WriteJSON(w io.Writer, h *History) error {
+	doc := jsonHistory{}
+	ids := make([]string, 0, len(h.Txns))
+	for id := range h.Txns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		info := h.Txns[id]
+		doc.Txns = append(doc.Txns, jsonTxn{
+			ID:      info.ID,
+			Kind:    info.Kind.String(),
+			Fate:    info.Fate.String(),
+			Forward: info.Forward,
+		})
+	}
+	for _, op := range h.Ops {
+		doc.Ops = append(doc.Ops, jsonOp{
+			Site:     op.Site,
+			Txn:      op.Txn,
+			Type:     op.Type.String(),
+			Key:      string(op.Key),
+			Seq:      op.Seq,
+			ReadFrom: op.ReadFrom,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON deserializes a history written by WriteJSON.
+func ReadJSON(r io.Reader) (*History, error) {
+	var doc jsonHistory
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("history: decode: %w", err)
+	}
+	h := &History{Txns: make(map[string]TxnInfo, len(doc.Txns))}
+	for _, jt := range doc.Txns {
+		info := TxnInfo{ID: jt.ID, Forward: jt.Forward}
+		switch jt.Kind {
+		case "T":
+			info.Kind = KindGlobal
+		case "CT":
+			info.Kind = KindCompensating
+		case "L":
+			info.Kind = KindLocal
+		default:
+			return nil, fmt.Errorf("history: unknown kind %q for %s", jt.Kind, jt.ID)
+		}
+		switch jt.Fate {
+		case "committed":
+			info.Fate = FateCommitted
+		case "aborted":
+			info.Fate = FateAborted
+		case "unknown":
+			info.Fate = FateUnknown
+		default:
+			return nil, fmt.Errorf("history: unknown fate %q for %s", jt.Fate, jt.ID)
+		}
+		h.Txns[jt.ID] = info
+	}
+	for _, jo := range doc.Ops {
+		op := Op{
+			Site:     jo.Site,
+			Txn:      jo.Txn,
+			Key:      storage.Key(jo.Key),
+			Seq:      jo.Seq,
+			ReadFrom: jo.ReadFrom,
+		}
+		switch jo.Type {
+		case "r":
+			op.Type = OpRead
+		case "w":
+			op.Type = OpWrite
+		default:
+			return nil, fmt.Errorf("history: unknown op type %q", jo.Type)
+		}
+		h.Ops = append(h.Ops, op)
+	}
+	return h, nil
+}

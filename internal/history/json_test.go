@@ -1,0 +1,67 @@
+package history
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Declare("T1", KindGlobal, "")
+	r.Declare("CT1", KindCompensating, "T1")
+	r.Declare("L1", KindLocal, "")
+	r.SetFate("T1", FateAborted)
+	r.SetFate("CT1", FateCommitted)
+	r.SetFate("L1", FateCommitted)
+	r.Record("s0", "T1", OpWrite, "x", "")
+	r.Record("s0", "CT1", OpWrite, "x", "")
+	r.Record("s0", "L1", OpRead, "x", "CT1")
+	r.Record("s1", "T1", OpRead, "y", "")
+	h := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, h); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(h.Txns, got.Txns) {
+		t.Fatalf("txns mismatch:\n%v\n%v", h.Txns, got.Txns)
+	}
+	if !reflect.DeepEqual(h.Ops, got.Ops) {
+		t.Fatalf("ops mismatch:\n%v\n%v", h.Ops, got.Ops)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"txns":[{"id":"T1","kind":"??","fate":"committed"}]}`)); err == nil {
+		t.Fatalf("bad kind accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"txns":[{"id":"T1","kind":"T","fate":"??"}]}`)); err == nil {
+		t.Fatalf("bad fate accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"ops":[{"site":"s0","txn":"T1","type":"??","key":"k"}]}`)); err == nil {
+		t.Fatalf("bad op type accepted")
+	}
+}
+
+func TestJSONEmptyHistory(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, &History{Txns: map[string]TxnInfo{}}); err != nil {
+		t.Fatalf("write empty: %v", err)
+	}
+	h, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("read empty: %v", err)
+	}
+	if len(h.Ops) != 0 || len(h.Txns) != 0 {
+		t.Fatalf("not empty: %+v", h)
+	}
+}

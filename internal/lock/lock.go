@@ -1,0 +1,559 @@
+// Package lock implements the per-site lock manager.
+//
+// The manager provides shared/exclusive locks with lock upgrade, strict
+// FIFO queuing (with priority for upgrades), waits-for-graph deadlock
+// detection with youngest-victim selection, and per-transaction bulk release
+// primitives matching the protocols under study:
+//
+//   - ReleaseAll(txn): release every lock — used by O2PC at the YES vote
+//     ("locally committed"), by 2PC at the DECISION, and at abort.
+//   - ReleaseShared(txn): release only shared locks — the paper notes that
+//     even strict distributed 2PL may release read locks as soon as the
+//     VOTE-REQ message is received (Section 2); this is ablation A1.
+//
+// Lock-hold time instrumentation is built in because the headline claim of
+// the paper (Experiment E1) is precisely about how long exclusive locks are
+// held under each protocol.
+package lock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"o2pc/internal/metrics"
+	"o2pc/internal/storage"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared is a read lock; compatible with other shared locks.
+	Shared Mode = iota + 1
+	// Exclusive is a write lock; compatible with nothing.
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Compatible reports whether a lock in mode m can coexist with one in mode o.
+func (m Mode) Compatible(o Mode) bool { return m == Shared && o == Shared }
+
+// ErrDeadlock is returned to the victim of deadlock resolution. The caller
+// must abort the transaction and may retry it.
+var ErrDeadlock = errors.New("lock: deadlock detected; transaction chosen as victim")
+
+// ErrAborted is returned to waiters whose transaction was aborted externally
+// via AbortWaiter.
+var ErrAborted = errors.New("lock: waiting transaction aborted")
+
+// request is a pending lock acquisition.
+type request struct {
+	txn     string
+	mode    Mode
+	upgrade bool
+	grant   chan error // buffered(1); receives nil on grant, error on abort
+	start   time.Time
+}
+
+// lockState tracks one key's holders and wait queue.
+type lockState struct {
+	holders map[string]Mode
+	queue   []*request
+}
+
+// heldLock records when a granted lock was acquired, for hold-time metrics.
+type heldLock struct {
+	mode    Mode
+	grantAt time.Time
+}
+
+// Stats aggregates lock-manager measurements.
+type Stats struct {
+	Acquisitions *metrics.Counter
+	Waits        *metrics.Counter
+	Deadlocks    *metrics.Counter
+	WaitTime     *metrics.Histogram // milliseconds
+	HoldTimeX    *metrics.Histogram // milliseconds, exclusive locks only
+	HoldTimeS    *metrics.Histogram // milliseconds, shared locks only
+}
+
+func newStats() *Stats {
+	return &Stats{
+		Acquisitions: &metrics.Counter{},
+		Waits:        &metrics.Counter{},
+		Deadlocks:    &metrics.Counter{},
+		WaitTime:     metrics.NewHistogram(),
+		HoldTimeX:    metrics.NewHistogram(),
+		HoldTimeS:    metrics.NewHistogram(),
+	}
+}
+
+// Manager is a per-site lock manager. The zero value is not usable; call
+// NewManager.
+type Manager struct {
+	mu       sync.Mutex
+	locks    map[storage.Key]*lockState
+	held     map[string]map[storage.Key]heldLock
+	seq      map[string]uint64 // txn -> registration order (age)
+	nextSeq  uint64
+	stats    *Stats
+	priority func(txn string) int
+}
+
+// SetVictimPriority installs a victim-selection priority function: among
+// the transactions on a deadlock cycle, the one with the highest
+// (priority, registration sequence) pair is aborted. Returning a lower
+// value for a transaction makes it less likely to be chosen. The site
+// kernel uses this to shield compensating transactions (persistence of
+// compensation) unless a cycle consists solely of them.
+func (m *Manager) SetVictimPriority(f func(txn string) int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.priority = f
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks: make(map[storage.Key]*lockState),
+		held:  make(map[string]map[storage.Key]heldLock),
+		seq:   make(map[string]uint64),
+		stats: newStats(),
+	}
+}
+
+// Stats returns the manager's measurement sink.
+func (m *Manager) Stats() *Stats { return m.stats }
+
+func (m *Manager) seqOf(txn string) uint64 {
+	if s, ok := m.seq[txn]; ok {
+		return s
+	}
+	m.nextSeq++
+	m.seq[txn] = m.nextSeq
+	return m.nextSeq
+}
+
+func (m *Manager) stateOf(key storage.Key) *lockState {
+	st, ok := m.locks[key]
+	if !ok {
+		st = &lockState{holders: make(map[string]Mode)}
+		m.locks[key] = st
+	}
+	return st
+}
+
+// grantLocked installs a lock for txn. Callers must hold m.mu.
+func (m *Manager) grantLocked(st *lockState, key storage.Key, txn string, mode Mode) {
+	st.holders[txn] = mode
+	locks, ok := m.held[txn]
+	if !ok {
+		locks = make(map[storage.Key]heldLock)
+		m.held[txn] = locks
+	}
+	prev, had := locks[key]
+	grantAt := time.Now()
+	if had {
+		// Upgrade: keep the original grant time so hold-time metrics span
+		// the whole period the item was locked.
+		grantAt = prev.grantAt
+	}
+	locks[key] = heldLock{mode: mode, grantAt: grantAt}
+}
+
+// canGrantLocked reports whether txn may immediately take mode on st.
+// Callers must hold m.mu.
+func canGrantLocked(st *lockState, txn string, mode Mode) bool {
+	for holder, hmode := range st.holders {
+		if holder == txn {
+			continue // self-held locks never conflict (upgrade path)
+		}
+		if !mode.Compatible(hmode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire obtains a lock of the given mode on key for txn, blocking until
+// the lock is granted, ctx is cancelled, or the transaction is chosen as a
+// deadlock victim. Re-acquiring a held lock (same or weaker mode) returns
+// immediately; requesting Exclusive while holding Shared performs an
+// upgrade.
+func (m *Manager) Acquire(ctx context.Context, txn string, key storage.Key, mode Mode) error {
+	m.mu.Lock()
+	m.seqOf(txn)
+	st := m.stateOf(key)
+	m.stats.Acquisitions.Inc()
+
+	if cur, ok := st.holders[txn]; ok {
+		if cur == Exclusive || mode == Shared {
+			m.mu.Unlock()
+			return nil // already strong enough
+		}
+		// Upgrade S -> X.
+		if canGrantLocked(st, txn, Exclusive) {
+			m.grantLocked(st, key, txn, Exclusive)
+			m.mu.Unlock()
+			return nil
+		}
+		req := &request{txn: txn, mode: Exclusive, upgrade: true, grant: make(chan error, 1), start: time.Now()}
+		// Upgrades go ahead of ordinary waiters but behind earlier upgrades.
+		idx := 0
+		for idx < len(st.queue) && st.queue[idx].upgrade {
+			idx++
+		}
+		st.queue = append(st.queue, nil)
+		copy(st.queue[idx+1:], st.queue[idx:])
+		st.queue[idx] = req
+		return m.waitLocked(ctx, st, key, req)
+	}
+
+	if canGrantLocked(st, txn, mode) && len(st.queue) == 0 {
+		m.grantLocked(st, key, txn, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	// Shared requests may jump a queue composed solely of shared requests
+	// when the holders are compatible; otherwise strict FIFO (prevents
+	// writer starvation).
+	if mode == Shared && canGrantLocked(st, txn, Shared) {
+		allShared := true
+		for _, q := range st.queue {
+			if q.mode != Shared {
+				allShared = false
+				break
+			}
+		}
+		if allShared {
+			m.grantLocked(st, key, txn, Shared)
+			m.mu.Unlock()
+			return nil
+		}
+	}
+	req := &request{txn: txn, mode: mode, grant: make(chan error, 1), start: time.Now()}
+	st.queue = append(st.queue, req)
+	return m.waitLocked(ctx, st, key, req)
+}
+
+// waitLocked blocks on req after running deadlock detection. It is entered
+// with m.mu held and releases it before blocking.
+func (m *Manager) waitLocked(ctx context.Context, st *lockState, key storage.Key, req *request) error {
+	m.stats.Waits.Inc()
+	if victim := m.detectDeadlockLocked(req.txn); victim != "" {
+		if victim == req.txn {
+			m.removeRequestLocked(st, req)
+			m.stats.Deadlocks.Inc()
+			m.mu.Unlock()
+			return ErrDeadlock
+		}
+		m.abortWaiterLocked(victim, ErrDeadlock)
+		m.stats.Deadlocks.Inc()
+		// The victim's queue slots are gone; our request may now be
+		// grantable.
+		m.promoteLocked(key)
+	}
+	m.mu.Unlock()
+
+	select {
+	case err := <-req.grant:
+		if err == nil {
+			m.stats.WaitTime.ObserveDuration(time.Since(req.start))
+		}
+		return err
+	case <-ctx.Done():
+		m.mu.Lock()
+		// A grant may have raced with cancellation.
+		select {
+		case err := <-req.grant:
+			m.mu.Unlock()
+			if err == nil {
+				// Granted concurrently; honour the grant (caller will
+				// observe ctx and release).
+				m.stats.WaitTime.ObserveDuration(time.Since(req.start))
+				return nil
+			}
+			return err
+		default:
+		}
+		m.removeRequestLocked(st, req)
+		m.promoteLocked(key)
+		m.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// removeRequestLocked deletes req from st's queue if still present.
+func (m *Manager) removeRequestLocked(st *lockState, req *request) {
+	for i, q := range st.queue {
+		if q == req {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// promoteLocked grants as many queued requests on key as compatibility
+// allows, in FIFO order. Callers must hold m.mu.
+func (m *Manager) promoteLocked(key storage.Key) {
+	st, ok := m.locks[key]
+	if !ok {
+		return
+	}
+	for len(st.queue) > 0 {
+		req := st.queue[0]
+		if !canGrantLocked(st, req.txn, req.mode) {
+			return
+		}
+		st.queue = st.queue[1:]
+		m.grantLocked(st, key, req.txn, req.mode)
+		req.grant <- nil
+		if req.mode == Exclusive {
+			return
+		}
+	}
+}
+
+// releaseLocked removes txn's lock on key and records hold time. Callers
+// must hold m.mu.
+func (m *Manager) releaseLocked(txn string, key storage.Key) {
+	st, ok := m.locks[key]
+	if !ok {
+		return
+	}
+	if _, held := st.holders[txn]; !held {
+		return
+	}
+	delete(st.holders, txn)
+	if locks, ok := m.held[txn]; ok {
+		if hl, ok := locks[key]; ok {
+			d := time.Since(hl.grantAt)
+			if hl.mode == Exclusive {
+				m.stats.HoldTimeX.ObserveDuration(d)
+			} else {
+				m.stats.HoldTimeS.ObserveDuration(d)
+			}
+			delete(locks, key)
+		}
+	}
+	if len(st.holders) == 0 && len(st.queue) == 0 {
+		delete(m.locks, key)
+		return
+	}
+	m.promoteLocked(key)
+}
+
+// Release drops txn's lock on a single key, if held.
+func (m *Manager) Release(txn string, key storage.Key) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn, key)
+}
+
+// ReleaseAll drops every lock held by txn. Pending requests by txn are NOT
+// cancelled (use AbortWaiter for that).
+func (m *Manager) ReleaseAll(txn string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	locks := m.held[txn]
+	keys := make([]storage.Key, 0, len(locks))
+	for k := range locks {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		m.releaseLocked(txn, k)
+	}
+	delete(m.held, txn)
+	delete(m.seq, txn)
+}
+
+// ReleaseShared drops only txn's shared locks (the "read locks at VOTE-REQ"
+// optimization the paper permits for strict distributed 2PL).
+func (m *Manager) ReleaseShared(txn string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	locks := m.held[txn]
+	keys := make([]storage.Key, 0, len(locks))
+	for k, hl := range locks {
+		if hl.mode == Shared {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		m.releaseLocked(txn, k)
+	}
+}
+
+// abortWaiterLocked fails every pending request of txn with err. Callers
+// must hold m.mu.
+func (m *Manager) abortWaiterLocked(txn string, err error) {
+	for key, st := range m.locks {
+		for i := 0; i < len(st.queue); {
+			if st.queue[i].txn == txn {
+				req := st.queue[i]
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				req.grant <- err
+				continue
+			}
+			i++
+		}
+		_ = key
+	}
+}
+
+// AbortWaiter cancels every pending lock request of txn with ErrAborted,
+// releasing queue slots so other waiters can progress. Held locks are not
+// released; call ReleaseAll after rolling back.
+func (m *Manager) AbortWaiter(txn string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.abortWaiterLocked(txn, ErrAborted)
+	for key := range m.locks {
+		m.promoteLocked(key)
+	}
+}
+
+// Held returns the keys txn currently holds, with their modes.
+func (m *Manager) Held(txn string) map[storage.Key]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[storage.Key]Mode, len(m.held[txn]))
+	for k, hl := range m.held[txn] {
+		out[k] = hl.mode
+	}
+	return out
+}
+
+// HoldsAny reports whether txn holds at least one lock.
+func (m *Manager) HoldsAny(txn string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[txn]) > 0
+}
+
+// WaitsFor returns the current waits-for graph: an edge waiter -> holder
+// exists when waiter has a queued request blocked by holder's granted lock
+// or by an earlier conflicting queued request.
+func (m *Manager) WaitsFor() map[string][]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.waitsForLocked()
+}
+
+func (m *Manager) waitsForLocked() map[string][]string {
+	g := make(map[string]map[string]bool)
+	addEdge := func(from, to string) {
+		if from == to {
+			return
+		}
+		set, ok := g[from]
+		if !ok {
+			set = make(map[string]bool)
+			g[from] = set
+		}
+		set[to] = true
+	}
+	for _, st := range m.locks {
+		for i, req := range st.queue {
+			for holder, hmode := range st.holders {
+				if holder == req.txn {
+					continue
+				}
+				if !req.mode.Compatible(hmode) {
+					addEdge(req.txn, holder)
+				}
+			}
+			for j := 0; j < i; j++ {
+				ahead := st.queue[j]
+				if ahead.txn == req.txn {
+					continue
+				}
+				if !req.mode.Compatible(ahead.mode) || !ahead.mode.Compatible(req.mode) {
+					addEdge(req.txn, ahead.txn)
+				}
+			}
+		}
+	}
+	out := make(map[string][]string, len(g))
+	for from, set := range g {
+		for to := range set {
+			out[from] = append(out[from], to)
+		}
+		sort.Strings(out[from])
+	}
+	return out
+}
+
+// detectDeadlockLocked looks for a cycle reachable from start in the
+// waits-for graph and returns the chosen victim's txn ID ("" if no cycle).
+// The victim is the youngest (highest registration sequence) transaction on
+// the cycle. Callers must hold m.mu.
+func (m *Manager) detectDeadlockLocked(start string) string {
+	g := m.waitsForLocked()
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	var cycle []string
+
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		color[n] = grey
+		stack = append(stack, n)
+		for _, next := range g[n] {
+			switch color[next] {
+			case white:
+				if dfs(next) {
+					return true
+				}
+			case grey:
+				// Found a cycle: the suffix of stack from next onwards.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == next {
+						break
+					}
+				}
+				return true
+			}
+		}
+		color[n] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	if !dfs(start) {
+		return ""
+	}
+	victim := ""
+	var victimSeq uint64
+	victimPrio := 0
+	for _, txn := range cycle {
+		prio := 0
+		if m.priority != nil {
+			prio = m.priority(txn)
+		}
+		s := m.seq[txn]
+		if victim == "" || prio > victimPrio || (prio == victimPrio && s > victimSeq) {
+			victim, victimSeq, victimPrio = txn, s, prio
+		}
+	}
+	return victim
+}

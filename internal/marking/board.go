@@ -1,0 +1,163 @@
+package marking
+
+import (
+	"sort"
+	"sync"
+)
+
+// Board is the coordinator-side aggregation point for the UDUM1 condition
+// (Lemma 4): a site may transition from undone to unmarked with respect to
+// an aborted transaction Ti once every site marked undone w.r.t. Ti has
+// been accessed by some transaction while marked.
+//
+// The board learns which sites actually marked themselves from the Marked
+// flag piggybacked on Decision acknowledgements (a site marks at its NO
+// vote, rule R2 at compensation completion, or a prepared-abort roll-back),
+// and learns per-site witnesses from the WitnessDelta entries sites
+// piggyback on VOTE replies. Once the marked-site set is final (all acks
+// in) and every marked site has a witness, the board queues an "unmark Ti"
+// notice for each marked site; coordinators drain per-site notices into
+// the Unmarks field of outgoing Decision messages. No extra messages are
+// ever sent.
+type Board struct {
+	mu      sync.Mutex
+	entries map[string]*boardEntry
+	// pending maps site -> set of forward txns whose unmark notice has not
+	// yet been delivered to that site.
+	pending map[string]map[string]bool
+}
+
+type boardEntry struct {
+	marked    map[string]bool
+	witnessed map[string]bool
+	final     bool // marked set complete (all decision acks received)
+}
+
+// NewBoard returns an empty board.
+func NewBoard() *Board {
+	return &Board{
+		entries: make(map[string]*boardEntry),
+		pending: make(map[string]map[string]bool),
+	}
+}
+
+func (b *Board) entry(ti string) *boardEntry {
+	e, ok := b.entries[ti]
+	if !ok {
+		e = &boardEntry{marked: make(map[string]bool), witnessed: make(map[string]bool)}
+		b.entries[ti] = e
+	}
+	return e
+}
+
+// AddMarked records that site holds an undone mark for ti (learned from a
+// Decision ack).
+func (b *Board) AddMarked(ti, site string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.entry(ti).marked[site] = true
+	b.checkDone(ti)
+}
+
+// FinalizeMarked declares ti's marked-site set complete: every decision
+// acknowledgement has been received. UDUM1 can now be established.
+func (b *Board) FinalizeMarked(ti string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(ti)
+	e.final = true
+	b.checkDone(ti)
+}
+
+// AddWitness records that some global transaction executed at site while
+// the site was undone w.r.t. ti.
+func (b *Board) AddWitness(ti, site string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.entry(ti).witnessed[site] = true
+	b.checkDone(ti)
+}
+
+// checkDone queues unmark notices when UDUM1 is established. Callers must
+// hold b.mu.
+func (b *Board) checkDone(ti string) {
+	e, ok := b.entries[ti]
+	if !ok || !e.final {
+		return
+	}
+	if len(e.marked) == 0 {
+		delete(b.entries, ti)
+		return
+	}
+	for s := range e.marked {
+		if !e.witnessed[s] {
+			return
+		}
+	}
+	for s := range e.marked {
+		m, ok := b.pending[s]
+		if !ok {
+			m = make(map[string]bool)
+			b.pending[s] = m
+		}
+		m[ti] = true
+	}
+	delete(b.entries, ti)
+}
+
+// DrainUnmarks returns and clears the pending unmark notices for site;
+// coordinators attach them to the next Decision message sent to that site.
+func (b *Board) DrainUnmarks(site string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.pending[site]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for ti := range m {
+		out = append(out, ti)
+	}
+	delete(b.pending, site)
+	sort.Strings(out)
+	return out
+}
+
+// Requeue restores drained unmark notices for site after a failed Decision
+// delivery, so they ride the next one.
+func (b *Board) Requeue(site string, tis []string) {
+	if len(tis) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, ok := b.pending[site]
+	if !ok {
+		m = make(map[string]bool)
+		b.pending[site] = m
+	}
+	for _, ti := range tis {
+		m[ti] = true
+	}
+}
+
+// PendingFor reports (without draining) how many unmark notices are queued
+// for site; used by tests and by the idle-flush in the simulation harness.
+func (b *Board) PendingFor(site string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending[site])
+}
+
+// Outstanding returns the aborted transactions whose UDUM1 condition is not
+// yet established, for diagnostics.
+func (b *Board) Outstanding() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.entries))
+	for ti := range b.entries {
+		out = append(out, ti)
+	}
+	sort.Strings(out)
+	return out
+}

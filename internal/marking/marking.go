@@ -1,0 +1,352 @@
+// Package marking implements the site-marking protocols of the paper's
+// Section 6 (P1 and its dual P2), which layer the correctness criterion
+// over O2PC without adding messages.
+//
+// Protocol P1 tracks, per site, the set of transactions with respect to
+// which the site is "undone" (sitemarks.k). A site enters that state when
+// it rolls back or compensates for a transaction (rule R2: the mark is
+// written as the last operation of the compensating subtransaction), and
+// leaves it — becoming "unmarked" — only once the UDUM1 condition holds
+// (rule R3): every site where the transaction executed has since been
+// accessed by another transaction while marked. Global transactions carry
+// an accumulated mark set (transmarks.j); rule R1 admits a subtransaction
+// at a site only when the two sets are compatible.
+//
+// Compatibility, spelled out (the paper's compatible() pseudo-code plus the
+// augmented-data-structure discussion around it):
+//
+//   - every mark the transaction carries must be present at the site
+//     (transmarks ⊆ sitemarks) — otherwise the transaction has touched a
+//     site undone w.r.t. some Ti and is now entering one that is not, which
+//     is exactly the "unmarked + undone" mix the retry note calls
+//     unresolvable-without-abort once marks can no longer appear here;
+//   - conversely, if the site carries a mark the transaction lacks AND the
+//     transaction has already executed somewhere, then some visited site
+//     was not undone w.r.t. that Ti (had it been, the mark would have been
+//     collected), so admitting the subtransaction would mix an undone site
+//     with locally-committed/unmarked sites — the scenario that produces
+//     the regular cycle CTi -> Tj -> CTi. Only aborting Tj resolves this
+//     (Fatal). A transaction entering its FIRST site simply adopts the
+//     site's marks (the R1 union step).
+//
+// P2 is the dual: it tracks "locally committed" marks, added at the YES
+// vote and cleared at the decision; rule: a transaction's sites must be
+// all locally-committed w.r.t. Ti or all not.
+//
+// The UDUM1 witness machinery (Lemma 4) is split between SiteMarks (local
+// witness recording) and Board (coordinator-side aggregation). All state
+// travels piggybacked on ExecRequest/VoteReply/Decision messages.
+package marking
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SiteMarks is one site's sitemarks.k set plus local witness state.
+//
+// Concurrency note: the protocol stores the marking set "as part of the
+// database" so that 2PL governs access (Section 6.2). The site package
+// enforces that by guarding every SiteMarks access with a lock on a
+// designated system key; SiteMarks itself is additionally mutex-protected
+// so misuse cannot corrupt it.
+type SiteMarks struct {
+	mu sync.Mutex
+	// undone maps forward-transaction ID -> marked.
+	undone map[string]bool
+	// witnessed maps forward-transaction ID -> a global transaction has
+	// executed here while the mark was present (pending UDUM1 deltas to
+	// report on the next VOTE message).
+	witnessed map[string]bool
+}
+
+// NewSiteMarks returns an empty mark set.
+func NewSiteMarks() *SiteMarks {
+	return &SiteMarks{
+		undone:    make(map[string]bool),
+		witnessed: make(map[string]bool),
+	}
+}
+
+// MarkUndone records that this site is undone with respect to forward
+// transaction ti (rule R2).
+func (s *SiteMarks) MarkUndone(ti string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.undone[ti] = true
+}
+
+// Unmark clears the undone mark for ti (rule R3).
+func (s *SiteMarks) Unmark(ti string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.undone, ti)
+	delete(s.witnessed, ti)
+}
+
+// Contains reports whether the site is undone with respect to ti.
+func (s *SiteMarks) Contains(ti string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.undone[ti]
+}
+
+// Snapshot returns the sorted current mark set.
+func (s *SiteMarks) Snapshot() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.undone))
+	for ti := range s.undone {
+		out = append(out, ti)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of marks currently present.
+func (s *SiteMarks) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.undone)
+}
+
+// RecordWitness notes that a global transaction executed at this site while
+// the site was marked undone w.r.t. each element of marks.
+func (s *SiteMarks) RecordWitness(marks []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ti := range marks {
+		if s.undone[ti] {
+			s.witnessed[ti] = true
+		}
+	}
+}
+
+// DrainWitnesses returns and clears the pending witness deltas; the site
+// attaches them to its next VOTE reply.
+func (s *SiteMarks) DrainWitnesses() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.witnessed))
+	for ti := range s.witnessed {
+		out = append(out, ti)
+	}
+	for ti := range s.witnessed {
+		delete(s.witnessed, ti)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Verdict is the outcome of an R1 compatibility check.
+type Verdict uint8
+
+const (
+	// Admit means the subtransaction may start; the caller should merge
+	// the site's marks into the transaction's transmarks.
+	Admit Verdict = iota
+	// Retry means the check failed but waiting and retrying may succeed
+	// (the site may yet acquire the missing marks while compensation is in
+	// flight elsewhere).
+	Retry
+	// Abort means only aborting the global transaction resolves the
+	// incompatibility.
+	Abort
+)
+
+// String returns the verdict mnemonic.
+func (v Verdict) String() string {
+	switch v {
+	case Admit:
+		return "admit"
+	case Retry:
+		return "retry"
+	default:
+		return "abort"
+	}
+}
+
+// Compatible performs the R1 check for protocol P1 between a transaction's
+// accumulated transmarks (with visited reporting whether any earlier
+// subtransaction was admitted) and a site's current marks. On Admit it
+// returns the merged transmarks.
+func Compatible(transmarks []string, visited bool, sitemarks []string) (Verdict, []string) {
+	siteSet := make(map[string]bool, len(sitemarks))
+	for _, ti := range sitemarks {
+		siteSet[ti] = true
+	}
+	transSet := make(map[string]bool, len(transmarks))
+	for _, ti := range transmarks {
+		transSet[ti] = true
+	}
+
+	// Direction 1 (the paper's printed check): every carried mark must be
+	// present at the site.
+	for _, ti := range transmarks {
+		if !siteSet[ti] {
+			return Retry, nil
+		}
+	}
+	// Direction 2 (augmented check): a mark present here but not carried
+	// means some visited site was not undone w.r.t. ti.
+	if visited {
+		for _, ti := range sitemarks {
+			if !transSet[ti] {
+				return Abort, nil
+			}
+		}
+	}
+
+	merged := make([]string, 0, len(transSet)+len(siteSet))
+	for ti := range transSet {
+		merged = append(merged, ti)
+	}
+	for ti := range siteSet {
+		if !transSet[ti] {
+			merged = append(merged, ti)
+		}
+	}
+	sort.Strings(merged)
+	return Admit, merged
+}
+
+// CompatibleSimple performs the check for the "very simple protocol" of
+// Section 6.2's closing discussion: a transaction may execute only at
+// sites that are (a) undone with respect to exactly the same transactions
+// as every other site it executes at, and (b) locally-committed with
+// respect to no transaction. Less concurrency, trivially safe.
+//
+// siteUndone and siteLC are the site's two mark sets. A non-empty lc set
+// is always retryable (locally-committed marks clear at the decision);
+// undone mismatches classify exactly as in Compatible.
+func CompatibleSimple(transmarks []string, visited bool, siteUndone, siteLC []string) (Verdict, []string) {
+	if len(siteLC) > 0 {
+		return Retry, nil
+	}
+	return Compatible(transmarks, visited, siteUndone)
+}
+
+// P2 transmark encoding: the dual protocol must track two kinds of
+// evidence per forward transaction, so its wire marks are prefixed.
+const (
+	p2LCPrefix     = "l:" // the transaction executed at a site locally-committed w.r.t. Ti
+	p2UndonePrefix = "u:" // the transaction executed at a site undone w.r.t. Ti
+)
+
+// P2UndoneSeen extracts the plain forward-transaction IDs of the undone
+// evidence in a P2 transmark list (for UDUM1 witness recording).
+func P2UndoneSeen(transmarks []string) []string {
+	var out []string
+	for _, m := range transmarks {
+		if strings.HasPrefix(m, p2UndonePrefix) {
+			out = append(out, strings.TrimPrefix(m, p2UndonePrefix))
+		}
+	}
+	return out
+}
+
+// CompatibleP2 performs the sound dual check for protocol P2.
+//
+// The paper sketches P2 only as "in some sense dual to P1": a
+// transaction's sites must be all locally-committed w.r.t. each Ti, or all
+// undone-or-unmarked. Taken literally, the second branch is unsound — it
+// admits a transaction that executed at a site *before* Ti arrived there
+// (unmarked) and later at a site already compensated for Ti (undone),
+// which is precisely the interleaving behind a regular cycle; P1 excludes
+// it by keeping undone sites marked until UDUM1. (Reproduction finding:
+// see EXPERIMENTS.md.) The sound dual implemented here therefore combines
+// P1's undone discipline with the additional all-locally-committed branch:
+// per forward transaction Ti, the transaction's sites must be
+//
+//   - all locally-committed w.r.t. Ti (the dual's extra permissiveness:
+//     the reader sees Ti's exposed effects everywhere, A2-style), or
+//   - all undone w.r.t. Ti (P1's first branch), or
+//   - all unmarked w.r.t. Ti (safe by Lemma 6, as under P1).
+//
+// siteLC and siteUndone are the site's two mark sets; transmarks carries
+// prefixed evidence. Verdicts follow P1's classification: a missing mark
+// that may still appear (in-flight compensation, an lc mark not yet
+// cleared) is Retry; an established mix is Abort.
+func CompatibleP2(transmarks []string, visited bool, siteLC, siteUndone []string) (Verdict, []string) {
+	transLC := make(map[string]bool)
+	transU := make(map[string]bool)
+	for _, m := range transmarks {
+		switch {
+		case strings.HasPrefix(m, p2LCPrefix):
+			transLC[strings.TrimPrefix(m, p2LCPrefix)] = true
+		case strings.HasPrefix(m, p2UndonePrefix):
+			transU[strings.TrimPrefix(m, p2UndonePrefix)] = true
+		}
+	}
+	lcSet := make(map[string]bool, len(siteLC))
+	for _, ti := range siteLC {
+		lcSet[ti] = true
+	}
+	uSet := make(map[string]bool, len(siteUndone))
+	for _, ti := range siteUndone {
+		uSet[ti] = true
+		// A site can transiently hold both marks around the decision;
+		// undone dominates (the lc mark is about to clear).
+		delete(lcSet, ti)
+	}
+
+	universe := make(map[string]bool)
+	for ti := range transLC {
+		universe[ti] = true
+	}
+	for ti := range transU {
+		universe[ti] = true
+	}
+	for ti := range lcSet {
+		universe[ti] = true
+	}
+	for ti := range uSet {
+		universe[ti] = true
+	}
+
+	var merged []string
+	for ti := range universe {
+		tl, tu := transLC[ti], transU[ti]
+		sl, su := lcSet[ti], uSet[ti]
+		switch {
+		case tl: // committed branch: every site must be locally-committed
+			switch {
+			case sl:
+				merged = append(merged, p2LCPrefix+ti)
+			case su:
+				return Abort, nil // lc evidence meets an undone site: unmixable
+			default:
+				// Unmarked here: Ti's decision already landed (or Ti never
+				// ran here); the all-lc branch cannot be completed.
+				return Retry, nil
+			}
+		case tu: // undone branch, exactly as P1
+			switch {
+			case su:
+				merged = append(merged, p2UndonePrefix+ti)
+			case sl:
+				return Abort, nil
+			default:
+				return Retry, nil // compensation may still land here
+			}
+		default: // no evidence yet for ti
+			switch {
+			case su:
+				if visited {
+					return Abort, nil // some visited site was not undone w.r.t. ti
+				}
+				merged = append(merged, p2UndonePrefix+ti)
+			case sl:
+				if visited {
+					// Previous sites were unmarked w.r.t. ti; the lc mark
+					// here will clear at ti's decision — retry.
+					return Retry, nil
+				}
+				merged = append(merged, p2LCPrefix+ti)
+			}
+		}
+	}
+	sort.Strings(merged)
+	return Admit, merged
+}

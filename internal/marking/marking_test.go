@@ -1,0 +1,261 @@
+package marking
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSiteMarksBasics(t *testing.T) {
+	m := NewSiteMarks()
+	if m.Contains("T1") || m.Len() != 0 {
+		t.Fatalf("fresh set not empty")
+	}
+	m.MarkUndone("T1")
+	m.MarkUndone("T2")
+	m.MarkUndone("T1") // idempotent
+	if !m.Contains("T1") || m.Len() != 2 {
+		t.Fatalf("marks = %v", m.Snapshot())
+	}
+	if got := m.Snapshot(); !reflect.DeepEqual(got, []string{"T1", "T2"}) {
+		t.Fatalf("snapshot = %v", got)
+	}
+	m.Unmark("T1")
+	if m.Contains("T1") || m.Len() != 1 {
+		t.Fatalf("unmark failed")
+	}
+}
+
+func TestWitnessRecordingOnlyForPresentMarks(t *testing.T) {
+	m := NewSiteMarks()
+	m.MarkUndone("T1")
+	m.RecordWitness([]string{"T1", "T9"}) // T9 not marked here
+	w := m.DrainWitnesses()
+	if !reflect.DeepEqual(w, []string{"T1"}) {
+		t.Fatalf("witnesses = %v, want [T1]", w)
+	}
+	if len(m.DrainWitnesses()) != 0 {
+		t.Fatalf("drain not empty after drain")
+	}
+}
+
+func TestUnmarkClearsWitness(t *testing.T) {
+	m := NewSiteMarks()
+	m.MarkUndone("T1")
+	m.RecordWitness([]string{"T1"})
+	m.Unmark("T1")
+	if len(m.DrainWitnesses()) != 0 {
+		t.Fatalf("witness survived unmark")
+	}
+}
+
+func TestCompatibleFirstVisitAdoptsMarks(t *testing.T) {
+	v, merged := Compatible(nil, false, []string{"T1", "T2"})
+	if v != Admit {
+		t.Fatalf("verdict = %v", v)
+	}
+	if !reflect.DeepEqual(merged, []string{"T1", "T2"}) {
+		t.Fatalf("merged = %v", merged)
+	}
+}
+
+func TestCompatibleMatchingSetsAdmit(t *testing.T) {
+	v, merged := Compatible([]string{"T1"}, true, []string{"T1"})
+	if v != Admit || !reflect.DeepEqual(merged, []string{"T1"}) {
+		t.Fatalf("v=%v merged=%v", v, merged)
+	}
+}
+
+func TestCompatibleSupersetSiteAdmitsAndMerges(t *testing.T) {
+	// The transaction carries T1; the site has T1 and T3. Visited: the
+	// extra T3 means some visited site was not undone w.r.t. T3 -> Abort.
+	v, _ := Compatible([]string{"T1"}, true, []string{"T1", "T3"})
+	if v != Abort {
+		t.Fatalf("verdict = %v, want Abort (mixed undone/not-undone for T3)", v)
+	}
+}
+
+func TestCompatibleCarriedMarkMissingAtSiteIsRetry(t *testing.T) {
+	// The transaction saw a site undone w.r.t. T1; this site is not (yet):
+	// compensation for T1 may still be in flight here, so retry.
+	v, _ := Compatible([]string{"T1"}, true, nil)
+	if v != Retry {
+		t.Fatalf("verdict = %v, want Retry", v)
+	}
+}
+
+func TestCompatibleUnmarkedThenUndoneIsFatal(t *testing.T) {
+	// The paper's explicit example: executed at a site unmarked w.r.t. Ti,
+	// then attempts a site undone w.r.t. Ti -> only abort resolves it.
+	v, _ := Compatible(nil, true, []string{"T1"})
+	if v != Abort {
+		t.Fatalf("verdict = %v, want Abort", v)
+	}
+}
+
+func TestCompatibleFreshTxnEmptySite(t *testing.T) {
+	v, merged := Compatible(nil, false, nil)
+	if v != Admit || len(merged) != 0 {
+		t.Fatalf("v=%v merged=%v", v, merged)
+	}
+}
+
+func TestCompatibleRetryBeatsAbortWhenBothApply(t *testing.T) {
+	// Carried T1 missing here AND site has extra T2: the retryable
+	// direction is checked first (a retry may resolve both once T1's
+	// compensation lands here).
+	v, _ := Compatible([]string{"T1"}, true, []string{"T2"})
+	if v != Retry {
+		t.Fatalf("verdict = %v, want Retry", v)
+	}
+}
+
+func TestCompatibleP2FirstVisitAdoptsBothKinds(t *testing.T) {
+	v, merged := CompatibleP2(nil, false, []string{"T1"}, []string{"T2"})
+	if v != Admit {
+		t.Fatalf("verdict = %v", v)
+	}
+	if !reflect.DeepEqual(merged, []string{"l:T1", "u:T2"}) {
+		t.Fatalf("merged = %v", merged)
+	}
+	if got := P2UndoneSeen(merged); !reflect.DeepEqual(got, []string{"T2"}) {
+		t.Fatalf("undone seen = %v", got)
+	}
+}
+
+func TestCompatibleP2AllLCBranch(t *testing.T) {
+	// Carried lc evidence matches an lc site: admitted.
+	if v, _ := CompatibleP2([]string{"l:T1"}, true, []string{"T1"}, nil); v != Admit {
+		t.Fatalf("all-lc: %v", v)
+	}
+	// Carried lc evidence meets an undone site: the mix behind a regular
+	// cycle — only abort resolves it.
+	if v, _ := CompatibleP2([]string{"l:T1"}, true, nil, []string{"T1"}); v != Abort {
+		t.Fatalf("lc-vs-undone: %v", v)
+	}
+	// Carried lc evidence meets an unmarked site: the all-lc branch cannot
+	// complete; retry (T1's decision clears lc marks everywhere).
+	if v, _ := CompatibleP2([]string{"l:T1"}, true, nil, nil); v != Retry {
+		t.Fatalf("lc-vs-unmarked: %v", v)
+	}
+}
+
+func TestCompatibleP2UndoneBranchMirrorsP1(t *testing.T) {
+	if v, _ := CompatibleP2([]string{"u:T1"}, true, nil, []string{"T1"}); v != Admit {
+		t.Fatalf("undone match: %v", v)
+	}
+	if v, _ := CompatibleP2([]string{"u:T1"}, true, nil, nil); v != Retry {
+		t.Fatalf("undone carried-missing: %v", v)
+	}
+	// Visited with no evidence hitting an undone site: the P1 fatal case —
+	// this is exactly the unsoundness of the paper's literal branch (b)
+	// that the repair closes.
+	if v, _ := CompatibleP2(nil, true, nil, []string{"T1"}); v != Abort {
+		t.Fatalf("unmarked-then-undone: %v", v)
+	}
+	// And lc at the site with no evidence after a visit: retryable (lc
+	// clears at the decision).
+	if v, _ := CompatibleP2(nil, true, []string{"T1"}, nil); v != Retry {
+		t.Fatalf("unmarked-then-lc: %v", v)
+	}
+}
+
+func TestCompatibleP2UndoneDominatesTransientLC(t *testing.T) {
+	// Around the decision a site may briefly hold both marks; undone wins.
+	v, merged := CompatibleP2(nil, false, []string{"T1"}, []string{"T1"})
+	if v != Admit || !reflect.DeepEqual(merged, []string{"u:T1"}) {
+		t.Fatalf("v=%v merged=%v", v, merged)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Admit.String() != "admit" || Retry.String() != "retry" || Abort.String() != "abort" {
+		t.Fatalf("verdict strings wrong")
+	}
+}
+
+func TestBoardUnmarksAfterAllMarkedSitesWitnessed(t *testing.T) {
+	b := NewBoard()
+	b.AddMarked("T1", "s0")
+	b.AddMarked("T1", "s1")
+	b.FinalizeMarked("T1")
+
+	b.AddWitness("T1", "s0")
+	if b.PendingFor("s0") != 0 || b.PendingFor("s1") != 0 {
+		t.Fatalf("unmark queued before all sites witnessed")
+	}
+	b.AddWitness("T1", "s1")
+	if b.PendingFor("s0") != 1 || b.PendingFor("s1") != 1 {
+		t.Fatalf("unmark not queued after full witness coverage")
+	}
+	if got := b.DrainUnmarks("s0"); !reflect.DeepEqual(got, []string{"T1"}) {
+		t.Fatalf("drain s0 = %v", got)
+	}
+	if b.PendingFor("s0") != 0 {
+		t.Fatalf("drain did not clear")
+	}
+}
+
+func TestBoardWitnessBeforeRegistrationBuffers(t *testing.T) {
+	b := NewBoard()
+	b.AddWitness("T1", "s0") // arrives before any AddMarked/Finalize
+	b.AddMarked("T1", "s0")
+	b.FinalizeMarked("T1")
+	if b.PendingFor("s0") != 1 {
+		t.Fatalf("buffered witness not honoured")
+	}
+}
+
+func TestBoardFinalizeWithoutMarksDropsEntry(t *testing.T) {
+	b := NewBoard()
+	b.FinalizeMarked("T1")
+	if got := b.Outstanding(); len(got) != 0 {
+		t.Fatalf("outstanding = %v", got)
+	}
+}
+
+func TestBoardWitnessAtUnmarkedSiteIgnoredForCompletion(t *testing.T) {
+	b := NewBoard()
+	b.AddMarked("T1", "s0")
+	b.FinalizeMarked("T1")
+	b.AddWitness("T1", "s9") // a site that never marked
+	if b.PendingFor("s9") != 0 {
+		t.Fatalf("notice queued for unmarked site")
+	}
+	// Completion requires the marked site, not s9.
+	if b.PendingFor("s0") != 0 {
+		t.Fatalf("completed without s0's witness")
+	}
+	b.AddWitness("T1", "s0")
+	if b.PendingFor("s0") != 1 {
+		t.Fatalf("completion missed")
+	}
+}
+
+func TestBoardRequeue(t *testing.T) {
+	b := NewBoard()
+	b.AddMarked("T1", "s0")
+	b.FinalizeMarked("T1")
+	b.AddWitness("T1", "s0")
+	got := b.DrainUnmarks("s0")
+	if len(got) != 1 {
+		t.Fatalf("drain = %v", got)
+	}
+	b.Requeue("s0", got)
+	if b.PendingFor("s0") != 1 {
+		t.Fatalf("requeue lost the notice")
+	}
+	b.Requeue("s0", nil) // no-op
+	if b.PendingFor("s0") != 1 {
+		t.Fatalf("nil requeue changed state")
+	}
+}
+
+func TestBoardOutstanding(t *testing.T) {
+	b := NewBoard()
+	b.AddMarked("T2", "s0")
+	b.AddMarked("T1", "s0")
+	got := b.Outstanding()
+	if !reflect.DeepEqual(got, []string{"T1", "T2"}) {
+		t.Fatalf("outstanding = %v", got)
+	}
+}

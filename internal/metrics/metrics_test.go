@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("reset failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("value = %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not zero-valued")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 15 || h.Mean() != 3 {
+		t.Fatalf("count=%d sum=%v mean=%v", h.Count(), h.Sum(), h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	// Interpolated quantile.
+	if got := h.Quantile(0.25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10)
+	_ = h.Quantile(0.5) // sorts
+	h.Observe(1)        // must invalidate sort
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("min after late observe = %v", got)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+		}
+		last := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(1500 * time.Microsecond)
+	if got := h.Mean(); got != 1.5 {
+		t.Fatalf("mean = %v ms, want 1.5", got)
+	}
+}
+
+func TestSnapshotAndString(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.P50 != 50.5 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatalf("empty string rendering")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("reset incomplete")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	if r.Counter("a").Value() != 2 {
+		t.Fatalf("counter identity not stable")
+	}
+	r.Histogram("h").Observe(1)
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if h := r.HistogramNames(); len(h) != 1 || h[0] != "h" {
+		t.Fatalf("hist names = %v", h)
+	}
+	// Reset zeroes but keeps registrations and pointer identity.
+	c := r.Counter("a")
+	r.Reset()
+	if c.Value() != 0 || r.Counter("a") != c {
+		t.Fatalf("reset broke identity")
+	}
+}

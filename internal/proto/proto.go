@@ -1,0 +1,289 @@
+// Package proto defines the wire-level vocabulary of the system: the
+// operation repertoire of subtransactions, the commit-protocol messages
+// exchanged between coordinators and sites, and the protocol/marking mode
+// enumerations.
+//
+// One design decision matters for experiment E6 (message census): a global
+// transaction's per-site work is shipped as a single ExecRequest carrying
+// the whole operation list (the restricted model's "well-defined repertoire
+// of operations forming an interface at each site"), and all marking
+// (P1/P2) state piggybacks on the existing messages. The resulting message
+// pattern per participant is exactly:
+//
+//	ExecRequest/ExecReply, VoteRequest/VoteReply, Decision/Ack
+//
+// identical for 2PC, O2PC and O2PC+P1 — reproducing the paper's claim that
+// the revised protocols need "no messages other than the standard 2PC
+// messages".
+package proto
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// Protocol selects the commit protocol for a global transaction.
+type Protocol uint8
+
+const (
+	// TwoPC is standard two-phase commit over distributed strict 2PL:
+	// exclusive locks are held from acquisition until the DECISION message.
+	TwoPC Protocol = iota + 1
+	// O2PC is the paper's optimistic 2PC: a site that votes YES locally
+	// commits and releases all locks immediately; an eventual abort
+	// decision triggers compensation.
+	O2PC
+)
+
+// String returns the protocol mnemonic.
+func (p Protocol) String() string {
+	switch p {
+	case TwoPC:
+		return "2PC"
+	case O2PC:
+		return "O2PC"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// MarkProtocol selects the correctness protocol layered over O2PC.
+type MarkProtocol uint8
+
+const (
+	// MarkNone runs O2PC bare (correct only under the saga/multi-
+	// transaction models, per Section 4's closing remark).
+	MarkNone MarkProtocol = iota
+	// MarkP1 enforces stratification property S1 via undone-site marking
+	// (Section 6.2).
+	MarkP1
+	// MarkP2 enforces the dual property S2 via locally-committed-site
+	// marking.
+	MarkP2
+	// MarkSimple is the "very simple protocol" of Section 6.2's closing
+	// discussion: every site a transaction executes at must be undone
+	// with respect to the same transactions and locally-committed with
+	// respect to none. Stricter (less concurrency) but trivially
+	// stratified — the simplicity/concurrency trade-off the paper names.
+	MarkSimple
+)
+
+// String returns the marking-protocol mnemonic.
+func (m MarkProtocol) String() string {
+	switch m {
+	case MarkNone:
+		return "none"
+	case MarkP1:
+		return "P1"
+	case MarkP2:
+		return "P2"
+	case MarkSimple:
+		return "simple"
+	default:
+		return fmt.Sprintf("MarkProtocol(%d)", uint8(m))
+	}
+}
+
+// OpKind enumerates subtransaction operations.
+type OpKind uint8
+
+const (
+	// OpRead reads a key; its value is returned in ExecReply.Reads.
+	OpRead OpKind = iota + 1
+	// OpWrite installs a value.
+	OpWrite
+	// OpDelete installs a tombstone.
+	OpDelete
+	// OpAdd performs a read-modify-write on an int64-encoded key, adding
+	// Delta. If HasMin is set and the result would fall below Min, the
+	// operation fails and the site votes NO — the standard "insufficient
+	// funds / no seats left" unilateral-abort trigger.
+	OpAdd
+)
+
+// String returns the op mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpDelete:
+		return "delete"
+	case OpAdd:
+		return "add"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Operation is one step of a subtransaction.
+type Operation struct {
+	Kind   OpKind
+	Key    string
+	Value  []byte
+	Delta  int64
+	Min    int64
+	HasMin bool
+}
+
+// Read returns a read operation.
+func Read(key string) Operation { return Operation{Kind: OpRead, Key: key} }
+
+// Write returns a write operation.
+func Write(key string, value []byte) Operation {
+	return Operation{Kind: OpWrite, Key: key, Value: value}
+}
+
+// Delete returns a delete operation.
+func Delete(key string) Operation { return Operation{Kind: OpDelete, Key: key} }
+
+// Add returns an unconditional int64 increment operation.
+func Add(key string, delta int64) Operation { return Operation{Kind: OpAdd, Key: key, Delta: delta} }
+
+// AddMin returns an int64 increment that fails (vote NO) when the result
+// would drop below min.
+func AddMin(key string, delta, min int64) Operation {
+	return Operation{Kind: OpAdd, Key: key, Delta: delta, Min: min, HasMin: true}
+}
+
+// CompMode selects how a subtransaction is compensated when the global
+// transaction aborts after the site locally committed.
+type CompMode uint8
+
+const (
+	// CompSemantic derives inverse operations from the forward operation
+	// list (the restricted model: "a DELETE as compensation for an
+	// INSERT"); OpAdd inverts to an unconditional OpAdd of -Delta, which
+	// does not disturb interleaved updates by other transactions.
+	CompSemantic CompMode = iota + 1
+	// CompBeforeImage restores the forward subtransaction's before-images
+	// (the generic model's value-based undo, run as a new transaction).
+	CompBeforeImage
+	// CompCustom invokes a compensator registered by name at the site.
+	CompCustom
+	// CompNone marks the subtransaction non-compensatable (a "real
+	// action"): the site must run it under retained locks until the
+	// DECISION message even when the protocol is O2PC (Section 2's
+	// adjustment; experiment E9).
+	CompNone
+)
+
+// String returns the compensation-mode mnemonic.
+func (c CompMode) String() string {
+	switch c {
+	case CompSemantic:
+		return "semantic"
+	case CompBeforeImage:
+		return "before-image"
+	case CompCustom:
+		return "custom"
+	case CompNone:
+		return "none"
+	default:
+		return fmt.Sprintf("CompMode(%d)", uint8(c))
+	}
+}
+
+// ExecRequest ships a whole subtransaction to a site.
+type ExecRequest struct {
+	TxnID       string
+	Ops         []Operation
+	Comp        CompMode
+	Compensator string // registry name for CompCustom
+	Protocol    Protocol
+	Marking     MarkProtocol
+	// TransMarks carries the global transaction's accumulated marks
+	// (transmarks.j) and Visited whether any earlier subtransaction was
+	// admitted; both piggyback the R1 compatibility check.
+	TransMarks []string
+	Visited    bool
+}
+
+// ExecReply reports subtransaction execution.
+type ExecReply struct {
+	OK bool
+	// Rejected is set when the marking protocol's compatibility check
+	// failed; Fatal then distinguishes incompatibilities that only
+	// aborting the global transaction can resolve from retryable ones.
+	Rejected bool
+	Fatal    bool
+	Reason   string
+	// Reads returns OpRead results keyed by Key; absent keys are omitted.
+	Reads map[string][]byte
+	// Marks returns the merged transmarks after the R1 union step.
+	Marks []string
+	// Witnesses piggybacks pending UDUM1 witness facts (also carried on
+	// VOTE replies) so unmarking is not delayed when a witnessing
+	// transaction never reaches its vote round.
+	Witnesses []WitnessDelta
+	Err       string
+}
+
+// VoteRequest is the coordinator's VOTE-REQ (PREPARE) message.
+type VoteRequest struct {
+	TxnID string
+}
+
+// WitnessDelta reports that a global transaction executed at Site while the
+// site was undone with respect to Forward — the local half of the UDUM1
+// condition, piggybacked on VOTE replies.
+type WitnessDelta struct {
+	Forward string
+	Site    string
+}
+
+// VoteReply is the participant's VOTE message. ReadOnly implements the
+// classic read-only participant optimization (as in R*, which the paper
+// builds on): a participant whose subtransaction wrote nothing releases
+// everything at its vote and drops out of the protocol — the coordinator
+// sends it no DECISION. Enabled per site via site.Config.ReadOnlyVotes.
+type VoteReply struct {
+	Commit    bool
+	ReadOnly  bool
+	Reason    string
+	Witnesses []WitnessDelta
+}
+
+// Decision is the coordinator's DECISION message. Unmarks carries
+// undone-to-unmarked notices (R3) for transactions whose UDUM1 condition
+// the coordinator-side witness board has established, piggybacked so that
+// no extra messages are needed.
+type Decision struct {
+	TxnID   string
+	Commit  bool
+	Unmarks []string
+}
+
+// Ack acknowledges a Decision. Marked piggybacks whether the acking site
+// currently holds an undone mark for the transaction, which is how the
+// coordinator-side board learns the marked-site set for UDUM1 tracking.
+type Ack struct {
+	TxnID  string
+	Marked bool
+}
+
+// ResolveRequest is a prepared participant's inquiry for a lost decision
+// (sent while blocked after a coordinator failure).
+type ResolveRequest struct {
+	TxnID string
+}
+
+// ResolveReply answers a ResolveRequest.
+type ResolveReply struct {
+	Known  bool
+	Commit bool
+}
+
+// RegisterGob registers every message type with encoding/gob for the TCP
+// transport. Safe to call multiple times.
+func RegisterGob() {
+	gob.Register(ExecRequest{})
+	gob.Register(ExecReply{})
+	gob.Register(VoteRequest{})
+	gob.Register(VoteReply{})
+	gob.Register(Decision{})
+	gob.Register(Ack{})
+	gob.Register(ResolveRequest{})
+	gob.Register(ResolveReply{})
+}

@@ -1,0 +1,86 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestOperationConstructors(t *testing.T) {
+	if op := Read("k"); op.Kind != OpRead || op.Key != "k" {
+		t.Fatalf("Read: %+v", op)
+	}
+	if op := Write("k", []byte("v")); op.Kind != OpWrite || string(op.Value) != "v" {
+		t.Fatalf("Write: %+v", op)
+	}
+	if op := Delete("k"); op.Kind != OpDelete {
+		t.Fatalf("Delete: %+v", op)
+	}
+	if op := Add("k", -3); op.Kind != OpAdd || op.Delta != -3 || op.HasMin {
+		t.Fatalf("Add: %+v", op)
+	}
+	if op := AddMin("k", -3, 0); !op.HasMin || op.Min != 0 {
+		t.Fatalf("AddMin: %+v", op)
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	cases := map[string]string{
+		TwoPC.String():           "2PC",
+		O2PC.String():            "O2PC",
+		MarkNone.String():        "none",
+		MarkP1.String():          "P1",
+		MarkP2.String():          "P2",
+		OpRead.String():          "read",
+		OpWrite.String():         "write",
+		OpDelete.String():        "delete",
+		OpAdd.String():           "add",
+		CompSemantic.String():    "semantic",
+		CompBeforeImage.String(): "before-image",
+		CompCustom.String():      "custom",
+		CompNone.String():        "none",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q want %q", got, want)
+		}
+	}
+	// Unknown values still render something.
+	if Protocol(99).String() == "" || MarkProtocol(99).String() == "" ||
+		OpKind(99).String() == "" || CompMode(99).String() == "" {
+		t.Errorf("unknown enum values must render")
+	}
+}
+
+func TestGobRoundTripAllMessages(t *testing.T) {
+	RegisterGob()
+	RegisterGob() // idempotent
+
+	msgs := []any{
+		ExecRequest{TxnID: "T1", Ops: []Operation{AddMin("k", -1, 0)},
+			Comp: CompSemantic, Protocol: O2PC, Marking: MarkP1,
+			TransMarks: []string{"T0"}, Visited: true},
+		ExecReply{OK: true, Reads: map[string][]byte{"k": []byte("v")},
+			Marks: []string{"T0"}, Witnesses: []WitnessDelta{{Forward: "T0", Site: "s0"}}},
+		VoteRequest{TxnID: "T1"},
+		VoteReply{Commit: true, Witnesses: []WitnessDelta{{Forward: "T9", Site: "s1"}}},
+		Decision{TxnID: "T1", Commit: false, Unmarks: []string{"T0"}},
+		Ack{TxnID: "T1", Marked: true},
+		ResolveRequest{TxnID: "T1"},
+		ResolveReply{Known: true, Commit: true},
+	}
+	for _, msg := range msgs {
+		var buf bytes.Buffer
+		var in any = msg
+		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		var out any
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode %T: %v", msg, err)
+		}
+		if out == nil {
+			t.Fatalf("decode %T: nil", msg)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package rpc provides the message transport between coordinators and
+// sites.
+//
+// Two transports implement the same Caller interface:
+//
+//   - Network: an in-process simulated network with configurable one-way
+//     latency, jitter, message loss, link partitions and node crashes. All
+//     simulation experiments run over it; its per-message-type census is
+//     the data source for experiment E6 ("no extra messages beyond 2PC").
+//   - TCP (tcp.go): a gob-encoded TCP transport for the multi-process
+//     deployment under cmd/.
+//
+// Every request and every reply counts as one message, mirroring the
+// paper's three-round accounting (request-for-vote, vote, decision).
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"o2pc/internal/metrics"
+)
+
+// Handler processes one inbound request at a node.
+type Handler func(ctx context.Context, from string, req any) (any, error)
+
+// Caller issues a request to a named node and waits for its reply.
+type Caller interface {
+	Call(ctx context.Context, from, to string, req any) (any, error)
+}
+
+// Transport errors.
+var (
+	// ErrUnreachable is returned when the destination is down, partitioned
+	// away, or the message was dropped.
+	ErrUnreachable = errors.New("rpc: destination unreachable")
+	// ErrUnknownNode is returned for destinations that were never
+	// registered.
+	ErrUnknownNode = errors.New("rpc: unknown node")
+)
+
+// Config parameterizes the simulated network.
+type Config struct {
+	// MinLatency and MaxLatency bound the one-way delay applied to every
+	// message; the actual delay is uniform in [Min, Max].
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	// DropProb is the probability that any single message is lost (the
+	// caller observes ErrUnreachable).
+	DropProb float64
+	// Seed seeds the network's private RNG; 0 selects a fixed default so
+	// simulations are reproducible by default.
+	Seed int64
+}
+
+// Network is the in-process simulated transport.
+type Network struct {
+	cfg Config
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	nodes       map[string]Handler
+	down        map[string]bool
+	partitioned map[string]map[string]bool
+
+	counts *metrics.Registry
+}
+
+// NewNetwork returns a network with the given configuration.
+func NewNetwork(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(seed)),
+		nodes:       make(map[string]Handler),
+		down:        make(map[string]bool),
+		partitioned: make(map[string]map[string]bool),
+		counts:      metrics.NewRegistry(),
+	}
+}
+
+// Register installs the handler for a node name, replacing any previous
+// handler.
+func (n *Network) Register(node string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[node] = h
+}
+
+// SetDown marks a node crashed (true) or recovered (false). Messages to a
+// down node are lost after the usual delay.
+func (n *Network) SetDown(node string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[node] = down
+}
+
+// SetPartition severs (or heals) the bidirectional link between a and b.
+func (n *Network) SetPartition(a, b string, severed bool) {
+	n.SetOneWayPartition(a, b, severed)
+	n.SetOneWayPartition(b, a, severed)
+}
+
+// SetOneWayPartition severs (or heals) only the from -> to direction:
+// requests from `from` are lost, but traffic the other way still flows.
+// Useful for isolating one protocol round (e.g. decisions but not votes).
+func (n *Network) SetOneWayPartition(from, to string, severed bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, ok := n.partitioned[from]
+	if !ok {
+		m = make(map[string]bool)
+		n.partitioned[from] = m
+	}
+	m[to] = severed
+}
+
+// Counts returns the message census registry. Counter names are message
+// type names (e.g. "proto.ExecRequest").
+func (n *Network) Counts() *metrics.Registry { return n.counts }
+
+// delay computes one random one-way latency.
+func (n *Network) delay() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.MaxLatency <= n.cfg.MinLatency {
+		return n.cfg.MinLatency
+	}
+	span := n.cfg.MaxLatency - n.cfg.MinLatency
+	return n.cfg.MinLatency + time.Duration(n.rng.Int63n(int64(span)))
+}
+
+func (n *Network) dropped() bool {
+	if n.cfg.DropProb <= 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64() < n.cfg.DropProb
+}
+
+// reachable reports whether a message from -> to can currently be
+// delivered.
+func (n *Network) reachable(from, to string) (Handler, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	if n.down[to] {
+		return nil, fmt.Errorf("%w: node %s is down", ErrUnreachable, to)
+	}
+	if n.partitioned[from][to] {
+		return nil, fmt.Errorf("%w: link %s<->%s partitioned", ErrUnreachable, from, to)
+	}
+	return h, nil
+}
+
+func (n *Network) count(msg any) {
+	n.counts.Counter(fmt.Sprintf("%T", msg)).Inc()
+}
+
+// sleep waits d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Call delivers req to node `to` and returns its reply, modeling one-way
+// latency in each direction. Message loss, partitions and crashed nodes
+// surface as ErrUnreachable (after the request's one-way delay, as a
+// timeout would).
+func (n *Network) Call(ctx context.Context, from, to string, req any) (any, error) {
+	n.count(req)
+	if err := sleep(ctx, n.delay()); err != nil {
+		return nil, err
+	}
+	if n.dropped() {
+		return nil, fmt.Errorf("%w: request dropped", ErrUnreachable)
+	}
+	h, err := n.reachable(from, to)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h(ctx, from, req)
+	if err != nil {
+		return nil, err
+	}
+	n.count(resp)
+	if err := sleep(ctx, n.delay()); err != nil {
+		return nil, err
+	}
+	if n.dropped() {
+		return nil, fmt.Errorf("%w: reply dropped", ErrUnreachable)
+	}
+	// The sender may have crashed or been partitioned away while the reply
+	// was in flight. (The sender need not be a registered node: pure
+	// clients may call without serving.)
+	n.mu.Lock()
+	lost := n.down[from] || n.partitioned[to][from]
+	n.mu.Unlock()
+	if lost {
+		return nil, fmt.Errorf("%w: reply undeliverable", ErrUnreachable)
+	}
+	return resp, nil
+}
+
+var _ Caller = (*Network)(nil)

@@ -1,0 +1,202 @@
+package rpc
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP transport frames each RPC as a gob-encoded envelope pair on a
+// fresh or pooled connection. It exists for the cmd/ multi-process
+// deployment; simulations use Network.
+
+// envelope is the on-wire request frame.
+type envelope struct {
+	From string
+	Body any
+}
+
+// replyEnvelope is the on-wire response frame.
+type replyEnvelope struct {
+	Err  string
+	Body any
+}
+
+// Server serves a node's handler over TCP.
+type Server struct {
+	node    string
+	handler Handler
+	ln      net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+// NewServer returns a server for node backed by handler; call Serve to
+// accept connections.
+func NewServer(node string, handler Handler) *Server {
+	return &Server{node: node, handler: handler, conns: make(map[net.Conn]bool)}
+}
+
+// Serve accepts connections on ln until Close. Each connection carries a
+// sequential stream of RPCs.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		resp, err := s.handler(context.Background(), env.From, env.Body)
+		out := replyEnvelope{Body: resp}
+		if err != nil {
+			out.Err = err.Error()
+		}
+		if err := enc.Encode(&out); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	return err
+}
+
+// TCPClient is a Caller that maps node names to TCP addresses.
+type TCPClient struct {
+	mu    sync.Mutex
+	addrs map[string]string
+	conns map[string]*tcpConn
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewTCPClient returns a client over the given node -> "host:port" map.
+func NewTCPClient(addrs map[string]string) *TCPClient {
+	cp := make(map[string]string, len(addrs))
+	for k, v := range addrs {
+		cp[k] = v
+	}
+	return &TCPClient{addrs: cp, conns: make(map[string]*tcpConn)}
+}
+
+func (c *TCPClient) conn(to string) (*tcpConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tc, ok := c.conns[to]; ok {
+		return tc, nil
+	}
+	addr, ok := c.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+	}
+	tc := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	c.conns[to] = tc
+	return tc, nil
+}
+
+func (c *TCPClient) drop(to string, tc *tcpConn) {
+	c.mu.Lock()
+	if c.conns[to] == tc {
+		delete(c.conns, to)
+	}
+	c.mu.Unlock()
+	tc.conn.Close()
+}
+
+// Call implements Caller over TCP. Transport failures surface as
+// ErrUnreachable so that protocol-level retry logic is transport-agnostic.
+func (c *TCPClient) Call(ctx context.Context, from, to string, req any) (any, error) {
+	tc, err := c.conn(to)
+	if err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = tc.conn.SetDeadline(dl)
+	} else {
+		_ = tc.conn.SetDeadline(zeroTime)
+	}
+	if err := tc.enc.Encode(&envelope{From: from, Body: req}); err != nil {
+		c.drop(to, tc)
+		return nil, fmt.Errorf("%w: send to %s (%v)", ErrUnreachable, to, err)
+	}
+	var reply replyEnvelope
+	if err := tc.dec.Decode(&reply); err != nil {
+		c.drop(to, tc)
+		return nil, fmt.Errorf("%w: recv from %s (%v)", ErrUnreachable, to, err)
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("rpc: remote error from %s: %s", to, reply.Err)
+	}
+	return reply.Body, nil
+}
+
+// Close closes all pooled connections.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for to, tc := range c.conns {
+		tc.conn.Close()
+		delete(c.conns, to)
+	}
+	return nil
+}
+
+var zeroTime time.Time
+
+var _ Caller = (*TCPClient)(nil)

@@ -1,0 +1,109 @@
+package sg
+
+import (
+	"sort"
+
+	"o2pc/internal/history"
+)
+
+// CompensationViolation records a transaction that observed both a forward
+// transaction's update and its compensation's update — the situation
+// Theorem 2 rules out for correct histories when CTi writes (at least)
+// Ti's write set.
+type CompensationViolation struct {
+	Reader  string // the Tj that read from both
+	Forward string // Ti
+	Comp    string // CTi
+	// ReaderFate distinguishes committed readers (a genuine Theorem 2
+	// violation) from doomed readers — transactions whose operations
+	// entered the history before the marking protocol refused them at
+	// vote time and whose effects were all rolled back or compensated
+	// (the same residue as doomed-reader regular cycles; see
+	// CycleClass.Effective).
+	ReaderFate history.Fate
+}
+
+// CommittedViolations filters violations to those with non-aborted
+// readers — the enforceable form of Theorem 2 (a doomed reader is refused
+// before it can commit, but its reads precede the refusal).
+func CommittedViolations(all []CompensationViolation) []CompensationViolation {
+	var out []CompensationViolation
+	for _, v := range all {
+		if v.ReaderFate != history.FateAborted {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CheckCompensationAtomicity scans reads-from evidence for violations of
+// atomicity of compensation: a transaction Tj (of any kind other than the
+// pair itself) with one read satisfied by Ti and another read satisfied by
+// CTi. The returned slice is sorted and empty for conforming histories.
+func CheckCompensationAtomicity(h *history.History) []CompensationViolation {
+	// readerSources[reader] = set of writers it read from.
+	readerSources := make(map[string]map[string]bool)
+	for _, op := range h.Ops {
+		if op.Type != history.OpRead || op.ReadFrom == "" {
+			continue
+		}
+		set, ok := readerSources[op.Txn]
+		if !ok {
+			set = make(map[string]bool)
+			readerSources[op.Txn] = set
+		}
+		set[op.ReadFrom] = true
+	}
+
+	var out []CompensationViolation
+	for id, info := range h.Txns {
+		if info.Kind != history.KindCompensating || info.Forward == "" {
+			continue
+		}
+		forward, comp := info.Forward, id
+		for reader, sources := range readerSources {
+			if reader == forward || reader == comp {
+				continue
+			}
+			if sources[forward] && sources[comp] {
+				out = append(out, CompensationViolation{
+					Reader:     reader,
+					Forward:    forward,
+					Comp:       comp,
+					ReaderFate: h.FateOf(reader),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Reader != out[j].Reader {
+			return out[i].Reader < out[j].Reader
+		}
+		return out[i].Forward < out[j].Forward
+	})
+	return out
+}
+
+// SerializableWithoutAborts reports whether the global SG restricted to
+// histories with no aborted global transactions is acyclic — the paper's
+// observation that the correctness criterion "reduces to serializability
+// when no global transactions are aborted". It returns false with a
+// witness cycle when the restriction is cyclic, and true with nil
+// otherwise. Histories that do contain aborted global transactions are
+// reported via the bool second return (checked=false).
+func SerializableWithoutAborts(h *history.History) (cycle []string, checked bool) {
+	for _, info := range h.Txns {
+		if info.Kind == history.KindGlobal && info.Fate == history.FateAborted {
+			return nil, false
+		}
+		if info.Kind == history.KindCompensating {
+			return nil, false
+		}
+	}
+	global, _ := BuildGlobal(h)
+	cyc, has := global.HasCycle()
+	if has {
+		return cyc, true
+	}
+	return nil, true
+}

@@ -1,0 +1,61 @@
+package sg
+
+import "testing"
+
+// TestDoomedReaderCycleClassification builds the residue the Section 6.2
+// early-unlock compromise inherently admits: a regular cycle whose only
+// regular junction is an aborted (fully rolled-back) reader. It must be
+// classified Regular but not Effective, and the audit must still call the
+// history correct.
+func TestDoomedReaderCycleClassification(t *testing.T) {
+	b := newHB().global("T1", "T2").abort("T1", "T2").
+		comp("CT1", "T1").comp("CT2", "T2")
+	// s0: T2 read T1's exposed value before CT1 compensated: T1 -> T2 -> CT1.
+	b.w("s0", "T1", "x").rd("s0", "T2", "x", "T1").w("s0", "CT1", "x")
+	// s1: T2 read the compensated value: CT1 -> T2.
+	b.w("s1", "T1", "y").w("s1", "CT1", "y").rd("s1", "T2", "y", "CT1")
+	// T2 itself was aborted (refused at validation) and compensated.
+	b.w("s0", "CT2", "z")
+	h := b.h()
+
+	audit := AuditHistory(h, 0, 0)
+	if audit.RegularCount == 0 {
+		t.Fatalf("cycle not detected")
+	}
+	if audit.EffectiveCount != 0 {
+		t.Fatalf("doomed cycle classified effective: %+v", audit.Cycles)
+	}
+	if audit.DoomedCount == 0 {
+		t.Fatalf("doomed count = 0")
+	}
+	if !audit.Correct() {
+		t.Fatalf("doomed-reader residue must not fail correctness")
+	}
+	// But the unfiltered Theorem 2 check still sees the aborted reader...
+	all := CheckCompensationAtomicity(h)
+	if len(all) != 1 || all[0].Reader != "T2" {
+		t.Fatalf("violations = %+v", all)
+	}
+	// ...and the committed filter removes it.
+	if got := CommittedViolations(all); len(got) != 0 {
+		t.Fatalf("committed violations = %+v", got)
+	}
+}
+
+// TestEffectiveCycleStillFlagged is the control: the same shape with a
+// committed reader must fail correctness.
+func TestEffectiveCycleStillFlagged(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	b.w("s0", "T1", "x").rd("s0", "T2", "x", "T1").w("s0", "CT1", "x")
+	b.w("s1", "T1", "y").w("s1", "CT1", "y").rd("s1", "T2", "y", "CT1")
+	audit := AuditHistory(b.h(), 0, 0)
+	if audit.EffectiveCount == 0 {
+		t.Fatalf("committed-reader cycle not flagged effective")
+	}
+	if audit.Correct() {
+		t.Fatalf("criterion passed an effective regular cycle")
+	}
+	if got := CommittedViolations(CheckCompensationAtomicity(b.h())); len(got) != 1 {
+		t.Fatalf("committed Theorem 2 violations = %+v", got)
+	}
+}

@@ -1,0 +1,108 @@
+package sg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"o2pc/internal/history"
+)
+
+// WriteDOT renders the per-site local serialization graphs and the hop
+// graph as a Graphviz document: one cluster per site plus a "global"
+// cluster of hop edges labeled with their witnessing sites. Node shapes
+// encode kinds (box = regular global transaction, hexagon = compensating,
+// ellipse = local); regular cycles found by the audit are highlighted red.
+func WriteDOT(w io.Writer, h *history.History) error {
+	_, locals := BuildGlobal(h)
+	hg := BuildHopGraph(h, locals)
+	audit := AuditHistory(h, 0, 0)
+
+	// Nodes on a regular cycle get highlighted.
+	hot := make(map[string]bool)
+	for _, c := range audit.Cycles {
+		if !c.Regular {
+			continue
+		}
+		for _, j := range c.Junctions {
+			hot[j] = true
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph history {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n")
+
+	sites := make([]string, 0, len(locals))
+	for site := range locals {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	for i, site := range sites {
+		lg := locals[site]
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, "SG "+site)
+		for _, id := range lg.NodeIDs() {
+			fmt.Fprintf(&b, "    %q [%s];\n", site+"/"+id, nodeAttrs(id, lg.Nodes[id], hot[id]))
+		}
+		for _, from := range lg.NodeIDs() {
+			succs := make([]string, 0, len(lg.Adj[from]))
+			for to := range lg.Adj[from] {
+				succs = append(succs, to)
+			}
+			sort.Strings(succs)
+			for _, to := range succs {
+				fmt.Fprintf(&b, "    %q -> %q;\n", site+"/"+from, site+"/"+to)
+			}
+		}
+		b.WriteString("  }\n")
+	}
+
+	// Hop graph (the global-path structure of Section 5).
+	b.WriteString("  subgraph cluster_global {\n    label=\"hop graph (single-site paths between global nodes)\";\n")
+	ids := make([]string, 0, len(hg.Nodes))
+	for id := range hg.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "    %q [%s];\n", "g/"+id, nodeAttrs(id, hg.Nodes[id], hot[id]))
+	}
+	for _, from := range ids {
+		tos := make([]string, 0, len(hg.Sites[from]))
+		for to := range hg.Sites[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			var witnesses []string
+			for site := range hg.Sites[from][to] {
+				witnesses = append(witnesses, site)
+			}
+			sort.Strings(witnesses)
+			attrs := fmt.Sprintf("label=%q", strings.Join(witnesses, ","))
+			if hot[from] && hot[to] {
+				attrs += ", color=red, penwidth=2"
+			}
+			fmt.Fprintf(&b, "    %q -> %q [%s];\n", "g/"+from, "g/"+to, attrs)
+		}
+	}
+	b.WriteString("  }\n}\n")
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func nodeAttrs(id string, kind history.Kind, hot bool) string {
+	shape := "ellipse"
+	switch kind {
+	case history.KindGlobal:
+		shape = "box"
+	case history.KindCompensating:
+		shape = "hexagon"
+	}
+	attrs := fmt.Sprintf("label=%q, shape=%s", id, shape)
+	if hot {
+		attrs += ", color=red, penwidth=2"
+	}
+	return attrs
+}

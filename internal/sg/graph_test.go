@@ -1,0 +1,228 @@
+package sg
+
+import (
+	"testing"
+
+	"o2pc/internal/history"
+	"o2pc/internal/storage"
+)
+
+// hb (history builder) assembles synthetic histories for theory tests.
+type hb struct {
+	r *history.Recorder
+}
+
+func newHB() *hb { return &hb{r: history.NewRecorder()} }
+
+func (b *hb) global(ids ...string) *hb {
+	for _, id := range ids {
+		b.r.Declare(id, history.KindGlobal, "")
+	}
+	return b
+}
+
+func (b *hb) comp(id, fwd string) *hb {
+	b.r.Declare(id, history.KindCompensating, fwd)
+	b.r.SetFate(id, history.FateCommitted)
+	return b
+}
+
+func (b *hb) localTxn(ids ...string) *hb {
+	for _, id := range ids {
+		b.r.Declare(id, history.KindLocal, "")
+		b.r.SetFate(id, history.FateCommitted)
+	}
+	return b
+}
+
+func (b *hb) commit(ids ...string) *hb {
+	for _, id := range ids {
+		b.r.SetFate(id, history.FateCommitted)
+	}
+	return b
+}
+
+func (b *hb) abort(ids ...string) *hb {
+	for _, id := range ids {
+		b.r.SetFate(id, history.FateAborted)
+	}
+	return b
+}
+
+func (b *hb) w(site, txn, key string) *hb {
+	b.r.Record(site, txn, history.OpWrite, storage.Key(key), "")
+	return b
+}
+
+func (b *hb) rd(site, txn, key, from string) *hb {
+	b.r.Record(site, txn, history.OpRead, storage.Key(key), from)
+	return b
+}
+
+func (b *hb) h() *history.History { return b.r.Snapshot() }
+
+func TestBuildLocalConflictEdges(t *testing.T) {
+	h := newHB().global("T1", "T2").commit("T1", "T2").
+		w("s0", "T1", "x").
+		rd("s0", "T2", "x", "T1").
+		h()
+	g := BuildLocal(h, "s0")
+	if !g.HasEdge("T1", "T2") {
+		t.Fatalf("missing w-r conflict edge:\n%s", g)
+	}
+	if g.HasEdge("T2", "T1") {
+		t.Fatalf("reverse edge present")
+	}
+}
+
+func TestBuildLocalExcludesUncommittedLocals(t *testing.T) {
+	b := newHB().global("T1").commit("T1")
+	b.r.Declare("L1", history.KindLocal, "") // no fate: not committed
+	b.w("s0", "L1", "x").w("s0", "T1", "x")
+	g := BuildLocal(b.h(), "s0")
+	if _, ok := g.Nodes["L1"]; ok {
+		t.Fatalf("uncommitted local in SG")
+	}
+	if _, ok := g.Nodes["T1"]; !ok {
+		t.Fatalf("global txn missing from SG")
+	}
+}
+
+func TestBuildLocalIncludesAbortedGlobals(t *testing.T) {
+	// Aborted global transactions and their CTs are SG nodes — the whole
+	// point of the extended model.
+	h := newHB().global("T1").abort("T1").
+		comp("CT1", "T1").
+		w("s0", "T1", "x").w("s0", "CT1", "x").
+		h()
+	g := BuildLocal(h, "s0")
+	if !g.HasEdge("T1", "CT1") {
+		t.Fatalf("T1 -> CT1 edge missing:\n%s", g)
+	}
+}
+
+func TestReachesWithAvoid(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []string{"A", "B", "C"} {
+		g.AddNode(n, history.KindGlobal)
+	}
+	g.AddEdge("A", "B")
+	g.AddEdge("B", "C")
+	if !g.Reaches("A", "C") {
+		t.Fatalf("A should reach C")
+	}
+	if g.Reaches("A", "C", "B") {
+		t.Fatalf("A reaches C while avoiding the only path through B")
+	}
+	// Add a bypass and retry.
+	g.AddEdge("A", "C")
+	if !g.Reaches("A", "C", "B") {
+		t.Fatalf("direct edge should survive avoidance")
+	}
+	if g.Reaches("C", "A") {
+		t.Fatalf("reverse reachability invented")
+	}
+}
+
+func TestReachesRequiresRealPath(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("A", history.KindGlobal)
+	if g.Reaches("A", "A") {
+		t.Fatalf("trivial self-reachability without a cycle")
+	}
+	g.AddNode("B", history.KindGlobal)
+	g.AddEdge("A", "B")
+	g.AddEdge("B", "A")
+	if !g.Reaches("A", "A") {
+		t.Fatalf("cycle self-reachability missed")
+	}
+}
+
+func TestPathBetween(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("A", history.KindGlobal)
+	g.AddNode("B", history.KindGlobal)
+	g.AddEdge("B", "A")
+	if !g.PathBetween("A", "B") {
+		t.Fatalf("either-direction path missed")
+	}
+}
+
+func TestHasCycleWitness(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []string{"A", "B", "C", "D"} {
+		g.AddNode(n, history.KindGlobal)
+	}
+	g.AddEdge("A", "B")
+	g.AddEdge("B", "C")
+	g.AddEdge("C", "A")
+	g.AddEdge("C", "D")
+	cyc, has := g.HasCycle()
+	if !has {
+		t.Fatalf("cycle missed")
+	}
+	if len(cyc) != 3 {
+		t.Fatalf("witness = %v", cyc)
+	}
+	seen := map[string]bool{}
+	for _, n := range cyc {
+		seen[n] = true
+	}
+	if !seen["A"] || !seen["B"] || !seen["C"] || seen["D"] {
+		t.Fatalf("witness = %v, want {A,B,C}", cyc)
+	}
+}
+
+func TestHasCycleAcyclic(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []string{"A", "B", "C"} {
+		g.AddNode(n, history.KindGlobal)
+	}
+	g.AddEdge("A", "B")
+	g.AddEdge("A", "C")
+	g.AddEdge("B", "C")
+	if _, has := g.HasCycle(); has {
+		t.Fatalf("phantom cycle in DAG")
+	}
+}
+
+func TestSelfEdgeIgnored(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("A", history.KindGlobal)
+	g.AddEdge("A", "A")
+	if _, has := g.HasCycle(); has {
+		t.Fatalf("self-edge must be ignored (same-transaction ops don't conflict)")
+	}
+}
+
+func TestBuildGlobalUnionsSites(t *testing.T) {
+	h := newHB().global("T1", "T2").commit("T1", "T2").
+		w("s0", "T1", "x").rd("s0", "T2", "x", "T1"). // T1 -> T2 at s0
+		w("s1", "T2", "y").rd("s1", "T1", "y", "T2"). // T2 -> T1 at s1
+		h()
+	global, locals := BuildGlobal(h)
+	if len(locals) != 2 {
+		t.Fatalf("locals = %d", len(locals))
+	}
+	if !global.HasEdge("T1", "T2") || !global.HasEdge("T2", "T1") {
+		t.Fatalf("global union missing edges:\n%s", global)
+	}
+	if _, has := global.HasCycle(); !has {
+		t.Fatalf("global cycle missed (this is the classic non-serializable execution)")
+	}
+	// Each local SG alone is acyclic.
+	if cycles := LocalCycles(h); len(cycles) != 0 {
+		t.Fatalf("local cycles = %v", cycles)
+	}
+}
+
+func TestLocalCyclesDetected(t *testing.T) {
+	h := newHB().global("T1", "T2").commit("T1", "T2").
+		w("s0", "T1", "x").w("s0", "T2", "x"). // T1 -> T2
+		w("s0", "T2", "y").w("s0", "T1", "y"). // T2 -> T1, same site
+		h()
+	cycles := LocalCycles(h)
+	if len(cycles) != 1 || len(cycles["s0"]) == 0 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+}

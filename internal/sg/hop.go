@@ -1,0 +1,284 @@
+package sg
+
+import (
+	"sort"
+
+	"o2pc/internal/history"
+)
+
+// HopGraph is the site-labeled reachability graph over global nodes
+// (regular and compensating global transactions). An edge A -> B labeled
+// with site a means the local SG of a contains a path from A to B. Global
+// cyclic paths in the global SG correspond to closed walks in the hop
+// graph, and the "local path" segments of the paper's path representations
+// correspond to hop edges.
+type HopGraph struct {
+	// Nodes maps node ID to kind (KindGlobal or KindCompensating only).
+	Nodes map[string]history.Kind
+	// Fates maps node ID to its recorded fate (regular cycles through
+	// exclusively aborted regular transactions are classified separately).
+	Fates map[string]history.Fate
+	// Sites maps from -> to -> set of sites witnessing a local path.
+	Sites map[string]map[string]map[string]bool
+}
+
+// HasHop reports whether an edge from -> to exists at any site.
+func (hg *HopGraph) HasHop(from, to string) bool {
+	return len(hg.Sites[from][to]) > 0
+}
+
+// addHop inserts an edge witness.
+func (hg *HopGraph) addHop(from, to, site string) {
+	m, ok := hg.Sites[from]
+	if !ok {
+		m = make(map[string]map[string]bool)
+		hg.Sites[from] = m
+	}
+	set, ok := m[to]
+	if !ok {
+		set = make(map[string]bool)
+		m[to] = set
+	}
+	set[site] = true
+}
+
+// BuildHopGraph computes the hop graph from the per-site local SGs.
+func BuildHopGraph(h *history.History, locals map[string]*Graph) *HopGraph {
+	hg := &HopGraph{
+		Nodes: make(map[string]history.Kind),
+		Fates: make(map[string]history.Fate),
+		Sites: make(map[string]map[string]map[string]bool),
+	}
+	for _, lg := range locals {
+		for id, kind := range lg.Nodes {
+			if kind == history.KindGlobal || kind == history.KindCompensating {
+				hg.Nodes[id] = kind
+				hg.Fates[id] = h.FateOf(id)
+			}
+		}
+	}
+	sites := make([]string, 0, len(locals))
+	for s := range locals {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		lg := locals[site]
+		// Per-site transitive reachability restricted to global nodes as
+		// endpoints; interior nodes may be local transactions.
+		globalsHere := make([]string, 0)
+		for id := range lg.Nodes {
+			if k := hg.Nodes[id]; k == history.KindGlobal || k == history.KindCompensating {
+				if _, appears := lg.Nodes[id]; appears {
+					globalsHere = append(globalsHere, id)
+				}
+			}
+		}
+		sort.Strings(globalsHere)
+		for _, from := range globalsHere {
+			reach := lg.reachableFrom(from)
+			for _, to := range globalsHere {
+				if from != to && reach[to] {
+					hg.addHop(from, to, site)
+				}
+			}
+		}
+	}
+	return hg
+}
+
+// reachableFrom returns the set of nodes reachable from src by a path of
+// length >= 1.
+func (g *Graph) reachableFrom(src string) map[string]bool {
+	seen := make(map[string]bool)
+	stack := make([]string, 0, len(g.Adj[src]))
+	for next := range g.Adj[src] {
+		stack = append(stack, next)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for next := range g.Adj[n] {
+			if !seen[next] {
+				stack = append(stack, next)
+			}
+		}
+	}
+	return seen
+}
+
+// Cycle is a simple cycle in the hop graph, as an ordered junction list
+// (the edge from the last junction back to the first closes the cycle).
+type Cycle struct {
+	Junctions []string
+}
+
+// SCCs computes the strongly connected components of the hop graph
+// (iterative Tarjan). Only components with more than one node — or a node
+// with a self-loop, which hop graphs do not have — can contain cycles.
+func (hg *HopGraph) SCCs() [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	type frame struct {
+		node  string
+		succs []string
+		i     int
+	}
+	succsOf := func(n string) []string {
+		out := make([]string, 0, len(hg.Sites[n]))
+		for to := range hg.Sites[n] {
+			out = append(out, to)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	var roots []string
+	for id := range hg.Nodes {
+		roots = append(roots, id)
+	}
+	sort.Strings(roots)
+
+	for _, root := range roots {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{node: root, succs: succsOf(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w, succs: succsOf(w)})
+				} else if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			// Pop.
+			n := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[n] < low[parent.node] {
+					low[parent.node] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == n {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// EnumerateCycles lists simple cycles of the hop graph, bounded by maxLen
+// junctions per cycle and maxCount cycles total (0 means no bound). The
+// bound exists because experiment-scale histories without P1 can contain
+// very many benign CT cycles; the audit reports "at least N".
+//
+// Enumeration is restricted to non-trivial strongly connected components:
+// acyclic hop graphs (the common case under P1) cost one SCC pass.
+func (hg *HopGraph) EnumerateCycles(maxLen, maxCount int) []Cycle {
+	compID := make(map[string]int)
+	var ids []string
+	for ci, comp := range hg.SCCs() {
+		if len(comp) > 1 {
+			for _, n := range comp {
+				compID[n] = ci + 1 // 0 is reserved for trivial components
+				ids = append(ids, n)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Strings(ids)
+	index := make(map[string]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+
+	var cycles []Cycle
+	var path []string
+	onPath := make(map[string]bool)
+
+	// Johnson-style restriction: cycles are rooted at their smallest-index
+	// node, so each simple cycle is found exactly once.
+	var root int
+	var dfs func(n string) bool // returns false to stop (maxCount hit)
+	dfs = func(n string) bool {
+		path = append(path, n)
+		onPath[n] = true
+		defer func() {
+			path = path[:len(path)-1]
+			delete(onPath, n)
+		}()
+		succs := make([]string, 0, len(hg.Sites[n]))
+		for to := range hg.Sites[n] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, to := range succs {
+			// Simple cycles live entirely within one SCC.
+			if compID[to] != compID[ids[root]] {
+				continue
+			}
+			if idx, ok := index[to]; !ok || idx < root {
+				continue
+			}
+			if to == ids[root] {
+				cycles = append(cycles, Cycle{Junctions: append([]string(nil), path...)})
+				if maxCount > 0 && len(cycles) >= maxCount {
+					return false
+				}
+				continue
+			}
+			if onPath[to] {
+				continue
+			}
+			if maxLen > 0 && len(path) >= maxLen {
+				continue
+			}
+			if !dfs(to) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for root = 0; root < len(ids); root++ {
+		if !dfs(ids[root]) {
+			break
+		}
+	}
+	return cycles
+}

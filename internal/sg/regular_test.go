@@ -1,0 +1,259 @@
+package sg
+
+import (
+	"testing"
+
+	"o2pc/internal/history"
+)
+
+// TestPaperExample1 reproduces Example 1 of Section 5 exactly:
+//
+//	CT1 -> T2        in SG1
+//	CT1 -> T2 -> CT3 in SG2
+//	CT3 -> CT1       in SG3
+//
+// The global path CT1 -> CT3 has two representations; the minimal one is
+// the single segment {CT1 -> CT3 in SG2}, so the path "does not include
+// T2". Consequently the global cycle CT1 -> CT3 -> CT1 consists only of
+// compensating transactions and is benign; the history is correct.
+func TestPaperExample1(t *testing.T) {
+	b := newHB().global("T1", "T2", "T3").commit("T2").abort("T1", "T3").
+		comp("CT1", "T1").comp("CT3", "T3")
+	// SG1: CT1 -> T2
+	b.w("s1", "CT1", "a").rd("s1", "T2", "a", "CT1")
+	// SG2: CT1 -> T2 -> CT3 (a chain, giving also the path CT1 -> CT3)
+	b.w("s2", "CT1", "b").rd("s2", "T2", "b", "CT1")
+	b.w("s2", "T2", "c").w("s2", "CT3", "c")
+	// SG3: CT3 -> CT1
+	b.w("s3", "CT3", "d").w("s3", "CT1", "d")
+	h := b.h()
+
+	_, locals := BuildGlobal(h)
+	hg := BuildHopGraph(h, locals)
+
+	// The hop graph must contain the direct CT1 -> CT3 edge via s2.
+	if !hg.HasHop("CT1", "CT3") {
+		t.Fatalf("missing transitive hop CT1 -> CT3")
+	}
+
+	audit := AuditHistory(h, 0, 0)
+	if audit.RegularCount != 0 {
+		for _, c := range audit.Cycles {
+			if c.Regular {
+				t.Fatalf("cycle misclassified regular: junctions=%v reps=%v",
+					c.Junctions, c.MinimalReps)
+			}
+		}
+	}
+	if audit.BenignCount == 0 {
+		t.Fatalf("the CT1/CT3 cycle was not found at all")
+	}
+	// And T2 must not appear in any minimal representation of a cycle.
+	for _, c := range audit.Cycles {
+		for _, rep := range c.MinimalReps {
+			for _, n := range rep {
+				if n == "T2" {
+					t.Fatalf("T2 on a minimal representation %v of cycle %v — contradicts Example 1",
+						rep, c.Junctions)
+				}
+			}
+		}
+	}
+	if !audit.Correct() {
+		t.Fatalf("Example 1 history must satisfy the correctness criterion")
+	}
+}
+
+// TestFigure1StyleRegularCycle builds the canonical regular cycle the
+// marking protocols exist to prevent: T2 reads T1's exposed update at one
+// site before CT1 compensates there (T2 -> CT1), and reads post-
+// compensation state at another site (CT1 -> T2).
+func TestFigure1StyleRegularCycle(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").
+		comp("CT1", "T1")
+	// s0: T1 wrote, T2 read the exposed value, then CT1 compensated:
+	// T1 -> T2 -> CT1.
+	b.w("s0", "T1", "x").rd("s0", "T2", "x", "T1").w("s0", "CT1", "x")
+	// s1: T1 wrote, was rolled back by CT1, then T2 read the restored
+	// version: CT1 -> T2.
+	b.w("s1", "T1", "y").w("s1", "CT1", "y").rd("s1", "T2", "y", "CT1")
+	h := b.h()
+
+	audit := AuditHistory(h, 0, 0)
+	if audit.RegularCount == 0 {
+		t.Fatalf("regular cycle not detected; cycles=%+v", audit.Cycles)
+	}
+	if audit.Correct() {
+		t.Fatalf("incorrect history passed the criterion")
+	}
+	// T2 must be on the minimal representation.
+	found := false
+	for _, c := range audit.Cycles {
+		if !c.Regular {
+			continue
+		}
+		for _, rep := range c.MinimalReps {
+			for _, n := range rep {
+				if n == "T2" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("regular cycle does not include T2: %+v", audit.Cycles)
+	}
+}
+
+// TestLemma1NoRegularOnlyCycles: without compensating transactions there
+// can be cycles (if 2PL were violated) but our classifier must still call
+// them regular — and Lemma 1 says any *regular* cycle in a real O2PC
+// execution includes a CT. Here we simply validate the classifier against
+// a pure-T cycle.
+func TestLemma1PureGlobalCycleIsRegular(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T1", "T2")
+	b.w("s0", "T1", "x").w("s0", "T2", "x") // T1 -> T2
+	b.w("s1", "T2", "y").w("s1", "T1", "y") // T2 -> T1
+	audit := AuditHistory(b.h(), 0, 0)
+	if audit.RegularCount != 1 {
+		t.Fatalf("regular count = %d", audit.RegularCount)
+	}
+}
+
+func TestBenignTwoCTCycle(t *testing.T) {
+	b := newHB().global("T1", "T2").abort("T1", "T2").
+		comp("CT1", "T1").comp("CT2", "T2")
+	b.w("s0", "CT1", "x").w("s0", "CT2", "x") // CT1 -> CT2
+	b.w("s1", "CT2", "y").w("s1", "CT1", "y") // CT2 -> CT1
+	audit := AuditHistory(b.h(), 0, 0)
+	if audit.RegularCount != 0 || audit.BenignCount != 1 {
+		t.Fatalf("regular=%d benign=%d", audit.RegularCount, audit.BenignCount)
+	}
+	if !audit.Correct() {
+		t.Fatalf("benign CT cycle must be allowed by the criterion")
+	}
+}
+
+// TestMinimalRepresentationShortcut: a 3-junction cycle through a regular
+// transaction that has a 2-junction CT-only realization is benign, because
+// the minimal representation drops the regular junction (the Example 1
+// principle applied to a cycle).
+func TestMinimalRepresentationShortcut(t *testing.T) {
+	b := newHB().global("T1", "T2", "T9").commit("T2").abort("T1", "T9").
+		comp("CT1", "T1").comp("CT9", "T9")
+	// s0: CT1 -> T2.
+	b.w("s0", "CT1", "a").rd("s0", "T2", "a", "CT1")
+	// s1: CT1 -> T2 -> CT9 (chain also yields CT1 -> CT9 within s1).
+	b.w("s1", "CT1", "b").rd("s1", "T2", "b", "CT1")
+	b.w("s1", "T2", "c").w("s1", "CT9", "c")
+	// s2: CT9 -> CT1.
+	b.w("s2", "CT9", "d").w("s2", "CT1", "d")
+	audit := AuditHistory(b.h(), 0, 0)
+	for _, c := range audit.Cycles {
+		if c.Regular {
+			t.Fatalf("cycle %v classified regular; minimal reps %v",
+				c.Junctions, c.MinimalReps)
+		}
+	}
+	if audit.BenignCount == 0 {
+		t.Fatalf("no cycles found")
+	}
+}
+
+// TestNoShortcutKeepsRegular: same shape, but without the single-site
+// CT1 -> CT9 path — the minimal representation must pass through T2, so
+// the cycle is regular.
+func TestNoShortcutKeepsRegular(t *testing.T) {
+	b := newHB().global("T1", "T2", "T9").commit("T2").abort("T1", "T9").
+		comp("CT1", "T1").comp("CT9", "T9")
+	// s0: CT1 -> T2 only.
+	b.w("s0", "CT1", "a").rd("s0", "T2", "a", "CT1")
+	// s1: T2 -> CT9 only (no CT1 here, so no single-site shortcut).
+	b.w("s1", "T2", "c").w("s1", "CT9", "c")
+	// s2: CT9 -> CT1.
+	b.w("s2", "CT9", "d").w("s2", "CT1", "d")
+	audit := AuditHistory(b.h(), 0, 0)
+	if audit.RegularCount == 0 {
+		t.Fatalf("cycle through T2 with no shortcut must be regular: %+v", audit.Cycles)
+	}
+}
+
+func TestEnumerateCyclesBound(t *testing.T) {
+	// A clique of 4 CTs has many simple cycles; the bound must cap output.
+	b := newHB()
+	cts := []string{"CT1", "CT2", "CT3", "CT4"}
+	for i, ct := range cts {
+		b.global("T" + string(rune('1'+i)))
+		b.abort("T" + string(rune('1'+i)))
+		b.comp(ct, "T"+string(rune('1'+i)))
+	}
+	// Pairwise cycles via distinct sites.
+	site := 0
+	for i := range cts {
+		for j := range cts {
+			if i == j {
+				continue
+			}
+			s := "s" + string(rune('0'+site%8))
+			site++
+			b.w(s, cts[i], "k"+s).w(s, cts[j], "k"+s)
+		}
+	}
+	h := b.h()
+	_, locals := BuildGlobal(h)
+	hg := BuildHopGraph(h, locals)
+	all := hg.EnumerateCycles(10, 0)
+	if len(all) < 6 {
+		t.Fatalf("expected many cycles, got %d", len(all))
+	}
+	capped := hg.EnumerateCycles(10, 3)
+	if len(capped) != 3 {
+		t.Fatalf("cap ignored: %d", len(capped))
+	}
+}
+
+func TestSCCsPartitionGraph(t *testing.T) {
+	b := newHB().global("T1", "T2").abort("T1", "T2").
+		comp("CT1", "T1").comp("CT2", "T2")
+	// Cycle between CT1, CT2; CT3 dangling.
+	b.global("T3").abort("T3").comp("CT3", "T3")
+	b.w("s0", "CT1", "x").w("s0", "CT2", "x")
+	b.w("s1", "CT2", "y").w("s1", "CT1", "y")
+	b.w("s0", "CT3", "z")
+	h := b.h()
+	_, locals := BuildGlobal(h)
+	hg := BuildHopGraph(h, locals)
+	comps := hg.SCCs()
+	var big int
+	for _, c := range comps {
+		if len(c) > 1 {
+			big++
+			if len(c) != 2 {
+				t.Fatalf("component = %v", c)
+			}
+		}
+	}
+	if big != 1 {
+		t.Fatalf("non-trivial SCCs = %d, want 1", big)
+	}
+}
+
+func TestAuditEmptyHistory(t *testing.T) {
+	audit := AuditHistory(newHB().h(), 0, 0)
+	if !audit.Correct() || len(audit.Cycles) != 0 {
+		t.Fatalf("empty history audit: %+v", audit)
+	}
+}
+
+func TestClassifyDegenerateCycles(t *testing.T) {
+	hg := &HopGraph{
+		Nodes: map[string]history.Kind{"T1": history.KindGlobal},
+		Sites: map[string]map[string]map[string]bool{},
+	}
+	if cc := ClassifyCycle(hg, Cycle{}); cc.Regular {
+		t.Fatalf("empty cycle regular")
+	}
+	if cc := ClassifyCycle(hg, Cycle{Junctions: []string{"T1"}}); !cc.Regular {
+		t.Fatalf("single regular junction must classify regular")
+	}
+}

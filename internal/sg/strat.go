@@ -1,0 +1,197 @@
+package sg
+
+import (
+	"sort"
+
+	"o2pc/internal/history"
+)
+
+// Stratification implements the predicates A1-A4, the "active with respect
+// to" relation, and the stratification properties S1/S2 of Section 5.
+//
+// All predicates range over pairs of distinct regular global transactions
+// (Ti, Tj) and quantify over local SGs; they are evaluated against the
+// per-site graphs of one history.
+type Stratification struct {
+	h      *history.History
+	locals map[string]*Graph
+	// globalIDs lists the regular global transactions in the history.
+	globalIDs []string
+}
+
+// NewStratification prepares a checker for h.
+func NewStratification(h *history.History) *Stratification {
+	_, locals := BuildGlobal(h)
+	s := &Stratification{h: h, locals: locals}
+	for id, info := range h.Txns {
+		if info.Kind == history.KindGlobal {
+			s.globalIDs = append(s.globalIDs, id)
+		}
+	}
+	sort.Strings(s.globalIDs)
+	return s
+}
+
+// ct returns the compensating transaction ID of ti ("" if none exists in
+// the history — e.g. ti committed and never needed compensation).
+func (s *Stratification) ct(ti string) string { return s.h.CompensationOf(ti) }
+
+// appears reports whether txn has a node in the local SG of site.
+func (s *Stratification) appears(site, txn string) bool {
+	_, ok := s.locals[site].Nodes[txn]
+	return ok
+}
+
+// ActiveWrt implements: Ti is active with respect to Tj iff there exists a
+// local SG where both appear, Tj -> Ti is NOT in that SG, but there is a
+// path (in either direction) between CTi and Tj in that SG.
+func (s *Stratification) ActiveWrt(ti, tj string) bool {
+	cti := s.ct(ti)
+	if cti == "" {
+		return false
+	}
+	for site, lg := range s.locals {
+		if !s.appears(site, ti) || !s.appears(site, tj) {
+			continue
+		}
+		if lg.Reaches(tj, ti) {
+			continue
+		}
+		if _, ok := lg.Nodes[cti]; !ok {
+			continue
+		}
+		if lg.PathBetween(cti, tj) {
+			return true
+		}
+	}
+	return false
+}
+
+// A1: at any SGa where Tj appears, the path Ti -> CTi -> Tj is in SGa.
+func (s *Stratification) A1(ti, tj string) bool {
+	cti := s.ct(ti)
+	if cti == "" {
+		return false
+	}
+	for site, lg := range s.locals {
+		if !s.appears(site, tj) {
+			continue
+		}
+		if !lg.Reaches(ti, cti) || !lg.Reaches(cti, tj) {
+			return false
+		}
+	}
+	return true
+}
+
+// A2: at any SGa where Tj appears, Tj -> CTi without having Ti on that path.
+func (s *Stratification) A2(ti, tj string) bool {
+	cti := s.ct(ti)
+	if cti == "" {
+		return false
+	}
+	for site, lg := range s.locals {
+		if !s.appears(site, tj) {
+			continue
+		}
+		if !lg.Reaches(tj, cti, ti) {
+			return false
+		}
+	}
+	return true
+}
+
+// A3: at any SGa where both Tj and Ti appear, if there is a path between Tj
+// and either Ti or CTi, then the path Ti -> CTi -> Tj is in SGa.
+func (s *Stratification) A3(ti, tj string) bool {
+	cti := s.ct(ti)
+	for site, lg := range s.locals {
+		if !s.appears(site, ti) || !s.appears(site, tj) {
+			continue
+		}
+		connected := lg.PathBetween(tj, ti)
+		if cti != "" {
+			if _, ok := lg.Nodes[cti]; ok {
+				connected = connected || lg.PathBetween(tj, cti)
+			}
+		}
+		if !connected {
+			continue
+		}
+		if cti == "" {
+			return false
+		}
+		if !lg.Reaches(ti, cti) || !lg.Reaches(cti, tj) {
+			return false
+		}
+	}
+	return true
+}
+
+// A4: at any SGa where both Tj and Ti appear, if there is a path between Tj
+// and CTi in SGa, it must be the path Tj -> CTi without having Ti on it.
+func (s *Stratification) A4(ti, tj string) bool {
+	cti := s.ct(ti)
+	for site, lg := range s.locals {
+		if !s.appears(site, ti) || !s.appears(site, tj) {
+			continue
+		}
+		if cti == "" {
+			continue
+		}
+		if _, ok := lg.Nodes[cti]; !ok {
+			continue
+		}
+		if !lg.PathBetween(tj, cti) {
+			continue
+		}
+		// A path exists; it must be exactly Tj -> CTi avoiding Ti, and in
+		// particular CTi must not reach Tj.
+		if lg.Reaches(cti, tj) {
+			return false
+		}
+		if !lg.Reaches(tj, cti, ti) {
+			return false
+		}
+	}
+	return true
+}
+
+// Violation records a pair that falsifies a stratification property.
+type Violation struct {
+	Ti, Tj string
+}
+
+// CheckS1 evaluates S1: for all pairs where Ti is active wrt Tj, A1 or A4
+// holds. It returns the violating pairs (empty means S1 holds).
+func (s *Stratification) CheckS1() []Violation {
+	var out []Violation
+	for _, ti := range s.globalIDs {
+		for _, tj := range s.globalIDs {
+			if ti == tj || !s.ActiveWrt(ti, tj) {
+				continue
+			}
+			if !s.A1(ti, tj) && !s.A4(ti, tj) {
+				out = append(out, Violation{Ti: ti, Tj: tj})
+			}
+		}
+	}
+	return out
+}
+
+// CheckS2 evaluates S2: for all pairs where Ti is active wrt Tj, A2 or A3
+// holds. It returns the violating pairs (empty means S2 holds).
+func (s *Stratification) CheckS2() []Violation {
+	var out []Violation
+	for _, ti := range s.globalIDs {
+		for _, tj := range s.globalIDs {
+			if ti == tj || !s.ActiveWrt(ti, tj) {
+				continue
+			}
+			if !s.A2(ti, tj) && !s.A3(ti, tj) {
+				out = append(out, Violation{Ti: ti, Tj: tj})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+package sg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"o2pc/internal/history"
+)
+
+// TestActiveWrt checks the definition: Ti is active w.r.t. Tj iff some
+// local SG has both, no Tj -> Ti path, and a path between CTi and Tj.
+func TestActiveWrt(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	// s0: T1 -> T2 and CT1 after T2: T1 -> T2 -> CT1. Both appear, no
+	// T2 -> T1, path between CT1 and T2 exists => active.
+	b.w("s0", "T1", "x").rd("s0", "T2", "x", "T1")
+	b.w("s0", "T2", "y").w("s0", "CT1", "y")
+	s := NewStratification(b.h())
+	if !s.ActiveWrt("T1", "T2") {
+		t.Fatalf("T1 should be active wrt T2")
+	}
+	if s.ActiveWrt("T2", "T1") {
+		t.Fatalf("T2 has no CT; cannot be active wrt anyone")
+	}
+}
+
+func TestActiveWrtRequiresNoReversePath(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	// s0: T2 -> T1 -> CT1: the Tj -> Ti path disqualifies activity.
+	b.w("s0", "T2", "x").w("s0", "T1", "x").w("s0", "CT1", "x")
+	s := NewStratification(b.h())
+	if s.ActiveWrt("T1", "T2") {
+		t.Fatalf("T2 -> T1 present; T1 must not be active wrt T2")
+	}
+}
+
+func TestPredicateA1(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	// Every SG where T2 appears has Ti -> CTi -> Tj.
+	b.w("s0", "T1", "x").w("s0", "CT1", "x").rd("s0", "T2", "x", "CT1")
+	b.w("s1", "T1", "y").w("s1", "CT1", "y").rd("s1", "T2", "y", "CT1")
+	s := NewStratification(b.h())
+	if !s.A1("T1", "T2") {
+		t.Fatalf("A1 should hold")
+	}
+	// Break it at s2: T2 appears without the path.
+	b.w("s2", "T2", "z")
+	s = NewStratification(b.h())
+	if s.A1("T1", "T2") {
+		t.Fatalf("A1 should fail once T2 appears somewhere without Ti->CTi->Tj")
+	}
+}
+
+func TestPredicateA2(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	// T2 -> CT1 without T1 on the path, at the only site T2 appears.
+	b.w("s0", "T2", "x").w("s0", "CT1", "x")
+	s := NewStratification(b.h())
+	if !s.A2("T1", "T2") {
+		t.Fatalf("A2 should hold")
+	}
+	// If the only path runs through T1, A2 fails.
+	b2 := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	b2.w("s0", "T2", "x").w("s0", "T1", "x")
+	b2.w("s0", "T1", "y").w("s0", "CT1", "y")
+	s2 := NewStratification(b2.h())
+	if s2.A2("T1", "T2") {
+		t.Fatalf("A2 must fail when the path to CT1 runs through T1")
+	}
+}
+
+func TestPredicateA3VacuousWithoutConnection(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	// Both appear at s0 but are not connected.
+	b.w("s0", "T1", "x")
+	b.w("s0", "T2", "y")
+	s := NewStratification(b.h())
+	if !s.A3("T1", "T2") {
+		t.Fatalf("A3 should hold vacuously with no connecting path")
+	}
+}
+
+func TestPredicateA4(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	// s0: T1 appears; T2 -> CT1 avoiding T1.
+	b.w("s0", "T1", "w")
+	b.w("s0", "T2", "x").w("s0", "CT1", "x")
+	s := NewStratification(b.h())
+	if !s.A4("T1", "T2") {
+		t.Fatalf("A4 should hold")
+	}
+	// Reverse direction CT1 -> T2 violates A4.
+	b2 := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	b2.w("s0", "T1", "w")
+	b2.w("s0", "CT1", "x").rd("s0", "T2", "x", "CT1")
+	s2 := NewStratification(b2.h())
+	if s2.A4("T1", "T2") {
+		t.Fatalf("A4 must fail when CT1 -> T2")
+	}
+}
+
+// TestTheorem1OnFigure1Cycle: the regular-cycle history must violate both
+// stratification properties (contrapositive of Theorem 1).
+func TestTheorem1OnFigure1Cycle(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	b.w("s0", "T1", "x").rd("s0", "T2", "x", "T1").w("s0", "CT1", "x")
+	b.w("s1", "T1", "y").w("s1", "CT1", "y").rd("s1", "T2", "y", "CT1")
+	h := b.h()
+
+	audit := AuditHistory(h, 0, 0)
+	if audit.RegularCount == 0 {
+		t.Fatalf("precondition failed: no regular cycle")
+	}
+	s := NewStratification(h)
+	if len(s.CheckS1()) == 0 {
+		t.Fatalf("S1 holds despite a regular cycle — contradicts Theorem 1")
+	}
+	if len(s.CheckS2()) == 0 {
+		t.Fatalf("S2 holds despite a regular cycle — contradicts Theorem 1")
+	}
+}
+
+// TestTheorem1Randomized is the executable form of Theorem 1: over many
+// random histories, whenever S1 or S2 holds, the global SG has no regular
+// cycles.
+func TestTheorem1Randomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1991))
+	checked, s1Held, s2Held, withRegular := 0, 0, 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		h := randomHistory(rng)
+		audit := AuditHistory(h, 0, 0)
+		s := NewStratification(h)
+		s1 := len(s.CheckS1()) == 0
+		s2 := len(s.CheckS2()) == 0
+		if s1 || s2 {
+			checked++
+			if s1 {
+				s1Held++
+			}
+			if s2 {
+				s2Held++
+			}
+			if audit.RegularCount != 0 {
+				t.Fatalf("trial %d: S1=%v S2=%v but regular cycles=%d\ncycles=%+v",
+					trial, s1, s2, audit.RegularCount, audit.Cycles)
+			}
+		}
+		if audit.RegularCount > 0 {
+			withRegular++
+			// Contrapositive: a regular cycle must falsify both
+			// stratification properties.
+			if s1 || s2 {
+				t.Fatalf("trial %d: regular cycle with S1=%v S2=%v", trial, s1, s2)
+			}
+		}
+	}
+	if checked < 200 {
+		t.Fatalf("too few trials satisfied a stratification property (%d)", checked)
+	}
+	if withRegular < 10 {
+		t.Fatalf("generator produced too few regular cycles (%d) — test is near-vacuous", withRegular)
+	}
+	t.Logf("verified Theorem 1 on %d histories (S1 held %d, S2 held %d, %d regular-cycle histories)",
+		checked, s1Held, s2Held, withRegular)
+}
+
+// randomHistory builds a small random multi-site history under the
+// paper's ambient assumptions: per-site executions are serial at the
+// subtransaction level (what strict local 2PL produces), forward (regular)
+// transactions follow global 2PL (their per-site block orders agree with
+// one global order — Lemma 1's precondition), and each compensating
+// transaction's block appears at an arbitrary per-site position strictly
+// after its forward transaction's block. That last freedom — uncoordinated
+// compensation placement across sites — is exactly where regular cycles
+// come from. Reads record faithful reads-from edges.
+func randomHistory(rng *rand.Rand) *history.History {
+	b := newHB()
+	nTxns := 2 + rng.Intn(3)
+	nSites := 2 + rng.Intn(2)
+	nKeys := 2 + rng.Intn(3)
+
+	var tids []string
+	aborted := make(map[string]bool)
+	for i := 0; i < nTxns; i++ {
+		id := fmt.Sprintf("T%d", i+1)
+		tids = append(tids, id)
+		b.global(id)
+		if rng.Intn(3) == 0 {
+			b.abort(id)
+			b.comp("CT"+id, id)
+			aborted[id] = true
+		} else {
+			b.commit(id)
+		}
+	}
+
+	type op struct {
+		key   string
+		write bool
+	}
+	type block struct {
+		txn string
+		ops []op
+	}
+	for si := 0; si < nSites; si++ {
+		site := fmt.Sprintf("s%d", si)
+		// Forward blocks in global priority order at every site.
+		var blocks []block
+		for _, id := range tids {
+			if rng.Intn(2) == 0 {
+				continue // this transaction skips this site
+			}
+			var ops []op
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				ops = append(ops, op{
+					key:   fmt.Sprintf("k%d", rng.Intn(nKeys)),
+					write: rng.Intn(2) == 0,
+				})
+			}
+			blocks = append(blocks, block{txn: id, ops: ops})
+		}
+		// Insert each CT block at a random position strictly after its
+		// forward block; the CT writes every key its forward wrote here.
+		for bi := 0; bi < len(blocks); bi++ {
+			id := blocks[bi].txn
+			if !aborted[id] || len(id) > 2 && id[:2] == "CT" {
+				continue
+			}
+			var ctOps []op
+			for _, o := range blocks[bi].ops {
+				if o.write {
+					ctOps = append(ctOps, op{key: o.key, write: true})
+				}
+			}
+			if len(ctOps) == 0 {
+				continue
+			}
+			pos := bi + 1 + rng.Intn(len(blocks)-bi)
+			ct := block{txn: "CT" + id, ops: ctOps}
+			blocks = append(blocks, block{})
+			copy(blocks[pos+1:], blocks[pos:])
+			blocks[pos] = ct
+		}
+		// Emit serially with faithful reads-from.
+		lastWriter := make(map[string]string)
+		for _, blk := range blocks {
+			if blk.txn == "" {
+				continue
+			}
+			for _, o := range blk.ops {
+				if o.write {
+					b.w(site, blk.txn, o.key)
+					lastWriter[o.key] = blk.txn
+				} else {
+					b.rd(site, blk.txn, o.key, lastWriter[o.key])
+				}
+			}
+		}
+	}
+	return b.h()
+}
+
+// TestTheorem2Violation validates CheckCompensationAtomicity: a reader that
+// observes both Ti's and CTi's versions is reported.
+func TestTheorem2Violation(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	b.w("s0", "T1", "x").rd("s0", "T2", "x", "T1")
+	b.w("s1", "T1", "y").w("s1", "CT1", "y").rd("s1", "T2", "y", "CT1")
+	v := CheckCompensationAtomicity(b.h())
+	if len(v) != 1 || v[0].Reader != "T2" || v[0].Forward != "T1" || v[0].Comp != "CT1" {
+		t.Fatalf("violations = %+v", v)
+	}
+}
+
+func TestTheorem2CleanHistory(t *testing.T) {
+	b := newHB().global("T1", "T2").commit("T2").abort("T1").comp("CT1", "T1")
+	b.w("s0", "T1", "x").w("s0", "CT1", "x").rd("s0", "T2", "x", "CT1")
+	b.w("s1", "T1", "y").w("s1", "CT1", "y").rd("s1", "T2", "y", "CT1")
+	if v := CheckCompensationAtomicity(b.h()); len(v) != 0 {
+		t.Fatalf("violations = %+v", v)
+	}
+}
+
+// TestTheorem2FollowsFromCorrectness is the executable form of Theorem 2:
+// in random histories where the criterion holds (and CTs cover the forward
+// write set, which randomHistory guarantees by writing the same keys), no
+// transaction reads from both Ti and CTi.
+func TestTheorem2FollowsFromCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	verified := 0
+	for trial := 0; trial < 400; trial++ {
+		h := randomHistory(rng)
+		audit := AuditHistory(h, 0, 0)
+		if !audit.Correct() {
+			continue
+		}
+		verified++
+		if v := CheckCompensationAtomicity(h); len(v) != 0 {
+			t.Fatalf("trial %d: correct history with compensation-atomicity violation %+v", trial, v)
+		}
+	}
+	if verified < 50 {
+		t.Fatalf("too few correct histories (%d)", verified)
+	}
+	t.Logf("verified Theorem 2 on %d correct histories", verified)
+}
+
+func TestSerializableWithoutAborts(t *testing.T) {
+	// Clean committed history: checked and acyclic.
+	b := newHB().global("T1", "T2").commit("T1", "T2")
+	b.w("s0", "T1", "x").rd("s0", "T2", "x", "T1")
+	cyc, checked := SerializableWithoutAborts(b.h())
+	if !checked || cyc != nil {
+		t.Fatalf("checked=%v cyc=%v", checked, cyc)
+	}
+	// Cyclic committed history: witness returned.
+	b2 := newHB().global("T1", "T2").commit("T1", "T2")
+	b2.w("s0", "T1", "x").w("s0", "T2", "x")
+	b2.w("s1", "T2", "y").w("s1", "T1", "y")
+	cyc, checked = SerializableWithoutAborts(b2.h())
+	if !checked || cyc == nil {
+		t.Fatalf("cycle not reported: checked=%v", checked)
+	}
+	// Histories with aborts are out of scope for this reduction.
+	b3 := newHB().global("T1").abort("T1").comp("CT1", "T1")
+	b3.w("s0", "T1", "x")
+	if _, checked := SerializableWithoutAborts(b3.h()); checked {
+		t.Fatalf("aborted history must not be checked by the reduction")
+	}
+}

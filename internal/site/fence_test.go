@@ -1,0 +1,76 @@
+package site
+
+import (
+	"testing"
+
+	"o2pc/internal/history"
+	"o2pc/internal/proto"
+)
+
+// TestStaleExecFenced models an ExecRequest delayed across a coordinator
+// crash: the abort decision for the transaction reaches the site first;
+// the late request must be refused instead of executing on behalf of a
+// dead transaction.
+func TestStaleExecFenced(t *testing.T) {
+	s := newTestSite(t, Config{})
+	s.SeedInt64("n", 0)
+	// The (presumed-abort) decision arrives before the site ever saw the
+	// transaction.
+	decide(t, s, "Tstale", false)
+	reply := exec(t, s, o2pcReq("Tstale", proto.Add("n", 1)))
+	if reply.OK {
+		t.Fatalf("stale subtransaction executed: %+v", reply)
+	}
+	if got := s.ReadInt64("n"); got != 0 {
+		t.Fatalf("n = %d after fenced exec", got)
+	}
+	if s.Manager().Locks().HoldsAny("Tstale") {
+		t.Fatalf("fenced exec leaked locks")
+	}
+}
+
+// TestUnexposedRollbackVoidsHistory: a subtransaction aborted before any
+// vote leaves no trace in the recorded history (committed projection).
+func TestUnexposedRollbackVoidsHistory(t *testing.T) {
+	rec := history.NewRecorder()
+	s := newTestSite(t, Config{Recorder: rec})
+	s.SeedInt64("n", 3)
+	reply := exec(t, s, o2pcReq("Tf", proto.AddMin("n", -5, 0)))
+	if reply.OK {
+		t.Fatalf("constraint violation not reported")
+	}
+	h := rec.Snapshot()
+	for _, op := range h.Ops {
+		if op.Txn == "Tf" {
+			t.Fatalf("unexposed subtransaction left history ops: %+v", op)
+		}
+		if op.Txn == "CTTf" {
+			t.Fatalf("unexposed roll-back modeled as compensation: %+v", op)
+		}
+	}
+}
+
+// TestPostVoteRollbackKeepsCompensationModel: the NO-vote roll-back stays
+// in the history as CTik (Section 3.2) because sibling subtransactions may
+// already be exposed.
+func TestPostVoteRollbackKeepsCompensationModel(t *testing.T) {
+	rec := history.NewRecorder()
+	s := newTestSite(t, Config{Recorder: rec})
+	s.SeedInt64("n", 3)
+	s.SetVoteAbortInjector(func(id string) bool { return id == "Tv" })
+	exec(t, s, o2pcReq("Tv", proto.Add("n", 1)))
+	v := vote(t, s, "Tv")
+	if v.Commit {
+		t.Fatalf("injected NO vote ignored")
+	}
+	h := rec.Snapshot()
+	sawCT := false
+	for _, op := range h.Ops {
+		if op.Txn == "CTTv" {
+			sawCT = true
+		}
+	}
+	if !sawCT {
+		t.Fatalf("post-vote roll-back not modeled as CTik")
+	}
+}

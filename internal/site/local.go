@@ -1,0 +1,113 @@
+package site
+
+import (
+	"context"
+	"fmt"
+
+	"o2pc/internal/lock"
+	"o2pc/internal/proto"
+	"o2pc/internal/storage"
+	"o2pc/internal/txn"
+	"o2pc/internal/wal"
+)
+
+// RunLocal executes fn as an independent local transaction. Local
+// transactions are entirely outside the global protocols — they see no
+// marking checks and no commit protocol, preserving the site's autonomy —
+// and run under the site's ordinary strict 2PL with deadlock retry.
+func (s *Site) RunLocal(ctx context.Context, fn func(t *txn.Txn) error) error {
+	s.mu.Lock()
+	s.localSeq++
+	id := fmt.Sprintf("L%d@%s", s.localSeq, s.cfg.Name)
+	s.mu.Unlock()
+	s.stats.LocalTxns.Inc()
+	return s.mgr.RunLocal(ctx, id, 5, fn)
+}
+
+// ReadKey returns a key's current value outside any transaction (test and
+// example inspection only; real readers use transactions).
+func (s *Site) ReadKey(key storage.Key) (storage.Value, error) {
+	rec, err := s.mgr.Store().Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Value, nil
+}
+
+// ReadInt64 returns a key's current int64 value (0 when absent), outside
+// any transaction.
+func (s *Site) ReadInt64(key storage.Key) int64 {
+	v, err := s.ReadKey(key)
+	if err != nil {
+		return 0
+	}
+	n, err := storage.DecodeInt64(v)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Seed installs initial data without logging or locking (bootstrap only).
+func (s *Site) Seed(key storage.Key, value storage.Value) {
+	s.mgr.Store().Put(key, value, "init")
+}
+
+// SeedInt64 installs an initial int64 value.
+func (s *Site) SeedInt64(key storage.Key, v int64) {
+	s.Seed(key, storage.EncodeInt64(v))
+}
+
+// Recover rebuilds the site's volatile state from its WAL after a crash:
+// the store is reconstructed, loser transactions are rolled back, and
+// in-doubt (prepared, undecided) transactions re-acquire exclusive locks on
+// their written keys and resume the decision inquiry — the participant
+// stays blocked exactly as the 2PC protocol requires.
+func (s *Site) Recover(ctx context.Context) (wal.RecoverResult, error) {
+	s.mu.Lock()
+	s.pend = make(map[string]*pending)
+	s.crashed = false
+	s.mu.Unlock()
+
+	store := storage.NewStore()
+	res, err := wal.Recover(store, s.mgr.Log())
+	if err != nil {
+		return res, err
+	}
+	s.mgr.Store().LoadSnapshot(store.Snapshot())
+
+	records, err := s.mgr.Log().Records()
+	if err != nil {
+		return res, err
+	}
+	analysis := wal.Analyze(records)
+	coords := make(map[string]string)
+	for _, rec := range records {
+		if rec.Type == wal.RecPrepared {
+			coords[rec.TxnID] = rec.Aux
+		}
+	}
+	// In-doubt transactions can only arise under 2PC (or O2PC real-action
+	// subtransactions): O2PC participants never enter the prepared-and-
+	// waiting state, which is the entire point of the protocol. Each one
+	// re-acquires exclusive locks on its write set and resumes the
+	// decision inquiry — the participant is blocked again, as 2PC demands.
+	for _, txnID := range res.InDoubt {
+		p := &pending{
+			req:     proto.ExecRequest{TxnID: txnID, Protocol: proto.TwoPC},
+			state:   statePrepared,
+			coord:   coords[txnID],
+			updates: analysis.Updates[txnID],
+		}
+		for _, u := range analysis.Updates[txnID] {
+			if err := s.mgr.Locks().Acquire(ctx, txnID, u.Before.Key, lock.Exclusive); err != nil {
+				return res, err
+			}
+		}
+		s.mu.Lock()
+		s.pend[txnID] = p
+		s.mu.Unlock()
+		s.startResolver(p)
+	}
+	return res, nil
+}

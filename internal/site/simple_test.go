@@ -1,0 +1,95 @@
+package site
+
+import (
+	"testing"
+
+	"o2pc/internal/proto"
+)
+
+func simpleReq(txnID string, ops ...proto.Operation) proto.ExecRequest {
+	return proto.ExecRequest{
+		TxnID: txnID, Ops: ops,
+		Comp: proto.CompSemantic, Protocol: proto.O2PC, Marking: proto.MarkSimple,
+	}
+}
+
+func TestSimpleRejectsLocallyCommittedSite(t *testing.T) {
+	s := newTestSite(t, Config{})
+	s.SeedInt64("n", 0)
+
+	// T1 executes and votes YES: the site is now locally committed w.r.t.
+	// T1 (lc mark set, Figure 2 dual).
+	exec(t, s, simpleReq("T1", proto.Add("n", 1)))
+	v := vote(t, s, "T1")
+	if !v.Commit {
+		t.Fatalf("vote = %+v", v)
+	}
+	if !s.LCMarks().Contains("T1") {
+		t.Fatalf("lc mark missing after YES vote")
+	}
+
+	// The simple protocol refuses any transaction while the site is
+	// locally committed w.r.t. anything; retryable (the mark clears at
+	// T1's decision).
+	reply := exec(t, s, simpleReq("T2", proto.Add("n", 1)))
+	if !reply.Rejected || reply.Fatal {
+		t.Fatalf("reply = %+v, want retryable rejection", reply)
+	}
+
+	// The decision clears the lc mark; T2 is then admitted.
+	decide(t, s, "T1", true)
+	if s.LCMarks().Contains("T1") {
+		t.Fatalf("lc mark survived the decision")
+	}
+	reply = exec(t, s, simpleReq("T2", proto.Add("n", 1)))
+	if !reply.OK {
+		t.Fatalf("post-decision exec = %+v", reply)
+	}
+	vote(t, s, "T2")
+	decide(t, s, "T2", true)
+}
+
+func TestSimpleUndoneMarksMustMatchExactly(t *testing.T) {
+	s := newTestSite(t, Config{})
+	s.SeedInt64("n", 0)
+	s.Marks().MarkUndone("Tdead")
+
+	// First visit adopts the undone marks, like P1.
+	reply := exec(t, s, simpleReq("T2", proto.Add("n", 1)))
+	if !reply.OK || len(reply.Marks) != 1 || reply.Marks[0] != "Tdead" {
+		t.Fatalf("reply = %+v", reply)
+	}
+	vote(t, s, "T2")
+	decide(t, s, "T2", true)
+
+	// A visited transaction carrying marks this site lacks is retryable;
+	// one missing a mark this site has is fatal — the P1 classification.
+	req := simpleReq("T3", proto.Add("n", 1))
+	req.TransMarks = []string{"Tghost"}
+	req.Visited = true
+	if reply := exec(t, s, req); !reply.Rejected || reply.Fatal {
+		t.Fatalf("carried-missing: %+v", reply)
+	}
+	req = simpleReq("T4", proto.Add("n", 1))
+	req.Visited = true
+	if reply := exec(t, s, req); !reply.Rejected || !reply.Fatal {
+		t.Fatalf("site-extra: %+v", reply)
+	}
+}
+
+func TestSimpleAbortSetsUndoneAndClearsLC(t *testing.T) {
+	s := newTestSite(t, Config{})
+	s.SeedInt64("n", 10)
+	exec(t, s, simpleReq("T1", proto.Add("n", 5)))
+	vote(t, s, "T1")
+	decide(t, s, "T1", false)
+	if got := s.ReadInt64("n"); got != 10 {
+		t.Fatalf("n = %d after compensation", got)
+	}
+	if !s.Marks().Contains("T1") {
+		t.Fatalf("undone mark missing after abort (rule R2)")
+	}
+	if s.LCMarks().Contains("T1") {
+		t.Fatalf("lc mark survived the abort decision")
+	}
+}

@@ -1,0 +1,562 @@
+// Package site implements the participant side of the commit protocols: a
+// multidatabase member DBMS that executes local transactions, executes
+// subtransactions of global transactions, votes, locally commits or rolls
+// back, runs compensating subtransactions, and maintains the P1/P2 marking
+// sets.
+//
+// One Site owns one txn.Manager (storage + locks + WAL) and serves the
+// protocol messages of package proto. Site autonomy is preserved
+// throughout: local transactions bypass every global protocol (they are
+// plain strict-2PL transactions), and the site may unilaterally abort any
+// subtransaction before it votes (via the abort injector or an operation
+// failure).
+package site
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"o2pc/internal/compensate"
+	"o2pc/internal/history"
+	"o2pc/internal/lock"
+	"o2pc/internal/marking"
+	"o2pc/internal/metrics"
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/storage"
+	"o2pc/internal/txn"
+	"o2pc/internal/wal"
+)
+
+// MarkKey is the designated system key under which the site's marking set
+// lives "as part of the database": every access to the marks is coupled to
+// the site's lock manager through this key, exactly as Section 6.2
+// prescribes, so the marking set participates in local 2PL (and in the
+// deadlock scenario the paper discusses).
+const MarkKey storage.Key = "__sitemarks__"
+
+// CheckStrategy selects how the R1 compatibility check interacts with the
+// marking-set lock (the deadlock trade-off of Section 6.2; ablation A2).
+type CheckStrategy uint8
+
+const (
+	// CheckEarlyRevalidate acquires the marking-set read lock, checks,
+	// releases the lock before executing the subtransaction, and validates
+	// the check again as the subtransaction's last action (the paper's
+	// "acceptable compromise").
+	CheckEarlyRevalidate CheckStrategy = iota
+	// CheckHold keeps the marking-set read lock for the subtransaction's
+	// entire duration (plain 2PL; prone to the Section 6.2 deadlock, which
+	// the waits-for detector then resolves).
+	CheckHold
+)
+
+// String returns the strategy mnemonic.
+func (c CheckStrategy) String() string {
+	if c == CheckHold {
+		return "hold"
+	}
+	return "early-revalidate"
+}
+
+// Config parameterizes a Site.
+type Config struct {
+	// Name is the site's node name on the network.
+	Name string
+	// ReleaseSharedAtVote releases read locks when the VOTE-REQ arrives
+	// even under plain 2PC (permitted by Section 2; ablation A1).
+	ReleaseSharedAtVote bool
+	// CheckStrategy selects the R1 locking discipline.
+	CheckStrategy CheckStrategy
+	// Compensators resolves CompCustom compensator names.
+	Compensators *compensate.Registry
+	// EnsureWriteCoverage makes every compensating transaction cover the
+	// forward write set (Theorem 2's premise). Defaults to true via
+	// NewSite unless explicitly disabled with DisableWriteCoverage.
+	DisableWriteCoverage bool
+	// Recorder, when non-nil, captures the execution history for the
+	// Section 5 verifier.
+	Recorder *history.Recorder
+	// ResolvePeriod is how often a blocked prepared participant re-asks
+	// the coordinator for a lost decision. Defaults to 5ms.
+	ResolvePeriod time.Duration
+	// ReadOnlyVotes enables the classic read-only participant
+	// optimization: a subtransaction that wrote nothing answers its
+	// VOTE-REQ with a READ-ONLY vote, releases everything immediately and
+	// drops out of the protocol (no DECISION is sent to it). Off by
+	// default so the message census of experiment E6 compares the
+	// unoptimized protocols; experiment A4 measures the saving.
+	ReadOnlyVotes bool
+	// LockTimeout bounds lock waits during subtransaction execution.
+	// Per-site waits-for detection catches local deadlocks, but a
+	// distributed 2PL deadlock (a lock cycle spanning sites) is invisible
+	// to every individual site; the classical remedy — which this
+	// implementation adopts — is timing out the wait and aborting the
+	// global transaction. Defaults to 250ms. Local transactions and
+	// compensating transactions are not subject to it (their lock scopes
+	// are single-site, where the waits-for detector suffices).
+	LockTimeout time.Duration
+	// Log overrides the WAL (defaults to an in-memory log).
+	Log wal.Log
+}
+
+// Stats exposes the site's protocol counters.
+type Stats struct {
+	Execs          *metrics.Counter
+	RejectsRetry   *metrics.Counter
+	RejectsFatal   *metrics.Counter
+	ExecFailures   *metrics.Counter
+	VotesYes       *metrics.Counter
+	VotesNo        *metrics.Counter
+	Commits        *metrics.Counter
+	Aborts         *metrics.Counter
+	Compensations  *metrics.Counter
+	Rollbacks      *metrics.Counter
+	LocalTxns      *metrics.Counter
+	RevalidateFail *metrics.Counter
+}
+
+func newStats() *Stats {
+	return &Stats{
+		Execs:          &metrics.Counter{},
+		RejectsRetry:   &metrics.Counter{},
+		RejectsFatal:   &metrics.Counter{},
+		ExecFailures:   &metrics.Counter{},
+		VotesYes:       &metrics.Counter{},
+		VotesNo:        &metrics.Counter{},
+		Commits:        &metrics.Counter{},
+		Aborts:         &metrics.Counter{},
+		Compensations:  &metrics.Counter{},
+		Rollbacks:      &metrics.Counter{},
+		LocalTxns:      &metrics.Counter{},
+		RevalidateFail: &metrics.Counter{},
+	}
+}
+
+// pending tracks one global transaction's subtransaction at this site.
+//
+// mu serializes the vote and decision handlers for this transaction: a
+// stale VOTE-REQ (delayed across a coordinator crash) can race the
+// recovery's presumed-abort DECISION, and without mutual exclusion the
+// vote's local commit can interleave with an abort path that believes the
+// subtransaction is still unexposed — silently skipping compensation.
+type pending struct {
+	req     proto.ExecRequest
+	t       *txn.Txn
+	updates []wal.Record // captured at local commit for compensation
+	state   pendingState
+	coord   string // coordinator node name, learned from the vote request
+	marks   []string
+	done    chan struct{} // closed when a decision arrives (stops resolver)
+
+	mu      sync.Mutex
+	decided bool // a decision has been (or is being) applied
+}
+
+type pendingState uint8
+
+const (
+	stateExecuted         pendingState = iota + 1 // ops done, awaiting VOTE-REQ
+	statePrepared                                 // voted YES, locks retained (2PC / real action)
+	stateLocallyCommitted                         // voted YES, locks released (O2PC)
+	stateDone
+)
+
+// Site is one participant DBMS.
+type Site struct {
+	cfg   Config
+	mgr   *txn.Manager
+	marks *marking.SiteMarks // undone marks (P1 / Simple)
+	lc    *marking.SiteMarks // locally-committed marks (P2 / Simple)
+	stats *Stats
+
+	caller rpc.Caller // for Resolve inquiries back to coordinators
+
+	mu       sync.Mutex
+	pend     map[string]*pending
+	resolved map[string]bool // txns whose decision this site has processed
+	injector func(txnID string) bool
+	localSeq uint64
+	sysSeq   uint64
+	crashed  bool
+}
+
+// NewSite assembles a site over a fresh store and lock manager.
+func NewSite(cfg Config) *Site {
+	if cfg.ResolvePeriod <= 0 {
+		cfg.ResolvePeriod = 5 * time.Millisecond
+	}
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = 250 * time.Millisecond
+	}
+	log := cfg.Log
+	if log == nil {
+		log = wal.NewMemoryLog()
+	}
+	store := storage.NewStore()
+	locks := lock.NewManager()
+	// Persistence of compensation: compensating transactions are only
+	// chosen as deadlock victims when a cycle consists solely of them.
+	locks.SetVictimPriority(func(id string) int {
+		if strings.HasPrefix(id, "CT") {
+			return -1
+		}
+		return 0
+	})
+	mgr := txn.NewManager(cfg.Name, store, locks, log, cfg.Recorder)
+	return &Site{
+		cfg:      cfg,
+		mgr:      mgr,
+		marks:    marking.NewSiteMarks(),
+		lc:       marking.NewSiteMarks(),
+		stats:    newStats(),
+		pend:     make(map[string]*pending),
+		resolved: make(map[string]bool),
+	}
+}
+
+// Name returns the site's node name.
+func (s *Site) Name() string { return s.cfg.Name }
+
+// Manager exposes the site kernel (tests, consistency checks).
+func (s *Site) Manager() *txn.Manager { return s.mgr }
+
+// Marks exposes the undone-mark set (tests, Figure 2 audits).
+func (s *Site) Marks() *marking.SiteMarks { return s.marks }
+
+// LCMarks exposes the locally-committed-mark set used by protocol P2 and
+// the simple protocol.
+func (s *Site) LCMarks() *marking.SiteMarks { return s.lc }
+
+// Stats returns the site's counters.
+func (s *Site) Stats() *Stats { return s.stats }
+
+// SetCaller wires the transport used for Resolve inquiries after an
+// apparent coordinator failure.
+func (s *Site) SetCaller(c rpc.Caller) { s.caller = c }
+
+// SetVoteAbortInjector installs a predicate consulted at VOTE-REQ time; a
+// true return makes the site exercise its autonomy and vote NO for that
+// transaction.
+func (s *Site) SetVoteAbortInjector(f func(txnID string) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.injector = f
+}
+
+// SetCrashed marks the site crashed for handler purposes: all inbound
+// messages error until recovery. (The network's SetDown models the
+// unreachability; this models loss of volatile state on a real crash via
+// Recover.)
+func (s *Site) SetCrashed(crashed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = crashed
+}
+
+// ErrCrashed is returned by handlers while the site is crashed.
+var ErrCrashed = errors.New("site: crashed")
+
+// Handle implements rpc.Handler: the site's protocol message dispatcher.
+func (s *Site) Handle(ctx context.Context, from string, req any) (any, error) {
+	s.mu.Lock()
+	crashed := s.crashed
+	s.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	switch m := req.(type) {
+	case proto.ExecRequest:
+		return s.handleExec(ctx, m), nil
+	case proto.VoteRequest:
+		return s.handleVote(ctx, from, m), nil
+	case proto.Decision:
+		return s.handleDecision(ctx, m), nil
+	default:
+		return nil, fmt.Errorf("site %s: unknown message %T", s.cfg.Name, req)
+	}
+}
+
+// nextSysID returns an ID for short system transactions (mark maintenance).
+func (s *Site) nextSysID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sysSeq++
+	return fmt.Sprintf("sys%d@%s", s.sysSeq, s.cfg.Name)
+}
+
+// handleExec executes a subtransaction shipped by a coordinator. Every
+// reply — success, failure or rejection — carries the site's pending UDUM1
+// witness facts, so unmarking is never delayed behind a vote round.
+func (s *Site) handleExec(ctx context.Context, req proto.ExecRequest) proto.ExecReply {
+	s.stats.Execs.Inc()
+	reply := s.execLocked(ctx, req)
+	reply.Witnesses = s.drainWitnesses()
+	return reply
+}
+
+func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.ExecReply {
+	// Fence stale requests: a subtransaction whose global transaction has
+	// already been decided here (e.g. an ExecRequest delayed in the
+	// network across a coordinator crash, arriving after recovery's
+	// presumed-abort decision) must not execute — it would take locks and
+	// write on behalf of a dead transaction.
+	s.mu.Lock()
+	stale := s.resolved[req.TxnID]
+	s.mu.Unlock()
+	if stale {
+		return proto.ExecReply{Err: "stale subtransaction: transaction already decided at this site"}
+	}
+
+	t, err := s.mgr.Begin(req.TxnID, history.KindGlobal, "")
+	if err != nil {
+		return proto.ExecReply{Err: err.Error()}
+	}
+
+	// Bound every lock wait of the execution phase — including the
+	// marking-set acquisition — by the lock timeout: distributed 2PL
+	// deadlocks (including ones through the marking set and compensating
+	// transactions) are invisible to per-site detection and are broken by
+	// timing out and aborting the global transaction.
+	opCtx, cancelOps := context.WithTimeout(ctx, s.cfg.LockTimeout)
+	defer cancelOps()
+
+	// R1: marking compatibility check, coupled to 2PL via MarkKey.
+	var merged []string
+	holdMarkLock := false
+	if req.Marking != proto.MarkNone {
+		verdict, m, err := s.checkMarks(opCtx, t, req)
+		if err != nil {
+			_ = t.Abort("")
+			return proto.ExecReply{Err: err.Error()}
+		}
+		switch verdict {
+		case marking.Retry:
+			s.stats.RejectsRetry.Inc()
+			_ = t.Abort("")
+			return proto.ExecReply{Rejected: true, Reason: "marking: retryable incompatibility"}
+		case marking.Abort:
+			s.stats.RejectsFatal.Inc()
+			_ = t.Abort("")
+			return proto.ExecReply{Rejected: true, Fatal: true, Reason: "marking: incompatibility requires abort"}
+		}
+		merged = m
+		// Witness for UDUM1: this global transaction executed here while
+		// the site was undone w.r.t. every adopted undone mark. (P2 carries
+		// prefixed evidence; extract its undone half.)
+		if req.Marking == proto.MarkP2 {
+			s.marks.RecordWitness(marking.P2UndoneSeen(merged))
+		} else {
+			s.marks.RecordWitness(merged)
+		}
+		holdMarkLock = s.cfg.CheckStrategy == CheckHold
+		if !holdMarkLock {
+			// The paper's compromise: unlock the marking set now,
+			// revalidate as the subtransaction's last action (at vote).
+			s.mgr.Locks().Release(t.ID(), MarkKey)
+		}
+	}
+
+	reads, execErr := s.runOps(opCtx, t, req.Ops)
+	if execErr == nil && !holdMarkLock && req.Marking != proto.MarkNone {
+		// The validation step of the early-unlock compromise, "as the last
+		// action of the subtransaction" (Section 6.2) — while this
+		// subtransaction still holds its locks. Any compensating
+		// transaction that preceded our conflicting operations at this
+		// site published its mark before releasing its locks, so it is
+		// visible here; validating later (e.g. at vote time) would race
+		// with UDUM1 unmarking and could admit a reader of inconsistent
+		// compensation states.
+		if !s.validateMarks(opCtx, t.ID(), req.Marking, merged) {
+			s.stats.RevalidateFail.Inc()
+			// Nothing was exposed (all locks still held everywhere, the
+			// vote phase has not begun): unexposed roll-back, and the
+			// incompatibility is final for this transaction.
+			s.rollbackUnexposed(t)
+			return proto.ExecReply{Rejected: true, Fatal: true, Reason: "marking validation failed after execution"}
+		}
+	}
+	if execErr != nil {
+		// Unilateral abort before voting. The vote phase has not started,
+		// so every site of this transaction still holds its locks —
+		// nothing was exposed anywhere and the roll-back is atomic with
+		// the transaction under 2PL: the equivalent history is the one
+		// where this subtransaction never ran (committed projection), so
+		// its operations are voided rather than modeled as a compensating
+		// subtransaction, and no undone mark is needed.
+		s.stats.ExecFailures.Inc()
+		s.rollbackUnexposed(t)
+		return proto.ExecReply{Err: execErr.Error()}
+	}
+
+	s.mu.Lock()
+	s.pend[req.TxnID] = &pending{req: req, t: t, state: stateExecuted, marks: merged}
+	s.mu.Unlock()
+	return proto.ExecReply{OK: true, Reads: reads, Marks: merged}
+}
+
+// checkMarks performs the R1 check under a shared lock on MarkKey.
+func (s *Site) checkMarks(ctx context.Context, t *txn.Txn, req proto.ExecRequest) (marking.Verdict, []string, error) {
+	if err := s.mgr.Locks().Acquire(ctx, t.ID(), MarkKey, lock.Shared); err != nil {
+		return marking.Retry, nil, err
+	}
+	var verdict marking.Verdict
+	var merged []string
+	switch req.Marking {
+	case proto.MarkP2:
+		verdict, merged = marking.CompatibleP2(req.TransMarks, req.Visited, s.lc.Snapshot(), s.marks.Snapshot())
+	case proto.MarkSimple:
+		verdict, merged = marking.CompatibleSimple(req.TransMarks, req.Visited, s.marks.Snapshot(), s.lc.Snapshot())
+	default:
+		verdict, merged = marking.Compatible(req.TransMarks, req.Visited, s.marks.Snapshot())
+	}
+	return verdict, merged, nil
+}
+
+// validateMarks re-runs the compatibility check against the site's current
+// marks under a fresh shared lock on the marking set; used as the
+// subtransaction's last action (the validation step of the early-release
+// compromise). The caller's transaction still holds its data locks.
+func (s *Site) validateMarks(ctx context.Context, txnID string, mark proto.MarkProtocol, adopted []string) bool {
+	rctx, cancel := context.WithTimeout(ctx, s.cfg.LockTimeout)
+	defer cancel()
+	if err := s.mgr.Locks().Acquire(rctx, txnID, MarkKey, lock.Shared); err != nil {
+		return false
+	}
+	defer s.mgr.Locks().Release(txnID, MarkKey)
+	var verdict marking.Verdict
+	switch mark {
+	case proto.MarkP2:
+		verdict, _ = marking.CompatibleP2(adopted, true, s.lc.Snapshot(), s.marks.Snapshot())
+	case proto.MarkSimple:
+		verdict, _ = marking.CompatibleSimple(adopted, true, s.marks.Snapshot(), s.lc.Snapshot())
+	default:
+		verdict, _ = marking.Compatible(adopted, true, s.marks.Snapshot())
+	}
+	return verdict == marking.Admit
+}
+
+// runOps executes the operation list, returning OpRead results.
+func (s *Site) runOps(ctx context.Context, t *txn.Txn, ops []proto.Operation) (map[string][]byte, error) {
+	var reads map[string][]byte
+	for _, op := range ops {
+		key := storage.Key(op.Key)
+		switch op.Kind {
+		case proto.OpRead:
+			v, err := t.Read(ctx, key)
+			if err != nil && !storage.IsNotFound(err) {
+				return nil, err
+			}
+			if err == nil {
+				if reads == nil {
+					reads = make(map[string][]byte)
+				}
+				reads[op.Key] = append([]byte(nil), v...)
+			}
+		case proto.OpWrite:
+			if err := t.Write(ctx, key, op.Value); err != nil {
+				return nil, err
+			}
+		case proto.OpDelete:
+			if err := t.Delete(ctx, key); err != nil {
+				return nil, err
+			}
+		case proto.OpAdd:
+			cur, err := t.ReadInt64ForUpdate(ctx, key)
+			if err != nil {
+				return nil, err
+			}
+			next := cur + op.Delta
+			if op.HasMin && next < op.Min {
+				return nil, fmt.Errorf("site %s: constraint violated on %s: %d + %d < %d",
+					s.cfg.Name, op.Key, cur, op.Delta, op.Min)
+			}
+			if err := t.WriteInt64(ctx, key, next); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("site %s: unknown operation %v", s.cfg.Name, op.Kind)
+		}
+	}
+	return reads, nil
+}
+
+// rollbackAsCompensation rolls back an active subtransaction, attributing
+// the restored versions to CTik, and (under P1 / the simple protocol)
+// marks the site undone.
+//
+// Ordering matters: rule R2 makes the mark the LAST operation of CTik —
+// it must be visible no later than the roll-back's lock release, or a
+// reader could slip in, observe the restored (compensated) versions at a
+// seemingly-unmarked site, and complete a regular cycle elsewhere. The
+// mark is therefore set synchronously BEFORE Abort releases the locks.
+// Writing it without the MarkKey lock is safe: an early mark is strictly
+// conservative (it can only cause extra rejections, never admit a
+// dangerous reader), and in-flight R1 checks revalidate at vote time.
+func (s *Site) rollbackAsCompensation(ctx context.Context, t *txn.Txn, mark proto.MarkProtocol) {
+	ctID := compensate.CTID(t.ID())
+	hadWrites := len(t.WriteSet()) > 0
+	if mark != proto.MarkNone && hadWrites {
+		s.marks.MarkUndone(t.ID())
+	}
+	_ = t.Abort(ctID)
+	s.stats.Rollbacks.Inc()
+	if rec := s.cfg.Recorder; rec != nil {
+		rec.SetFate(ctID, history.FateCommitted)
+	}
+}
+
+// rollbackUnexposed rolls back a subtransaction that was never exposed:
+// the vote phase has not begun, every site still holds this transaction's
+// locks, and nothing could have observed its effects. The roll-back keeps
+// the original writers of the restored versions and voids the recorded
+// operations — the committed-projection history is as if the
+// subtransaction never ran. This also covers stale subtransactions (an
+// ExecRequest delayed across a coordinator crash, executed after the
+// presumed-abort decision): their atomically-undone operations must not
+// introduce serialization-graph edges for a transaction the rest of the
+// system already aborted.
+func (s *Site) rollbackUnexposed(t *txn.Txn) {
+	_ = t.Abort("")
+	s.stats.Rollbacks.Inc()
+	if rec := s.cfg.Recorder; rec != nil {
+		rec.VoidSiteOps(s.cfg.Name, t.ID())
+	}
+}
+
+// writeMark adds (or removes) the undone mark for forward under an
+// exclusive lock on MarkKey, as a short system transaction. The wait is
+// bounded by the lock timeout — a protocol handler must never block
+// indefinitely on the marking set (under CheckHold the S holders it waits
+// for may themselves be waiting for this very handler's decision) — and a
+// failed attempt retries in the background: mark maintenance is idempotent
+// and safe at any later time.
+func (s *Site) writeMark(ctx context.Context, forward string, add bool, set *marking.SiteMarks) {
+	if s.tryWriteMark(ctx, forward, add, set) {
+		return
+	}
+	go func() {
+		for !s.tryWriteMark(context.Background(), forward, add, set) {
+		}
+	}()
+}
+
+func (s *Site) tryWriteMark(ctx context.Context, forward string, add bool, set *marking.SiteMarks) bool {
+	sys := s.nextSysID()
+	actx, cancel := context.WithTimeout(ctx, s.cfg.LockTimeout)
+	defer cancel()
+	if err := s.mgr.Locks().Acquire(actx, sys, MarkKey, lock.Exclusive); err != nil {
+		return false
+	}
+	if add {
+		set.MarkUndone(forward)
+	} else {
+		set.Unmark(forward)
+	}
+	s.mgr.Locks().ReleaseAll(sys)
+	return true
+}

@@ -1,0 +1,327 @@
+package site
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"o2pc/internal/compensate"
+	"o2pc/internal/history"
+	"o2pc/internal/lock"
+	"o2pc/internal/proto"
+	"o2pc/internal/txn"
+	"o2pc/internal/wal"
+)
+
+// handleVote answers a VOTE-REQ. This is where the two protocols diverge:
+//
+//   - 2PC (and O2PC subtransactions flagged CompNone, i.e. real actions):
+//     the participant logs PREPARED and retains its exclusive locks — the
+//     blocking window begins;
+//   - O2PC: the participant locally commits the subtransaction and
+//     releases every lock at once; the transaction is now exposed and an
+//     eventual abort decision will be honoured by compensation.
+func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteRequest) proto.VoteReply {
+	witnesses := s.drainWitnesses()
+
+	s.mu.Lock()
+	p, ok := s.pend[req.TxnID]
+	injector := s.injector
+	s.mu.Unlock()
+	if !ok {
+		// Exec failed or never arrived: the site has already rolled back.
+		s.stats.VotesNo.Inc()
+		return proto.VoteReply{Commit: false, Reason: "unknown or already rolled-back transaction", Witnesses: witnesses}
+	}
+	// Serialize against a concurrently-arriving decision for this
+	// transaction (see the pending type's comment).
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.decided {
+		s.stats.VotesNo.Inc()
+		return proto.VoteReply{Commit: false, Reason: "transaction already decided", Witnesses: witnesses}
+	}
+	p.coord = from
+
+	// Site autonomy: the site may abort any subtransaction before it
+	// terminates (vote-abort injection models a local decision to do so).
+	if injector != nil && injector(req.TxnID) {
+		s.voteNo(ctx, p)
+		return proto.VoteReply{Commit: false, Reason: "site unilaterally aborted", Witnesses: witnesses}
+	}
+
+	// Under the dual protocol P2 the site's mark set tracks transactions
+	// the site is locally-committed with respect to: the mark is written
+	// at the YES vote — inside the voting transaction itself, under an
+	// exclusive lock on the marking set, so it becomes visible atomically
+	// with the lock release — and cleared when the decision arrives (both
+	// purely local transitions, so P2 needs no UDUM machinery).
+	if p.req.Marking == proto.MarkP2 || p.req.Marking == proto.MarkSimple {
+		if err := s.mgr.Locks().Acquire(ctx, p.t.ID(), MarkKey, lock.Exclusive); err != nil {
+			s.voteNo(ctx, p)
+			return proto.VoteReply{Commit: false, Reason: "marking-set lock: " + err.Error(), Witnesses: witnesses}
+		}
+		s.lc.MarkUndone(p.req.TxnID)
+	}
+
+	// Read-only participant optimization: nothing to commit, nothing to
+	// compensate — release everything and leave the protocol. (The
+	// subtransaction still counts as executed for marking purposes; its
+	// locks are what serialized it.)
+	if s.cfg.ReadOnlyVotes && len(p.t.WriteSet()) == 0 {
+		if err := p.t.Commit(); err != nil {
+			s.voteNo(ctx, p)
+			return proto.VoteReply{Commit: false, Reason: err.Error(), Witnesses: witnesses}
+		}
+		s.mu.Lock()
+		delete(s.pend, p.req.TxnID)
+		s.resolved[p.req.TxnID] = true
+		s.mu.Unlock()
+		s.stats.VotesYes.Inc()
+		return proto.VoteReply{Commit: true, ReadOnly: true, Witnesses: witnesses}
+	}
+
+	holdLocks := p.req.Protocol == proto.TwoPC || p.req.Comp == proto.CompNone
+	if holdLocks {
+		if err := p.t.Prepare(from); err != nil {
+			s.voteNo(ctx, p)
+			return proto.VoteReply{Commit: false, Reason: err.Error(), Witnesses: witnesses}
+		}
+		if s.cfg.ReleaseSharedAtVote {
+			p.t.ReleaseSharedLocks()
+		}
+		p.state = statePrepared
+		s.startResolver(p)
+	} else {
+		// O2PC: locally commit and release everything now.
+		p.updates = p.t.Updates()
+		if err := p.t.Commit(); err != nil {
+			s.voteNo(ctx, p)
+			return proto.VoteReply{Commit: false, Reason: err.Error(), Witnesses: witnesses}
+		}
+		p.state = stateLocallyCommitted
+		// The site still carries on with the second phase of the protocol
+		// (Section 2): if the decision is lost to a coordinator failure it
+		// inquires — without holding any locks meanwhile.
+		s.startResolver(p)
+	}
+	s.stats.VotesYes.Inc()
+	return proto.VoteReply{Commit: true, Witnesses: witnesses}
+}
+
+// voteNo rolls the subtransaction back (standard recovery, modeled as
+// CTik) and forgets it.
+func (s *Site) voteNo(ctx context.Context, p *pending) {
+	s.stats.VotesNo.Inc()
+	s.rollbackAsCompensation(ctx, p.t, p.req.Marking)
+	s.mu.Lock()
+	delete(s.pend, p.req.TxnID)
+	s.mu.Unlock()
+}
+
+// drainWitnesses converts pending local witness facts into the piggyback
+// form carried on VOTE replies.
+func (s *Site) drainWitnesses() []proto.WitnessDelta {
+	tis := s.marks.DrainWitnesses()
+	if len(tis) == 0 {
+		return nil
+	}
+	out := make([]proto.WitnessDelta, 0, len(tis))
+	for _, ti := range tis {
+		out = append(out, proto.WitnessDelta{Forward: ti, Site: s.cfg.Name})
+	}
+	return out
+}
+
+// handleDecision applies a coordinator DECISION, including any piggybacked
+// undone-to-unmarked notices (rule R3). Decisions are idempotent: a
+// re-sent decision for a forgotten transaction is acknowledged again.
+func (s *Site) handleDecision(ctx context.Context, d proto.Decision) proto.Ack {
+	for _, ti := range d.Unmarks {
+		s.writeMark(ctx, ti, false, s.marks)
+	}
+
+	s.mu.Lock()
+	p, ok := s.pend[d.TxnID]
+	if ok {
+		delete(s.pend, d.TxnID)
+	}
+	s.resolved[d.TxnID] = true // fence late ExecRequests for this txn
+	s.mu.Unlock()
+	if !ok {
+		// Already resolved (e.g. the site voted NO and rolled back, or a
+		// duplicate decision): still report mark state for UDUM1.
+		return proto.Ack{TxnID: d.TxnID, Marked: s.marks.Contains(d.TxnID)}
+	}
+	// Serialize against a concurrently-running vote handler for this
+	// transaction: the decision must observe the post-vote state (e.g.
+	// stateLocallyCommitted, which needs compensation) and never treat an
+	// exposed subtransaction as unexposed.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.decided = true
+	if p.done != nil {
+		close(p.done)
+	}
+
+	_, _ = s.mgr.Log().Append(wal.Record{
+		Type:  wal.RecDecision,
+		TxnID: d.TxnID,
+		Aux:   decisionAux(d.Commit),
+	})
+
+	if d.Commit {
+		s.applyCommit(p)
+	} else {
+		s.applyAbort(ctx, p)
+	}
+	if p.req.Marking == proto.MarkP2 || p.req.Marking == proto.MarkSimple {
+		// Figure 2 dual: locally-committed -> unmarked at the decision
+		// (for the check's purposes aborts clear the lc mark too; under
+		// the simple protocol the abort path separately sets the undone
+		// mark via compensation/rollback).
+		s.writeMark(ctx, d.TxnID, false, s.lc)
+	}
+	return proto.Ack{TxnID: d.TxnID, Marked: s.marks.Contains(d.TxnID)}
+}
+
+func decisionAux(commit bool) string {
+	if commit {
+		return "commit"
+	}
+	return "abort"
+}
+
+func (s *Site) applyCommit(p *pending) {
+	switch p.state {
+	case statePrepared:
+		if p.t == nil {
+			// Recovered in-doubt transaction: effects are already in the
+			// store; just release the re-acquired locks.
+			s.mgr.Locks().ReleaseAll(p.req.TxnID)
+			break
+		}
+		_ = p.t.Commit() // releases the retained locks
+	case stateLocallyCommitted:
+		// Already committed locally; nothing to release.
+	case stateExecuted:
+		// A commit decision without a vote round cannot happen for this
+		// site (the coordinator only commits after unanimous YES votes);
+		// commit defensively.
+		_ = p.t.Commit()
+	}
+	s.stats.Commits.Inc()
+	if rec := s.cfg.Recorder; rec != nil {
+		rec.SetFate(p.req.TxnID, history.FateCommitted)
+	}
+}
+
+func (s *Site) applyAbort(ctx context.Context, p *pending) {
+	s.stats.Aborts.Inc()
+	if rec := s.cfg.Recorder; rec != nil {
+		rec.SetFate(p.req.TxnID, history.FateAborted)
+	}
+	switch p.state {
+	case statePrepared, stateExecuted:
+		if p.t == nil {
+			// Recovered in-doubt transaction: undo from the log.
+			ctID := compensate.CTID(p.req.TxnID)
+			wal.ApplyUndo(s.mgr.Store(), p.updates, ctID)
+			s.mgr.Locks().ReleaseAll(p.req.TxnID)
+			s.stats.Rollbacks.Inc()
+			break
+		}
+		if p.state == stateExecuted {
+			// An abort during execution precedes every vote: nothing was
+			// exposed anywhere, so the subtransaction is rolled back
+			// unexposed (voided from the history, no mark) rather than
+			// modeled as a compensating subtransaction.
+			s.rollbackUnexposed(p.t)
+			break
+		}
+		// Locks still held after a YES vote (2PC or a real action):
+		// standard roll-back, modeled as the degenerate CTik — sibling
+		// subtransactions under O2PC may have been exposed, so the undone
+		// mark applies.
+		s.rollbackAsCompensation(ctx, p.t, p.req.Marking)
+	case stateLocallyCommitted:
+		s.compensateExposed(ctx, p)
+	}
+}
+
+// compensateExposed runs the real compensating subtransaction for a
+// locally-committed, exposed subtransaction. Persistence of compensation:
+// the run retries until it succeeds.
+func (s *Site) compensateExposed(ctx context.Context, p *pending) {
+	s.stats.Compensations.Inc()
+	plan, err := compensate.PlanFor(p.req.Comp, p.req.Compensator, s.cfg.Compensators)
+	if err != nil {
+		// Unreachable for well-formed requests: CompNone subtransactions
+		// hold locks and never take this path.
+		panic(fmt.Sprintf("site %s: no compensation plan for %s: %v", s.cfg.Name, p.req.TxnID, err))
+	}
+	forward := compensate.Forward{TxnID: p.req.TxnID, Ops: p.req.Ops, Updates: p.updates}
+	opts := compensate.Options{
+		EnsureWriteCoverage: !s.cfg.DisableWriteCoverage,
+	}
+	if p.req.Marking != proto.MarkNone && len(p.updates) > 0 {
+		// Rule R2: the last operation of CTik marks the site undone with
+		// respect to the forward transaction, under the marking-set lock,
+		// atomically with the compensation's local commit. Read-only
+		// subtransactions restore nothing and need no mark.
+		opts.Finalize = func(fctx context.Context, t *txn.Txn) error {
+			if err := s.mgr.Locks().Acquire(fctx, t.ID(), MarkKey, lock.Exclusive); err != nil {
+				return err
+			}
+			s.marks.MarkUndone(p.req.TxnID)
+			return nil
+		}
+	}
+	if err := compensate.Run(ctx, s.mgr, forward, plan, opts); err != nil {
+		// Only context cancellation can get here; persistence of
+		// compensation absorbs every transient failure.
+		if ctx.Err() == nil {
+			panic(fmt.Sprintf("site %s: compensation for %s failed: %v", s.cfg.Name, p.req.TxnID, err))
+		}
+	}
+}
+
+// startResolver arms the blocked-participant watchdog for a prepared
+// transaction: if no decision arrives, the site periodically asks the
+// coordinator to resolve the transaction — the classic in-doubt inquiry.
+// The participant stays blocked (locks held) until an answer arrives;
+// this is the unbounded window O2PC exists to remove.
+func (s *Site) startResolver(p *pending) {
+	p.done = make(chan struct{})
+	if s.caller == nil {
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(s.cfg.ResolvePeriod)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-ticker.C:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ResolvePeriod*4)
+			resp, err := s.caller.Call(ctx, s.cfg.Name, p.coord, proto.ResolveRequest{TxnID: p.req.TxnID})
+			cancel()
+			if err != nil {
+				continue
+			}
+			rr, ok := resp.(proto.ResolveReply)
+			if !ok || !rr.Known {
+				continue
+			}
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			s.handleDecision(context.Background(), proto.Decision{TxnID: p.req.TxnID, Commit: rr.Commit})
+			return
+		}
+	}()
+}

@@ -1,0 +1,38 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeInt64 encodes v as an 8-byte big-endian Value. Numeric records (bank
+// balances, seat counts) in the examples and workloads use this encoding.
+func EncodeInt64(v int64) Value {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// DecodeInt64 decodes a Value previously produced by EncodeInt64.
+func DecodeInt64(v Value) (int64, error) {
+	if len(v) != 8 {
+		return 0, fmt.Errorf("storage: cannot decode int64 from %d bytes", len(v))
+	}
+	return int64(binary.BigEndian.Uint64(v)), nil
+}
+
+// MustDecodeInt64 is DecodeInt64 for values known to be well-formed; it
+// panics on malformed input and is intended for tests and examples.
+func MustDecodeInt64(v Value) int64 {
+	n, err := DecodeInt64(v)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// EncodeString encodes s as a Value.
+func EncodeString(s string) Value { return Value(s) }
+
+// DecodeString decodes a Value written by EncodeString.
+func DecodeString(v Value) string { return string(v) }

@@ -1,0 +1,102 @@
+package wal
+
+import (
+	"os"
+
+	"o2pc/internal/storage"
+)
+
+// Checkpointing: a sharp checkpoint captures the full live store in the
+// log as a bracketed run of image records, letting recovery start from the
+// last complete checkpoint instead of the log's beginning, and letting a
+// file-backed log be compacted to (checkpoint + tail).
+//
+//	CHECKPOINT(aux="begin")
+//	UPDATE(txn=ckptTxnID, After=image) ... one per live key
+//	CHECKPOINT(aux="end")
+//
+// Callers must quiesce update activity for the duration of WriteCheckpoint
+// (the site takes its lock manager's quiescence as given when invoked from
+// a maintenance window); records appended after the "end" marker replay on
+// top of the checkpoint as usual.
+
+// ckptTxnID tags checkpoint image records.
+const ckptTxnID = "__checkpoint__"
+
+const (
+	ckptBegin = "begin"
+	ckptEnd   = "end"
+)
+
+// WriteCheckpoint appends a sharp checkpoint of store to log and returns
+// the LSN of its "end" marker.
+func WriteCheckpoint(log Log, store *storage.Store) (uint64, error) {
+	if _, err := log.Append(Record{Type: RecCheckpoint, TxnID: ckptTxnID, Aux: ckptBegin}); err != nil {
+		return 0, err
+	}
+	snap := store.Snapshot()
+	// Stable order for reproducible logs.
+	for _, key := range store.Keys() {
+		rec := snap[key]
+		img := Image{
+			Key:     key,
+			Value:   append(storage.Value(nil), rec.Value...),
+			Existed: true,
+			Writer:  rec.Writer,
+		}
+		if _, err := log.Append(Record{Type: RecUpdate, TxnID: ckptTxnID, After: img, Before: Image{Key: key}}); err != nil {
+			return 0, err
+		}
+	}
+	lsn, err := log.Append(Record{Type: RecCheckpoint, TxnID: ckptTxnID, Aux: ckptEnd})
+	if err != nil {
+		return 0, err
+	}
+	return lsn, log.Sync()
+}
+
+// lastCheckpoint returns the index range (begin, end) of the last complete
+// checkpoint in records, or ok=false when none exists.
+func lastCheckpoint(records []Record) (begin, end int, ok bool) {
+	begin, end = -1, -1
+	for i, rec := range records {
+		if rec.Type != RecCheckpoint {
+			continue
+		}
+		switch rec.Aux {
+		case ckptBegin:
+			begin = i
+			end = -1
+		case ckptEnd:
+			if begin >= 0 {
+				end = i
+			}
+		}
+	}
+	return begin, end, begin >= 0 && end > begin
+}
+
+// Compact rewrites a file-backed log as (checkpoint of store + nothing),
+// atomically replacing the file at path. The log must be quiesced: no
+// in-flight transactions (their undo information would be dropped).
+func Compact(path string, store *storage.Store) (*FileLog, error) {
+	tmp := path + ".compact"
+	nl, err := OpenFileLog(tmp)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := WriteCheckpoint(nl, store); err != nil {
+		nl.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := nl.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	return OpenFileLog(path)
+}

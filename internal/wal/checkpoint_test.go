@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+
+	"o2pc/internal/storage"
+)
+
+func TestCheckpointRecovery(t *testing.T) {
+	l := NewMemoryLog()
+	store := storage.NewStore()
+
+	// Pre-checkpoint activity: T1 commits, T2 aborts.
+	appendAll(t, l,
+		Record{Type: RecBegin, TxnID: "T1"},
+		upd("T1", "a", "", "A", false),
+		Record{Type: RecCommit, TxnID: "T1"},
+		Record{Type: RecBegin, TxnID: "T2"},
+		upd("T2", "junk", "", "J", false),
+		Record{Type: RecAbort, TxnID: "T2"},
+	)
+	store.Put("a", storage.Value("A"), "T1")
+	if _, err := WriteCheckpoint(l, store); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// Post-checkpoint activity: T3 commits, T4 in flight.
+	appendAll(t, l,
+		Record{Type: RecBegin, TxnID: "T3"},
+		upd("T3", "b", "", "B", false),
+		Record{Type: RecCommit, TxnID: "T3"},
+		Record{Type: RecBegin, TxnID: "T4"},
+		upd("T4", "c", "", "C", false),
+	)
+
+	fresh := storage.NewStore()
+	res, err := Recover(fresh, l)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rec, err := fresh.Get("a"); err != nil || string(rec.Value) != "A" {
+		t.Fatalf("checkpointed key lost: %v %v", rec, err)
+	}
+	if rec, err := fresh.Get("b"); err != nil || string(rec.Value) != "B" {
+		t.Fatalf("post-checkpoint commit lost: %v %v", rec, err)
+	}
+	if _, err := fresh.Get("c"); !storage.IsNotFound(err) {
+		t.Fatalf("loser survived")
+	}
+	if _, err := fresh.Get("junk"); !storage.IsNotFound(err) {
+		t.Fatalf("pre-checkpoint aborted key resurrected")
+	}
+	// Pre-checkpoint transactions are not re-analyzed.
+	for _, id := range res.Redone {
+		if id == "T1" {
+			t.Fatalf("pre-checkpoint txn replayed: %v", res.Redone)
+		}
+	}
+}
+
+func TestCheckpointPreservesWriterAttribution(t *testing.T) {
+	l := NewMemoryLog()
+	store := storage.NewStore()
+	store.Put("x", storage.Value("v"), "CTT9")
+	if _, err := WriteCheckpoint(l, store); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	fresh := storage.NewStore()
+	if _, err := Recover(fresh, l); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	rec, _ := fresh.Get("x")
+	if rec.Writer != "CTT9" {
+		t.Fatalf("writer = %q, want CTT9 (reads-from attribution must survive checkpoints)", rec.Writer)
+	}
+}
+
+func TestIncompleteCheckpointIgnored(t *testing.T) {
+	l := NewMemoryLog()
+	appendAll(t, l,
+		Record{Type: RecBegin, TxnID: "T1"},
+		upd("T1", "a", "", "A", false),
+		Record{Type: RecCommit, TxnID: "T1"},
+		// Torn checkpoint: begin without end.
+		Record{Type: RecCheckpoint, TxnID: ckptTxnID, Aux: ckptBegin},
+	)
+	fresh := storage.NewStore()
+	if _, err := Recover(fresh, l); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rec, err := fresh.Get("a"); err != nil || string(rec.Value) != "A" {
+		t.Fatalf("torn checkpoint lost pre-history: %v %v", rec, err)
+	}
+}
+
+func TestLastOfSeveralCheckpointsWins(t *testing.T) {
+	l := NewMemoryLog()
+	s1 := storage.NewStore()
+	s1.Put("k", storage.Value("old"), "T1")
+	if _, err := WriteCheckpoint(l, s1); err != nil {
+		t.Fatalf("ckpt1: %v", err)
+	}
+	s2 := storage.NewStore()
+	s2.Put("k", storage.Value("new"), "T2")
+	if _, err := WriteCheckpoint(l, s2); err != nil {
+		t.Fatalf("ckpt2: %v", err)
+	}
+	fresh := storage.NewStore()
+	if _, err := Recover(fresh, l); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	rec, _ := fresh.Get("k")
+	if string(rec.Value) != "new" {
+		t.Fatalf("k = %q, want value from the last checkpoint", rec.Value)
+	}
+}
+
+func TestCompactShrinksFileLog(t *testing.T) {
+	path := t.TempDir() + "/wal.log"
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	store := storage.NewStore()
+	for i := 0; i < 50; i++ {
+		key := storage.Key(fmt.Sprintf("k%d", i))
+		appendAll(t, l,
+			Record{Type: RecBegin, TxnID: fmt.Sprintf("T%d", i)},
+			upd(fmt.Sprintf("T%d", i), key, "", "v", false),
+			Record{Type: RecCommit, TxnID: fmt.Sprintf("T%d", i)},
+		)
+		store.Put(key, storage.Value("v"), fmt.Sprintf("T%d", i))
+	}
+	_ = l.Sync()
+	before, _ := l.Records()
+	_ = l.Close()
+
+	nl, err := Compact(path, store)
+	if err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	defer nl.Close()
+	after, err := nl.Records()
+	if err != nil {
+		t.Fatalf("records: %v", err)
+	}
+	if len(after) >= len(before) {
+		t.Fatalf("compaction did not shrink: %d -> %d", len(before), len(after))
+	}
+	// Recovery from the compacted log reproduces the store.
+	fresh := storage.NewStore()
+	if _, err := Recover(fresh, nl); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if fresh.Len() != 50 {
+		t.Fatalf("recovered %d keys, want 50", fresh.Len())
+	}
+	// And the compacted log still accepts appends with advancing LSNs.
+	lsn, err := nl.Append(Record{Type: RecBegin, TxnID: "Tnew"})
+	if err != nil || lsn == 0 {
+		t.Fatalf("append after compact: lsn=%d err=%v", lsn, err)
+	}
+}

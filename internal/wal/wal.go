@@ -1,0 +1,362 @@
+// Package wal implements a write-ahead log with undo/redo recovery for the
+// per-site transaction managers.
+//
+// The log is the substrate behind "standard roll-back recovery" in the
+// paper's terminology: a site that votes NO on a global transaction undoes
+// the local subtransaction from the log (Section 3.2 models this roll-back
+// as a degenerate compensating subtransaction). The log also persists the
+// participant's 2PC state transitions (PREPARED, COMMIT, ABORT decisions) so
+// that in-doubt transactions survive a site crash in the baseline protocol.
+//
+// Records are encoded in a simple length-prefixed binary format built on
+// encoding/binary; both an in-memory log (for simulations) and a file-backed
+// log (for the multi-process deployment) are provided.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"o2pc/internal/storage"
+)
+
+// RecordType enumerates log record kinds.
+type RecordType uint8
+
+const (
+	// RecBegin marks the start of a transaction.
+	RecBegin RecordType = iota + 1
+	// RecUpdate carries a before-image and an after-image of one key.
+	RecUpdate
+	// RecCommit marks a locally committed transaction.
+	RecCommit
+	// RecAbort marks an aborted (and already undone) transaction.
+	RecAbort
+	// RecPrepared marks a participant's YES vote in a commit protocol.
+	RecPrepared
+	// RecDecision records the coordinator's final decision as observed by
+	// the participant ("commit" or "abort" payload in Aux).
+	RecDecision
+	// RecCompBegin marks the start of a compensating transaction for the
+	// forward transaction named in TxnID.
+	RecCompBegin
+	// RecCompEnd marks the completion of a compensating transaction.
+	RecCompEnd
+	// RecCheckpoint carries a serialized snapshot boundary marker.
+	RecCheckpoint
+)
+
+// String returns the record type mnemonic.
+func (t RecordType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecUpdate:
+		return "UPDATE"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecPrepared:
+		return "PREPARED"
+	case RecDecision:
+		return "DECISION"
+	case RecCompBegin:
+		return "COMP-BEGIN"
+	case RecCompEnd:
+		return "COMP-END"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	default:
+		return fmt.Sprintf("RecordType(%d)", uint8(t))
+	}
+}
+
+// Image captures the state of one key at a point in time, including whether
+// the key existed at all (Existed=false means "absent before this write").
+type Image struct {
+	Key     storage.Key
+	Value   storage.Value
+	Deleted bool
+	Existed bool
+	// Writer is the transaction that installed this version; undo uses it
+	// to preserve reads-from attribution when restoring before-images.
+	Writer string
+}
+
+// ImageOf converts a storage lookup result into an Image.
+func ImageOf(rec storage.Record, existed bool) Image {
+	return Image{
+		Key:     rec.Key,
+		Value:   append(storage.Value(nil), rec.Value...),
+		Deleted: rec.Deleted,
+		Existed: existed,
+		Writer:  rec.Writer,
+	}
+}
+
+// Record is a single WAL entry.
+type Record struct {
+	LSN    uint64
+	Type   RecordType
+	TxnID  string
+	Before Image  // valid for RecUpdate
+	After  Image  // valid for RecUpdate
+	Aux    string // free-form payload (decision outcome, checkpoint tag, ...)
+}
+
+// Log is the append-only record sink.
+type Log interface {
+	// Append writes rec (assigning its LSN) and returns the assigned LSN.
+	Append(rec Record) (uint64, error)
+	// Records returns a copy of all records in LSN order.
+	Records() ([]Record, error)
+	// Sync flushes buffered records to stable storage (no-op in memory).
+	Sync() error
+	// Close releases resources held by the log.
+	Close() error
+}
+
+// MemoryLog is an in-memory Log used by simulations and tests.
+type MemoryLog struct {
+	mu      sync.Mutex
+	records []Record
+	nextLSN uint64
+	closed  bool
+}
+
+// NewMemoryLog returns an empty in-memory log.
+func NewMemoryLog() *MemoryLog { return &MemoryLog{nextLSN: 1} }
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Append implements Log.
+func (l *MemoryLog) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	l.records = append(l.records, rec)
+	return rec.LSN, nil
+}
+
+// Records implements Log.
+func (l *MemoryLog) Records() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out, nil
+}
+
+// Sync implements Log (a no-op for memory logs).
+func (l *MemoryLog) Sync() error { return nil }
+
+// Close implements Log.
+func (l *MemoryLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+// Len returns the number of records currently in the log.
+func (l *MemoryLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// TxnStatus summarizes one transaction's fate as recorded in a log.
+type TxnStatus uint8
+
+const (
+	// StatusActive means the transaction began but has no terminal record.
+	StatusActive TxnStatus = iota
+	// StatusPrepared means the participant voted YES and awaits a decision.
+	StatusPrepared
+	// StatusCommitted means a COMMIT record exists.
+	StatusCommitted
+	// StatusAborted means an ABORT record exists.
+	StatusAborted
+)
+
+// String returns the status mnemonic.
+func (s TxnStatus) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusPrepared:
+		return "prepared"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("TxnStatus(%d)", uint8(s))
+	}
+}
+
+// Analysis is the result of scanning a log.
+type Analysis struct {
+	// Status maps transaction ID to its last observed status.
+	Status map[string]TxnStatus
+	// Updates maps transaction ID to its update records in log order.
+	Updates map[string][]Record
+	// Decisions maps transaction ID to the recorded coordinator outcome
+	// ("commit" or "abort"), if a RecDecision record exists.
+	Decisions map[string]string
+}
+
+// Analyze scans all records and classifies every transaction that appears.
+func Analyze(records []Record) Analysis {
+	a := Analysis{
+		Status:    make(map[string]TxnStatus),
+		Updates:   make(map[string][]Record),
+		Decisions: make(map[string]string),
+	}
+	for _, rec := range records {
+		switch rec.Type {
+		case RecBegin, RecCompBegin:
+			a.Status[rec.TxnID] = StatusActive
+		case RecUpdate:
+			a.Updates[rec.TxnID] = append(a.Updates[rec.TxnID], rec)
+			if _, ok := a.Status[rec.TxnID]; !ok {
+				a.Status[rec.TxnID] = StatusActive
+			}
+		case RecPrepared:
+			a.Status[rec.TxnID] = StatusPrepared
+		case RecCommit, RecCompEnd:
+			a.Status[rec.TxnID] = StatusCommitted
+		case RecAbort:
+			a.Status[rec.TxnID] = StatusAborted
+		case RecDecision:
+			a.Decisions[rec.TxnID] = rec.Aux
+		}
+	}
+	return a
+}
+
+// ApplyUndo reverts txn's updates against store by re-installing before
+// images in reverse log order. If undoneBy is non-empty the restored
+// versions are attributed to that writer (conventionally "CT<txn>", per the
+// paper's modeling of roll-back as a compensating transaction, so that
+// later readers read-from the compensation); if undoneBy is empty each
+// before-image's original writer is preserved (aborted local transactions
+// simply vanish from the committed projection).
+func ApplyUndo(store *storage.Store, updates []Record, undoneBy string) {
+	for i := len(updates) - 1; i >= 0; i-- {
+		img := updates[i].Before
+		if !img.Existed {
+			store.Remove(img.Key)
+			continue
+		}
+		writer := undoneBy
+		if writer == "" {
+			writer = img.Writer
+		}
+		store.Restore(storage.Record{Key: img.Key, Value: img.Value, Deleted: img.Deleted}, writer)
+	}
+}
+
+// ApplyRedo re-applies txn's updates against store in log order, installing
+// after-images. Used when rebuilding a store from the log after a crash.
+func ApplyRedo(store *storage.Store, updates []Record, txnID string) {
+	for _, rec := range updates {
+		img := rec.After
+		if img.Deleted {
+			store.Delete(img.Key, txnID)
+			continue
+		}
+		store.Put(img.Key, img.Value, txnID)
+	}
+}
+
+// RecoverResult reports the outcome of crash recovery.
+type RecoverResult struct {
+	Redone  []string // committed transactions whose effects were re-applied
+	Undone  []string // active transactions rolled back
+	InDoubt []string // prepared transactions awaiting a coordinator decision
+}
+
+// Recover rebuilds store from the log: effects of committed transactions are
+// redone in log order, loser (active) transactions are undone, and prepared
+// transactions with a recorded decision are resolved accordingly. Prepared
+// transactions without a decision are left applied and reported as in-doubt;
+// the caller (the participant's recovery handler) must hold their locks and
+// re-contact the coordinator — this is precisely the blocking window the
+// O2PC protocol removes.
+//
+// When the log contains a complete checkpoint (WriteCheckpoint), recovery
+// starts from the last one: its images load directly and only the tail
+// replays.
+func Recover(store *storage.Store, log Log) (RecoverResult, error) {
+	records, err := log.Records()
+	if err != nil {
+		return RecoverResult{}, err
+	}
+	if begin, end, ok := lastCheckpoint(records); ok {
+		for _, rec := range records[begin+1 : end] {
+			if rec.Type != RecUpdate || rec.TxnID != ckptTxnID {
+				return RecoverResult{}, fmt.Errorf("wal: malformed checkpoint record %v inside bracket", rec.Type)
+			}
+			store.Restore(storage.Record{
+				Key:   rec.After.Key,
+				Value: rec.After.Value,
+			}, rec.After.Writer)
+		}
+		records = records[end+1:]
+	}
+	return recoverRecords(store, records)
+}
+
+// recoverRecords runs redo/undo resolution over an already-loaded record
+// slice (everything after the last checkpoint, or the whole log).
+func recoverRecords(store *storage.Store, records []Record) (RecoverResult, error) {
+	a := Analyze(records)
+	var res RecoverResult
+
+	// Redo phase: replay every update in log order; committed and prepared
+	// transactions keep their effects, losers are undone afterwards.
+	for _, rec := range records {
+		if rec.Type != RecUpdate {
+			continue
+		}
+		ApplyRedo(store, []Record{rec}, rec.TxnID)
+	}
+
+	// Resolve each transaction.
+	for txn, st := range a.Status {
+		switch st {
+		case StatusCommitted:
+			res.Redone = append(res.Redone, txn)
+		case StatusActive:
+			ApplyUndo(store, a.Updates[txn], "recovery:"+txn)
+			res.Undone = append(res.Undone, txn)
+		case StatusPrepared:
+			switch a.Decisions[txn] {
+			case "commit":
+				res.Redone = append(res.Redone, txn)
+			case "abort":
+				ApplyUndo(store, a.Updates[txn], "recovery:"+txn)
+				res.Undone = append(res.Undone, txn)
+			default:
+				res.InDoubt = append(res.InDoubt, txn)
+			}
+		case StatusAborted:
+			// ABORT records are written only after undo completed, but the
+			// redo phase above re-applied the updates; undo them again.
+			ApplyUndo(store, a.Updates[txn], "recovery:"+txn)
+			res.Undone = append(res.Undone, txn)
+		}
+	}
+	return res, nil
+}

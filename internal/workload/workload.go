@@ -1,0 +1,389 @@
+// Package workload generates and drives transaction mixes against a
+// cluster, producing the measurements every experiment table is built
+// from.
+//
+// A workload is a population of global transactions (plus an optional
+// stream of independent local transactions per site), with controlled
+// knobs for the quantities the paper's claims depend on: data contention
+// (hot-set size and hot-access probability, or a Zipf skew), the number of
+// sites each transaction touches, the read/write mix, and — critically —
+// the probability that a transaction is doomed to a unilateral NO vote,
+// which is the axis of the optimistic-assumption crossover (experiment
+// E4).
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"o2pc/internal/coord"
+	"o2pc/internal/core"
+	"o2pc/internal/metrics"
+	"o2pc/internal/proto"
+	"o2pc/internal/storage"
+	"o2pc/internal/txn"
+)
+
+// Config parameterizes one workload run.
+type Config struct {
+	// Seed drives all workload randomness (deterministic by default).
+	Seed int64
+	// Clients is the number of concurrent client goroutines issuing
+	// global transactions.
+	Clients int
+	// TxnsPerClient is each client's transaction count.
+	TxnsPerClient int
+	// SitesPerTxn is how many distinct sites each transaction touches.
+	SitesPerTxn int
+	// OpsPerSite is the number of operations per subtransaction.
+	OpsPerSite int
+	// KeysPerSite is the per-site keyspace size.
+	KeysPerSite int
+	// HotKeys and HotProb model contention: with probability HotProb an
+	// access targets one of HotKeys hot keys, otherwise the cold range.
+	// HotKeys=0 disables the hot set (uniform access).
+	HotKeys int
+	HotProb float64
+	// ZipfS, when > 1, replaces the hot-set model with a Zipf(s) skew
+	// over the keyspace.
+	ZipfS float64
+	// ReadFrac is the fraction of operations that are reads; the rest are
+	// Add read-modify-writes.
+	ReadFrac float64
+	// AbortProb is the probability that a transaction is doomed: one of
+	// its sites (chosen uniformly) votes NO.
+	AbortProb float64
+	// LocalTxnsPerSite, when > 0, runs that many independent local
+	// transactions per site concurrently with the global load (autonomy
+	// and E5's "local transactions are unaffected" measurement).
+	LocalTxnsPerSite int
+	// Protocol, Marking and Comp select the protocol stack under test.
+	Protocol proto.Protocol
+	Marking  proto.MarkProtocol
+	Comp     proto.CompMode
+	// AllowReadOnly permits subtransactions with no writes (by default
+	// every subtransaction is guaranteed at least one write so aborts
+	// exercise compensation at every site).
+	AllowReadOnly bool
+	// RealActionFrac is the fraction of subtransactions flagged CompNone
+	// (real actions that retain locks even under O2PC; experiment E9).
+	RealActionFrac float64
+	// SeedValue is the initial value of every key (large enough that
+	// AddMin never fires spuriously).
+	SeedValue int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.TxnsPerClient == 0 {
+		c.TxnsPerClient = 50
+	}
+	if c.SitesPerTxn == 0 {
+		c.SitesPerTxn = 2
+	}
+	if c.OpsPerSite == 0 {
+		c.OpsPerSite = 2
+	}
+	if c.KeysPerSite == 0 {
+		c.KeysPerSite = 1024
+	}
+	if c.Protocol == 0 {
+		c.Protocol = proto.O2PC
+	}
+	if c.Comp == 0 {
+		c.Comp = proto.CompSemantic
+	}
+	if c.SeedValue == 0 {
+		c.SeedValue = 1 << 40
+	}
+	return c
+}
+
+// Report summarizes one workload run.
+type Report struct {
+	Config  Config
+	Elapsed time.Duration
+
+	Committed   int64
+	Aborted     int64
+	MarkRetries int64
+
+	// Throughput is committed transactions per second.
+	Throughput float64
+	// CommitRate is Committed / (Committed + Aborted).
+	CommitRate float64
+
+	// Latency summarizes committed-transaction latency (ms).
+	Latency metrics.Summary
+	// LockHoldX summarizes exclusive-lock hold times across sites (ms).
+	LockHoldX metrics.Summary
+	// LockWait summarizes lock wait times across sites (ms).
+	LockWait metrics.Summary
+	// LocalLatency summarizes local-transaction latency (ms), when local
+	// load was enabled.
+	LocalLatency metrics.Summary
+
+	Deadlocks     int64
+	Compensations int64
+	Rollbacks     int64
+	RejectsRetry  int64
+	RejectsFatal  int64
+}
+
+// String renders the headline numbers.
+func (r Report) String() string {
+	return fmt.Sprintf("%s/%s: %0.0f txn/s commit=%.1f%% p50=%.2fms p99=%.2fms holdX(mean)=%.3fms deadlocks=%d comps=%d",
+		r.Config.Protocol, r.Config.Marking, r.Throughput, 100*r.CommitRate,
+		r.Latency.P50, r.Latency.P99, r.LockHoldX.Mean, r.Deadlocks, r.Compensations)
+}
+
+// keyPicker generates per-site key choices under the configured skew.
+type keyPicker struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+func newKeyPicker(cfg Config, rng *rand.Rand) *keyPicker {
+	kp := &keyPicker{cfg: cfg, rng: rng}
+	if cfg.ZipfS > 1 {
+		kp.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.KeysPerSite-1))
+	}
+	return kp
+}
+
+func (kp *keyPicker) pick() int {
+	if kp.zipf != nil {
+		return int(kp.zipf.Uint64())
+	}
+	if kp.cfg.HotKeys > 0 && kp.rng.Float64() < kp.cfg.HotProb {
+		return kp.rng.Intn(kp.cfg.HotKeys)
+	}
+	return kp.rng.Intn(kp.cfg.KeysPerSite)
+}
+
+// Key returns the storage key string for index i (site-local keyspaces
+// share names across sites; locality comes from the site choice).
+func Key(i int) string { return fmt.Sprintf("k%05d", i) }
+
+// Generator produces transaction specs deterministically from the seed.
+type Generator struct {
+	mu     sync.Mutex
+	cfg    Config
+	rng    *rand.Rand
+	picker *keyPicker
+	sites  []string
+	n      int
+}
+
+// NewGenerator builds a generator over the given site names.
+func NewGenerator(cfg Config, sites []string) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Generator{
+		cfg:    cfg,
+		rng:    rng,
+		picker: newKeyPicker(cfg, rng),
+		sites:  sites,
+	}
+}
+
+// Next produces the next transaction spec plus, when the transaction is
+// doomed, the name of the site that must vote NO.
+func (g *Generator) Next() (coord.TxnSpec, string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	id := fmt.Sprintf("w%d", g.n)
+
+	k := g.cfg.SitesPerTxn
+	if k > len(g.sites) {
+		k = len(g.sites)
+	}
+	perm := g.rng.Perm(len(g.sites))[:k]
+
+	spec := coord.TxnSpec{
+		ID:       id,
+		Protocol: g.cfg.Protocol,
+		Marking:  g.cfg.Marking,
+	}
+	for _, si := range perm {
+		ops := make([]proto.Operation, 0, g.cfg.OpsPerSite)
+		wrote := false
+		for j := 0; j < g.cfg.OpsPerSite; j++ {
+			key := Key(g.picker.pick())
+			if g.rng.Float64() < g.cfg.ReadFrac {
+				ops = append(ops, proto.Read(key))
+			} else {
+				ops = append(ops, proto.Add(key, 1))
+				wrote = true
+			}
+		}
+		if !wrote && g.cfg.ReadFrac < 1 && !g.cfg.AllowReadOnly {
+			// Guarantee at least one write per subtransaction so that
+			// aborts exercise compensation at every site.
+			ops[len(ops)-1] = proto.Add(ops[len(ops)-1].Key, 1)
+		}
+		comp := g.cfg.Comp
+		if g.cfg.RealActionFrac > 0 && g.rng.Float64() < g.cfg.RealActionFrac {
+			comp = proto.CompNone
+		}
+		spec.Subtxns = append(spec.Subtxns, coord.SubtxnSpec{
+			Site: g.sites[si],
+			Ops:  ops,
+			Comp: comp,
+		})
+	}
+
+	doomSite := ""
+	if g.cfg.AbortProb > 0 && g.rng.Float64() < g.cfg.AbortProb {
+		doomSite = spec.Subtxns[g.rng.Intn(len(spec.Subtxns))].Site
+	}
+	return spec, doomSite
+}
+
+// Run seeds the cluster, drives the configured load, and reports.
+func Run(ctx context.Context, cl *core.Cluster, cfg Config) Report {
+	cfg = cfg.withDefaults()
+	gen := NewGenerator(cfg, cl.SiteNames())
+	for i := 0; i < cfg.KeysPerSite; i++ {
+		cl.SeedInt64(Key(i), cfg.SeedValue)
+	}
+
+	latency := metrics.NewHistogram()
+	localLatency := metrics.NewHistogram()
+	var committed, aborted, markRetries metrics.Counter
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			nCoords := len(cl.Coordinators())
+			for i := 0; i < cfg.TxnsPerClient; i++ {
+				spec, doomSite := gen.Next()
+				if doomSite != "" {
+					cl.DoomAtSite(spec.ID, doomSite)
+				}
+				res := cl.RunAt(ctx, client%nCoords, spec)
+				markRetries.Add(int64(res.MarkRetries))
+				if res.Committed() {
+					committed.Inc()
+					latency.ObserveDuration(res.Latency)
+				} else {
+					aborted.Inc()
+				}
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Optional concurrent local load, measured separately.
+	if cfg.LocalTxnsPerSite > 0 {
+		for si := range cl.Sites() {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(si) + 1000))
+				picker := newKeyPicker(cfg, rng)
+				for i := 0; i < cfg.LocalTxnsPerSite; i++ {
+					key := storage.Key(Key(picker.pick()))
+					t0 := time.Now()
+					err := cl.RunLocal(ctx, si, func(t *txn.Txn) error {
+						v, err := t.ReadInt64ForUpdate(ctx, key)
+						if err != nil {
+							return err
+						}
+						return t.WriteInt64(ctx, key, v+1)
+					})
+					if err == nil {
+						localLatency.ObserveDuration(time.Since(t0))
+					}
+					if ctx.Err() != nil {
+						return
+					}
+				}
+			}(si)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Allow outstanding compensations to settle before collecting stats.
+	qctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	_ = cl.Quiesce(qctx)
+	cancel()
+
+	return buildReport(cl, cfg, elapsed, committed.Value(), aborted.Value(),
+		markRetries.Value(), latency, localLatency)
+}
+
+func buildReport(cl *core.Cluster, cfg Config, elapsed time.Duration,
+	committed, aborted, markRetries int64, latency, localLatency *metrics.Histogram) Report {
+
+	r := Report{
+		Config:      cfg,
+		Elapsed:     elapsed,
+		Committed:   committed,
+		Aborted:     aborted,
+		MarkRetries: markRetries,
+		Latency:     latency.Snapshot(),
+	}
+	if total := committed + aborted; total > 0 {
+		r.CommitRate = float64(committed) / float64(total)
+	}
+	if elapsed > 0 {
+		r.Throughput = float64(committed) / elapsed.Seconds()
+	}
+	r.LocalLatency = localLatency.Snapshot()
+
+	holdX := metrics.NewHistogram()
+	waits := metrics.NewHistogram()
+	for _, s := range cl.Sites() {
+		ls := s.Manager().Locks().Stats()
+		mergeHistogram(holdX, ls.HoldTimeX)
+		mergeHistogram(waits, ls.WaitTime)
+		r.Deadlocks += ls.Deadlocks.Value()
+		st := s.Stats()
+		r.Compensations += st.Compensations.Value()
+		r.Rollbacks += st.Rollbacks.Value()
+		r.RejectsRetry += st.RejectsRetry.Value()
+		r.RejectsFatal += st.RejectsFatal.Value()
+	}
+	r.LockHoldX = holdX.Snapshot()
+	r.LockWait = waits.Snapshot()
+	return r
+}
+
+// mergeHistogram folds src's quantile structure into dst by sampling its
+// snapshot; exact merging is unnecessary for reporting, so we transfer the
+// raw samples via quantile stratification when counts are large and copy
+// the summary moments otherwise.
+func mergeHistogram(dst, src *metrics.Histogram) {
+	n := src.Count()
+	if n == 0 {
+		return
+	}
+	// Transfer a quantile-stratified sample bounded at 4096 points per
+	// source histogram to keep report building cheap.
+	samples := 4096
+	if n < samples {
+		samples = n
+	}
+	for i := 0; i < samples; i++ {
+		q := (float64(i) + 0.5) / float64(samples)
+		dst.Observe(src.Quantile(q))
+	}
+}

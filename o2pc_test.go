@@ -1,0 +1,215 @@
+package o2pc_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"o2pc"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	cl := o2pc.NewCluster(o2pc.ClusterConfig{Sites: 3, Record: true})
+	cl.SeedInt64("balance", 100)
+	ctx := ctxT(t)
+
+	res := cl.Run(ctx, o2pc.TxnSpec{
+		Protocol: o2pc.O2PC,
+		Marking:  o2pc.MarkP1,
+		Subtxns: []o2pc.SubtxnSpec{
+			{Site: "s0", Ops: []o2pc.Operation{o2pc.AddMin("balance", -40, 0)}, Comp: o2pc.CompSemantic},
+			{Site: "s1", Ops: []o2pc.Operation{o2pc.Add("balance", 40)}, Comp: o2pc.CompSemantic},
+		},
+	})
+	if !res.Committed() {
+		t.Fatalf("quickstart transfer failed: %v", res.Err)
+	}
+	if got := cl.Site(0).ReadInt64("balance"); got != 60 {
+		t.Fatalf("s0 balance = %d", got)
+	}
+	if audit := cl.Audit(); !audit.Correct() {
+		t.Fatalf("audit failed")
+	}
+}
+
+// TestMoneyConservation is the semantic-atomicity invariant: across any
+// mix of committed and aborted (compensated) transfers, under every
+// protocol stack, the total amount of money in the system is unchanged.
+func TestMoneyConservation(t *testing.T) {
+	stacks := []struct {
+		name     string
+		protocol o2pc.Protocol
+		marking  o2pc.MarkProtocol
+	}{
+		{"2PC", o2pc.TwoPC, o2pc.MarkNone},
+		{"O2PC", o2pc.O2PC, o2pc.MarkNone},
+		{"O2PC+P1", o2pc.O2PC, o2pc.MarkP1},
+		{"O2PC+P2", o2pc.O2PC, o2pc.MarkP2},
+		{"O2PC+simple", o2pc.O2PC, o2pc.MarkSimple},
+	}
+	for _, stack := range stacks {
+		t.Run(stack.name, func(t *testing.T) {
+			const (
+				nSites   = 4
+				nAccts   = 8
+				initBal  = 1000
+				nClients = 4
+				nTxns    = 30
+			)
+			cl := o2pc.NewCluster(o2pc.ClusterConfig{Sites: nSites})
+			for a := 0; a < nAccts; a++ {
+				cl.SeedInt64(acctKey(a), initBal)
+			}
+			ctx := ctxT(t)
+			rng := rand.New(rand.NewSource(7))
+			type job struct {
+				spec o2pc.TxnSpec
+				doom string
+			}
+			var jobs []job
+			for i := 0; i < nClients*nTxns; i++ {
+				from, to := rng.Intn(nSites), rng.Intn(nSites)
+				for to == from {
+					to = rng.Intn(nSites)
+				}
+				amount := int64(1 + rng.Intn(50))
+				acct := acctKey(rng.Intn(nAccts))
+				spec := o2pc.TxnSpec{
+					ID:       fmt.Sprintf("X%d", i),
+					Protocol: stack.protocol,
+					Marking:  stack.marking,
+					Subtxns: []o2pc.SubtxnSpec{
+						{Site: siteName(from), Ops: []o2pc.Operation{o2pc.AddMin(acct, -amount, 0)}, Comp: o2pc.CompSemantic},
+						{Site: siteName(to), Ops: []o2pc.Operation{o2pc.Add(acct, amount)}, Comp: o2pc.CompSemantic},
+					},
+				}
+				j := job{spec: spec}
+				if rng.Float64() < 0.25 {
+					j.doom = siteName([]int{from, to}[rng.Intn(2)])
+				}
+				jobs = append(jobs, j)
+			}
+			results := make(chan o2pc.Result, len(jobs))
+			sem := make(chan struct{}, nClients)
+			for _, j := range jobs {
+				j := j
+				sem <- struct{}{}
+				go func() {
+					defer func() { <-sem }()
+					if j.doom != "" {
+						cl.DoomAtSite(j.spec.ID, j.doom)
+					}
+					results <- cl.Run(ctx, j.spec)
+				}()
+			}
+			var committed, aborted int
+			for range jobs {
+				if r := <-results; r.Committed() {
+					committed++
+				} else {
+					aborted++
+				}
+			}
+			qctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			if err := cl.Quiesce(qctx); err != nil {
+				t.Fatalf("quiesce: %v", err)
+			}
+			var total int64
+			for s := 0; s < nSites; s++ {
+				for a := 0; a < nAccts; a++ {
+					total += cl.Site(s).ReadInt64(o2pc.Key(acctKey(a)))
+				}
+			}
+			want := int64(nSites * nAccts * initBal)
+			if total != want {
+				t.Fatalf("money not conserved: total=%d want=%d (committed=%d aborted=%d)",
+					total, want, committed, aborted)
+			}
+			if committed == 0 || aborted == 0 {
+				t.Fatalf("degenerate mix: committed=%d aborted=%d", committed, aborted)
+			}
+			t.Logf("%s: %d committed, %d aborted, money conserved", stack.name, committed, aborted)
+		})
+	}
+}
+
+func acctKey(a int) string  { return fmt.Sprintf("acct%d", a) }
+func siteName(i int) string { return fmt.Sprintf("s%d", i) }
+
+// TestWorkloadFacade drives the workload generator through the public API
+// and sanity-checks the report shape.
+func TestWorkloadFacade(t *testing.T) {
+	cl := o2pc.NewCluster(o2pc.ClusterConfig{Sites: 4, Record: true})
+	rep := o2pc.RunWorkload(ctxT(t), cl, o2pc.WorkloadConfig{
+		Clients:       4,
+		TxnsPerClient: 25,
+		SitesPerTxn:   2,
+		KeysPerSite:   128,
+		ReadFrac:      0.5,
+		AbortProb:     0.1,
+		Protocol:      o2pc.O2PC,
+		Marking:       o2pc.MarkP1,
+	})
+	if rep.Committed == 0 || rep.Throughput <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.CommitRate <= 0 || rep.CommitRate > 1 {
+		t.Fatalf("commit rate = %v", rep.CommitRate)
+	}
+	if audit := cl.Audit(); audit.EffectiveCount != 0 {
+		t.Fatalf("effective regular cycles under P1 workload: %d", audit.EffectiveCount)
+	}
+}
+
+// TestCustomCompensator exercises the CompCustom path through the facade.
+func TestCustomCompensator(t *testing.T) {
+	reg := o2pc.NewRegistry()
+	reg.Register("release-seat", func(ctx context.Context, tx *o2pc.Txn, f o2pc.Forward) error {
+		// Release exactly what the forward transaction reserved.
+		for _, op := range f.Ops {
+			if op.Kind == o2pc.OpAdd {
+				cur, err := tx.ReadInt64ForUpdate(ctx, o2pc.Key(op.Key))
+				if err != nil {
+					return err
+				}
+				if err := tx.WriteInt64(ctx, o2pc.Key(op.Key), cur-op.Delta); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	cl := o2pc.NewCluster(o2pc.ClusterConfig{Sites: 2, Compensators: reg})
+	cl.SeedInt64("seats", 10)
+	ctx := ctxT(t)
+
+	cl.DoomAtSite("Tbook", "s1")
+	res := cl.Run(ctx, o2pc.TxnSpec{
+		ID:       "Tbook",
+		Protocol: o2pc.O2PC,
+		Marking:  o2pc.MarkP1,
+		Subtxns: []o2pc.SubtxnSpec{
+			{Site: "s0", Ops: []o2pc.Operation{o2pc.AddMin("seats", -1, 0)}, Comp: o2pc.CompCustom, Compensator: "release-seat"},
+			{Site: "s1", Ops: []o2pc.Operation{o2pc.Add("seats", 0)}, Comp: o2pc.CompSemantic},
+		},
+	})
+	if res.Committed() {
+		t.Fatalf("doomed booking committed")
+	}
+	qctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = cl.Quiesce(qctx)
+	if got := cl.Site(0).ReadInt64("seats"); got != 10 {
+		t.Fatalf("seats = %d, want 10 after custom compensation", got)
+	}
+}
