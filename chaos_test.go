@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -13,10 +13,11 @@ import (
 
 // TestChaos is the randomized end-to-end gauntlet: concurrent transfers
 // under a mixed protocol population, with injected unilateral aborts,
-// coordinator crashes and recoveries, site crashes and WAL recoveries, and
-// concurrent local transactions — all while the two global invariants must
-// hold at the end: money is conserved (semantic atomicity) and the
-// recorded history satisfies the Section 5 criterion.
+// coordinator crashes and recoveries, and concurrent local transactions —
+// all while the two global invariants must hold at the end: money is
+// conserved (semantic atomicity) and the recorded history satisfies the
+// Section 5 criterion. The whole gauntlet runs on a virtual clock, so a
+// seed pins the complete interleaving and no wall-clock time is slept.
 func TestChaos(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos gauntlet skipped in -short mode")
@@ -79,8 +80,8 @@ func TestChaos(t *testing.T) {
 	}
 }
 
-// runChaosOnce executes one chaos round and returns the cluster plus
-// commit/abort counts (shared by TestChaos and diagnostic tests).
+// runChaosOnce executes one chaos round in virtual time and returns the
+// cluster plus commit/abort counts (shared by TestChaos and the soak).
 func runChaosOnce(t *testing.T, seed int64, clusterMarking o2pc.MarkProtocol) (*o2pc.Cluster, int, int) {
 	t.Helper()
 	const (
@@ -90,16 +91,24 @@ func runChaosOnce(t *testing.T, seed int64, clusterMarking o2pc.MarkProtocol) (*
 		nClients = 6
 		nTxns    = 40
 	)
+	clock := o2pc.NewVirtualClock()
 	cl := o2pc.NewCluster(o2pc.ClusterConfig{
 		Sites:        nSites,
 		Coordinators: 2,
 		Record:       true,
-		Network:      o2pc.NetworkConfig{Seed: seed},
+		Clock:        clock,
+		// A nonzero latency span puts every message on a virtual timer, so
+		// the interleaving is driven entirely by the seeded schedule.
+		Network: o2pc.NetworkConfig{
+			Seed:       seed,
+			MinLatency: 100 * time.Microsecond,
+			MaxLatency: 2 * time.Millisecond,
+		},
 	})
 	for a := 0; a < nAccts; a++ {
 		cl.SeedInt64(chaosAcct(a), initBal)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := clock.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	rng := rand.New(rand.NewSource(seed))
 
@@ -140,58 +149,60 @@ func runChaosOnce(t *testing.T, seed int64, clusterMarking o2pc.MarkProtocol) (*
 		jobs = append(jobs, j)
 	}
 
-	var wg sync.WaitGroup
-	jobCh := make(chan job)
-	var committed, aborted sync.Map
+	var committed, aborted atomic.Int64
+	clients := o2pc.NewGroup(clock)
 	for c := 0; c < nClients; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
+		c := c
+		clients.Go(func() {
+			// The unique initial sleep parks each freshly-spawned client on
+			// its own timer before it touches the cluster, removing the only
+			// scheduling race of the spawn burst.
+			_ = clock.Sleep(ctx, time.Duration(c+1)*time.Microsecond)
+			for i := c; i < len(jobs); i += nClients {
+				j := jobs[i]
 				if j.doom != "" {
 					cl.DoomAtSite(j.spec.ID, j.doom)
 				}
 				res := cl.RunAt(ctx, j.coorIdx, j.spec)
 				if res.Committed() {
-					committed.Store(j.spec.ID, true)
+					committed.Add(1)
 				} else {
-					aborted.Store(j.spec.ID, true)
+					aborted.Add(1)
 				}
 			}
-		}()
+		})
 	}
 
-	stopChaos := make(chan struct{})
-	var chaosWg sync.WaitGroup
-	chaosWg.Add(1)
-	go func() {
-		defer chaosWg.Done()
+	var stop atomic.Bool
+	chaos := o2pc.NewGroup(clock)
+	chaos.Go(func() {
 		mrng := rand.New(rand.NewSource(seed + 1))
 		for {
-			select {
-			case <-stopChaos:
+			if err := clock.Sleep(ctx, time.Duration(5+mrng.Intn(10))*time.Millisecond); err != nil {
 				return
-			case <-time.After(time.Duration(5+mrng.Intn(10)) * time.Millisecond):
+			}
+			if stop.Load() {
+				return
 			}
 			cl.CrashCoordinator(1)
-			time.Sleep(time.Duration(2+mrng.Intn(6)) * time.Millisecond)
-			if err := cl.RecoverCoordinator(ctx, 1); err != nil && ctx.Err() == nil {
+			_ = clock.Sleep(ctx, time.Duration(2+mrng.Intn(6))*time.Millisecond)
+			// Recovery gets its own context: the crashed coordinator must
+			// come back even if the run deadline expired meanwhile.
+			rctx, rcancel := clock.WithTimeout(context.Background(), time.Minute)
+			err := cl.RecoverCoordinator(rctx, 1)
+			rcancel()
+			if err != nil && ctx.Err() == nil {
 				t.Errorf("coordinator recovery: %v", err)
 				return
 			}
 		}
-	}()
+	})
 	for si := 0; si < nSites; si++ {
-		chaosWg.Add(1)
-		go func(si int) {
-			defer chaosWg.Done()
+		si := si
+		chaos.Go(func() {
 			lrng := rand.New(rand.NewSource(seed + int64(si) + 100))
-			for i := 0; i < 30; i++ {
-				select {
-				case <-stopChaos:
-					return
-				default:
-				}
+			_ = clock.Sleep(ctx, time.Duration(10+si)*time.Microsecond)
+			for i := 0; i < 30 && !stop.Load(); i++ {
 				acct := o2pc.Key(chaosAcct(lrng.Intn(nAccts)))
 				_ = cl.RunLocal(ctx, si, func(tx *o2pc.Txn) error {
 					v, err := tx.ReadInt64ForUpdate(ctx, acct)
@@ -203,44 +214,54 @@ func runChaosOnce(t *testing.T, seed int64, clusterMarking o2pc.MarkProtocol) (*
 					}
 					return tx.WriteInt64(ctx, acct, v)
 				})
+				if err := clock.Sleep(ctx, time.Duration(1+lrng.Intn(500))*time.Microsecond); err != nil {
+					return
+				}
 			}
-		}(si)
+		})
 	}
 
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	wg.Wait()
-	close(stopChaos)
-	chaosWg.Wait()
+	clients.Wait()
+	stop.Store(true)
+	chaos.Wait()
 
-	qctx, qcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Re-deliver every logged decision before auditing: a subtransaction
+	// that exposed after a decision's original delivery pass (the site acked
+	// it as unknown before the vote) is waiting on its resolver; recovery's
+	// idempotent re-send settles it immediately.
+	for i := 0; i < 2; i++ {
+		rctx, rcancel := clock.WithTimeout(context.Background(), time.Minute)
+		err := cl.RecoverCoordinator(rctx, i)
+		rcancel()
+		if err != nil {
+			t.Fatalf("final recovery of c%d: %v", i, err)
+		}
+	}
+
+	qctx, qcancel := clock.WithTimeout(context.Background(), 30*time.Second)
 	defer qcancel()
 	if err := cl.Quiesce(qctx); err != nil {
 		t.Fatalf("quiesce: %v", err)
 	}
-	return cl, lenSyncMap(&committed), lenSyncMap(&aborted)
+	return cl, int(committed.Load()), int(aborted.Load())
 }
 
 func chaosAcct(a int) string { return fmt.Sprintf("acct%d", a) }
 func chaosSite(i int) string { return fmt.Sprintf("s%d", i) }
 
-func lenSyncMap(m *sync.Map) int {
-	n := 0
-	m.Range(func(any, any) bool { n++; return true })
-	return n
-}
-
 // TestConservationSoak repeatedly runs the chaos round that historically
-// exposed a vote/decision race (a stale VOTE-REQ delayed across a
-// coordinator crash interleaving with the recovery's presumed-abort
-// decision, leaking one transfer's compensation) and asserts conservation
-// every time.
+// exposed two races (a stale VOTE-REQ delayed across a coordinator crash
+// interleaving with the recovery's presumed-abort decision; and a recovery
+// presuming abort for a transaction whose run was still in flight and later
+// decided commit) and asserts conservation every time. With the virtual
+// clock the fifteen rounds are deterministic replicas, so the soak also
+// doubles as a determinism regression: any divergence across iterations is
+// a scheduling leak.
 func TestConservationSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak skipped in -short mode")
 	}
+	var wantC, wantA int
 	for iter := 0; iter < 15; iter++ {
 		cl, nC, nA := runChaosOnce(t, 1991, o2pc.MarkSimple)
 		var total int64
@@ -252,6 +273,12 @@ func TestConservationSoak(t *testing.T) {
 		if total != 240000 {
 			t.Fatalf("iter %d: money not conserved: %d (committed=%d aborted=%d)",
 				iter, total, nC, nA)
+		}
+		if iter == 0 {
+			wantC, wantA = nC, nA
+		} else if nC != wantC || nA != wantA {
+			t.Fatalf("iter %d: outcome divergence: %d/%d committed, %d/%d aborted",
+				iter, nC, wantC, nA, wantA)
 		}
 	}
 }

@@ -11,12 +11,14 @@
 //
 // The input is a history file written by history.WriteJSON (the o2pc-bench
 // tool's -dump flag produces them). Exit status is 0 when the history
-// satisfies the correctness criterion and 1 otherwise.
+// satisfies the correctness criterion, 1 when it violates it, and 2 on
+// usage or input errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,25 +27,35 @@ import (
 )
 
 func main() {
-	maxCycles := flag.Int("max-cycles", 10000, "bound on enumerated global cycles")
-	maxLen := flag.Int("max-len", 10, "bound on cycle length (junctions)")
-	verbose := flag.Bool("v", false, "print every classified cycle")
-	dotPath := flag.String("dot", "", "write a Graphviz rendering of the SGs to this file")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sgcheck [-max-cycles N] [-max-len N] [-v] history.json")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, audits the named
+// history, writes the report to stdout, and returns the exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxCycles := fs.Int("max-cycles", 10000, "bound on enumerated global cycles")
+	maxLen := fs.Int("max-len", 10, "bound on cycle length (junctions)")
+	verbose := fs.Bool("v", false, "print every classified cycle")
+	dotPath := fs.String("dot", "", "write a Graphviz rendering of the SGs to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	f, err := os.Open(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: sgcheck [-max-cycles N] [-max-len N] [-v] history.json")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sgcheck:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sgcheck:", err)
+		return 2
 	}
 	h, err := history.ReadJSON(f)
 	f.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sgcheck:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sgcheck:", err)
+		return 2
 	}
 
 	nGlobal, nComp, nLocal := 0, 0, 0
@@ -57,19 +69,19 @@ func main() {
 			nLocal++
 		}
 	}
-	fmt.Printf("history: %d ops, %d sites, %d global / %d compensating / %d local transactions\n",
+	fmt.Fprintf(stdout, "history: %d ops, %d sites, %d global / %d compensating / %d local transactions\n",
 		len(h.Ops), len(h.Sites()), nGlobal, nComp, nLocal)
 
 	audit := sg.AuditHistory(h, *maxLen, *maxCycles)
 	for site, cyc := range audit.LocalCycles {
-		fmt.Printf("LOCAL CYCLE at %s: %s\n", site, strings.Join(cyc, " -> "))
+		fmt.Fprintf(stdout, "LOCAL CYCLE at %s: %s\n", site, strings.Join(cyc, " -> "))
 	}
-	fmt.Printf("global cycles: %d effective regular (forbidden), %d doomed-reader regular (tolerated), %d benign CT-only",
+	fmt.Fprintf(stdout, "global cycles: %d effective regular (forbidden), %d doomed-reader regular (tolerated), %d benign CT-only",
 		audit.EffectiveCount, audit.DoomedCount, audit.BenignCount)
 	if audit.Truncated {
-		fmt.Printf(" (enumeration truncated at %d)", len(audit.Cycles))
+		fmt.Fprintf(stdout, " (enumeration truncated at %d)", len(audit.Cycles))
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	if *verbose {
 		for _, c := range audit.Cycles {
 			kind := "benign "
@@ -79,7 +91,7 @@ func main() {
 			case c.Regular:
 				kind = "doomed "
 			}
-			fmt.Printf("  %s cycle %s; minimal representations: %v\n",
+			fmt.Fprintf(stdout, "  %s cycle %s; minimal representations: %v\n",
 				kind, strings.Join(c.Junctions, " -> "), c.MinimalReps)
 		}
 	}
@@ -87,53 +99,53 @@ func main() {
 	if *dotPath != "" {
 		df, err := os.Create(*dotPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sgcheck:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "sgcheck:", err)
+			return 2
 		}
 		if err := sg.WriteDOT(df, h); err != nil {
-			fmt.Fprintln(os.Stderr, "sgcheck:", err)
+			fmt.Fprintln(stderr, "sgcheck:", err)
 			df.Close()
-			os.Exit(2)
+			return 2
 		}
 		df.Close()
-		fmt.Printf("graphviz rendering written to %s\n", *dotPath)
+		fmt.Fprintf(stdout, "graphviz rendering written to %s\n", *dotPath)
 	}
 
 	strat := sg.NewStratification(h)
 	s1 := strat.CheckS1()
 	s2 := strat.CheckS2()
-	fmt.Printf("stratification: S1 %s (%d violating pairs), S2 %s (%d violating pairs)\n",
+	fmt.Fprintf(stdout, "stratification: S1 %s (%d violating pairs), S2 %s (%d violating pairs)\n",
 		holds(len(s1) == 0), len(s1), holds(len(s2) == 0), len(s2))
 
 	viol := sg.CheckCompensationAtomicity(h)
 	committedViol := sg.CommittedViolations(viol)
 	if len(viol) == 0 {
-		fmt.Println("atomicity of compensation: preserved")
+		fmt.Fprintln(stdout, "atomicity of compensation: preserved")
 	} else {
 		for _, v := range viol {
 			tag := "ATOMICITY VIOLATION"
 			if v.ReaderFate == history.FateAborted {
 				tag = "doomed-reader atomicity residue (tolerated)"
 			}
-			fmt.Printf("%s: %s read from both %s and %s\n",
+			fmt.Fprintf(stdout, "%s: %s read from both %s and %s\n",
 				tag, v.Reader, v.Forward, v.Comp)
 		}
 	}
 
 	if cyc, checked := sg.SerializableWithoutAborts(h); checked {
 		if cyc == nil {
-			fmt.Println("no aborted globals: history is (conflict-)serializable")
+			fmt.Fprintln(stdout, "no aborted globals: history is (conflict-)serializable")
 		} else {
-			fmt.Printf("no aborted globals but SG cyclic: %s\n", strings.Join(cyc, " -> "))
+			fmt.Fprintf(stdout, "no aborted globals but SG cyclic: %s\n", strings.Join(cyc, " -> "))
 		}
 	}
 
 	if audit.Correct() && len(committedViol) == 0 {
-		fmt.Println("verdict: CORRECT (criterion of Section 5 satisfied)")
-		return
+		fmt.Fprintln(stdout, "verdict: CORRECT (criterion of Section 5 satisfied)")
+		return 0
 	}
-	fmt.Println("verdict: INCORRECT")
-	os.Exit(1)
+	fmt.Fprintln(stdout, "verdict: INCORRECT")
+	return 1
 }
 
 func holds(b bool) string {

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"o2pc/internal/history"
+)
+
+// writeHistory encodes h into dir and returns the file path.
+func writeHistory(t *testing.T, dir, name string, h *history.History) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := history.WriteJSON(&buf, h); err != nil {
+		t.Fatalf("encode %s: %v", name, err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	return path
+}
+
+// correctHistory is a two-site execution with a committed global, a cleanly
+// compensated abort and no cycles: it must satisfy the Section 5 criterion.
+func correctHistory() *history.History {
+	h := &history.History{Txns: map[string]history.TxnInfo{
+		"T1":  {ID: "T1", Kind: history.KindGlobal, Fate: history.FateCommitted},
+		"T2":  {ID: "T2", Kind: history.KindGlobal, Fate: history.FateAborted},
+		"CT2": {ID: "CT2", Kind: history.KindCompensating, Fate: history.FateCommitted, Forward: "T2"},
+	}}
+	h.Ops = []history.Op{
+		{Site: "s0", Txn: "T1", Type: history.OpWrite, Key: "x", Seq: 1},
+		{Site: "s0", Txn: "T2", Type: history.OpWrite, Key: "x", Seq: 2},
+		{Site: "s0", Txn: "CT2", Type: history.OpWrite, Key: "x", Seq: 3},
+		{Site: "s1", Txn: "T1", Type: history.OpWrite, Key: "y", Seq: 1},
+	}
+	return h
+}
+
+// regularCycleHistory is the Figure 1 shape the marking protocols exist to
+// prevent: committed T2 reads aborted T1's exposed value at s0 before CT1
+// compensates there, and reads the restored version at s1 after CT1 ran.
+// The global cycle T2 -> CT1 -> T2 is an effective regular cycle, so the
+// checker must report the history INCORRECT.
+func regularCycleHistory() *history.History {
+	h := &history.History{Txns: map[string]history.TxnInfo{
+		"T1":  {ID: "T1", Kind: history.KindGlobal, Fate: history.FateAborted},
+		"T2":  {ID: "T2", Kind: history.KindGlobal, Fate: history.FateCommitted},
+		"CT1": {ID: "CT1", Kind: history.KindCompensating, Fate: history.FateCommitted, Forward: "T1"},
+	}}
+	h.Ops = []history.Op{
+		{Site: "s0", Txn: "T1", Type: history.OpWrite, Key: "x", Seq: 1},
+		{Site: "s0", Txn: "T2", Type: history.OpRead, Key: "x", Seq: 2, ReadFrom: "T1"},
+		{Site: "s0", Txn: "CT1", Type: history.OpWrite, Key: "x", Seq: 3},
+		{Site: "s1", Txn: "T1", Type: history.OpWrite, Key: "y", Seq: 1},
+		{Site: "s1", Txn: "CT1", Type: history.OpWrite, Key: "y", Seq: 2},
+		{Site: "s1", Txn: "T2", Type: history.OpRead, Key: "y", Seq: 3, ReadFrom: "CT1"},
+	}
+	return h
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	valid := writeHistory(t, dir, "valid.json", correctHistory())
+	cyclic := writeHistory(t, dir, "cyclic.json", regularCycleHistory())
+	malformed := filepath.Join(dir, "malformed.json")
+	if err := os.WriteFile(malformed, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStdout string // substring that must appear on stdout
+		wantStderr string // substring that must appear on stderr
+	}{
+		{
+			name:       "valid history",
+			args:       []string{valid},
+			wantCode:   0,
+			wantStdout: "verdict: CORRECT",
+		},
+		{
+			name:       "effective regular cycle",
+			args:       []string{cyclic},
+			wantCode:   1,
+			wantStdout: "verdict: INCORRECT",
+		},
+		{
+			name:       "regular cycle counted",
+			args:       []string{"-v", cyclic},
+			wantCode:   1,
+			wantStdout: "1 effective regular (forbidden)",
+		},
+		{
+			name:       "malformed json",
+			args:       []string{malformed},
+			wantCode:   2,
+			wantStderr: "sgcheck:",
+		},
+		{
+			name:       "missing file",
+			args:       []string{filepath.Join(dir, "no-such-history.json")},
+			wantCode:   2,
+			wantStderr: "sgcheck:",
+		},
+		{
+			name:       "no arguments",
+			args:       nil,
+			wantCode:   2,
+			wantStderr: "usage: sgcheck",
+		},
+		{
+			name:       "too many arguments",
+			args:       []string{valid, cyclic},
+			wantCode:   2,
+			wantStderr: "usage: sgcheck",
+		},
+		{
+			name:       "bad flag",
+			args:       []string{"-no-such-flag", valid},
+			wantCode:   2,
+			wantStderr: "flag provided but not defined",
+		},
+		{
+			name:       "dot output",
+			args:       []string{"-dot", filepath.Join(dir, "out.dot"), valid},
+			wantCode:   0,
+			wantStdout: "graphviz rendering written",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Fatalf("stdout missing %q:\n%s", tc.wantStdout, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunDotUnwritable covers the dot-file error path: the rendering
+// target is a directory, so the create fails and sgcheck exits 2.
+func TestRunDotUnwritable(t *testing.T) {
+	dir := t.TempDir()
+	valid := writeHistory(t, dir, "valid.json", correctHistory())
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dot", dir, valid}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+}

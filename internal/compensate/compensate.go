@@ -34,6 +34,7 @@ import (
 	"o2pc/internal/history"
 	"o2pc/internal/lock"
 	"o2pc/internal/proto"
+	"o2pc/internal/sim"
 	"o2pc/internal/storage"
 	"o2pc/internal/txn"
 	"o2pc/internal/wal"
@@ -187,6 +188,8 @@ type Options struct {
 	// (and after coverage enforcement). Protocol P1 uses it to write the
 	// sitemark as the last operation of CTik (rule R2).
 	Finalize func(ctx context.Context, t *txn.Txn) error
+	// Clock times the retry backoff. Nil defaults to the real clock.
+	Clock sim.Clock
 }
 
 // CTID returns the conventional compensating-transaction node ID for a
@@ -204,6 +207,7 @@ func Run(ctx context.Context, mgr *txn.Manager, forward Forward, plan Func, opts
 		backoff = 100 * time.Microsecond
 	}
 	maxBackoff := backoff * 32
+	clock := sim.OrReal(opts.Clock)
 	ctID := CTID(forward.TxnID)
 
 	for attempt := 0; ; attempt++ {
@@ -220,12 +224,8 @@ func Run(ctx context.Context, mgr *txn.Manager, forward Forward, plan Func, opts
 		if !retryable(err) {
 			return fmt.Errorf("compensate: %s at %s failed permanently: %w", ctID, mgr.Site(), err)
 		}
-		t := time.NewTimer(backoff)
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
-			return ctx.Err()
+		if err := clock.Sleep(ctx, backoff); err != nil {
+			return err
 		}
 		if backoff < maxBackoff {
 			backoff *= 2

@@ -22,6 +22,7 @@ import (
 	"o2pc/internal/metrics"
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
+	"o2pc/internal/sim"
 	"o2pc/internal/wal"
 )
 
@@ -169,6 +170,10 @@ type Config struct {
 	// MarkingRetryDelay is the backoff before retrying a retryable R1
 	// rejection. Defaults to 1ms.
 	MarkingRetryDelay time.Duration
+	// Clock supplies the coordinator's notion of time (retry delays,
+	// latency measurement, background delivery). Nil defaults to the real
+	// clock.
+	Clock sim.Clock
 }
 
 // Coordinator drives global transactions.
@@ -178,6 +183,7 @@ type Coordinator struct {
 	board  *marking.Board
 	log    wal.Log
 	stats  *Stats
+	clock  sim.Clock
 
 	mu      sync.Mutex
 	seq     uint64
@@ -209,6 +215,7 @@ func New(cfg Config, caller rpc.Caller) *Coordinator {
 		board:   board,
 		log:     log,
 		stats:   newStats(),
+		clock:   sim.OrReal(cfg.Clock),
 		decided: make(map[string]*decided),
 		started: make(map[string][]string),
 	}

@@ -3,11 +3,12 @@ package coord
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
-	"time"
 
 	"o2pc/internal/history"
 	"o2pc/internal/proto"
+	"o2pc/internal/sim"
 	"o2pc/internal/wal"
 )
 
@@ -16,9 +17,9 @@ import (
 // decision is logged and delivery has been attempted); decision delivery
 // to unreachable participants continues in the background.
 func (c *Coordinator) Run(ctx context.Context, spec TxnSpec) Result {
-	start := time.Now()
+	start := c.clock.Now()
 	res := c.run(ctx, spec)
-	res.Latency = time.Since(start)
+	res.Latency = c.clock.Since(start)
 	c.stats.Latency.ObserveDuration(res.Latency)
 	switch res.Outcome {
 	case Committed:
@@ -140,8 +141,14 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 		c.decide(ctx, id, false, executed, spec)
 		return res
 	}
-	res.Outcome = Committed
-	c.decide(ctx, id, true, executed, spec)
+	if c.decide(ctx, id, true, executed, spec) {
+		res.Outcome = Committed
+	} else {
+		// A recovery ran while this transaction was still in flight and
+		// presumed abort; that durable decision supersedes the commit.
+		res.Outcome = AbortedCoordinator
+		res.Err = ErrCrashed
+	}
 	return res
 }
 
@@ -166,7 +173,7 @@ func (c *Coordinator) execWithRetry(ctx context.Context, id, site string, req pr
 		case reply.Rejected && !reply.Fatal && attempt < retries:
 			res.MarkRetries++
 			c.stats.MarkingRetries.Inc()
-			if err := sleepCtx(ctx, c.cfg.MarkingRetryDelay); err != nil {
+			if err := c.clock.Sleep(ctx, c.cfg.MarkingRetryDelay); err != nil {
 				return proto.ExecReply{}, err
 			}
 			continue
@@ -187,11 +194,10 @@ func (c *Coordinator) collectVotes(ctx context.Context, id string, sites []strin
 	votes := make(map[string]bool, len(sites))
 	readOnly := make(map[string]bool)
 	var mu sync.Mutex
-	var wg sync.WaitGroup
+	g := sim.NewGroup(c.clock)
 	for _, site := range sites {
-		wg.Add(1)
-		go func(site string) {
-			defer wg.Done()
+		site := site
+		g.Go(func() {
 			raw, err := c.caller.Call(ctx, c.cfg.Name, site, proto.VoteRequest{TxnID: id})
 			commit, ro := false, false
 			if err == nil {
@@ -208,23 +214,47 @@ func (c *Coordinator) collectVotes(ctx context.Context, id string, sites []strin
 				readOnly[site] = true
 			}
 			mu.Unlock()
-		}(site)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 	return votes, readOnly
 }
 
 // decide logs the decision, registers abort bookkeeping, and delivers the
 // decision to every executed participant, retrying in the background until
-// each acks.
-func (c *Coordinator) decide(ctx context.Context, id string, commit bool, executed []string, spec TxnSpec) {
+// each acks. It returns the decision that actually took effect: if a
+// concurrent recovery already decided this transaction (presumed abort
+// while the run was still in flight), that durable decision wins — logging
+// a second, possibly contradictory record would let participants apply
+// divergent outcomes.
+func (c *Coordinator) decide(ctx context.Context, id string, commit bool, executed []string, spec TxnSpec) bool {
+	c.mu.Lock()
+	if prior, ok := c.decided[id]; ok {
+		// Recovery owns this transaction: its decision is logged, so adopt
+		// it — but still deliver it to this run's participants. Recovery's
+		// own delivery pass may have preceded a late-executing site (the
+		// site acked the decision as unknown before the subtransaction
+		// landed), leaving it holding locks with no decision and no
+		// resolver armed. Decisions are idempotent, so re-sending is safe.
+		commit = prior.commit
+		for _, s := range executed {
+			prior.pending[s] = true
+		}
+		c.mu.Unlock()
+		if !c.checkCrash(id, CrashAfterDecisionLogged) {
+			c.deliverDecision(ctx, id, prior)
+		}
+		return commit
+	}
 	if len(executed) == 0 {
-		c.finishTxn(id, commit)
-		return
+		// No participant ever executed: nothing to deliver.
+		c.decided[id] = &decided{commit: commit, pending: map[string]bool{}}
+		delete(c.started, id)
+		c.mu.Unlock()
+		return commit
 	}
 	_, _ = c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: decisionAux(commit)})
 	_ = c.log.Sync()
-
 	d := &decided{
 		commit:     commit,
 		trackMarks: !commit && spec.Marking != proto.MarkNone,
@@ -233,7 +263,6 @@ func (c *Coordinator) decide(ctx context.Context, id string, commit bool, execut
 	for _, s := range executed {
 		d.pending[s] = true
 	}
-	c.mu.Lock()
 	c.decided[id] = d
 	delete(c.started, id)
 	c.mu.Unlock()
@@ -247,17 +276,10 @@ func (c *Coordinator) decide(ctx context.Context, id string, commit bool, execut
 	}
 
 	if c.checkCrash(id, CrashAfterDecisionLogged) {
-		return // recovery will re-send
+		return commit // recovery will re-send
 	}
 	c.deliverDecision(ctx, id, d)
-}
-
-// finishTxn records a decision that needed no participant delivery.
-func (c *Coordinator) finishTxn(id string, commit bool) {
-	c.mu.Lock()
-	c.decided[id] = &decided{commit: commit, pending: map[string]bool{}}
-	delete(c.started, id)
-	c.mu.Unlock()
+	return commit
 }
 
 // deliverDecision sends the decision to all pending participants in
@@ -271,16 +293,18 @@ func (c *Coordinator) deliverDecision(ctx context.Context, id string, d *decided
 	}
 	commit := d.commit
 	c.mu.Unlock()
+	// Deterministic spawn order: under a virtual clock, goroutine start
+	// order influences which link RNG draws first.
+	sort.Strings(sites)
 
-	var wg sync.WaitGroup
+	g := sim.NewGroup(c.clock)
 	for _, site := range sites {
-		wg.Add(1)
-		go func(site string) {
-			defer wg.Done()
+		site := site
+		g.Go(func() {
 			c.sendDecisionUntilAcked(ctx, id, site, commit, d)
-		}(site)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 
 	// Once every participant has acked an abort, the marked-site set is
 	// final and the UDUM1 board can start looking for completion.
@@ -319,7 +343,7 @@ func (c *Coordinator) sendDecisionUntilAcked(ctx context.Context, id, site strin
 		if c.Crashed() {
 			return // recovery re-sends
 		}
-		if err := sleepCtx(ctx, c.cfg.DecisionRetry); err != nil {
+		if err := c.clock.Sleep(ctx, c.cfg.DecisionRetry); err != nil {
 			return
 		}
 	}
@@ -369,10 +393,17 @@ func (c *Coordinator) Recover(ctx context.Context) error {
 	}
 	c.mu.Unlock()
 
-	// Presumed abort for undecided transactions.
+	// Presumed abort for undecided transactions. The decided map — not the
+	// log snapshot read above — is re-checked under the lock: a run that was
+	// in flight across the crash may have decided the transaction since,
+	// and a decision, once made, is final.
 	for _, id := range presume {
-		_, _ = c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: "abort"})
 		c.mu.Lock()
+		if _, ok := c.decided[id]; ok {
+			c.mu.Unlock()
+			continue
+		}
+		_, _ = c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: "abort"})
 		c.decided[id] = &decided{
 			commit:     false,
 			trackMarks: wasP1[id],
@@ -386,7 +417,7 @@ func (c *Coordinator) Recover(ctx context.Context) error {
 	}
 	_ = c.log.Sync()
 
-	// Re-deliver everything still pending.
+	// Re-deliver everything still pending, in deterministic id order.
 	c.mu.Lock()
 	toDeliver := make(map[string]*decided)
 	for id, d := range c.decided {
@@ -395,15 +426,19 @@ func (c *Coordinator) Recover(ctx context.Context) error {
 		}
 	}
 	c.mu.Unlock()
-	var wg sync.WaitGroup
-	for id, d := range toDeliver {
-		wg.Add(1)
-		go func(id string, d *decided) {
-			defer wg.Done()
-			c.deliverDecision(ctx, id, d)
-		}(id, d)
+	ids := make([]string, 0, len(toDeliver))
+	for id := range toDeliver {
+		ids = append(ids, id)
 	}
-	wg.Wait()
+	sort.Strings(ids)
+	g := sim.NewGroup(c.clock)
+	for _, id := range ids {
+		id, d := id, toDeliver[id]
+		g.Go(func() {
+			c.deliverDecision(ctx, id, d)
+		})
+	}
+	g.Wait()
 	return nil
 }
 
@@ -467,15 +502,4 @@ func contains(list []string, s string) bool {
 		}
 	}
 	return false
-}
-
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }

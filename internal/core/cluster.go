@@ -25,6 +25,7 @@ import (
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
 	"o2pc/internal/sg"
+	"o2pc/internal/sim"
 	"o2pc/internal/site"
 	"o2pc/internal/storage"
 	"o2pc/internal/txn"
@@ -61,11 +62,16 @@ type Config struct {
 	// ReadOnlyVotes enables the read-only participant optimization at
 	// every site (see site.Config.ReadOnlyVotes; experiment A4).
 	ReadOnlyVotes bool
+	// Clock drives every timer in the cluster — network latency, lock
+	// timeouts, retry backoffs, resolver periods. Nil defaults to the real
+	// clock; pass a sim.VirtualClock for deterministic simulation.
+	Clock sim.Clock
 }
 
 // Cluster is a complete in-process multidatabase.
 type Cluster struct {
 	cfg      Config
+	clock    sim.Clock
 	network  *rpc.Network
 	sites    []*site.Site
 	coords   []*coord.Coordinator
@@ -83,8 +89,13 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Coordinators <= 0 {
 		cfg.Coordinators = 1
 	}
+	clock := sim.OrReal(cfg.Clock)
+	if cfg.Network.Clock == nil {
+		cfg.Network.Clock = clock
+	}
 	cl := &Cluster{
 		cfg:     cfg,
+		clock:   clock,
 		network: rpc.NewNetwork(cfg.Network),
 		board:   marking.NewBoard(),
 	}
@@ -105,6 +116,7 @@ func NewCluster(cfg Config) *Cluster {
 			ResolvePeriod:        cfg.ResolvePeriod,
 			LockTimeout:          cfg.LockTimeout,
 			ReadOnlyVotes:        cfg.ReadOnlyVotes,
+			Clock:                clock,
 		})
 		s.SetCaller(cl.network)
 		s.SetVoteAbortInjector(cl.doomed.injectorFor(name))
@@ -118,6 +130,7 @@ func NewCluster(cfg Config) *Cluster {
 			IDPrefix: prefixFor(i),
 			Recorder: cl.recorder,
 			Board:    cl.board,
+			Clock:    clock,
 		}, cl.network)
 		cl.network.Register(name, c.Handle)
 		cl.coords = append(cl.coords, c)
@@ -137,6 +150,10 @@ func prefixFor(i int) string {
 // Network exposes the simulated transport (failure injection, message
 // census).
 func (cl *Cluster) Network() *rpc.Network { return cl.network }
+
+// Clock returns the cluster's clock (the real clock unless a virtual one
+// was configured).
+func (cl *Cluster) Clock() sim.Clock { return cl.clock }
 
 // Sites returns the participant list.
 func (cl *Cluster) Sites() []*site.Site { return cl.sites }
@@ -291,10 +308,8 @@ func (cl *Cluster) Quiesce(ctx context.Context) error {
 		if !busy {
 			return nil
 		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(time.Millisecond):
+		if err := cl.clock.Sleep(ctx, time.Millisecond); err != nil {
+			return err
 		}
 	}
 }

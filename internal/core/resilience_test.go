@@ -2,26 +2,36 @@ package core
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
 	"o2pc/internal/coord"
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
+	"o2pc/internal/sim"
 	"o2pc/internal/site"
 )
 
 // TestLossyNetworkEventuallyConsistent drives transfers over a network
 // that drops 10% of messages. Exec failures abort transactions cleanly,
 // decision delivery retries until acked, so the system settles with money
-// conserved.
+// conserved. The run is entirely in virtual time: the retry backoffs and
+// delivery timeouts that used to make this test slow are simulated.
 func TestLossyNetworkEventuallyConsistent(t *testing.T) {
+	clock := sim.NewVirtualClock()
 	cl := NewCluster(Config{
-		Sites:   2,
-		Network: rpc.Config{DropProb: 0.10, Seed: 99},
+		Sites: 2,
+		Clock: clock,
+		Network: rpc.Config{
+			DropProb:   0.10,
+			Seed:       99,
+			MinLatency: 100 * time.Microsecond,
+			MaxLatency: 2 * time.Millisecond,
+		},
 	})
 	cl.SeedInt64("acct", 1000)
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	ctx, cancel := clock.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
 	committed := 0
@@ -41,7 +51,7 @@ func TestLossyNetworkEventuallyConsistent(t *testing.T) {
 	if committed == 0 {
 		t.Fatalf("nothing committed through the lossy network")
 	}
-	qctx, qcancel := context.WithTimeout(context.Background(), 20*time.Second)
+	qctx, qcancel := clock.WithTimeout(context.Background(), 20*time.Second)
 	defer qcancel()
 	if err := cl.Quiesce(qctx); err != nil {
 		t.Fatalf("quiesce: %v", err)
@@ -57,12 +67,15 @@ func TestLossyNetworkEventuallyConsistent(t *testing.T) {
 // decision cannot initially be delivered to one O2PC participant; the
 // coordinator keeps retrying and the site learns its fate after healing.
 func TestDecisionRetriesThroughSiteOutage(t *testing.T) {
+	clock := sim.NewVirtualClock()
 	cl := NewCluster(Config{
 		Sites:   2,
+		Clock:   clock,
 		Network: rpc.Config{MinLatency: 3 * time.Millisecond, MaxLatency: 5 * time.Millisecond},
 	})
 	cl.SeedInt64("x", 0)
-	ctx := context.Background()
+	ctx, cancel := clock.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
 	// Sever only the c0 -> s1 direction as soon as s1 has voted YES: the
 	// in-flight vote reply still reaches the coordinator, but the decision
@@ -73,27 +86,29 @@ func TestDecisionRetriesThroughSiteOutage(t *testing.T) {
 		}
 		return false
 	})
-	done := make(chan coord.Result, 1)
-	go func() {
-		done <- cl.Run(ctx, coord.TxnSpec{
+	var res coord.Result
+	g := sim.NewGroup(clock)
+	g.Go(func() {
+		res = cl.Run(ctx, coord.TxnSpec{
 			ID: "Tout", Protocol: proto.O2PC, Marking: proto.MarkNone,
 			Subtxns: []coord.SubtxnSpec{
 				{Site: "s0", Ops: []proto.Operation{proto.Add("x", 1)}, Comp: proto.CompSemantic},
 				{Site: "s1", Ops: []proto.Operation{proto.Add("x", 1)}, Comp: proto.CompSemantic},
 			},
 		})
-	}()
+	})
 	// s1 voted YES and locally committed, but can't receive the decision.
-	time.Sleep(60 * time.Millisecond)
+	_ = clock.Sleep(ctx, 60*time.Millisecond)
 	cl.Network().SetOneWayPartition("c0", "s1", false)
-	res := <-done
+	g.Wait()
 	if !res.Committed() {
 		t.Fatalf("outcome = %v err=%v", res.Outcome, res.Err)
 	}
-	// Both sites applied the effects.
-	deadline := time.Now().Add(2 * time.Second)
-	for cl.Site(1).ReadInt64("x") != 1 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	// Both sites applied the effects; the retried decision lands within a
+	// couple of retry periods of virtual time.
+	start := clock.Now()
+	for cl.Site(1).ReadInt64("x") != 1 && clock.Since(start) < 2*time.Second {
+		_ = clock.Sleep(ctx, time.Millisecond)
 	}
 	if got := cl.Site(1).ReadInt64("x"); got != 1 {
 		t.Fatalf("s1 x = %d", got)
@@ -102,43 +117,60 @@ func TestDecisionRetriesThroughSiteOutage(t *testing.T) {
 
 // TestCheckHoldDeadlockResolved reproduces the Section 6.2 deadlock shape
 // under the CheckHold strategy and verifies the system makes progress
-// anyway (waits-for detection picks a victim).
+// anyway (waits-for detection picks a victim). Lock waits, timeouts and
+// deadlock probes all run on the virtual clock, so the gauntlet is a
+// deterministic schedule rather than a wall-clock race.
 func TestCheckHoldDeadlockResolved(t *testing.T) {
-	// A generous lock timeout keeps the run meaningful under -race, where
-	// everything is ~10x slower and the default timeout would abort every
-	// transaction before the deadlock machinery even engages.
-	cl := NewCluster(Config{Sites: 2, CheckStrategy: site.CheckHold, LockTimeout: 2 * time.Second})
+	clock := sim.NewVirtualClock()
+	cl := NewCluster(Config{
+		Sites:         2,
+		CheckStrategy: site.CheckHold,
+		LockTimeout:   2 * time.Second,
+		Clock:         clock,
+		Network: rpc.Config{
+			MinLatency: 100 * time.Microsecond,
+			MaxLatency: 2 * time.Millisecond,
+		},
+	})
 	cl.SeedInt64("hot", 1<<20)
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	ctx, cancel := clock.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
 	// A stream of doomed transactions forces compensations (R2 writes the
 	// marking set under X) racing admissions (R1 holds S on it).
-	results := make(chan coord.Result, 40)
+	var mu sync.Mutex
+	var results []coord.Result
+	g := sim.NewGroup(clock)
 	for i := 0; i < 40; i++ {
-		go func(i int) {
+		i := i
+		g.Go(func() {
+			// Park each freshly-spawned worker on its own timer first, so
+			// the burst enters the cluster one at a time.
+			_ = clock.Sleep(ctx, time.Duration(i+1)*time.Microsecond)
 			id := "Th" + string(rune('0'+i%10)) + string(rune('a'+i/10))
 			if i%4 == 0 {
 				cl.DoomAtSite(id, "s1")
 			}
-			results <- cl.Run(ctx, coord.TxnSpec{
+			res := cl.Run(ctx, coord.TxnSpec{
 				ID: id, Protocol: proto.O2PC, Marking: proto.MarkP1,
 				Subtxns: []coord.SubtxnSpec{
 					{Site: "s0", Ops: []proto.Operation{proto.Add("hot", 1)}, Comp: proto.CompSemantic},
 					{Site: "s1", Ops: []proto.Operation{proto.Add("hot", 1)}, Comp: proto.CompSemantic},
 				},
 			})
-		}(i)
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+		})
+	}
+	g.Wait()
+	if ctx.Err() != nil {
+		t.Fatalf("deadlocked: run context expired with %d/40 transactions resolved", len(results))
 	}
 	committed := 0
-	for i := 0; i < 40; i++ {
-		select {
-		case res := <-results:
-			if res.Committed() {
-				committed++
-			}
-		case <-ctx.Done():
-			t.Fatalf("deadlocked: only %d/40 transactions resolved", i)
+	for _, res := range results {
+		if res.Committed() {
+			committed++
 		}
 	}
 	if committed == 0 {

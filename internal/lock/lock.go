@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"o2pc/internal/metrics"
+	"o2pc/internal/sim"
 	"o2pc/internal/storage"
 )
 
@@ -68,6 +69,11 @@ type request struct {
 	upgrade bool
 	grant   chan error // buffered(1); receives nil on grant, error on abort
 	start   time.Time
+	// claim is the clock's wake-up reservation for this grant: set (under
+	// m.mu) by the granter immediately before sending on grant, claimed by
+	// the woken waiter. It keeps virtual time from advancing in the window
+	// between the channel send and the waiter actually resuming.
+	claim func()
 }
 
 // lockState tracks one key's holders and wait queue.
@@ -106,6 +112,8 @@ func newStats() *Stats {
 // Manager is a per-site lock manager. The zero value is not usable; call
 // NewManager.
 type Manager struct {
+	clock sim.Clock
+
 	mu       sync.Mutex
 	locks    map[storage.Key]*lockState
 	held     map[string]map[storage.Key]heldLock
@@ -113,6 +121,14 @@ type Manager struct {
 	nextSeq  uint64
 	stats    *Stats
 	priority func(txn string) int
+}
+
+// SetClock installs the clock the manager times waits and hold durations
+// with. Call before any lock traffic; the site wires this at construction.
+func (m *Manager) SetClock(c sim.Clock) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock = sim.OrReal(c)
 }
 
 // SetVictimPriority installs a victim-selection priority function: among
@@ -127,9 +143,10 @@ func (m *Manager) SetVictimPriority(f func(txn string) int) {
 	m.priority = f
 }
 
-// NewManager returns an empty lock manager.
+// NewManager returns an empty lock manager on the real clock.
 func NewManager() *Manager {
 	return &Manager{
+		clock: sim.Real(),
 		locks: make(map[storage.Key]*lockState),
 		held:  make(map[string]map[storage.Key]heldLock),
 		seq:   make(map[string]uint64),
@@ -167,7 +184,7 @@ func (m *Manager) grantLocked(st *lockState, key storage.Key, txn string, mode M
 		m.held[txn] = locks
 	}
 	prev, had := locks[key]
-	grantAt := time.Now()
+	grantAt := m.clock.Now()
 	if had {
 		// Upgrade: keep the original grant time so hold-time metrics span
 		// the whole period the item was locked.
@@ -212,7 +229,7 @@ func (m *Manager) Acquire(ctx context.Context, txn string, key storage.Key, mode
 			m.mu.Unlock()
 			return nil
 		}
-		req := &request{txn: txn, mode: Exclusive, upgrade: true, grant: make(chan error, 1), start: time.Now()}
+		req := &request{txn: txn, mode: Exclusive, upgrade: true, grant: make(chan error, 1), start: m.clock.Now()}
 		// Upgrades go ahead of ordinary waiters but behind earlier upgrades.
 		idx := 0
 		for idx < len(st.queue) && st.queue[idx].upgrade {
@@ -246,7 +263,7 @@ func (m *Manager) Acquire(ctx context.Context, txn string, key storage.Key, mode
 			return nil
 		}
 	}
-	req := &request{txn: txn, mode: mode, grant: make(chan error, 1), start: time.Now()}
+	req := &request{txn: txn, mode: mode, grant: make(chan error, 1), start: m.clock.Now()}
 	st.queue = append(st.queue, req)
 	return m.waitLocked(ctx, st, key, req)
 }
@@ -270,32 +287,61 @@ func (m *Manager) waitLocked(ctx context.Context, st *lockState, key storage.Key
 	}
 	m.mu.Unlock()
 
+	// The wait on req.grant happens outside the clock's knowledge: under a
+	// virtual clock the eventual granter may itself be asleep in virtual
+	// time, so the waiter must be parked (BlockOn) for the duration or
+	// time could never advance. The granter pairs every send with a
+	// PrepareWake reservation (req.claim), returned to BlockOn so the wake
+	// stays accounted until the waiter is back in the run queue.
+	var err error
+	granted := false
 	select {
-	case err := <-req.grant:
-		if err == nil {
-			m.stats.WaitTime.ObserveDuration(time.Since(req.start))
-		}
-		return err
-	case <-ctx.Done():
-		m.mu.Lock()
-		// A grant may have raced with cancellation.
-		select {
-		case err := <-req.grant:
-			m.mu.Unlock()
-			if err == nil {
-				// Granted concurrently; honour the grant (caller will
-				// observe ctx and release).
-				m.stats.WaitTime.ObserveDuration(time.Since(req.start))
+	case err = <-req.grant:
+		granted = true
+	default:
+	}
+	if !granted {
+		m.clock.BlockOn(ctx, func() func() {
+			select {
+			case err = <-req.grant:
+				granted = true
+				return req.claim
+			case <-ctx.Done():
 				return nil
 			}
-			return err
-		default:
-		}
-		m.removeRequestLocked(st, req)
-		m.promoteLocked(key)
-		m.mu.Unlock()
-		return ctx.Err()
+		})
 	}
+	if granted {
+		if req.claim != nil {
+			req.claim()
+		}
+		if err == nil {
+			m.stats.WaitTime.ObserveDuration(m.clock.Since(req.start))
+		}
+		return err
+	}
+
+	m.mu.Lock()
+	// A grant may have raced with cancellation.
+	select {
+	case err := <-req.grant:
+		if req.claim != nil {
+			req.claim()
+		}
+		m.mu.Unlock()
+		if err == nil {
+			// Granted concurrently; honour the grant (caller will observe
+			// ctx and release).
+			m.stats.WaitTime.ObserveDuration(m.clock.Since(req.start))
+			return nil
+		}
+		return err
+	default:
+	}
+	m.removeRequestLocked(st, req)
+	m.promoteLocked(key)
+	m.mu.Unlock()
+	return ctx.Err()
 }
 
 // removeRequestLocked deletes req from st's queue if still present.
@@ -322,6 +368,7 @@ func (m *Manager) promoteLocked(key storage.Key) {
 		}
 		st.queue = st.queue[1:]
 		m.grantLocked(st, key, req.txn, req.mode)
+		req.claim = m.clock.PrepareWake()
 		req.grant <- nil
 		if req.mode == Exclusive {
 			return
@@ -342,7 +389,7 @@ func (m *Manager) releaseLocked(txn string, key storage.Key) {
 	delete(st.holders, txn)
 	if locks, ok := m.held[txn]; ok {
 		if hl, ok := locks[key]; ok {
-			d := time.Since(hl.grantAt)
+			d := m.clock.Since(hl.grantAt)
 			if hl.mode == Exclusive {
 				m.stats.HoldTimeX.ObserveDuration(d)
 			} else {
@@ -407,6 +454,7 @@ func (m *Manager) abortWaiterLocked(txn string, err error) {
 			if st.queue[i].txn == txn {
 				req := st.queue[i]
 				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				req.claim = m.clock.PrepareWake()
 				req.grant <- err
 				continue
 			}

@@ -1,0 +1,131 @@
+package marking
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// splitMarks turns a comma-separated fuzz string into a mark list, dropping
+// empty elements so the fuzzer can explore list shapes freely.
+func splitMarks(csv string) []string {
+	if csv == "" {
+		return nil
+	}
+	var out []string
+	for _, m := range strings.Split(csv, ",") {
+		if m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func toSet(marks []string) map[string]bool {
+	s := make(map[string]bool, len(marks))
+	for _, m := range marks {
+		s[m] = true
+	}
+	return s
+}
+
+// FuzzCompatible checks the R1 compatibility invariants over arbitrary mark
+// sets, for P1 (Compatible), the very simple protocol (CompatibleSimple)
+// and the sound P2 dual (CompatibleP2):
+//
+//   - pure function: a second call with the same inputs returns the same
+//     verdict and merged set;
+//   - P1 Admit implies transmarks ⊆ sitemarks, and with visited=true the
+//     two sets are equal;
+//   - the merged set is the sorted union of transmarks and sitemarks;
+//   - admission is stable: re-checking the merged set against the same site
+//     (now as a visited transaction) must admit again, unchanged;
+//   - CompatibleSimple retries on any locally-committed mark and otherwise
+//     agrees with Compatible.
+func FuzzCompatible(f *testing.F) {
+	f.Add("", "", "", false)
+	f.Add("t1", "t1", "", true)
+	f.Add("t1,t2", "t1", "", true)
+	f.Add("", "t3", "", true)
+	f.Add("", "t3", "t9", false)
+	f.Add("u:t1,l:t2", "t1", "t2", true)
+	f.Add("l:t4", "", "t4,t5", false)
+
+	f.Fuzz(func(t *testing.T, transCSV, siteUndoneCSV, siteLCCSV string, visited bool) {
+		trans := splitMarks(transCSV)
+		siteUndone := splitMarks(siteUndoneCSV)
+		siteLC := splitMarks(siteLCCSV)
+
+		v1, m1 := Compatible(trans, visited, siteUndone)
+		v2, m2 := Compatible(trans, visited, siteUndone)
+		if v1 != v2 || !reflect.DeepEqual(m1, m2) {
+			t.Fatalf("Compatible not deterministic: (%v,%v) vs (%v,%v)", v1, m1, v2, m2)
+		}
+		if v1 == Admit {
+			siteSet, transSet := toSet(siteUndone), toSet(trans)
+			for _, ti := range trans {
+				if !siteSet[ti] {
+					t.Fatalf("admitted with carried mark %q absent at site", ti)
+				}
+			}
+			if visited {
+				for _, ti := range siteUndone {
+					if !transSet[ti] {
+						t.Fatalf("visited transaction admitted past uncarried site mark %q", ti)
+					}
+				}
+			}
+			union := toSet(trans)
+			for _, ti := range siteUndone {
+				union[ti] = true
+			}
+			want := make([]string, 0, len(union))
+			for ti := range union {
+				want = append(want, ti)
+			}
+			sort.Strings(want)
+			if len(want) == 0 {
+				want = nil
+			}
+			if !reflect.DeepEqual(m1, want) && !(len(m1) == 0 && len(want) == 0) {
+				t.Fatalf("merged = %v, want sorted union %v", m1, want)
+			}
+			rv, rm := Compatible(m1, true, siteUndone)
+			if rv != Admit || !reflect.DeepEqual(rm, m1) {
+				t.Fatalf("re-check of merged set = (%v,%v), want (admit,%v)", rv, rm, m1)
+			}
+		}
+
+		sv, sm := CompatibleSimple(trans, visited, siteUndone, siteLC)
+		if len(siteLC) > 0 {
+			if sv != Retry || sm != nil {
+				t.Fatalf("CompatibleSimple with lc marks = (%v,%v), want (retry,nil)", sv, sm)
+			}
+		} else if sv != v1 || !reflect.DeepEqual(sm, m1) {
+			t.Fatalf("CompatibleSimple without lc marks = (%v,%v), diverges from Compatible (%v,%v)", sv, sm, v1, m1)
+		}
+
+		pv1, pm1 := CompatibleP2(trans, visited, siteLC, siteUndone)
+		pv2, pm2 := CompatibleP2(trans, visited, siteLC, siteUndone)
+		if pv1 != pv2 || !reflect.DeepEqual(pm1, pm2) {
+			t.Fatalf("CompatibleP2 not deterministic: (%v,%v) vs (%v,%v)", pv1, pm1, pv2, pm2)
+		}
+		if pv1 == Admit {
+			if !sort.StringsAreSorted(pm1) {
+				t.Fatalf("CompatibleP2 merged set not sorted: %v", pm1)
+			}
+			for _, m := range pm1 {
+				if !strings.HasPrefix(m, "l:") && !strings.HasPrefix(m, "u:") {
+					t.Fatalf("CompatibleP2 merged mark %q lacks an evidence prefix", m)
+				}
+			}
+			rv, rm := CompatibleP2(pm1, true, siteLC, siteUndone)
+			if rv != Admit || !reflect.DeepEqual(rm, pm1) {
+				t.Fatalf("CompatibleP2 re-check of merged set = (%v,%v), want (admit,%v)", rv, rm, pm1)
+			}
+		} else if pm1 != nil {
+			t.Fatalf("CompatibleP2 returned marks %v with verdict %v", pm1, pv1)
+		}
+	})
+}

@@ -291,22 +291,30 @@ func CompatibleP2(transmarks []string, visited bool, siteLC, siteUndone []string
 		delete(lcSet, ti)
 	}
 
-	universe := make(map[string]bool)
+	universeSet := make(map[string]bool)
 	for ti := range transLC {
-		universe[ti] = true
+		universeSet[ti] = true
 	}
 	for ti := range transU {
-		universe[ti] = true
+		universeSet[ti] = true
 	}
 	for ti := range lcSet {
-		universe[ti] = true
+		universeSet[ti] = true
 	}
 	for ti := range uSet {
-		universe[ti] = true
+		universeSet[ti] = true
 	}
+	// The verdict must not depend on map iteration order: classify every
+	// forward transaction (in sorted order), then rank Abort over Retry.
+	universe := make([]string, 0, len(universeSet))
+	for ti := range universeSet {
+		universe = append(universe, ti)
+	}
+	sort.Strings(universe)
 
 	var merged []string
-	for ti := range universe {
+	abortAny, retryAny := false, false
+	for _, ti := range universe {
 		tl, tu := transLC[ti], transU[ti]
 		sl, su := lcSet[ti], uSet[ti]
 		switch {
@@ -315,37 +323,45 @@ func CompatibleP2(transmarks []string, visited bool, siteLC, siteUndone []string
 			case sl:
 				merged = append(merged, p2LCPrefix+ti)
 			case su:
-				return Abort, nil // lc evidence meets an undone site: unmixable
+				abortAny = true // lc evidence meets an undone site: unmixable
 			default:
 				// Unmarked here: Ti's decision already landed (or Ti never
 				// ran here); the all-lc branch cannot be completed.
-				return Retry, nil
+				retryAny = true
 			}
 		case tu: // undone branch, exactly as P1
 			switch {
 			case su:
 				merged = append(merged, p2UndonePrefix+ti)
 			case sl:
-				return Abort, nil
+				abortAny = true
 			default:
-				return Retry, nil // compensation may still land here
+				retryAny = true // compensation may still land here
 			}
 		default: // no evidence yet for ti
 			switch {
 			case su:
 				if visited {
-					return Abort, nil // some visited site was not undone w.r.t. ti
+					abortAny = true // some visited site was not undone w.r.t. ti
+				} else {
+					merged = append(merged, p2UndonePrefix+ti)
 				}
-				merged = append(merged, p2UndonePrefix+ti)
 			case sl:
 				if visited {
 					// Previous sites were unmarked w.r.t. ti; the lc mark
 					// here will clear at ti's decision — retry.
-					return Retry, nil
+					retryAny = true
+				} else {
+					merged = append(merged, p2LCPrefix+ti)
 				}
-				merged = append(merged, p2LCPrefix+ti)
 			}
 		}
+	}
+	if abortAny {
+		return Abort, nil
+	}
+	if retryAny {
+		return Retry, nil
 	}
 	sort.Strings(merged)
 	return Admit, merged

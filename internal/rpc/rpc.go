@@ -18,11 +18,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
 
 	"o2pc/internal/metrics"
+	"o2pc/internal/sim"
 )
 
 // Handler processes one inbound request at a node.
@@ -55,14 +57,23 @@ type Config struct {
 	// Seed seeds the network's private RNG; 0 selects a fixed default so
 	// simulations are reproducible by default.
 	Seed int64
+	// Clock supplies the network's notion of time (latency waits). Nil
+	// defaults to the real clock; the deterministic simulation harness
+	// passes a sim.VirtualClock.
+	Clock sim.Clock
 }
+
+// linkKey identifies one directed link for per-link randomness.
+type linkKey struct{ from, to string }
 
 // Network is the in-process simulated transport.
 type Network struct {
-	cfg Config
+	cfg   Config
+	seed  int64
+	clock sim.Clock
 
 	mu          sync.Mutex
-	rng         *rand.Rand
+	links       map[linkKey]*rand.Rand
 	nodes       map[string]Handler
 	down        map[string]bool
 	partitioned map[string]map[string]bool
@@ -78,12 +89,33 @@ func NewNetwork(cfg Config) *Network {
 	}
 	return &Network{
 		cfg:         cfg,
-		rng:         rand.New(rand.NewSource(seed)),
+		seed:        seed,
+		clock:       sim.OrReal(cfg.Clock),
+		links:       make(map[linkKey]*rand.Rand),
 		nodes:       make(map[string]Handler),
 		down:        make(map[string]bool),
 		partitioned: make(map[string]map[string]bool),
 		counts:      metrics.NewRegistry(),
 	}
+}
+
+// linkRNG returns the directed link's private RNG, creating it on first
+// use. Per-link RNGs keep the delay/drop sequence of one link independent
+// of traffic on every other link: under the virtual clock a run's outcome
+// then depends only on the seed, not on which goroutine drew first from a
+// shared stream. Callers must hold n.mu.
+func (n *Network) linkRNG(from, to string) *rand.Rand {
+	k := linkKey{from, to}
+	if r, ok := n.links[k]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	r := rand.New(rand.NewSource(int64(h.Sum64()) ^ n.seed))
+	n.links[k] = r
+	return r
 }
 
 // Register installs the handler for a node name, replacing any previous
@@ -126,24 +158,24 @@ func (n *Network) SetOneWayPartition(from, to string, severed bool) {
 // type names (e.g. "proto.ExecRequest").
 func (n *Network) Counts() *metrics.Registry { return n.counts }
 
-// delay computes one random one-way latency.
-func (n *Network) delay() time.Duration {
+// delay computes one random one-way latency for the from -> to link.
+func (n *Network) delay(from, to string) time.Duration {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.cfg.MaxLatency <= n.cfg.MinLatency {
 		return n.cfg.MinLatency
 	}
 	span := n.cfg.MaxLatency - n.cfg.MinLatency
-	return n.cfg.MinLatency + time.Duration(n.rng.Int63n(int64(span)))
+	return n.cfg.MinLatency + time.Duration(n.linkRNG(from, to).Int63n(int64(span)))
 }
 
-func (n *Network) dropped() bool {
+func (n *Network) dropped(from, to string) bool {
 	if n.cfg.DropProb <= 0 {
 		return false
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.rng.Float64() < n.cfg.DropProb
+	return n.linkRNG(from, to).Float64() < n.cfg.DropProb
 }
 
 // reachable reports whether a message from -> to can currently be
@@ -168,31 +200,16 @@ func (n *Network) count(msg any) {
 	n.counts.Counter(fmt.Sprintf("%T", msg)).Inc()
 }
 
-// sleep waits d or until ctx is done.
-func sleep(ctx context.Context, d time.Duration) error {
-	if d <= 0 {
-		return ctx.Err()
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
 // Call delivers req to node `to` and returns its reply, modeling one-way
 // latency in each direction. Message loss, partitions and crashed nodes
 // surface as ErrUnreachable (after the request's one-way delay, as a
 // timeout would).
 func (n *Network) Call(ctx context.Context, from, to string, req any) (any, error) {
 	n.count(req)
-	if err := sleep(ctx, n.delay()); err != nil {
+	if err := n.clock.Sleep(ctx, n.delay(from, to)); err != nil {
 		return nil, err
 	}
-	if n.dropped() {
+	if n.dropped(from, to) {
 		return nil, fmt.Errorf("%w: request dropped", ErrUnreachable)
 	}
 	h, err := n.reachable(from, to)
@@ -204,10 +221,10 @@ func (n *Network) Call(ctx context.Context, from, to string, req any) (any, erro
 		return nil, err
 	}
 	n.count(resp)
-	if err := sleep(ctx, n.delay()); err != nil {
+	if err := n.clock.Sleep(ctx, n.delay(to, from)); err != nil {
 		return nil, err
 	}
-	if n.dropped() {
+	if n.dropped(to, from) {
 		return nil, fmt.Errorf("%w: reply dropped", ErrUnreachable)
 	}
 	// The sender may have crashed or been partitioned away while the reply

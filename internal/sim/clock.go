@@ -1,0 +1,116 @@
+// Package sim provides the virtual-time scheduler behind the deterministic
+// simulation harness: a Clock abstraction that the transport, sites,
+// coordinators and compensation framework all draw their time from, a
+// trivial real-time implementation, and VirtualClock (virtual.go), which
+// executes an entire cluster run — timeouts, retry backoffs, network
+// latencies, crash/recovery scripts — in logical time with zero real
+// sleeping, so that a seeded execution is fast and replayable.
+//
+// The discipline VirtualClock imposes is cooperative: every goroutine that
+// participates in a simulated run must be spawned through Clock.Go (or
+// Group.Go), must sleep and arm timeouts only through the Clock, and must
+// flag waits on non-clock synchronization (channels, mutexes held across
+// virtual sleeps) with BlockOn. In exchange, virtual time only advances
+// when every tracked goroutine is blocked, one timer fires per advance, and
+// the interleaving of a run is (modulo benign scheduler races on
+// independent state) a function of the seed alone.
+package sim
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts the passage of time for a cluster. The zero/nil Clock is
+// not usable; use Real() or NewVirtualClock(), or OrReal to default.
+type Clock interface {
+	// Now returns the current (real or virtual) time.
+	Now() time.Time
+	// Since returns the time elapsed since t.
+	Since(t time.Time) time.Duration
+	// Sleep pauses the calling goroutine for d, returning early with
+	// ctx.Err() if ctx is cancelled first. d <= 0 returns immediately.
+	Sleep(ctx context.Context, d time.Duration) error
+	// WithTimeout derives a context cancelled after d has elapsed on this
+	// clock (or when the returned CancelFunc runs, whichever is first).
+	WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc)
+	// Go spawns fn as a tracked goroutine. Under a virtual clock every
+	// goroutine that uses the clock MUST be spawned this way (or be the
+	// goroutine that created the clock): the clock advances only when all
+	// tracked goroutines are blocked.
+	Go(fn func())
+	// Join waits for a set of tracked goroutines to finish. wait is a
+	// blocking join (e.g. WaitGroup.Wait) used by the real clock; done is a
+	// non-blocking completion predicate polled in virtual time by the
+	// virtual clock. Group packages the pattern.
+	Join(wait func(), done func() bool)
+	// BlockOn runs wait(), which blocks on synchronization outside the
+	// clock's knowledge (a channel receive whose sender may be sleeping in
+	// virtual time). The virtual clock parks the caller for the duration so
+	// the wait cannot stall time. wait returns the claim token it received
+	// from the waker's PrepareWake (nil if it was released another way);
+	// the clock consumes it once the caller is accounted for again. If
+	// wait can be unblocked by ctx's cancellation, ctx must be the context
+	// it selects on, so a deadline expiry reserves the wake
+	// deterministically; pass context.Background() when wait is only
+	// released by a PrepareWake'd hand-off.
+	BlockOn(ctx context.Context, wait func() func())
+	// PrepareWake reserves a wake-up for a goroutine about to be unblocked
+	// through a non-clock channel (e.g. a lock grant): until the returned
+	// claim function is called by the wakee, virtual time will not advance.
+	// This closes the gap between the waker's send and the wakee resuming.
+	// The real clock returns nil (no reservation needed).
+	PrepareWake() func()
+}
+
+// realClock implements Clock with the runtime's own notion of time.
+type realClock struct{}
+
+// Real returns the wall-clock Clock.
+func Real() Clock { return realClock{} }
+
+// OrReal returns c, or the real clock when c is nil, so components can
+// accept an optional Clock in their configs.
+func OrReal(c Clock) Clock {
+	if c == nil {
+		return Real()
+	}
+	return c
+}
+
+func (realClock) Now() time.Time                  { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (realClock) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, d)
+}
+
+func (realClock) Go(fn func()) { go fn() }
+
+func (realClock) Join(wait func(), done func() bool) {
+	if wait != nil {
+		wait()
+	}
+}
+
+func (realClock) BlockOn(_ context.Context, wait func() func()) {
+	if claim := wait(); claim != nil {
+		claim()
+	}
+}
+
+func (realClock) PrepareWake() func() { return nil }

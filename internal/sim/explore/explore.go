@@ -1,0 +1,495 @@
+// Package explore drives deterministic schedule exploration: whole cluster
+// executions — concurrent transfers, coordinator crashes, site crashes,
+// partitions, message loss — run under a virtual clock (internal/sim)
+// across seeded fault matrices, and every recorded history is fed to the
+// Section 5 verifier. A given (Config, Seed) reproduces the identical
+// execution, so a failing run is reported as its seed plus a minimized
+// configuration and an event trace rather than as an unreproducible flake.
+//
+// The oracles checked after each run:
+//
+//   - conservation: the transfer workload must leave total money unchanged
+//     (semantic atomicity, Section 3);
+//   - the Section 5 criterion: no local cycles, no effective regular
+//     cycles in the global serialization graph;
+//   - Theorem 2: no committed transaction read a forward value that
+//     compensation later erased;
+//   - marking hygiene (Fig. 2): once every decision is delivered and
+//     compensation has drained, no locally-committed marks remain, and
+//     every surviving undone mark names a globally aborted transaction.
+package explore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"o2pc/internal/coord"
+	"o2pc/internal/core"
+	"o2pc/internal/history"
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/sg"
+	"o2pc/internal/sim"
+	"o2pc/internal/storage"
+)
+
+// Faults selects the failure schedule of one exploration run. The zero
+// value injects nothing.
+type Faults struct {
+	// DropProb is the per-message loss probability.
+	DropProb float64
+	// CoordCrashCycles crash/recover the last coordinator this many times;
+	// CrashSpacing separates the cycles and CrashDowntime is how long the
+	// coordinator stays down. Requires at least two coordinators.
+	CoordCrashCycles int
+	CrashSpacing     time.Duration
+	CrashDowntime    time.Duration
+	// PartitionCycles sever the c0 -> site link (rotating over sites) for
+	// PartitionSpan, then heal it.
+	PartitionCycles int
+	PartitionSpan   time.Duration
+	// DoomRate is the probability that a transaction is doomed to a
+	// unilateral NO vote at one of its sites.
+	DoomRate float64
+}
+
+// Config is one point of the exploration space. Zero fields take the
+// defaults documented on each.
+type Config struct {
+	// Seed drives everything: the workload, the network, the fault timing.
+	Seed int64
+	// Sites (default 3), Coordinators (default 2), Clients (default 3)
+	// set the cluster and driver shape.
+	Sites        int
+	Coordinators int
+	Clients      int
+	// Txns is the total number of global transfers (default 24), spread
+	// round-robin over the clients; Accounts (default 4) is the number of
+	// replicated account keys, each seeded with InitialBalance (default
+	// 1000) at every site.
+	Txns           int
+	Accounts       int
+	InitialBalance int64
+	// Marking selects the correctness protocol (default P1).
+	Marking proto.MarkProtocol
+	// TwoPCShare is the fraction of transactions run under baseline 2PC
+	// (default 0.2); the rest run O2PC.
+	TwoPCShare float64
+	// MinLatency/MaxLatency bound one-way message delay (defaults 100µs
+	// and 2ms). A nonzero span matters: it spreads timer deadlines so the
+	// virtual clock's (when, seq) order is seed-determined.
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	// LockTimeout bounds lock waits at the sites (default 5ms — short, so
+	// distributed deadlocks resolve quickly in virtual time).
+	LockTimeout time.Duration
+	// Faults is the failure schedule.
+	Faults Faults
+}
+
+func withDefaults(cfg Config) Config {
+	if cfg.Sites <= 0 {
+		cfg.Sites = 3
+	}
+	if cfg.Coordinators <= 0 {
+		cfg.Coordinators = 2
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 3
+	}
+	if cfg.Txns <= 0 {
+		cfg.Txns = 24
+	}
+	if cfg.Accounts <= 0 {
+		cfg.Accounts = 4
+	}
+	if cfg.InitialBalance == 0 {
+		cfg.InitialBalance = 1000
+	}
+	if cfg.Marking == proto.MarkNone {
+		cfg.Marking = proto.MarkP1
+	}
+	if cfg.TwoPCShare == 0 {
+		cfg.TwoPCShare = 0.2
+	}
+	if cfg.MinLatency == 0 {
+		cfg.MinLatency = 100 * time.Microsecond
+	}
+	if cfg.MaxLatency == 0 {
+		cfg.MaxLatency = 2 * time.Millisecond
+	}
+	if cfg.LockTimeout == 0 {
+		cfg.LockTimeout = 5 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// Result reports one exploration run.
+type Result struct {
+	// Config is the fully-defaulted configuration that ran.
+	Config Config
+	// Committed/Aborted count global transaction outcomes.
+	Committed int
+	Aborted   int
+	// Total is the summed account balance after quiesce; Expected is what
+	// conservation demands.
+	Total    int64
+	Expected int64
+	// History is the recorded execution; Audit its Section 5 verdict.
+	History *history.History
+	Audit   *sg.Audit
+	// Failures lists every violated oracle (empty on a correct run).
+	Failures []string
+}
+
+// Failed reports whether any oracle was violated.
+func (r *Result) Failed() bool { return len(r.Failures) > 0 }
+
+func (r *Result) fail(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+func acctKey(a int) string  { return fmt.Sprintf("acct%d", a) }
+func siteName(i int) string { return fmt.Sprintf("s%d", i) }
+
+// Run executes one exploration run to completion in virtual time and
+// checks every oracle against the recorded history.
+func Run(cfg Config) *Result {
+	cfg = withDefaults(cfg)
+	clock := sim.NewVirtualClock()
+	cl := core.NewCluster(core.Config{
+		Sites:        cfg.Sites,
+		Coordinators: cfg.Coordinators,
+		Record:       true,
+		Clock:        clock,
+		LockTimeout:  cfg.LockTimeout,
+		Network: rpc.Config{
+			MinLatency: cfg.MinLatency,
+			MaxLatency: cfg.MaxLatency,
+			DropProb:   cfg.Faults.DropProb,
+			Seed:       cfg.Seed,
+		},
+	})
+	for a := 0; a < cfg.Accounts; a++ {
+		cl.SeedInt64(acctKey(a), cfg.InitialBalance)
+	}
+
+	// The whole workload is precomputed from the seed before any goroutine
+	// starts, so the only randomness live during the run is the network's
+	// per-link streams.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type job struct {
+		spec     coord.TxnSpec
+		doom     string
+		coordIdx int
+	}
+	jobs := make([]job, cfg.Txns)
+	for i := range jobs {
+		from := rng.Intn(cfg.Sites)
+		to := rng.Intn(cfg.Sites)
+		if to == from {
+			to = (from + 1) % cfg.Sites
+		}
+		amount := int64(1 + rng.Intn(20))
+		acct := acctKey(rng.Intn(cfg.Accounts))
+		protocol := proto.O2PC
+		if rng.Float64() < cfg.TwoPCShare {
+			protocol = proto.TwoPC
+		}
+		j := job{
+			spec: coord.TxnSpec{
+				ID:             fmt.Sprintf("x%d", i),
+				Protocol:       protocol,
+				Marking:        cfg.Marking,
+				MarkingRetries: 5,
+				Subtxns: []coord.SubtxnSpec{
+					{Site: siteName(from), Ops: []proto.Operation{proto.AddMin(acct, -amount, 0)}, Comp: proto.CompSemantic},
+					{Site: siteName(to), Ops: []proto.Operation{proto.Add(acct, amount)}, Comp: proto.CompSemantic},
+				},
+			},
+			coordIdx: rng.Intn(cfg.Coordinators),
+		}
+		if cfg.Faults.DoomRate > 0 && rng.Float64() < cfg.Faults.DoomRate {
+			j.doom = siteName([]int{from, to}[rng.Intn(2)])
+		}
+		jobs[i] = j
+	}
+
+	ctx, cancel := clock.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	var committed, aborted atomic.Int64
+	clients := sim.NewGroup(clock)
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		clients.Go(func() {
+			// Distinct start offsets: each client arms a uniquely-timed
+			// timer and from then on only runs when its own timer fires,
+			// keeping the spawn burst off the shared network streams.
+			if clock.Sleep(ctx, time.Duration(c+1)*time.Microsecond) != nil {
+				return
+			}
+			for i := c; i < len(jobs); i += cfg.Clients {
+				j := jobs[i]
+				if j.doom != "" {
+					cl.DoomAtSite(j.spec.ID, j.doom)
+				}
+				res := cl.RunAt(ctx, j.coordIdx, j.spec)
+				if res.Committed() {
+					committed.Add(1)
+				} else {
+					aborted.Add(1)
+				}
+			}
+		})
+	}
+
+	faults := sim.NewGroup(clock)
+	if n := cfg.Faults.CoordCrashCycles; n > 0 && cfg.Coordinators > 1 {
+		target := cfg.Coordinators - 1
+		spacing, downtime := cfg.Faults.CrashSpacing, cfg.Faults.CrashDowntime
+		if spacing <= 0 {
+			spacing = 4 * time.Millisecond
+		}
+		if downtime <= 0 {
+			downtime = 3 * time.Millisecond
+		}
+		faults.Go(func() {
+			for i := 0; i < n; i++ {
+				if clock.Sleep(ctx, spacing) != nil {
+					return
+				}
+				cl.CrashCoordinator(target)
+				_ = clock.Sleep(ctx, downtime)
+				// Always bring it back, even on a dead context: the final
+				// recovery pass needs a live coordinator.
+				rctx, rcancel := clock.WithTimeout(context.Background(), time.Minute)
+				_ = cl.RecoverCoordinator(rctx, target)
+				rcancel()
+			}
+		})
+	}
+	if n := cfg.Faults.PartitionCycles; n > 0 {
+		span := cfg.Faults.PartitionSpan
+		if span <= 0 {
+			span = 5 * time.Millisecond
+		}
+		faults.Go(func() {
+			for i := 0; i < n; i++ {
+				if clock.Sleep(ctx, span) != nil {
+					return
+				}
+				target := siteName(i % cfg.Sites)
+				cl.Network().SetOneWayPartition("c0", target, true)
+				_ = clock.Sleep(ctx, span)
+				cl.Network().SetOneWayPartition("c0", target, false)
+			}
+		})
+	}
+	clients.Wait()
+	faults.Wait()
+	cancel()
+
+	// Final recovery pass: Recover rebuilds delivery state from the WAL,
+	// so this re-sends every logged decision (idempotently) and presumes
+	// abort for anything still undecided — no participant is left in
+	// doubt, no mark is left waiting on an undelivered decision.
+	for i := 0; i < cfg.Coordinators; i++ {
+		rctx, rcancel := clock.WithTimeout(context.Background(), 2*time.Minute)
+		_ = cl.RecoverCoordinator(rctx, i)
+		rcancel()
+	}
+
+	res := &Result{
+		Config:    cfg,
+		Committed: int(committed.Load()),
+		Aborted:   int(aborted.Load()),
+		Expected:  int64(cfg.Sites*cfg.Accounts) * cfg.InitialBalance,
+	}
+
+	qctx, qcancel := clock.WithTimeout(context.Background(), 2*time.Minute)
+	qerr := cl.Quiesce(qctx)
+	qcancel()
+	if qerr != nil {
+		res.fail("quiesce: %v", qerr)
+	}
+
+	// Oracle 1: conservation (semantic atomicity).
+	for s := 0; s < cfg.Sites; s++ {
+		for a := 0; a < cfg.Accounts; a++ {
+			res.Total += cl.Site(s).ReadInt64(storage.Key(acctKey(a)))
+		}
+	}
+	if res.Total != res.Expected {
+		res.fail("money not conserved: total %d != %d", res.Total, res.Expected)
+	}
+
+	// Oracle 2: the Section 5 criterion over the recorded history.
+	res.History = cl.History()
+	res.Audit = cl.Audit()
+	for site, cycle := range res.Audit.LocalCycles {
+		res.fail("local cycle at %s: %v", site, cycle)
+	}
+	if res.Audit.EffectiveCount > 0 {
+		for _, c := range res.Audit.Cycles {
+			if c.Effective {
+				res.fail("effective regular cycle: %+v", c)
+			}
+		}
+	}
+
+	// Oracle 3: Theorem 2, atomicity of compensation.
+	for _, v := range cl.CompensationViolations() {
+		res.fail("Theorem 2 violation: %+v", v)
+	}
+
+	// Oracle 4: Fig. 2 marking hygiene. Every decision has been delivered,
+	// so no site may still hold a locally-committed mark, and any undone
+	// mark still awaiting UDUM1 unmarking must name an aborted transaction.
+	for _, s := range cl.Sites() {
+		if lc := s.LCMarks().Snapshot(); len(lc) > 0 {
+			res.fail("lc marks remain at %s after all decisions: %v", s.Name(), lc)
+		}
+		for _, ti := range s.Marks().Snapshot() {
+			if res.History.FateOf(ti) != history.FateAborted {
+				res.fail("undone mark at %s names %s, which did not abort (fate %v)",
+					s.Name(), ti, res.History.FateOf(ti))
+			}
+		}
+	}
+
+	if res.Committed+res.Aborted != cfg.Txns {
+		res.fail("outcome count mismatch: %d committed + %d aborted != %d txns",
+			res.Committed, res.Aborted, cfg.Txns)
+	}
+	return res
+}
+
+// CanonicalJSON renders a history with its ops in (site, seq) order. The
+// recorder's flat slice interleaves sites in append order; the per-site
+// orders and the read-from edges — everything the verifier consumes — are
+// what determinism promises, so histories are compared in this form.
+func CanonicalJSON(h *history.History) ([]byte, error) {
+	cp := &history.History{
+		Ops:  append([]history.Op(nil), h.Ops...),
+		Txns: h.Txns,
+	}
+	sortOps(cp.Ops)
+	var buf bytes.Buffer
+	if err := history.WriteJSON(&buf, cp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func sortOps(ops []history.Op) {
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].Site != ops[j].Site {
+			return ops[i].Site < ops[j].Site
+		}
+		return ops[i].Seq < ops[j].Seq
+	})
+}
+
+// Minimize greedily shrinks a failing configuration — halving the
+// workload, dropping clients, removing fault classes — as long as the
+// oracles still fail, and returns the smallest still-failing Config. The
+// input is returned unchanged if it does not fail (or no longer fails).
+func Minimize(cfg Config) Config {
+	cfg = withDefaults(cfg)
+	if !Run(cfg).Failed() {
+		return cfg
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range shrinkCandidates(cfg) {
+			if Run(cand).Failed() {
+				cfg = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return cfg
+}
+
+func shrinkCandidates(c Config) []Config {
+	var out []Config
+	if c.Txns > 1 {
+		d := c
+		d.Txns = c.Txns / 2
+		out = append(out, d)
+	}
+	if c.Clients > 1 {
+		d := c
+		d.Clients = c.Clients - 1
+		out = append(out, d)
+	}
+	if c.Faults.DropProb > 0 {
+		d := c
+		d.Faults.DropProb = 0
+		out = append(out, d)
+	}
+	if c.Faults.PartitionCycles > 0 {
+		d := c
+		d.Faults.PartitionCycles = 0
+		out = append(out, d)
+	}
+	if c.Faults.CoordCrashCycles > 0 {
+		d := c
+		d.Faults.CoordCrashCycles = 0
+		out = append(out, d)
+	}
+	if c.Faults.DoomRate > 0 {
+		d := c
+		d.Faults.DoomRate = 0
+		out = append(out, d)
+	}
+	return out
+}
+
+// Trace renders a result as a replayable report: the seed and oracle
+// failures, then the per-site event sequences and every transaction's
+// fate.
+func Trace(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d marking=%d committed=%d aborted=%d total=%d/%d\n",
+		res.Config.Seed, res.Config.Marking, res.Committed, res.Aborted, res.Total, res.Expected)
+	for _, f := range res.Failures {
+		fmt.Fprintf(&b, "FAIL: %s\n", f)
+	}
+	if res.History == nil {
+		return b.String()
+	}
+	ops := append([]history.Op(nil), res.History.Ops...)
+	sortOps(ops)
+	for _, op := range ops {
+		typ := "r"
+		if op.Type == history.OpWrite {
+			typ = "w"
+		}
+		fmt.Fprintf(&b, "%s #%-3d %s %s %s", op.Site, op.Seq, op.Txn, typ, op.Key)
+		if op.ReadFrom != "" {
+			fmt.Fprintf(&b, " <- %s", op.ReadFrom)
+		}
+		b.WriteByte('\n')
+	}
+	ids := make([]string, 0, len(res.History.Txns))
+	for id := range res.History.Txns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%s: %v\n", id, res.History.Txns[id].Fate)
+	}
+	return b.String()
+}

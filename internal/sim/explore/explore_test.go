@@ -1,0 +1,168 @@
+package explore
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+
+	"o2pc/internal/proto"
+)
+
+var (
+	simSeed = flag.Int64("sim.seed", 0,
+		"replay one explorer run (the 'everything' fault schedule) with this seed and print its trace")
+	simSmoke = flag.Duration("sim.smoke", 0,
+		"run the explorer smoke loop for this wall-clock duration")
+)
+
+// matrix is the fault schedule sweep: each entry is explored under several
+// seeds, and the smoke loop cycles through all of them indefinitely.
+func matrix() []struct {
+	name string
+	cfg  Config
+} {
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"clean", Config{Marking: proto.MarkP1}},
+		{"drops", Config{Marking: proto.MarkP2, Faults: Faults{DropProb: 0.05}}},
+		{"doom", Config{Marking: proto.MarkSimple, Faults: Faults{DoomRate: 0.3}}},
+		{"coord-crash", Config{Marking: proto.MarkP1, Faults: Faults{CoordCrashCycles: 3}}},
+		{"partition", Config{Marking: proto.MarkP1, Faults: Faults{PartitionCycles: 2}}},
+		{"everything", Config{Marking: proto.MarkP1, Faults: Faults{
+			DropProb:         0.03,
+			DoomRate:         0.15,
+			CoordCrashCycles: 2,
+			PartitionCycles:  1,
+		}}},
+	}
+}
+
+// report fails the test with everything needed to reproduce: the seed, a
+// minimized configuration, and the event trace.
+func report(t *testing.T, res *Result) {
+	t.Helper()
+	min := Minimize(res.Config)
+	t.Fatalf("oracle violation at seed %d (replay: -sim.seed=%d)\nminimized config: %+v\n%s",
+		res.Config.Seed, res.Config.Seed, min, Trace(res))
+}
+
+// TestExplorerMatrix sweeps every fault schedule across several seeds.
+func TestExplorerMatrix(t *testing.T) {
+	for _, entry := range matrix() {
+		entry := entry
+		t.Run(entry.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				cfg := entry.cfg
+				cfg.Seed = seed
+				res := Run(cfg)
+				if res.Failed() {
+					report(t, res)
+				}
+				if res.Committed == 0 {
+					t.Errorf("seed %d: degenerate run, nothing committed", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestExplorerDeterministic is the determinism contract: two runs of the
+// same seed and fault schedule must record byte-identical histories.
+func TestExplorerDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:    7,
+		Marking: proto.MarkP1,
+		Faults: Faults{
+			DropProb:         0.03,
+			DoomRate:         0.15,
+			CoordCrashCycles: 2,
+			PartitionCycles:  1,
+		},
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	aj, err := CanonicalJSON(a.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := CanonicalJSON(b.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Committed != b.Committed || a.Aborted != b.Aborted {
+		t.Errorf("outcome divergence: %d/%d committed, %d/%d aborted",
+			a.Committed, b.Committed, a.Aborted, b.Aborted)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("histories diverge for identical seed:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", aj, bj)
+	}
+	if a.Failed() {
+		report(t, a)
+	}
+}
+
+// TestExplorerSeedReplay replays one seed on demand:
+//
+//	go test ./internal/sim/explore -run SeedReplay -v -sim.seed=12345
+func TestExplorerSeedReplay(t *testing.T) {
+	if *simSeed == 0 {
+		t.Skip("pass -sim.seed=N to replay a seed")
+	}
+	cfg := matrix()[len(matrix())-1].cfg // the "everything" schedule
+	cfg.Seed = *simSeed
+	res := Run(cfg)
+	t.Logf("replay:\n%s", Trace(res))
+	if res.Failed() {
+		report(t, res)
+	}
+}
+
+// TestExplorerSmoke runs fresh seeds through the whole matrix until the
+// -sim.smoke budget is spent (CI runs this for 30s per push).
+func TestExplorerSmoke(t *testing.T) {
+	if *simSmoke == 0 {
+		t.Skip("pass -sim.smoke=duration to run the smoke loop")
+	}
+	deadline := time.Now().Add(*simSmoke)
+	seed := int64(100)
+	runs := 0
+	for time.Now().Before(deadline) {
+		for _, entry := range matrix() {
+			seed++
+			cfg := entry.cfg
+			cfg.Seed = seed
+			res := Run(cfg)
+			runs++
+			if res.Failed() {
+				t.Logf("schedule %q failed", entry.name)
+				report(t, res)
+			}
+		}
+	}
+	t.Logf("smoke: %d runs, %s per run", runs, (*simSmoke / time.Duration(max(runs, 1))).Round(time.Microsecond))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestExplorerConfigDefaults pins the documented defaults.
+func TestExplorerConfigDefaults(t *testing.T) {
+	cfg := withDefaults(Config{})
+	want := fmt.Sprintf("%+v", Config{
+		Seed: 1, Sites: 3, Coordinators: 2, Clients: 3, Txns: 24, Accounts: 4,
+		InitialBalance: 1000, Marking: proto.MarkP1, TwoPCShare: 0.2,
+		MinLatency: 100 * time.Microsecond, MaxLatency: 2 * time.Millisecond,
+		LockTimeout: 5 * time.Millisecond,
+	})
+	if got := fmt.Sprintf("%+v", cfg); got != want {
+		t.Errorf("defaults drifted:\n got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestVirtualSleepOrdering checks that sleepers wake in deadline order and
+// that virtual time jumps instead of elapsing.
+func TestVirtualSleepOrdering(t *testing.T) {
+	c := NewVirtualClock()
+	start := c.Now()
+
+	var mu sync.Mutex
+	var order []int
+	g := NewGroup(c)
+	for _, d := range []struct {
+		id    int
+		delay time.Duration
+	}{
+		{3, 30 * time.Second},
+		{1, 10 * time.Second},
+		{2, 20 * time.Second},
+	} {
+		d := d
+		g.Go(func() {
+			if err := c.Sleep(context.Background(), d.delay); err != nil {
+				t.Errorf("sleep %d: %v", d.id, err)
+			}
+			mu.Lock()
+			order = append(order, d.id)
+			mu.Unlock()
+		})
+	}
+	g.Wait()
+
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wake order = %v, want [1 2 3]", order)
+	}
+	if el := c.Since(start); el < 30*time.Second {
+		t.Fatalf("virtual time advanced only %v, want >= 30s", el)
+	}
+}
+
+// TestVirtualTieBreak checks that equal deadlines fire in arming order.
+func TestVirtualTieBreak(t *testing.T) {
+	c := NewVirtualClock()
+	var order []int
+	var mu sync.Mutex
+	g := NewGroup(c)
+	for i := 0; i < 5; i++ {
+		i := i
+		g.Go(func() {
+			// Stagger arming deterministically: each goroutine first sleeps
+			// i microseconds, then arms the shared 1s deadline.
+			_ = c.Sleep(context.Background(), time.Duration(i+1)*time.Microsecond)
+			_ = c.Sleep(context.Background(), time.Second)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	g.Wait()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("tie-break order = %v, want [0 1 2 3 4]", order)
+		}
+	}
+}
+
+// TestWithTimeoutFires checks that a virtual deadline cancels its context
+// and unblocks a sleeper through it.
+func TestWithTimeoutFires(t *testing.T) {
+	c := NewVirtualClock()
+	ctx, cancel := c.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("Sleep returned %v, want context.Canceled", err)
+	}
+	if el := c.Elapsed(); el != 5*time.Second {
+		t.Fatalf("elapsed = %v, want exactly 5s", el)
+	}
+}
+
+// TestWithTimeoutCancelStopsTimer checks that cancelling early removes the
+// deadline so time does not jump to it.
+func TestWithTimeoutCancelStopsTimer(t *testing.T) {
+	c := NewVirtualClock()
+	_, cancel := c.WithTimeout(context.Background(), time.Hour)
+	cancel()
+	if err := c.Sleep(context.Background(), time.Second); err != nil {
+		t.Fatalf("sleep: %v", err)
+	}
+	if el := c.Elapsed(); el != time.Second {
+		t.Fatalf("elapsed = %v, want 1s (stopped deadline must not fire)", el)
+	}
+}
+
+// TestBlockOnHandoff models the lock-grant pattern: a waiter blocks on a
+// channel outside the clock, the waker reserves the wake-up before sending.
+func TestBlockOnHandoff(t *testing.T) {
+	c := NewVirtualClock()
+	ch := make(chan func(), 1)
+	var got atomic.Bool
+	g := NewGroup(c)
+	g.Go(func() {
+		c.BlockOn(context.Background(), func() func() { return <-ch })
+		got.Store(true)
+	})
+	g.Go(func() {
+		_ = c.Sleep(context.Background(), time.Minute)
+		ch <- c.PrepareWake()
+	})
+	g.Wait()
+	if !got.Load() {
+		t.Fatal("waiter never resumed")
+	}
+}
+
+// TestGroupWaitRealClock checks Group against the real clock too.
+func TestGroupWaitRealClock(t *testing.T) {
+	g := NewGroup(nil)
+	var n atomic.Int64
+	for i := 0; i < 8; i++ {
+		g.Go(func() { n.Add(1) })
+	}
+	g.Wait()
+	if n.Load() != 8 {
+		t.Fatalf("ran %d goroutines, want 8", n.Load())
+	}
+}
+
+// TestDeterministicInterleaving runs a small scripted concurrent workload
+// twice and requires the identical event order.
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []int {
+		c := NewVirtualClock()
+		var mu sync.Mutex
+		var log []int
+		g := NewGroup(c)
+		for i := 0; i < 6; i++ {
+			i := i
+			g.Go(func() {
+				for k := 0; k < 4; k++ {
+					_ = c.Sleep(context.Background(), time.Duration((i+1)*(k+1))*time.Millisecond)
+					mu.Lock()
+					log = append(log, i*10+k)
+					mu.Unlock()
+				}
+			})
+		}
+		g.Wait()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"o2pc/internal/metrics"
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
+	"o2pc/internal/sim"
 	"o2pc/internal/storage"
 	"o2pc/internal/txn"
 	"o2pc/internal/wal"
@@ -91,6 +92,9 @@ type Config struct {
 	// default so the message census of experiment E6 compares the
 	// unoptimized protocols; experiment A4 measures the saving.
 	ReadOnlyVotes bool
+	// Clock supplies the site's notion of time (lock timeouts, resolver
+	// periods, background retries). Nil defaults to the real clock.
+	Clock sim.Clock
 	// LockTimeout bounds lock waits during subtransaction execution.
 	// Per-site waits-for detection catches local deadlocks, but a
 	// distributed 2PL deadlock (a lock cycle spanning sites) is invisible
@@ -151,7 +155,7 @@ type pending struct {
 	state   pendingState
 	coord   string // coordinator node name, learned from the vote request
 	marks   []string
-	done    chan struct{} // closed when a decision arrives (stops resolver)
+	stop    context.CancelFunc // cancels the resolver when a decision arrives
 
 	mu      sync.Mutex
 	decided bool // a decision has been (or is being) applied
@@ -169,6 +173,7 @@ const (
 // Site is one participant DBMS.
 type Site struct {
 	cfg   Config
+	clock sim.Clock
 	mgr   *txn.Manager
 	marks *marking.SiteMarks // undone marks (P1 / Simple)
 	lc    *marking.SiteMarks // locally-committed marks (P2 / Simple)
@@ -197,8 +202,10 @@ func NewSite(cfg Config) *Site {
 	if log == nil {
 		log = wal.NewMemoryLog()
 	}
+	clock := sim.OrReal(cfg.Clock)
 	store := storage.NewStore()
 	locks := lock.NewManager()
+	locks.SetClock(clock)
 	// Persistence of compensation: compensating transactions are only
 	// chosen as deadlock victims when a cycle consists solely of them.
 	locks.SetVictimPriority(func(id string) int {
@@ -210,6 +217,7 @@ func NewSite(cfg Config) *Site {
 	mgr := txn.NewManager(cfg.Name, store, locks, log, cfg.Recorder)
 	return &Site{
 		cfg:      cfg,
+		clock:    clock,
 		mgr:      mgr,
 		marks:    marking.NewSiteMarks(),
 		lc:       marking.NewSiteMarks(),
@@ -322,7 +330,7 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 	// deadlocks (including ones through the marking set and compensating
 	// transactions) are invisible to per-site detection and are broken by
 	// timing out and aborting the global transaction.
-	opCtx, cancelOps := context.WithTimeout(ctx, s.cfg.LockTimeout)
+	opCtx, cancelOps := s.clock.WithTimeout(ctx, s.cfg.LockTimeout)
 	defer cancelOps()
 
 	// R1: marking compatibility check, coupled to 2PL via MarkKey.
@@ -422,7 +430,7 @@ func (s *Site) checkMarks(ctx context.Context, t *txn.Txn, req proto.ExecRequest
 // subtransaction's last action (the validation step of the early-release
 // compromise). The caller's transaction still holds its data locks.
 func (s *Site) validateMarks(ctx context.Context, txnID string, mark proto.MarkProtocol, adopted []string) bool {
-	rctx, cancel := context.WithTimeout(ctx, s.cfg.LockTimeout)
+	rctx, cancel := s.clock.WithTimeout(ctx, s.cfg.LockTimeout)
 	defer cancel()
 	if err := s.mgr.Locks().Acquire(rctx, txnID, MarkKey, lock.Shared); err != nil {
 		return false
@@ -539,15 +547,23 @@ func (s *Site) writeMark(ctx context.Context, forward string, add bool, set *mar
 	if s.tryWriteMark(ctx, forward, add, set) {
 		return
 	}
-	go func() {
-		for !s.tryWriteMark(context.Background(), forward, add, set) {
+	s.clock.Go(func() {
+		// The short sleep parks the fresh goroutine on its own timer
+		// before it touches the lock manager, so the spawning handler
+		// finishes its (virtually instantaneous) work alone rather than
+		// racing the retry for queue positions.
+		for {
+			_ = s.clock.Sleep(context.Background(), time.Microsecond)
+			if s.tryWriteMark(context.Background(), forward, add, set) {
+				return
+			}
 		}
-	}()
+	})
 }
 
 func (s *Site) tryWriteMark(ctx context.Context, forward string, add bool, set *marking.SiteMarks) bool {
 	sys := s.nextSysID()
-	actx, cancel := context.WithTimeout(ctx, s.cfg.LockTimeout)
+	actx, cancel := s.clock.WithTimeout(ctx, s.cfg.LockTimeout)
 	defer cancel()
 	if err := s.mgr.Locks().Acquire(actx, sys, MarkKey, lock.Exclusive); err != nil {
 		return false
@@ -559,4 +575,15 @@ func (s *Site) tryWriteMark(ctx context.Context, forward string, add bool, set *
 	}
 	s.mgr.Locks().ReleaseAll(sys)
 	return true
+}
+
+// lockPending takes p.mu on behalf of a protocol handler. The holder may be
+// sleeping in virtual time (compensation runs its retry backoff with p.mu
+// held), so a contended acquisition polls through the clock rather than
+// blocking — a raw mutex wait would stall virtual time forever, and a
+// plain Unlock carries no wake reservation the scheduler could account.
+func (s *Site) lockPending(p *pending) {
+	for !p.mu.TryLock() {
+		_ = s.clock.Sleep(context.Background(), 50*time.Microsecond)
+	}
 }

@@ -3,7 +3,6 @@ package site
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"o2pc/internal/compensate"
 	"o2pc/internal/history"
@@ -35,7 +34,7 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 	}
 	// Serialize against a concurrently-arriving decision for this
 	// transaction (see the pending type's comment).
-	p.mu.Lock()
+	s.lockPending(p)
 	defer p.mu.Unlock()
 	if p.decided {
 		s.stats.VotesNo.Inc()
@@ -157,11 +156,11 @@ func (s *Site) handleDecision(ctx context.Context, d proto.Decision) proto.Ack {
 	// transaction: the decision must observe the post-vote state (e.g.
 	// stateLocallyCommitted, which needs compensation) and never treat an
 	// exposed subtransaction as unexposed.
-	p.mu.Lock()
+	s.lockPending(p)
 	defer p.mu.Unlock()
 	p.decided = true
-	if p.done != nil {
-		close(p.done)
+	if p.stop != nil {
+		p.stop()
 	}
 
 	_, _ = s.mgr.Log().Append(wal.Record{
@@ -263,6 +262,7 @@ func (s *Site) compensateExposed(ctx context.Context, p *pending) {
 	forward := compensate.Forward{TxnID: p.req.TxnID, Ops: p.req.Ops, Updates: p.updates}
 	opts := compensate.Options{
 		EnsureWriteCoverage: !s.cfg.DisableWriteCoverage,
+		Clock:               s.clock,
 	}
 	if p.req.Marking != proto.MarkNone && len(p.updates) > 0 {
 		// Rule R2: the last operation of CTik marks the site undone with
@@ -292,22 +292,19 @@ func (s *Site) compensateExposed(ctx context.Context, p *pending) {
 // The participant stays blocked (locks held) until an answer arrives;
 // this is the unbounded window O2PC exists to remove.
 func (s *Site) startResolver(p *pending) {
-	p.done = make(chan struct{})
+	rctx, cancel := context.WithCancel(context.Background())
+	p.stop = cancel
 	if s.caller == nil {
 		return
 	}
-	go func() {
-		ticker := time.NewTicker(s.cfg.ResolvePeriod)
-		defer ticker.Stop()
+	s.clock.Go(func() {
 		for {
-			select {
-			case <-p.done:
+			if err := s.clock.Sleep(rctx, s.cfg.ResolvePeriod); err != nil {
 				return
-			case <-ticker.C:
 			}
-			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ResolvePeriod*4)
-			resp, err := s.caller.Call(ctx, s.cfg.Name, p.coord, proto.ResolveRequest{TxnID: p.req.TxnID})
-			cancel()
+			cctx, ccancel := s.clock.WithTimeout(rctx, s.cfg.ResolvePeriod*4)
+			resp, err := s.caller.Call(cctx, s.cfg.Name, p.coord, proto.ResolveRequest{TxnID: p.req.TxnID})
+			ccancel()
 			if err != nil {
 				continue
 			}
@@ -315,13 +312,11 @@ func (s *Site) startResolver(p *pending) {
 			if !ok || !rr.Known {
 				continue
 			}
-			select {
-			case <-p.done:
+			if rctx.Err() != nil {
 				return
-			default:
 			}
 			s.handleDecision(context.Background(), proto.Decision{TxnID: p.req.TxnID, Commit: rr.Commit})
 			return
 		}
-	}()
+	})
 }

@@ -49,6 +49,7 @@ import (
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
 	"o2pc/internal/sg"
+	"o2pc/internal/sim"
 	"o2pc/internal/site"
 	"o2pc/internal/storage"
 	"o2pc/internal/txn"
@@ -212,6 +213,26 @@ const (
 
 // Audit is the Section 5 verifier's verdict on a recorded history.
 type Audit = sg.Audit
+
+// Clock abstracts time for the whole system; ClusterConfig.Clock accepts
+// one. The zero value (nil) means real time.
+type Clock = sim.Clock
+
+// VirtualClock is a deterministic discrete-event clock: with it, an entire
+// cluster run — crashes, partitions, message loss — executes in virtual
+// time with no real sleeping, and a fixed seed reproduces the identical
+// execution. See internal/sim.
+type VirtualClock = sim.VirtualClock
+
+// NewVirtualClock returns a virtual clock starting at a fixed epoch.
+func NewVirtualClock() *VirtualClock { return sim.NewVirtualClock() }
+
+// Group is a clock-aware errgroup-lite: goroutines spawned through it are
+// tracked by a virtual clock so waiting on them cannot stall virtual time.
+type Group = sim.Group
+
+// NewGroup returns a Group tracked by c (nil means real time).
+func NewGroup(c Clock) *Group { return sim.NewGroup(c) }
 
 // WorkloadConfig parameterizes a generated transaction mix.
 type WorkloadConfig = workload.Config
