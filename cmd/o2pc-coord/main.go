@@ -61,6 +61,7 @@ func main() {
 	repeat := flag.Int("repeat", 1, "run the transaction N times")
 	demo := flag.Int("demo", 0, "run N random transfers of key 'acct' across the sites and report")
 	demoDoom := flag.Float64("demo-doom", 0.1, "fraction of demo transfers that attempt an over-withdrawal (aborted by the AddMin constraint)")
+	demoSeed := flag.Int64("demo-seed", 1, "seed for the demo's transfer choices (same seed, same transfer sequence)")
 	comp := flag.String("comp", "semantic", "compensation mode: semantic | before-image | none")
 	sites := addrList{}
 	flag.Var(sites, "site", "site address as name=host:port (repeatable)")
@@ -89,7 +90,7 @@ func main() {
 	log.Printf("coordinator %s serving on %s", *name, ln.Addr())
 
 	if *demo > 0 {
-		runDemo(c, sites, *demo, *demoDoom, protocolOf(*protocolName), markingOf(*markingName))
+		runDemo(c, sites, *demo, *demoDoom, *demoSeed, protocolOf(*protocolName), markingOf(*markingName))
 		return
 	}
 
@@ -157,7 +158,7 @@ func markingOf(name string) proto.MarkProtocol {
 // sites, with a fraction refused at vote time, and prints outcome counts
 // and a latency summary — a self-contained way to exercise a TCP
 // deployment (seed the sites with -seed acct=<amount> first).
-func runDemo(c *coord.Coordinator, sites addrList, n int, doom float64, protocol proto.Protocol, marking proto.MarkProtocol) {
+func runDemo(c *coord.Coordinator, sites addrList, n int, doom float64, seed int64, protocol proto.Protocol, marking proto.MarkProtocol) {
 	names := make([]string, 0, len(sites))
 	for name := range sites {
 		names = append(names, name)
@@ -166,7 +167,7 @@ func runDemo(c *coord.Coordinator, sites addrList, n int, doom float64, protocol
 	if len(names) < 2 {
 		log.Fatal("o2pc-coord: -demo needs at least two -site entries")
 	}
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	rng := rand.New(rand.NewSource(seed))
 	lat := metrics.NewHistogram()
 	committed, refused, failed := 0, 0, 0
 	for i := 0; i < n; i++ {

@@ -1,0 +1,85 @@
+// Command o2pcvet is the repository's multichecker: it runs the
+// internal/analyzers suite (walltime, walorder, lockheld, exhaustive,
+// randdet) over the named package patterns and exits non-zero if any
+// diagnostic is reported. CI runs it as `go run ./cmd/o2pcvet ./...`; see
+// DESIGN.md §8 for what each pass enforces and why.
+//
+// Findings can be suppressed line-by-line with a justified directive:
+//
+//	//o2pcvet:ignore walltime -- reason the wall clock is correct here
+//
+// placed on the offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"o2pc/internal/analyzers"
+	"o2pc/internal/analyzers/framework"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("o2pcvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory to resolve package patterns from")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*framework.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*framework.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "o2pcvet: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	pkgs, err := framework.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "o2pcvet: %v\n", err)
+		return 2
+	}
+	diags, err := framework.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "o2pcvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "o2pcvet: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,228 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture trees
+// and checks its diagnostics against "// want" expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that the
+// fixtures would port unchanged.
+//
+// Fixtures live under testdata/src/<importpath>/, import each other by
+// those synthetic paths, and annotate expected findings with end-of-line
+// comments holding one or more quoted regular expressions:
+//
+//	time.Sleep(d) // want `time\.Sleep is wall-clock`
+//
+// Every reported diagnostic must match a want on its line and every want
+// must be matched by a diagnostic; anything else fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"o2pc/internal/analyzers/framework"
+)
+
+// Run loads the fixture packages at the given import paths (rooted at
+// testdata/src), applies the analyzer to each, and asserts the
+// diagnostics exactly match the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) {
+	t.Helper()
+	l := &loader{
+		root:   filepath.Join(testdata, "src"),
+		fset:   token.NewFileSet(),
+		std:    importer.Default(),
+		loaded: make(map[string]*framework.Package),
+	}
+	var targets []*framework.Package
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		targets = append(targets, pkg)
+	}
+
+	diags, err := framework.Run(targets, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, l.fset, targets)
+	for _, d := range diags {
+		if !wants.match(d) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+	}
+}
+
+// loader resolves fixture import paths recursively, falling back to the
+// standard-library importer for everything outside the fixture tree.
+type loader struct {
+	root   string
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*framework.Package
+	stack  []string
+}
+
+func (l *loader) load(path string) (*framework.Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range l.stack {
+		if p == path {
+			return nil, fmt.Errorf("fixture import cycle: %s", strings.Join(append(l.stack, path), " -> "))
+		}
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	// Load fixture-tree dependencies first so the importer below finds
+	// them; stdlib imports resolve lazily through the default importer.
+	l.stack = append(l.stack, path)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(ipath))); err == nil {
+				if _, err := l.load(ipath); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if pkg, ok := l.loaded[ipath]; ok {
+			return pkg.Types, nil
+		}
+		return l.std.Import(ipath)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &framework.Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expected-diagnostic annotation.
+type want struct {
+	file    string
+	line    int
+	re      string
+	rx      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)$")
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*framework.Package) *wantSet {
+	t.Helper()
+	ws := &wantSet{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+						pattern, err := strconv.Unquote(arg)
+						if err != nil {
+							t.Fatalf("%s: malformed want pattern %s: %v", pos, arg, err)
+						}
+						rx, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+						}
+						ws.wants = append(ws.wants, &want{
+							file: pos.Filename, line: pos.Line, re: pattern, rx: rx,
+						})
+					}
+				}
+			}
+		}
+	}
+	return ws
+}
+
+func (ws *wantSet) match(d framework.Diagnostic) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}

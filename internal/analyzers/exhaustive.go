@@ -1,0 +1,157 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"o2pc/internal/analyzers/framework"
+)
+
+// Exhaustive checks that switch statements over the protocol's enum types
+// (wal.RecordType, proto decision/message enums, serialization-graph node
+// kinds, and every other internal integer enum) either name every declared
+// constant or carry a default clause with a non-empty body. A switch that
+// silently falls through an unhandled protocol state is exactly how a new
+// record type or marking mode slips past recovery and the verifier.
+var Exhaustive = &framework.Analyzer{
+	Name: "exhaustive",
+	Doc: "switches over internal enum types must cover every constant " +
+		"or carry a non-empty default clause",
+	Run: runExhaustive,
+}
+
+// enumConstants returns the package-level constants of named's defining
+// package whose type is exactly named, keyed by constant value. Types with
+// fewer than two constants are not treated as enums.
+func enumConstants(named *types.Named) map[string]string {
+	tn := named.Obj()
+	if tn.Pkg() == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	consts := make(map[string]string)
+	scope := tn.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if prev, dup := consts[key]; !dup || name < prev {
+			consts[key] = name
+		}
+	}
+	if len(consts) < 2 {
+		return nil
+	}
+	return consts
+}
+
+// enumScoped reports whether the enum's defining package is one this suite
+// polices: the package under analysis itself, or any module-internal
+// package. Standard-library integer types (reflect.Kind, time.Month, ...)
+// are out of scope.
+func enumScoped(named *types.Named, analyzed *types.Package) bool {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg == analyzed {
+		return true
+	}
+	return pathHasSegment(pkg.Path(), "internal")
+}
+
+func runExhaustive(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || !enumScoped(named, pass.Pkg) {
+				return true
+			}
+			consts := enumConstants(named)
+			if consts == nil {
+				return true
+			}
+			checkEnumSwitch(pass, sw, named, consts)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkEnumSwitch(pass *framework.Pass, sw *ast.SwitchStmt, named *types.Named, consts map[string]string) {
+	missing := make(map[string]string, len(consts))
+	for val, name := range consts {
+		missing[val] = name
+	}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok || tv.Value == nil {
+				// A non-constant case expression (e.g. a variable) defeats
+				// static coverage tracking; treat the switch as handled
+				// only through its default clause.
+				continue
+			}
+			delete(missing, exactString(tv.Value))
+		}
+	}
+
+	if defaultClause != nil {
+		if len(defaultClause.Body) == 0 && len(missing) > 0 {
+			pass.Reportf(defaultClause.Pos(),
+				"switch over %s has an empty default that silently drops unhandled values (%s); "+
+					"handle them or make the default fail loudly", typeLabel(named), nameList(missing))
+		}
+		return
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch over %s is not exhaustive: missing %s (add the cases or a default that fails loudly)",
+			typeLabel(named), nameList(missing))
+	}
+}
+
+func exactString(v constant.Value) string { return v.ExactString() }
+
+func typeLabel(named *types.Named) string {
+	tn := named.Obj()
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Name() + "." + tn.Name()
+}
+
+func nameList(missing map[string]string) string {
+	names := make([]string, 0, len(missing))
+	for _, name := range missing {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 4 {
+		return fmt.Sprintf("%s and %d more", strings.Join(names[:4], ", "), len(names)-4)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,153 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// plus a package loader, sized for this repository's own vet suite.
+//
+// The real x/tools module is deliberately not imported: the build must stay
+// stdlib-only (ROADMAP constraint), and everything the o2pcvet analyzers
+// need — parsed files, full type information, and a reporting channel — is
+// expressible with go/parser, go/types and the go command. The API mirrors
+// x/tools closely enough that migrating the analyzers onto the real
+// framework later is a mechanical edit.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is the analyzer's help text; its first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, attributed to an analyzer and a position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one package's worth of inputs to an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics sorted by position. Findings on lines carrying an
+// "//o2pcvet:ignore <name> -- reason" directive (same line or the line
+// above) are suppressed; the directive requires a reason so every
+// exemption is self-documenting.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			before := len(diags)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			diags = filterIgnored(diags, before, ignores)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+var ignoreRe = regexp.MustCompile(`^//o2pcvet:ignore\s+([\w,]+)\s+--\s+\S`)
+
+// ignoreKey locates one suppressed (file, line, analyzer) coordinate.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectIgnores scans the package's comments for ignore directives. A
+// directive suppresses matches on its own line and on the line below it
+// (covering both end-of-line and preceding-line placement).
+func collectIgnores(pkg *Package) map[ignoreKey]bool {
+	out := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					out[ignoreKey{pos.Filename, pos.Line, name}] = true
+					out[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func filterIgnored(diags []Diagnostic, from int, ignores map[ignoreKey]bool) []Diagnostic {
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:from]
+	for _, d := range diags[from:] {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, "all"}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,143 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir, as the
+// go command would resolve them), type-checks every non-standard-library
+// package from source in dependency order, and returns the packages that
+// matched the patterns directly (dependencies are type-checked but not
+// returned for analysis).
+//
+// Standard-library imports resolve through go/importer's default (gc
+// export data via the build cache), which works offline; module-internal
+// imports resolve against the packages loaded here, so the loader needs no
+// network and no modules beyond the repository's own.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	std := importer.Default()
+	loaded := make(map[string]*Package)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := loaded[path]; ok {
+			return p.Types, nil
+		}
+		return std.Import(path)
+	})
+
+	var targets []*Package
+	for _, lp := range listed {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+		}
+		pkg := &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			TypesInfo:  info,
+		}
+		loaded[lp.ImportPath] = pkg
+		if !lp.DepOnly {
+			targets = append(targets, pkg)
+		}
+	}
+	return targets, nil
+}
+
+// goList shells out to `go list -deps -json`, which emits dependencies in
+// depth-first post-order — exactly the type-checking order Load needs.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-deps",
+		"-json=ImportPath,Dir,Name,Standard,DepOnly,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,334 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"o2pc/internal/analyzers/framework"
+)
+
+// Lockheld flags blocking operations — virtual-clock sleeps, BlockOn
+// parks, clock joins, and RPC calls — made while a sync.Mutex or RWMutex
+// acquired in the same function is still held. Under the virtual clock a
+// goroutine that sleeps with a mutex held stalls every other goroutine
+// that needs the mutex, and since virtual time only advances when all
+// tracked goroutines are blocked, the run deadlocks (or, with the baton
+// scheduler, serializes unpredictably); under the real clock it is a
+// latency bug. The pass also flags mutexes passed by value, which copy the
+// lock state and silently split the critical section.
+//
+// The analysis is an intraprocedural path walk: branches fork the held-set
+// and merge by union, so a mutex held on any path to the blocking call is
+// reported. TryLock is ignored (its failure path holds nothing), and
+// function literals are walked with a fresh held-set (they run on other
+// goroutines or after return).
+var Lockheld = &framework.Analyzer{
+	Name: "lockheld",
+	Doc: "forbid Clock.Sleep/BlockOn/Join and RPC calls while a mutex " +
+		"acquired in the same function is held; forbid mutexes passed by value",
+	Run: runLockheld,
+}
+
+func runLockheld(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				checkMutexParams(pass, fn.Recv, fn.Type)
+				if fn.Body != nil {
+					w := &lockWalker{pass: pass}
+					w.block(fn.Body, lockSet{})
+				}
+				return false // nested literals are walked by lockWalker
+			case *ast.FuncLit:
+				checkMutexParams(pass, nil, fn.Type)
+				w := &lockWalker{pass: pass}
+				w.block(fn.Body, lockSet{})
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockSet maps a canonical mutex expression ("s.mu") to its Lock position.
+type lockSet map[string]token.Pos
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s lockSet) union(other lockSet) {
+	for k, v := range other {
+		if _, ok := s[k]; !ok {
+			s[k] = v
+		}
+	}
+}
+
+type lockWalker struct {
+	pass *framework.Pass
+}
+
+// block walks stmts sequentially, threading the held-set through; it
+// returns the exit state and whether control cannot flow past the block.
+func (w *lockWalker) block(b *ast.BlockStmt, state lockSet) (lockSet, bool) {
+	return w.stmts(b.List, state)
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, state lockSet) (lockSet, bool) {
+	for _, stmt := range list {
+		var terminated bool
+		state, terminated = w.stmt(stmt, state)
+		if terminated {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+func (w *lockWalker) stmt(stmt ast.Stmt, state lockSet) (lockSet, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, state)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanic(w.pass.TypesInfo, call) {
+			return state, true
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, state)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, state)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		ast.Inspect(stmt, w.exprVisitor(state))
+	case *ast.DeferStmt:
+		// A deferred Unlock runs at return: the mutex stays held for the
+		// remainder of the function, so the held-set is unchanged. Other
+		// deferred calls (and deferred closures) run outside the critical
+		// path being analyzed.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.block(lit.Body, lockSet{})
+		}
+		for _, arg := range s.Call.Args {
+			w.expr(arg, state)
+		}
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.block(lit.Body, lockSet{})
+		}
+		for _, arg := range s.Call.Args {
+			w.expr(arg, state)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, state)
+		}
+		return state, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear walk; treat as terminating
+		// so their state does not merge into the fall-through path.
+		return state, true
+	case *ast.BlockStmt:
+		return w.block(s, state)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state, _ = w.stmt(s.Init, state)
+		}
+		w.expr(s.Cond, state)
+		thenExit, thenTerm := w.block(s.Body, state.clone())
+		elseExit, elseTerm := state, false
+		if s.Else != nil {
+			elseExit, elseTerm = w.stmt(s.Else, state.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return state, true
+		case thenTerm:
+			return elseExit, false
+		case elseTerm:
+			return thenExit, false
+		default:
+			thenExit.union(elseExit)
+			return thenExit, false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state, _ = w.stmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, state)
+		}
+		bodyExit, _ := w.block(s.Body, state.clone())
+		if s.Post != nil {
+			w.stmt(s.Post, bodyExit)
+		}
+		state.union(bodyExit)
+		return state, false
+	case *ast.RangeStmt:
+		w.expr(s.X, state)
+		bodyExit, _ := w.block(s.Body, state.clone())
+		state.union(bodyExit)
+		return state, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.clauses(stmt, state)
+	}
+	return state, false
+}
+
+// clauses handles the branchy statements whose bodies all start from the
+// same entry state and merge by union.
+func (w *lockWalker) clauses(stmt ast.Stmt, state lockSet) (lockSet, bool) {
+	var bodies [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			state, _ = w.stmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, state)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, state)
+			}
+			bodies = append(bodies, cc.Body)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			state, _ = w.stmt(s.Init, state)
+		}
+		for _, c := range s.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, state.clone())
+			}
+			bodies = append(bodies, cc.Body)
+		}
+	}
+	merged := state.clone()
+	allTerm := len(bodies) > 0
+	for _, body := range bodies {
+		exit, term := w.stmts(body, state.clone())
+		if !term {
+			merged.union(exit)
+			allTerm = false
+		}
+	}
+	return merged, allTerm
+}
+
+// expr scans one expression for lock transitions and blocking calls.
+func (w *lockWalker) expr(e ast.Expr, state lockSet) {
+	ast.Inspect(e, w.exprVisitor(state))
+}
+
+func (w *lockWalker) exprVisitor(state lockSet) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			checkMutexParams(w.pass, nil, x.Type)
+			w.block(x.Body, lockSet{})
+			return false
+		case *ast.CallExpr:
+			w.call(x, state)
+		}
+		return true
+	}
+}
+
+func (w *lockWalker) call(call *ast.CallExpr, state lockSet) {
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	path := funcPkgPath(fn)
+	name := fn.Name()
+
+	if path == "sync" && isMutexType(recvNamed(fn)) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		key := types.ExprString(sel.X)
+		switch name {
+		case "Lock", "RLock":
+			state[key] = call.Pos()
+		case "Unlock", "RUnlock":
+			delete(state, key)
+		}
+		// TryLock/TryRLock are not tracked: on their failure path nothing
+		// is held, so treating them as acquisitions would flag the
+		// poll-through-the-clock idiom (site.lockPending) that exists
+		// precisely to avoid blocking with the lock contended.
+		return
+	}
+
+	var verb string
+	switch {
+	case pathEndsWith(path, "internal/sim") && (name == "Sleep" || name == "BlockOn" || name == "Join"):
+		verb = "blocks in virtual time"
+	case pathEndsWith(path, "internal/rpc") && (name == "Call" || name == "Send"):
+		verb = "performs a network round-trip"
+	default:
+		return
+	}
+	for key, pos := range state {
+		w.pass.Reportf(call.Pos(),
+			"%s %s while %s (locked at line %d) is still held; release the mutex first or hand off to a clock-tracked goroutine",
+			name, verb, key, w.pass.Fset.Position(pos).Line)
+	}
+}
+
+// checkMutexParams reports receiver and parameter declarations that pass a
+// sync.Mutex or RWMutex by value.
+func checkMutexParams(pass *framework.Pass, recv *ast.FieldList, ftype *ast.FuncType) {
+	check := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if named, isNamed := tv.Type.(*types.Named); isNamed && isMutexType(named) {
+				pass.Reportf(field.Type.Pos(),
+					"sync.%s passed by value copies the lock state; pass a pointer", named.Obj().Name())
+			}
+		}
+	}
+	check(recv)
+	check(ftype.Params)
+}
+
+func isMutexType(named *types.Named) bool {
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	return named.Obj().Pkg().Path() == "sync" && (name == "Mutex" || name == "RWMutex")
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,66 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"o2pc/internal/analyzers/framework"
+)
+
+// Randdet forbids drawing randomness from math/rand's global source
+// outside test files. The global source is seeded differently on every
+// process start (and is shared mutable state across goroutines), so any
+// use of it makes workload generation, fault injection or retry jitter
+// non-replayable; every consumer must thread an explicit seeded
+// rand.New(rand.NewSource(seed)) instead.
+var Randdet = &framework.Analyzer{
+	Name: "randdet",
+	Doc: "forbid the global math/rand source outside tests; " +
+		"randomness must come from an explicitly seeded rand.New",
+	Run: runRanddet,
+}
+
+// randdetGlobal is the set of math/rand (and math/rand/v2) package-level
+// functions that consume the global source. Constructors (New, NewSource,
+// NewZipf, NewPCG, NewChaCha8) are the sanctioned alternative and stay
+// legal.
+var randdetGlobal = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"IntN": true, "Int32": true, "Int32N": true,
+	"Uint": true, "Uint32": true, "Uint64": true, "Uint32N": true,
+	"Uint64N": true, "UintN": true, "N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "Seed": true,
+}
+
+func runRanddet(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if isTestFile(filename) {
+			// Tests may use throwaway randomness (e.g. shuffling inputs
+			// where the property under test is order-independence).
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			path := funcPkgPath(fn)
+			if (path != "math/rand" && path != "math/rand/v2") ||
+				recvNamed(fn) != nil || !randdetGlobal[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "rand.%s uses the global math/rand source, which is seeded per-process; "+
+				"use an explicitly seeded rand.New(rand.NewSource(seed)) so runs are replayable", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

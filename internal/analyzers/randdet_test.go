@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"o2pc/internal/analyzers"
+	"o2pc/internal/analyzers/analysistest"
+)
+
+func TestRanddet(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Randdet, "randdet/a")
+}

@@ -1,0 +1,34 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"o2pc/internal/analyzers"
+	"o2pc/internal/analyzers/framework"
+)
+
+// TestSuiteCleanAtHead is the acceptance gate for the whole module: every
+// analyzer in the suite must report zero diagnostics over the repo as it
+// stands. A failure here means a protocol or determinism invariant
+// regressed; fix the code (or, for a deliberate exception, add an
+// ignore directive with a reason) rather than loosening the
+// analyzer.
+func TestSuiteCleanAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := framework.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags, err := framework.Run(pkgs, analyzers.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	}
+}

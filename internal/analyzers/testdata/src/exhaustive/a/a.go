@@ -1,0 +1,94 @@
+// Package a exercises the exhaustive analyzer over internal enums, local
+// enums, non-enums, and out-of-scope standard-library types.
+package a
+
+import (
+	"fmt"
+	"time"
+
+	"exhaustive/internal/kinds"
+)
+
+// mode is a package-local enum: the analyzed package is always in scope.
+type mode int
+
+const (
+	modeRead mode = iota
+	modeWrite
+	modeAdmin
+)
+
+// full names every constant: clean.
+func full(rt kinds.RecordType) string {
+	switch rt {
+	case kinds.RecBegin:
+		return "begin"
+	case kinds.RecUpdate:
+		return "update"
+	case kinds.RecCommit:
+		return "commit"
+	case kinds.RecAbort:
+		return "abort"
+	}
+	return ""
+}
+
+// missing drops two record types on the floor.
+func missing(rt kinds.RecordType) string {
+	switch rt { // want `switch over kinds\.RecordType is not exhaustive: missing RecAbort, RecCommit`
+	case kinds.RecBegin:
+		return "begin"
+	case kinds.RecUpdate:
+		return "update"
+	}
+	return ""
+}
+
+// silentDefault has a default, but an empty one: unhandled values vanish.
+func silentDefault(rt kinds.RecordType) string {
+	switch rt {
+	case kinds.RecBegin:
+		return "begin"
+	default: // want `switch over kinds\.RecordType has an empty default that silently drops unhandled values \(RecAbort, RecCommit, RecUpdate\)`
+	}
+	return ""
+}
+
+// loudDefault fails loudly on anything unhandled: clean.
+func loudDefault(rt kinds.RecordType) string {
+	switch rt {
+	case kinds.RecBegin:
+		return "begin"
+	default:
+		panic(fmt.Sprintf("unhandled record type %d", rt))
+	}
+}
+
+// localEnum: enums declared in the analyzed package are policed too.
+func localEnum(m mode) bool {
+	switch m { // want `switch over a\.mode is not exhaustive: missing modeAdmin`
+	case modeRead:
+		return true
+	case modeWrite:
+		return false
+	}
+	return false
+}
+
+// notAnEnum: Width has one constant, so it is not enum-like.
+func notAnEnum(w kinds.Width) bool {
+	switch w {
+	case kinds.DefaultWidth:
+		return true
+	}
+	return false
+}
+
+// stdlibEnum: standard-library integer types are out of scope.
+func stdlibEnum(m time.Month) bool {
+	switch m {
+	case time.January:
+		return true
+	}
+	return false
+}

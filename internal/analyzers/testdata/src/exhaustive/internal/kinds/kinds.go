@@ -1,0 +1,18 @@
+// Package kinds declares a protocol-style enum for the exhaustive
+// fixture, mirroring wal.RecordType.
+package kinds
+
+type RecordType int
+
+const (
+	RecBegin RecordType = iota + 1
+	RecUpdate
+	RecCommit
+	RecAbort
+)
+
+// Width is a named integer with a single constant: not an enum, so
+// switches over it are unconstrained.
+type Width int
+
+const DefaultWidth Width = 80

@@ -1,0 +1,100 @@
+// Package a exercises the lockheld analyzer: blocking calls with a mutex
+// held, and mutexes passed by value.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lockheld/internal/rpc"
+	"lockheld/internal/sim"
+)
+
+type server struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	clock sim.Clock
+	net   *rpc.Caller
+}
+
+// sleepHeld blocks in virtual time with the mutex held: the classic
+// whole-simulation stall.
+func (s *server) sleepHeld(ctx context.Context) {
+	s.mu.Lock()
+	_ = s.clock.Sleep(ctx, time.Millisecond) // want `Sleep blocks in virtual time while s\.mu \(locked at line \d+\) is still held`
+	s.mu.Unlock()
+}
+
+// sleepAfterUnlock releases first: clean.
+func (s *server) sleepAfterUnlock(ctx context.Context) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	_ = s.clock.Sleep(ctx, time.Millisecond)
+}
+
+// deferredUnlock holds the mutex until return, so the sleep is still
+// under the lock.
+func (s *server) deferredUnlock(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.clock.Sleep(ctx, time.Millisecond) // want `Sleep blocks in virtual time while s\.mu \(locked at line \d+\) is still held`
+}
+
+// rlockHeld: read locks count too — an RPC round-trip under RLock blocks
+// every writer for the duration of the network call.
+func (s *server) rlockHeld(ctx context.Context) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, _ = s.net.Call(ctx, "site-1", "Prepare", nil) // want `Call performs a network round-trip while s\.rw \(locked at line \d+\) is still held`
+}
+
+// tryLockPoll is the lockPending idiom: TryLock is not tracked because
+// its failure path holds nothing, and the poll exists precisely to avoid
+// blocking with the lock contended.
+func (s *server) tryLockPoll(ctx context.Context) {
+	for !s.mu.TryLock() {
+		_ = s.clock.Sleep(ctx, time.Microsecond)
+	}
+	s.mu.Unlock()
+}
+
+// branchHeld: held on one path in is held on the merged path out.
+func (s *server) branchHeld(ctx context.Context, fast bool) {
+	if !fast {
+		s.mu.Lock()
+	}
+	s.clock.BlockOn(func() bool { return true }) // want `BlockOn blocks in virtual time while s\.mu \(locked at line \d+\) is still held`
+	if !fast {
+		s.mu.Unlock()
+	}
+}
+
+// goroutineFresh: the literal runs on another goroutine with its own
+// (empty) held-set, so the sleep inside it is clean.
+func (s *server) goroutineFresh(ctx context.Context) {
+	s.mu.Lock()
+	s.clock.Go(func() {
+		_ = s.clock.Sleep(ctx, time.Millisecond)
+	})
+	s.mu.Unlock()
+}
+
+// joinHeld: joining the clock waits for every tracked goroutine — doing
+// that with the mutex held deadlocks any of them that need it.
+func (s *server) joinHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	s.clock.Join(wg.Wait, func() bool { return true }) // want `Join blocks in virtual time while s\.mu \(locked at line \d+\) is still held`
+	s.mu.Unlock()
+}
+
+// takeMutex copies the lock state on every call.
+func takeMutex(mu sync.Mutex) { // want `sync\.Mutex passed by value copies the lock state`
+	mu.Lock()
+	mu.Unlock()
+}
+
+func pointerMutex(mu *sync.Mutex) { // clean: pointer parameter
+	mu.Lock()
+	mu.Unlock()
+}

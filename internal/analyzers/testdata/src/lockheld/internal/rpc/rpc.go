@@ -1,0 +1,15 @@
+// Package rpc is a miniature of the real internal/rpc for the lockheld
+// fixture.
+package rpc
+
+import "context"
+
+type Caller struct{}
+
+func (c *Caller) Call(ctx context.Context, target, method string, payload []byte) ([]byte, error) {
+	return nil, nil
+}
+
+func (c *Caller) Send(ctx context.Context, target string, payload []byte) error {
+	return nil
+}

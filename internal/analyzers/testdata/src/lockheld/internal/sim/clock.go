@@ -1,0 +1,15 @@
+// Package sim is a miniature of the real internal/sim Clock surface for
+// the lockheld fixture.
+package sim
+
+import (
+	"context"
+	"time"
+)
+
+type Clock interface {
+	Sleep(ctx context.Context, d time.Duration) error
+	BlockOn(wake func() bool)
+	Join(wait func(), done func() bool)
+	Go(fn func())
+}

@@ -1,0 +1,22 @@
+// Package a exercises the randdet analyzer: global math/rand use is
+// flagged, explicitly seeded sources are the sanctioned alternative.
+package a
+
+import "math/rand"
+
+// jitter draws from the process-global source: non-replayable.
+func jitter(n int) int {
+	rand.Seed(42)       // want `rand\.Seed uses the global math/rand source`
+	return rand.Intn(n) // want `rand\.Intn uses the global math/rand source`
+}
+
+// shuffle is flagged too — Shuffle consumes the global source.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle uses the global math/rand source`
+}
+
+// seeded threads an explicit source: clean, and replayable from the seed.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

@@ -1,0 +1,15 @@
+// Test files may use throwaway randomness: randdet skips them entirely.
+package a
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOrderIndependence(t *testing.T) {
+	xs := []int{1, 2, 3}
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	if len(xs) != 3 {
+		t.Fatal("lost an element")
+	}
+}

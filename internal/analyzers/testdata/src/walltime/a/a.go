@@ -1,0 +1,31 @@
+// Package a is a walltime fixture: an ordinary (non-allowlisted) package
+// where every wall-clock primitive must be reported.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func bad(ctx context.Context) {
+	_ = time.Now()                  // want `time\.Now is wall-clock time`
+	time.Sleep(time.Millisecond)    // want `time\.Sleep is wall-clock time`
+	<-time.After(time.Millisecond)  // want `time\.After is wall-clock time`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer is wall-clock time`
+	defer t.Stop()
+	tctx, cancel := context.WithTimeout(ctx, time.Second) // want `context\.WithTimeout is wall-clock time`
+	defer cancel()
+	_ = tctx
+	_ = time.Since(time.Time{}) // want `time\.Since is wall-clock time`
+}
+
+// okDurations shows that duration arithmetic is data, not a clock read.
+func okDurations() time.Duration {
+	return 5 * time.Millisecond
+}
+
+// ignored shows the justified escape hatch suppressing a finding.
+func ignored() time.Time {
+	//o2pcvet:ignore walltime -- fixture proves the ignore directive works
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Package main stands in for cmd/o2pc-bench: the benchmark binary
+// measures real elapsed time by definition and is allowlisted.
+package main
+
+import "time"
+
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func main() {}

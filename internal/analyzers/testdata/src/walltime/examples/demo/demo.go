@@ -1,0 +1,15 @@
+// Package demo stands in for the examples tree: interactive demos run by
+// humans in real time are allowlisted.
+package demo
+
+import (
+	"context"
+	"time"
+)
+
+func Wait(ctx context.Context) {
+	tctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	<-tctx.Done()
+	_ = time.Now()
+}

@@ -1,0 +1,9 @@
+// Package sim stands in for the clock implementation itself, which is the
+// one place allowed to touch the runtime's clock.
+package sim
+
+import "time"
+
+func RealNow() time.Time { return time.Now() }
+
+func RealSleep(d time.Duration) { time.Sleep(d) }

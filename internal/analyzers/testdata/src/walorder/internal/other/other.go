@@ -1,0 +1,10 @@
+// Package other proves walorder's scoping: outside internal/site, direct
+// store mutations are legal (the txn manager and recovery own their
+// ordering contracts there).
+package other
+
+import "walorder/internal/storage"
+
+func Mutate(s *storage.Store, k storage.Key, v storage.Value) {
+	s.Put(k, v, "anyone")
+}

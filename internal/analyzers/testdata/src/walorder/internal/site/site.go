@@ -1,0 +1,74 @@
+// Package site is the walorder fixture's participant package: storage
+// mutations here must be dominated by a wal append on every path.
+package site
+
+import (
+	"walorder/internal/storage"
+	"walorder/internal/wal"
+)
+
+type Site struct {
+	store *storage.Store
+	log   wal.Log
+}
+
+// seedBypass is the SeedInt64 class of bug: an unlogged store write.
+func (s *Site) seedBypass(k storage.Key, v storage.Value) {
+	s.store.Put(k, v, "init") // want `storage\.Store\.Put is not dominated by a wal append`
+}
+
+// seedLogged appends first: clean.
+func (s *Site) seedLogged(k storage.Key, v storage.Value) {
+	_, _ = s.log.Append(wal.Record{TxnID: "init"})
+	s.store.Put(k, v, "init")
+}
+
+// branchMiss appends on only one path: still a violation.
+func (s *Site) branchMiss(k storage.Key, v storage.Value, ok bool) {
+	if ok {
+		_, _ = s.log.Append(wal.Record{})
+	}
+	s.store.Put(k, v, "x") // want `storage\.Store\.Put is not dominated by a wal append`
+}
+
+// branchBoth appends on every path: clean.
+func (s *Site) branchBoth(k storage.Key, v storage.Value, ok bool) {
+	if ok {
+		_, _ = s.log.Append(wal.Record{})
+	} else {
+		_, _ = s.log.Append(wal.Record{})
+	}
+	s.store.Put(k, v, "x")
+}
+
+// earlyReturn appends on one path and returns on the other: the mutation
+// is only reachable through the append, so it is clean.
+func (s *Site) earlyReturn(k storage.Key, v storage.Value, ok bool) {
+	if !ok {
+		return
+	}
+	_, _ = s.log.Append(wal.Record{})
+	s.store.Put(k, v, "x")
+}
+
+// replayHelpers mutate via WAL-driven replay: clean by construction.
+func (s *Site) replayHelpers(recs []wal.Record) {
+	wal.ApplyUndo(s.store, recs, "CT")
+	s.store.Restore(storage.Record{}, "CT")
+}
+
+// recoverThenLoad mirrors Site.Recover: rebuild from the log, then
+// install the snapshot.
+func (s *Site) recoverThenLoad() error {
+	fresh := storage.NewStore()
+	if err := wal.Recover(fresh, s.log); err != nil {
+		return err
+	}
+	s.store.LoadSnapshot(nil)
+	return nil
+}
+
+// unloggedDelete exercises a second mutator method.
+func (s *Site) unloggedDelete(k storage.Key) {
+	s.store.Delete(k, "x") // want `storage\.Store\.Delete is not dominated by a wal append`
+}

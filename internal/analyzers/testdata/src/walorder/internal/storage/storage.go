@@ -1,0 +1,23 @@
+// Package storage is a miniature of the real internal/storage: just
+// enough surface for the walorder fixture to type-check.
+package storage
+
+type Key string
+
+type Value []byte
+
+type Record struct {
+	Key   Key
+	Value Value
+}
+
+type Store struct{ m map[Key]Record }
+
+func NewStore() *Store { return &Store{m: make(map[Key]Record)} }
+
+func (s *Store) Put(k Key, v Value, txnID string) { s.m[k] = Record{Key: k, Value: v} }
+func (s *Store) Delete(k Key, txnID string)       { delete(s.m, k) }
+func (s *Store) Restore(r Record, txnID string)   { s.m[r.Key] = r }
+func (s *Store) Remove(k Key)                     { delete(s.m, k) }
+func (s *Store) LoadSnapshot(snap map[Key]Record) { s.m = snap }
+func (s *Store) Get(k Key) (Record, bool)         { r, ok := s.m[k]; return r, ok }

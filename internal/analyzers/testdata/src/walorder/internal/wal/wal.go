@@ -1,0 +1,17 @@
+// Package wal is a miniature of the real internal/wal for the walorder
+// fixture.
+package wal
+
+import "walorder/internal/storage"
+
+type Record struct {
+	TxnID string
+}
+
+type Log interface {
+	Append(rec Record) (uint64, error)
+}
+
+func ApplyUndo(store *storage.Store, recs []Record, by string) {}
+
+func Recover(store *storage.Store, log Log) error { return nil }

@@ -1,0 +1,89 @@
+// Package analyzers holds the o2pcvet suite: five static-analysis passes
+// that mechanically enforce the protocol and determinism invariants the
+// paper's guarantees rest on. See DESIGN.md §8 for the mapping from each
+// pass to the property it protects.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"o2pc/internal/analyzers/framework"
+)
+
+// All returns the full o2pcvet suite in reporting order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		Walltime,
+		Walorder,
+		Lockheld,
+		Exhaustive,
+		Randdet,
+	}
+}
+
+// pathEndsWith reports whether path ends with the given slash-separated
+// segment suffix on a segment boundary ("o2pc/internal/sim" ends with
+// "internal/sim" but "o2pc/internal/simx" does not). Matching by suffix
+// rather than full path keeps the analyzers module-agnostic, which is what
+// lets the testdata fixtures exercise them under synthetic import paths.
+func pathEndsWith(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// pathHasSegment reports whether seg appears as a complete path segment.
+func pathHasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the static *types.Func it
+// invokes (package function or method), or nil for indirect calls and
+// conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package a function (or the
+// type its method is declared on) belongs to; "" for builtins.
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvNamed returns the named type of fn's receiver (dereferencing one
+// pointer), or nil when fn is not a method.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isTestFile reports whether the file at pos is a _test.go file.
+func isTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}

@@ -1,0 +1,85 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"o2pc/internal/analyzers/framework"
+)
+
+// Walltime forbids direct wall-clock primitives outside the clock
+// implementation itself and a short, documented allowlist. Everything else
+// must draw time from the injected sim.Clock: the virtual-time scheduler
+// (DESIGN.md §7) can only make executions a function of the seed if no
+// code path consults the runtime's clock behind its back.
+var Walltime = &framework.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time primitives outside internal/sim and the allowlist; " +
+		"use the injected sim.Clock so simulated runs stay deterministic",
+	Run: runWalltime,
+}
+
+// walltimeBanned maps package path -> banned function names -> the
+// sim.Clock replacement named in the diagnostic.
+var walltimeBanned = map[string]map[string]string{
+	"time": {
+		"Now":       "Clock.Now",
+		"Sleep":     "Clock.Sleep",
+		"After":     "Clock.Sleep",
+		"Tick":      "Clock.Sleep in a loop",
+		"NewTimer":  "Clock.Sleep or Clock.WithTimeout",
+		"NewTicker": "Clock.Sleep in a loop",
+		"AfterFunc": "Clock.Go + Clock.Sleep",
+		"Since":     "Clock.Since",
+		"Until":     "Clock.Now arithmetic",
+	},
+	"context": {
+		"WithTimeout":       "Clock.WithTimeout",
+		"WithTimeoutCause":  "Clock.WithTimeout",
+		"WithDeadline":      "Clock.WithTimeout",
+		"WithDeadlineCause": "Clock.WithTimeout",
+	},
+}
+
+// walltimeAllowed reports whether an import path may use wall-clock time
+// directly. The allowlist is deliberately tiny:
+//
+//   - internal/sim IS the clock: its real-clock implementation wraps the
+//     time package, and the virtual clock's test harness compares against
+//     it.
+//   - examples/* are interactive demos run by humans against real
+//     deployments; their latencies and timeouts are meant to be felt in
+//     wall time, and nothing replays them under the explorer.
+//   - cmd/o2pc-bench measures real elapsed time by definition — its whole
+//     output is wall-clock throughput and latency tables.
+func walltimeAllowed(path string) bool {
+	return pathEndsWith(path, "internal/sim") ||
+		pathHasSegment(path, "examples") ||
+		pathEndsWith(path, "cmd/o2pc-bench")
+}
+
+func runWalltime(pass *framework.Pass) error {
+	if walltimeAllowed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			repl, banned := walltimeBanned[funcPkgPath(fn)][fn.Name()]
+			if !banned || recvNamed(fn) != nil {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s.%s is wall-clock time; use the injected sim.%s so runs stay deterministic",
+				funcPkgPath(fn), fn.Name(), repl)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"o2pc/internal/analyzers"
+	"o2pc/internal/analyzers/analysistest"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Walltime,
+		"walltime/a",
+		"walltime/internal/sim",
+		"walltime/examples/demo",
+		"walltime/cmd/o2pc-bench",
+	)
+}

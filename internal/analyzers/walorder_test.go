@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"o2pc/internal/analyzers"
+	"o2pc/internal/analyzers/analysistest"
+)
+
+func TestWalorder(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Walorder,
+		"walorder/internal/site",
+		"walorder/internal/other",
+	)
+}

@@ -369,6 +369,13 @@ func (c *Coordinator) Recover(ctx context.Context) error {
 			wasP1[rec.TxnID] = marking != "" && marking != proto.MarkNone.String()
 		case wal.RecDecision:
 			decidedLog[rec.TxnID] = rec.Aux == "commit"
+		default:
+			// The coordinator's log holds only BEGIN and DECISION records
+			// (Run and decide are its only writers); anything else means
+			// this is a site's log or a corrupt one, and recovering from it
+			// would presume-abort transactions that were never ours.
+			return fmt.Errorf("coord %s: unexpected %v record (LSN %d) in coordinator log",
+				c.cfg.Name, rec.Type, rec.LSN)
 		}
 	}
 

@@ -99,6 +99,8 @@ func nodeAttrs(id string, kind history.Kind, hot bool) string {
 		shape = "box"
 	case history.KindCompensating:
 		shape = "hexagon"
+	case history.KindLocal:
+		// Keep the ellipse default.
 	}
 	attrs := fmt.Sprintf("label=%q, shape=%s", id, shape)
 	if hot {

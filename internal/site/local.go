@@ -48,9 +48,33 @@ func (s *Site) ReadInt64(key storage.Key) int64 {
 	return n
 }
 
-// Seed installs initial data without logging or locking (bootstrap only).
+// SeedTxnID is the transaction ID under which bootstrap seed writes are
+// logged. Each Seed call is its own committed mini-transaction in the WAL,
+// so a recovered site replays its seed data instead of forgetting it.
+const SeedTxnID = "init"
+
+// Seed installs initial data without locking (bootstrap only). The write
+// is logged ahead of the store mutation — an unlogged seed would vanish on
+// the first crash recovery, silently breaking every invariant that assumed
+// the seeded balance existed (the SeedInt64 WAL bypass).
 func (s *Site) Seed(key storage.Key, value storage.Value) {
-	s.mgr.Store().Put(key, value, "init")
+	store := s.mgr.Store()
+	prev, existed := store.GetAny(key)
+	after := wal.Image{
+		Key:     key,
+		Value:   append(storage.Value(nil), value...),
+		Existed: true,
+		Writer:  SeedTxnID,
+	}
+	log := s.mgr.Log()
+	_, _ = log.Append(wal.Record{
+		Type:   wal.RecUpdate,
+		TxnID:  SeedTxnID,
+		Before: wal.ImageOf(prev, existed),
+		After:  after,
+	})
+	_, _ = log.Append(wal.Record{Type: wal.RecCommit, TxnID: SeedTxnID})
+	store.Put(key, value, SeedTxnID)
 }
 
 // SeedInt64 installs an initial int64 value.

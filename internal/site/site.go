@@ -167,7 +167,6 @@ const (
 	stateExecuted         pendingState = iota + 1 // ops done, awaiting VOTE-REQ
 	statePrepared                                 // voted YES, locks retained (2PC / real action)
 	stateLocallyCommitted                         // voted YES, locks released (O2PC)
-	stateDone
 )
 
 // Site is one participant DBMS.
@@ -343,6 +342,8 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 			return proto.ExecReply{Err: err.Error()}
 		}
 		switch verdict {
+		case marking.Admit:
+			// Compatible: execution proceeds below.
 		case marking.Retry:
 			s.stats.RejectsRetry.Inc()
 			_ = t.Abort("")

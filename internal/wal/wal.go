@@ -240,6 +240,9 @@ func Analyze(records []Record) Analysis {
 			a.Status[rec.TxnID] = StatusAborted
 		case RecDecision:
 			a.Decisions[rec.TxnID] = rec.Aux
+		case RecCheckpoint:
+			// Checkpoint brackets carry no transaction state; Recover
+			// consumes them via lastCheckpoint before analysis.
 		}
 	}
 	return a

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"o2pc/internal/coord"
@@ -251,9 +252,14 @@ func (g *Generator) Next() (coord.TxnSpec, string) {
 	return spec, doomSite
 }
 
-// Run seeds the cluster, drives the configured load, and reports.
+// Run seeds the cluster, drives the configured load, and reports. All
+// timing flows through the cluster's clock and every driver goroutine is
+// spawned through it, so a workload over a virtual clock is fully
+// explorer-deterministic: the seed (plus any fault script) determines the
+// execution, and elapsed time is virtual time.
 func Run(ctx context.Context, cl *core.Cluster, cfg Config) Report {
 	cfg = cfg.withDefaults()
+	clock := cl.Clock()
 	gen := NewGenerator(cfg, cl.SiteNames())
 	for i := 0; i < cfg.KeysPerSite; i++ {
 		cl.SeedInt64(Key(i), cfg.SeedValue)
@@ -263,12 +269,24 @@ func Run(ctx context.Context, cl *core.Cluster, cfg Config) Report {
 	localLatency := metrics.NewHistogram()
 	var committed, aborted, markRetries metrics.Counter
 
-	start := time.Now()
+	// Driver goroutines go through clock.Go so a virtual clock can track
+	// them, and the join below polls a completion count instead of blocking
+	// on the WaitGroup (which would stall virtual time).
+	start := clock.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < cfg.Clients; c++ {
+	var finished, launched atomic.Int64
+	spawn := func(fn func()) {
+		launched.Add(1)
 		wg.Add(1)
-		go func(client int) {
+		clock.Go(func() {
 			defer wg.Done()
+			defer finished.Add(1)
+			fn()
+		})
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		client := c
+		spawn(func() {
 			nCoords := len(cl.Coordinators())
 			for i := 0; i < cfg.TxnsPerClient; i++ {
 				spec, doomSite := gen.Next()
@@ -287,20 +305,19 @@ func Run(ctx context.Context, cl *core.Cluster, cfg Config) Report {
 					return
 				}
 			}
-		}(c)
+		})
 	}
 
 	// Optional concurrent local load, measured separately.
 	if cfg.LocalTxnsPerSite > 0 {
 		for si := range cl.Sites() {
-			wg.Add(1)
-			go func(si int) {
-				defer wg.Done()
+			si := si
+			spawn(func() {
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(si) + 1000))
 				picker := newKeyPicker(cfg, rng)
 				for i := 0; i < cfg.LocalTxnsPerSite; i++ {
 					key := storage.Key(Key(picker.pick()))
-					t0 := time.Now()
+					t0 := clock.Now()
 					err := cl.RunLocal(ctx, si, func(t *txn.Txn) error {
 						v, err := t.ReadInt64ForUpdate(ctx, key)
 						if err != nil {
@@ -309,20 +326,20 @@ func Run(ctx context.Context, cl *core.Cluster, cfg Config) Report {
 						return t.WriteInt64(ctx, key, v+1)
 					})
 					if err == nil {
-						localLatency.ObserveDuration(time.Since(t0))
+						localLatency.ObserveDuration(clock.Since(t0))
 					}
 					if ctx.Err() != nil {
 						return
 					}
 				}
-			}(si)
+			})
 		}
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	clock.Join(wg.Wait, func() bool { return finished.Load() == launched.Load() })
+	elapsed := clock.Since(start)
 
 	// Allow outstanding compensations to settle before collecting stats.
-	qctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	qctx, cancel := clock.WithTimeout(context.Background(), 10*time.Second)
 	_ = cl.Quiesce(qctx)
 	cancel()
 
