@@ -44,7 +44,7 @@ func runF1(e *env) {
 // transition of the state machine, printing the observed state at each
 // protocol event.
 func runF2(e *env) {
-	cl := core.NewCluster(core.Config{Sites: 2, Record: true})
+	cl := e.cluster(core.Config{Sites: 2, Record: true})
 	cl.SeedInt64("a", 100)
 	state := func(site int) string {
 		if cl.Site(site).Marks().Contains("Tdead") {

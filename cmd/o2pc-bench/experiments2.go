@@ -20,7 +20,7 @@ import (
 // extra rounds for admitted transactions.
 func runE6(e *env) {
 	counts := func(st stack, abortProb float64) (map[string]int64, int64) {
-		cl := core.NewCluster(core.Config{Sites: 4})
+		cl := e.cluster(core.Config{Sites: 4})
 		rep := workload.Run(bg(), cl, workload.Config{
 			Seed:          e.seed,
 			Clients:       4,
@@ -82,7 +82,7 @@ func runE7(e *env) {
 			d(int64(effective)), d(int64(doomed)), d(int64(benign)), b(correct))
 	}
 	for _, st := range []stack{st2PC, stO2PCP1} {
-		cl := core.NewCluster(core.Config{Sites: 4, Record: true})
+		cl := e.cluster(core.Config{Sites: 4, Record: true})
 		_ = workload.Run(bg(), cl, workload.Config{
 			Seed:          e.seed,
 			Clients:       4,
@@ -204,7 +204,7 @@ func runA1(e *env) {
 		{"2PC, S released at vote", true, st2PC},
 		{"O2PC", false, stO2PC},
 	} {
-		cl := core.NewCluster(core.Config{
+		cl := e.cluster(core.Config{
 			Sites:               4,
 			ReleaseSharedAtVote: cfg.release,
 			Network:             rpc.Config{MinLatency: 1 * time.Millisecond, MaxLatency: 2 * time.Millisecond, Seed: e.seed},
@@ -299,7 +299,7 @@ func runA4(e *env) {
 		name string
 		on   bool
 	}{{"read-only votes off", false}, {"read-only votes on", true}} {
-		cl := core.NewCluster(core.Config{
+		cl := e.cluster(core.Config{
 			Sites:         4,
 			ReadOnlyVotes: cfg.on,
 		})

@@ -12,6 +12,8 @@ import (
 	"o2pc/internal/history"
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
+	"o2pc/internal/sim"
+	"o2pc/internal/trace"
 	"o2pc/internal/workload"
 )
 
@@ -32,13 +34,29 @@ var (
 	stSimple = stack{"O2PC+simple", proto.O2PC, proto.MarkSimple}
 )
 
+// cluster builds a core cluster. The first cluster built under
+// -trace/-metrics gets the tracer attached and its stats adopted into the
+// artifacts registry (adoption shares the live instruments, so counts
+// accumulated after this call are exposed too).
+func (e *env) cluster(cfg core.Config) *core.Cluster {
+	if e.art != nil && !e.art.used {
+		e.art.used = true
+		e.art.tracer = trace.New(sim.OrReal(cfg.Clock), trace.DefaultNodeCapacity)
+		cfg.Tracer = e.art.tracer
+		cl := core.NewCluster(cfg)
+		cl.PublishMetrics(e.art.reg)
+		return cl
+	}
+	return core.NewCluster(cfg)
+}
+
 // runLoad builds a cluster with cfgCluster, runs the workload, and returns
 // the report (and the cluster for further inspection).
 func runLoad(e *env, cfgCluster core.Config, cfgLoad workload.Config) (workload.Report, *core.Cluster) {
 	if cfgLoad.Seed == 0 {
 		cfgLoad.Seed = e.seed
 	}
-	cl := core.NewCluster(cfgCluster)
+	cl := e.cluster(cfgCluster)
 	rep := workload.Run(bg(), cl, cfgLoad)
 	return rep, cl
 }

@@ -26,18 +26,27 @@
 // Usage:
 //
 //	o2pc-bench [-exp all|F1,E3,...] [-quick] [-seed N] [-dump DIR]
+//	           [-trace FILE] [-trace-chrome FILE] [-metrics FILE]
 //
 // -dump writes each experiment's recorded history as JSON for offline
-// auditing with sgcheck.
+// auditing with sgcheck. -trace / -trace-chrome write the protocol event
+// log of the first cluster built as JSONL / Chrome trace-event JSON
+// (combine with -exp to choose which experiment is traced), and -metrics
+// writes that cluster's counters, gauges, and latency histograms in
+// Prometheus text exposition form.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"text/tabwriter"
+
+	"o2pc/internal/metrics"
+	"o2pc/internal/trace"
 )
 
 // experiment is one runnable experiment.
@@ -47,11 +56,20 @@ type experiment struct {
 	run   func(e *env)
 }
 
+// artifacts captures the observability outputs of the first cluster built
+// across the whole bench invocation (so -exp picks what gets traced).
+type artifacts struct {
+	tracer *trace.Tracer
+	reg    *metrics.Registry
+	used   bool
+}
+
 // env carries shared experiment settings.
 type env struct {
 	quick bool
 	seed  int64
 	dump  string
+	art   *artifacts
 	out   *tabwriter.Writer
 }
 
@@ -86,6 +104,9 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
 	seed := flag.Int64("seed", 1991, "workload seed")
 	dump := flag.String("dump", "", "directory for history JSON dumps (sgcheck input)")
+	traceFile := flag.String("trace", "", "write the first cluster's protocol event log as JSONL to this file")
+	chromeFile := flag.String("trace-chrome", "", "write the first cluster's protocol event log as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	metricsFile := flag.String("metrics", "", "write the first cluster's metrics in Prometheus text form to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -101,6 +122,11 @@ func main() {
 		}
 	}
 
+	var art *artifacts
+	if *traceFile != "" || *chromeFile != "" || *metricsFile != "" {
+		art = &artifacts{reg: metrics.NewRegistry()}
+	}
+
 	ran := map[string]bool{}
 	for _, ex := range experiments {
 		if len(want) > 0 && !want[ex.id] {
@@ -112,11 +138,18 @@ func main() {
 			quick: *quick,
 			seed:  *seed,
 			dump:  *dump,
+			art:   art,
 			out:   tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0),
 		}
 		ex.run(e)
 		e.flush()
 		fmt.Println()
+	}
+	if art != nil {
+		if err := writeArtifacts(art, *traceFile, *chromeFile, *metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "o2pc-bench:", err)
+			os.Exit(1)
+		}
 	}
 	var missing []string
 	for id := range want {
@@ -129,4 +162,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "o2pc-bench: unknown experiments:", strings.Join(missing, ","))
 		os.Exit(2)
 	}
+}
+
+// writeArtifacts dumps the captured trace and metrics to the flagged files.
+func writeArtifacts(art *artifacts, traceFile, chromeFile, metricsFile string) error {
+	if !art.used {
+		return fmt.Errorf("no cluster was traced (selected experiments build none)")
+	}
+	writeTo := func(path string, write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if traceFile != "" {
+		events := art.tracer.Events()
+		if err := writeTo(traceFile, func(w io.Writer) error { return trace.WriteJSONL(w, events) }); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	if chromeFile != "" {
+		events := art.tracer.Events()
+		if err := writeTo(chromeFile, func(w io.Writer) error { return trace.WriteChrome(w, events) }); err != nil {
+			return fmt.Errorf("write chrome trace: %w", err)
+		}
+	}
+	if metricsFile != "" {
+		if err := writeTo(metricsFile, art.reg.WriteText); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	return nil
 }

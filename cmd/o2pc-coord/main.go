@@ -18,15 +18,23 @@
 //
 // With -repeat N the transaction runs N times and a latency summary is
 // printed. Without -txn the coordinator just serves Resolve requests.
+//
+// Observability: -trace FILE writes the coordinator's protocol event log
+// as JSONL on exit, -trace-chrome FILE writes the same log as Chrome
+// trace-event JSON (loadable in Perfetto or chrome://tracing), and
+// -metrics FILE writes the coordinator's counters, gauges, and latency
+// histograms in Prometheus text exposition form.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -36,6 +44,8 @@ import (
 	"o2pc/internal/metrics"
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
+	"o2pc/internal/sim"
+	"o2pc/internal/trace"
 	"o2pc/internal/wal"
 )
 
@@ -52,28 +62,47 @@ func (a addrList) Set(v string) error {
 }
 
 func main() {
-	name := flag.String("name", "c0", "coordinator node name")
-	listen := flag.String("listen", "127.0.0.1:7001", "listen address for Resolve inquiries")
-	walPath := flag.String("wal", "", "decision log file (default: in-memory)")
-	txnSpec := flag.String("txn", "", "transaction description (see package docs)")
-	protocolName := flag.String("protocol", "o2pc", "commit protocol: 2pc | o2pc")
-	markingName := flag.String("marking", "p1", "marking protocol: none | p1 | p2")
-	repeat := flag.Int("repeat", 1, "run the transaction N times")
-	demo := flag.Int("demo", 0, "run N random transfers of key 'acct' across the sites and report")
-	demoDoom := flag.Float64("demo-doom", 0.1, "fraction of demo transfers that attempt an over-withdrawal (aborted by the AddMin constraint)")
-	demoSeed := flag.Int64("demo-seed", 1, "seed for the demo's transfer choices (same seed, same transfer sequence)")
-	comp := flag.String("comp", "semantic", "compensation mode: semantic | before-image | none")
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		log.Fatalf("o2pc-coord: %v", err)
+	}
+}
+
+// run is the whole command, factored so tests can drive every path: flags
+// are parsed from args, output goes to stdout, and the serve-only path
+// (no -txn, no -demo) blocks until ctx is cancelled instead of forever.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("o2pc-coord", flag.ContinueOnError)
+	name := fs.String("name", "c0", "coordinator node name")
+	listen := fs.String("listen", "127.0.0.1:7001", "listen address for Resolve inquiries")
+	walPath := fs.String("wal", "", "decision log file (default: in-memory)")
+	txnSpec := fs.String("txn", "", "transaction description (see package docs)")
+	protocolName := fs.String("protocol", "o2pc", "commit protocol: 2pc | o2pc")
+	markingName := fs.String("marking", "p1", "marking protocol: none | p1 | p2")
+	repeat := fs.Int("repeat", 1, "run the transaction N times")
+	demo := fs.Int("demo", 0, "run N random transfers of key 'acct' across the sites and report")
+	demoDoom := fs.Float64("demo-doom", 0.1, "fraction of demo transfers that attempt an over-withdrawal (aborted by the AddMin constraint)")
+	demoSeed := fs.Int64("demo-seed", 1, "seed for the demo's transfer choices (same seed, same transfer sequence)")
+	comp := fs.String("comp", "semantic", "compensation mode: semantic | before-image | none")
+	tracePath := fs.String("trace", "", "write the protocol event log as JSONL to this file on exit")
+	chromePath := fs.String("trace-chrome", "", "write the protocol event log as Chrome trace-event JSON (Perfetto-loadable) to this file on exit")
+	metricsPath := fs.String("metrics", "", "write coordinator metrics in Prometheus text form to this file on exit")
 	sites := addrList{}
-	flag.Var(sites, "site", "site address as name=host:port (repeatable)")
-	flag.Parse()
+	fs.Var(sites, "site", "site address as name=host:port (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	proto.RegisterGob()
 
-	cfg := coord.Config{Name: *name}
+	var tracer *trace.Tracer
+	if *tracePath != "" || *chromePath != "" {
+		tracer = trace.New(sim.Real(), trace.DefaultNodeCapacity)
+	}
+	cfg := coord.Config{Name: *name, Tracer: tracer}
 	if *walPath != "" {
 		fl, err := wal.OpenFileLog(*walPath)
 		if err != nil {
-			log.Fatalf("o2pc-coord: open wal: %v", err)
+			return fmt.Errorf("open wal: %w", err)
 		}
 		defer fl.Close()
 		cfg.Log = fl
@@ -83,32 +112,72 @@ func main() {
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("o2pc-coord: listen: %v", err)
+		return fmt.Errorf("listen: %w", err)
 	}
+	defer ln.Close()
 	srv := rpc.NewServer(*name, c.Handle)
 	go srv.Serve(ln)
-	log.Printf("coordinator %s serving on %s", *name, ln.Addr())
+	fmt.Fprintf(stdout, "coordinator %s serving on %s\n", *name, ln.Addr())
 
-	if *demo > 0 {
-		runDemo(c, sites, *demo, *demoDoom, *demoSeed, protocolOf(*protocolName), markingOf(*markingName))
-		return
+	switch {
+	case *demo > 0:
+		err = runDemo(stdout, c, sites, *demo, *demoDoom, *demoSeed, protocolOf(*protocolName), markingOf(*markingName))
+	case *txnSpec != "":
+		err = runTxn(ctx, stdout, c, *txnSpec, parseComp(*comp), protocolOf(*protocolName), markingOf(*markingName), *repeat)
+	default:
+		<-ctx.Done() // serve Resolve inquiries until cancelled
 	}
-
-	if *txnSpec == "" {
-		select {} // serve Resolve inquiries forever
-	}
-
-	subtxns, err := parseTxn(*txnSpec, parseComp(*comp))
 	if err != nil {
-		log.Fatalf("o2pc-coord: %v", err)
+		return err
 	}
-	protocol := protocolOf(*protocolName)
-	marking := markingOf(*markingName)
+	return writeArtifacts(c, tracer, *tracePath, *chromePath, *metricsPath)
+}
 
+// writeArtifacts dumps the trace and metrics files requested by flags.
+func writeArtifacts(c *coord.Coordinator, tracer *trace.Tracer, tracePath, chromePath, metricsPath string) error {
+	writeFile := func(path string, write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if tracePath != "" {
+		events := tracer.Events()
+		if err := writeFile(tracePath, func(w io.Writer) error { return trace.WriteJSONL(w, events) }); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	if chromePath != "" {
+		events := tracer.Events()
+		if err := writeFile(chromePath, func(w io.Writer) error { return trace.WriteChrome(w, events) }); err != nil {
+			return fmt.Errorf("write chrome trace: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		reg := metrics.NewRegistry()
+		c.Stats().Publish(reg, "o2pc_coord_")
+		if err := writeFile(metricsPath, reg.WriteText); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// runTxn parses and executes the -txn transaction -repeat times.
+func runTxn(ctx context.Context, stdout io.Writer, c *coord.Coordinator, txnSpec string, comp proto.CompMode, protocol proto.Protocol, marking proto.MarkProtocol, repeat int) error {
+	subtxns, err := parseTxn(txnSpec, comp)
+	if err != nil {
+		return err
+	}
 	lat := metrics.NewHistogram()
 	committed := 0
-	for i := 0; i < *repeat; i++ {
-		res := c.Run(context.Background(), coord.TxnSpec{
+	for i := 0; i < repeat; i++ {
+		res := c.Run(ctx, coord.TxnSpec{
 			Protocol: protocol,
 			Marking:  marking,
 			Subtxns:  subtxns,
@@ -117,21 +186,22 @@ func main() {
 			committed++
 			lat.ObserveDuration(res.Latency)
 		}
-		if *repeat == 1 {
-			fmt.Printf("%s: %v (latency %v)\n", res.ID, res.Outcome, res.Latency.Round(time.Microsecond))
+		if repeat == 1 {
+			fmt.Fprintf(stdout, "%s: %v (latency %v)\n", res.ID, res.Outcome, res.Latency.Round(time.Microsecond))
 			if res.Err != nil {
-				fmt.Println("  error:", res.Err)
+				fmt.Fprintln(stdout, "  error:", res.Err)
 			}
 			for site, reads := range res.Reads {
 				for key, val := range reads {
-					fmt.Printf("  read %s@%s = %q\n", key, site, val)
+					fmt.Fprintf(stdout, "  read %s@%s = %q\n", key, site, val)
 				}
 			}
 		}
 	}
-	if *repeat > 1 {
-		fmt.Printf("%d/%d committed; latency(ms): %s\n", committed, *repeat, lat.Snapshot())
+	if repeat > 1 {
+		fmt.Fprintf(stdout, "%d/%d committed; latency(ms): %s\n", committed, repeat, lat.Snapshot())
 	}
+	return nil
 }
 
 func protocolOf(name string) proto.Protocol {
@@ -158,14 +228,14 @@ func markingOf(name string) proto.MarkProtocol {
 // sites, with a fraction refused at vote time, and prints outcome counts
 // and a latency summary — a self-contained way to exercise a TCP
 // deployment (seed the sites with -seed acct=<amount> first).
-func runDemo(c *coord.Coordinator, sites addrList, n int, doom float64, seed int64, protocol proto.Protocol, marking proto.MarkProtocol) {
+func runDemo(stdout io.Writer, c *coord.Coordinator, sites addrList, n int, doom float64, seed int64, protocol proto.Protocol, marking proto.MarkProtocol) error {
 	names := make([]string, 0, len(sites))
 	for name := range sites {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	if len(names) < 2 {
-		log.Fatal("o2pc-coord: -demo needs at least two -site entries")
+		return fmt.Errorf("-demo needs at least two -site entries")
 	}
 	rng := rand.New(rand.NewSource(seed))
 	lat := metrics.NewHistogram()
@@ -199,8 +269,9 @@ func runDemo(c *coord.Coordinator, sites addrList, n int, doom float64, seed int
 			refused++
 		}
 	}
-	fmt.Printf("demo: %d committed, %d insufficient-funds, %d other aborts\n", committed, failed, refused)
-	fmt.Printf("latency(ms): %s\n", lat.Snapshot())
+	fmt.Fprintf(stdout, "demo: %d committed, %d insufficient-funds, %d other aborts\n", committed, failed, refused)
+	fmt.Fprintf(stdout, "latency(ms): %s\n", lat.Snapshot())
+	return nil
 }
 
 func parseComp(s string) proto.CompMode {

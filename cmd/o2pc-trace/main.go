@@ -1,0 +1,189 @@
+// Command o2pc-trace filters and renders protocol traces.
+//
+// It reads a JSONL event log — written by the -trace flag of o2pc-coord or
+// o2pc-bench, or by the schedule explorer — and renders it for humans:
+//
+//	o2pc-trace run.jsonl                     # timeline of every event
+//	o2pc-trace -txn T7 run.jsonl             # one transaction's timeline
+//	o2pc-trace -node s0 run.jsonl            # one node's timeline
+//	o2pc-trace -type vote.yes,vote.no ...    # only these event types
+//	o2pc-trace -format lanes run.jsonl       # per-node lane view
+//	o2pc-trace -format chrome run.jsonl      # convert to Chrome trace JSON
+//	o2pc-trace -format jsonl -txn T7 ...     # re-emit the filtered JSONL
+//
+// With no file argument the trace is read from stdin. Virtual-time traces
+// print offsets relative to the first (filtered) event, so deterministic
+// runs render identically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"o2pc/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		log.Fatalf("o2pc-trace: %v", err)
+	}
+}
+
+// run is the whole command, factored for tests: flags from args, trace
+// from stdin when no file operand, rendering to stdout.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("o2pc-trace", flag.ContinueOnError)
+	txn := fs.String("txn", "", "keep only this transaction's events")
+	node := fs.String("node", "", "keep only this node's events")
+	types := fs.String("type", "", "keep only these event types (comma-separated names, e.g. vote.yes,decision.reached)")
+	format := fs.String("format", "timeline", "output format: timeline | lanes | jsonl | chrome")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("at most one trace file, got %d", fs.NArg())
+	}
+
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := trace.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+	events, err = filter(events, *txn, *node, *types)
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "timeline":
+		return writeTimeline(stdout, events)
+	case "lanes":
+		return writeLanes(stdout, events)
+	case "jsonl":
+		return trace.WriteJSONL(stdout, events)
+	case "chrome":
+		return trace.WriteChrome(stdout, events)
+	default:
+		return fmt.Errorf("unknown format %q (want timeline, lanes, jsonl, or chrome)", *format)
+	}
+}
+
+// filter keeps the events matching every given predicate (empty = any).
+func filter(events []trace.Event, txn, node, types string) ([]trace.Event, error) {
+	keepType := map[trace.EventType]bool{}
+	if types != "" {
+		for _, name := range strings.Split(types, ",") {
+			name = strings.TrimSpace(name)
+			t, ok := trace.TypeByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown event type %q", name)
+			}
+			keepType[t] = true
+		}
+	}
+	var out []trace.Event
+	for _, e := range events {
+		if txn != "" && e.Txn != txn {
+			continue
+		}
+		if node != "" && e.Node != node {
+			continue
+		}
+		if len(keepType) > 0 && !keepType[e.Type] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// eventLabel compresses one event for rendering.
+func eventLabel(e trace.Event, withNode bool) string {
+	var b strings.Builder
+	if withNode {
+		fmt.Fprintf(&b, "%-3s ", e.Node)
+	}
+	b.WriteString(e.Type.String())
+	if e.Txn != "" {
+		b.WriteString(" txn=" + e.Txn)
+	}
+	if e.Peer != "" {
+		b.WriteString(" peer=" + e.Peer)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %q", e.Detail)
+	}
+	return b.String()
+}
+
+// writeTimeline prints one event per line with time offsets relative to
+// the first event.
+func writeTimeline(w io.Writer, events []trace.Event) error {
+	if len(events) == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	t0 := events[0].T
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "+%-10s %s\n", time.Duration(e.T-t0), eventLabel(e, true)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeLanes prints a per-node lane view: one column per node, one row per
+// event, so concurrent protocol steps at different sites read side by side.
+func writeLanes(w io.Writer, events []trace.Event) error {
+	if len(events) == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	nodes := trace.Nodes(events)
+	col := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		col[n] = i
+	}
+	const width = 34
+	header := make([]string, len(nodes))
+	for i, n := range nodes {
+		header[i] = pad(n, width)
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %s\n", "time", strings.Join(header, " ")); err != nil {
+		return err
+	}
+	t0 := events[0].T
+	for _, e := range events {
+		cells := make([]string, len(nodes))
+		for i := range cells {
+			cells[i] = pad("", width)
+		}
+		cells[col[e.Node]] = pad(eventLabel(e, false), width)
+		if _, err := fmt.Fprintf(w, "+%-11s %s\n",
+			time.Duration(e.T-t0), strings.TrimRight(strings.Join(cells, " "), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pad right-pads or truncates s to n runes.
+func pad(s string, n int) string {
+	if len(s) > n {
+		return s[:n-1] + "…"
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}

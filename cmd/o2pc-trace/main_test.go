@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"o2pc/internal/trace"
+)
+
+// sampleJSONL is a tiny two-transaction trace: T1 commits across c0/s0,
+// T2 gets a NO vote at s1.
+const sampleJSONL = `{"t":1000000,"node":"c0","seq":1,"type":"txn.begin","txn":"T1"}
+{"t":2000000,"node":"s0","seq":1,"type":"vote.yes","txn":"T1","peer":"c0"}
+{"t":3000000,"node":"c0","seq":2,"type":"decision.reached","txn":"T1","detail":"commit"}
+{"t":4000000,"node":"c0","seq":3,"type":"txn.begin","txn":"T2"}
+{"t":5000000,"node":"s1","seq":1,"type":"vote.no","txn":"T2","peer":"c0","detail":"unilateral abort"}
+`
+
+func TestRunFormats(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    []string // substrings of output
+		wantNot []string
+		wantErr string
+	}{
+		{
+			name: "timeline default",
+			args: nil,
+			want: []string{"+0s", "txn.begin txn=T1", "+4ms", "vote.no txn=T2", `"unilateral abort"`},
+		},
+		{
+			name:    "txn filter",
+			args:    []string{"-txn", "T1"},
+			want:    []string{"txn.begin txn=T1", "decision.reached txn=T1"},
+			wantNot: []string{"T2"},
+		},
+		{
+			name:    "node filter",
+			args:    []string{"-node", "s1"},
+			want:    []string{"vote.no"},
+			wantNot: []string{"txn.begin"},
+		},
+		{
+			name:    "type filter",
+			args:    []string{"-type", "vote.yes,vote.no"},
+			want:    []string{"vote.yes", "vote.no"},
+			wantNot: []string{"txn.begin", "decision.reached"},
+		},
+		{
+			name: "lanes",
+			args: []string{"-format", "lanes"},
+			want: []string{"time", "c0", "s0", "s1", "vote.yes txn=T1"},
+		},
+		{
+			name: "jsonl round trip",
+			args: []string{"-format", "jsonl", "-txn", "T2"},
+			want: []string{`"type":"vote.no"`, `"txn":"T2"`},
+		},
+		{
+			name: "chrome",
+			args: []string{"-format", "chrome"},
+			want: []string{`"traceEvents"`, `"ph":"X"`, `"ph":"i"`},
+		},
+		{
+			name:    "unknown format",
+			args:    []string{"-format", "nope"},
+			wantErr: "unknown format",
+		},
+		{
+			name:    "unknown type",
+			args:    []string{"-type", "frobnicate"},
+			wantErr: `unknown event type "frobnicate"`,
+		},
+		{
+			name: "empty filter result",
+			args: []string{"-txn", "T999"},
+			want: []string{"(no events)"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, strings.NewReader(sampleJSONL), &out)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+			for _, not := range tc.wantNot {
+				if strings.Contains(out.String(), not) {
+					t.Errorf("output unexpectedly contains %q:\n%s", not, out.String())
+				}
+			}
+		})
+	}
+}
+
+// TestJSONLOutputReparses pins that filtered jsonl output is itself a
+// valid trace (the tool's output can be piped back into the tool).
+func TestJSONLOutputReparses(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-format", "jsonl", "-txn", "T1"}, strings.NewReader(sampleJSONL), &out); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadJSONL(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for _, e := range events {
+		if e.Txn != "T1" {
+			t.Errorf("unfiltered event leaked: %+v", e)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"o2pc/internal/proto"
 	"o2pc/internal/sim"
 	"o2pc/internal/storage"
+	"o2pc/internal/trace"
 	"o2pc/internal/txn"
 	"o2pc/internal/wal"
 )
@@ -190,6 +191,12 @@ type Options struct {
 	Finalize func(ctx context.Context, t *txn.Txn) error
 	// Clock times the retry backoff. Nil defaults to the real clock.
 	Clock sim.Clock
+	// Tracer, when non-nil, records the compensation run (begin, each
+	// retry, end) as events at TraceNode.
+	Tracer *trace.Tracer
+	// TraceNode is the node name events are attributed to (the site
+	// running the compensation).
+	TraceNode string
 }
 
 // CTID returns the conventional compensating-transaction node ID for a
@@ -209,6 +216,7 @@ func Run(ctx context.Context, mgr *txn.Manager, forward Forward, plan Func, opts
 	maxBackoff := backoff * 32
 	clock := sim.OrReal(opts.Clock)
 	ctID := CTID(forward.TxnID)
+	opts.Tracer.Emit(opts.TraceNode, trace.EvCompBegin, forward.TxnID, "", ctID)
 
 	for attempt := 0; ; attempt++ {
 		err := runOnce(ctx, mgr, ctID, forward, plan, opts)
@@ -216,6 +224,7 @@ func Run(ctx context.Context, mgr *txn.Manager, forward Forward, plan Func, opts
 			if rec := mgr.Recorder(); rec != nil {
 				rec.SetFate(ctID, history.FateCommitted)
 			}
+			opts.Tracer.Emit(opts.TraceNode, trace.EvCompEnd, forward.TxnID, "", ctID)
 			return nil
 		}
 		if ctx.Err() != nil {
@@ -224,6 +233,7 @@ func Run(ctx context.Context, mgr *txn.Manager, forward Forward, plan Func, opts
 		if !retryable(err) {
 			return fmt.Errorf("compensate: %s at %s failed permanently: %w", ctID, mgr.Site(), err)
 		}
+		opts.Tracer.Emit(opts.TraceNode, trace.EvCompRetry, forward.TxnID, "", err.Error())
 		if err := clock.Sleep(ctx, backoff); err != nil {
 			return err
 		}

@@ -23,6 +23,7 @@ import (
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
 	"o2pc/internal/sim"
+	"o2pc/internal/trace"
 	"o2pc/internal/wal"
 )
 
@@ -125,8 +126,11 @@ type Stats struct {
 	Aborts         *metrics.Counter
 	MarkingAborts  *metrics.Counter
 	MarkingRetries *metrics.Counter
-	Latency        *metrics.Histogram // ms, all outcomes
-	CommitLatency  *metrics.Histogram // ms, committed only
+	// InFlight tracks global transactions between Run entry and
+	// resolution — a gauge, not a counter: it falls as runs finish.
+	InFlight      *metrics.Gauge
+	Latency       *metrics.Histogram // ms, all outcomes
+	CommitLatency *metrics.Histogram // ms, committed only
 }
 
 func newStats() *Stats {
@@ -135,9 +139,22 @@ func newStats() *Stats {
 		Aborts:         &metrics.Counter{},
 		MarkingAborts:  &metrics.Counter{},
 		MarkingRetries: &metrics.Counter{},
+		InFlight:       &metrics.Gauge{},
 		Latency:        metrics.NewHistogram(),
 		CommitLatency:  metrics.NewHistogram(),
 	}
+}
+
+// Publish adopts every instrument into reg under prefixed Prometheus-style
+// names, for text exposition via Registry.WriteText.
+func (s *Stats) Publish(reg *metrics.Registry, prefix string) {
+	reg.Adopt(prefix+"commits_total", s.Commits)
+	reg.Adopt(prefix+"aborts_total", s.Aborts)
+	reg.Adopt(prefix+"marking_aborts_total", s.MarkingAborts)
+	reg.Adopt(prefix+"marking_retries_total", s.MarkingRetries)
+	reg.Adopt(prefix+"inflight_txns", s.InFlight)
+	reg.Adopt(prefix+"latency_ms", s.Latency)
+	reg.Adopt(prefix+"commit_latency_ms", s.CommitLatency)
 }
 
 // decided tracks a logged decision and its undelivered participants.
@@ -174,6 +191,9 @@ type Config struct {
 	// latency measurement, background delivery). Nil defaults to the real
 	// clock.
 	Clock sim.Clock
+	// Tracer, when non-nil, records the coordinator's protocol steps
+	// (txn begin, vote round, decision, delivery) and its WAL writes.
+	Tracer *trace.Tracer
 }
 
 // Coordinator drives global transactions.
@@ -184,6 +204,7 @@ type Coordinator struct {
 	log    wal.Log
 	stats  *Stats
 	clock  sim.Clock
+	tracer *trace.Tracer
 
 	mu      sync.Mutex
 	seq     uint64
@@ -209,6 +230,7 @@ func New(cfg Config, caller rpc.Caller) *Coordinator {
 	if log == nil {
 		log = wal.NewMemoryLog()
 	}
+	log = trace.WrapLog(log, cfg.Tracer, cfg.Name)
 	return &Coordinator{
 		cfg:     cfg,
 		caller:  caller,
@@ -216,6 +238,7 @@ func New(cfg Config, caller rpc.Caller) *Coordinator {
 		log:     log,
 		stats:   newStats(),
 		clock:   sim.OrReal(cfg.Clock),
+		tracer:  cfg.Tracer,
 		decided: make(map[string]*decided),
 		started: make(map[string][]string),
 	}
@@ -264,8 +287,10 @@ func (c *Coordinator) Handle(ctx context.Context, from string, req any) (any, er
 		d, ok := c.decided[m.TxnID]
 		c.mu.Unlock()
 		if !ok {
+			c.tracer.Emit(c.cfg.Name, trace.EvResolveRecv, m.TxnID, from, "unknown")
 			return proto.ResolveReply{Known: false}, nil
 		}
+		c.tracer.Emit(c.cfg.Name, trace.EvResolveRecv, m.TxnID, from, decisionAux(d.commit))
 		return proto.ResolveReply{Known: true, Commit: d.commit}, nil
 	default:
 		return nil, fmt.Errorf("coord %s: unknown message %T", c.cfg.Name, req)
@@ -320,7 +345,20 @@ func (c *Coordinator) checkCrash(txnID string, phase CrashPhase) bool {
 	}
 	if c.crash != nil && c.crash(txnID, phase) {
 		c.crashed = true
+		c.tracer.Emit(c.cfg.Name, trace.EvCrash, txnID, "", crashPhaseName(phase))
 		return true
 	}
 	return false
+}
+
+// crashPhaseName spells a CrashPhase for trace details.
+func crashPhaseName(p CrashPhase) string {
+	switch p {
+	case CrashAfterVotes:
+		return "after-votes"
+	case CrashAfterDecisionLogged:
+		return "after-decision-logged"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
 }

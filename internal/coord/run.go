@@ -9,6 +9,7 @@ import (
 	"o2pc/internal/history"
 	"o2pc/internal/proto"
 	"o2pc/internal/sim"
+	"o2pc/internal/trace"
 	"o2pc/internal/wal"
 )
 
@@ -18,7 +19,9 @@ import (
 // to unreachable participants continues in the background.
 func (c *Coordinator) Run(ctx context.Context, spec TxnSpec) Result {
 	start := c.clock.Now()
+	c.stats.InFlight.Inc()
 	res := c.run(ctx, spec)
+	c.stats.InFlight.Dec()
 	res.Latency = c.clock.Since(start)
 	c.stats.Latency.ObserveDuration(res.Latency)
 	switch res.Outcome {
@@ -31,6 +34,7 @@ func (c *Coordinator) Run(ctx context.Context, spec TxnSpec) Result {
 	default:
 		c.stats.Aborts.Inc()
 	}
+	c.tracer.Emit(c.cfg.Name, trace.EvTxnOutcome, res.ID, "", res.Outcome.String())
 	return res
 }
 
@@ -59,6 +63,8 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 		res.Err = ErrCrashed
 		return res
 	}
+	c.tracer.Emit(c.cfg.Name, trace.EvTxnBegin, id, "",
+		spec.Protocol.String()+"/"+spec.Marking.String()+" sites="+joinSites(execSites(spec)))
 	_, _ = c.log.Append(wal.Record{
 		Type:  wal.RecBegin,
 		TxnID: id,
@@ -156,6 +162,7 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 // rejections up to the retry budget.
 func (c *Coordinator) execWithRetry(ctx context.Context, id, site string, req proto.ExecRequest, retries int, res *Result) (proto.ExecReply, error) {
 	for attempt := 0; ; attempt++ {
+		c.tracer.Emit(c.cfg.Name, trace.EvExecSend, id, site, "")
 		raw, err := c.caller.Call(ctx, c.cfg.Name, site, req)
 		if err != nil {
 			return proto.ExecReply{}, fmt.Errorf("coord: exec %s at %s: %w", id, site, err)
@@ -198,6 +205,7 @@ func (c *Coordinator) collectVotes(ctx context.Context, id string, sites []strin
 	for _, site := range sites {
 		site := site
 		g.Go(func() {
+			c.tracer.Emit(c.cfg.Name, trace.EvVoteReqSend, id, site, "")
 			raw, err := c.caller.Call(ctx, c.cfg.Name, site, proto.VoteRequest{TxnID: id})
 			commit, ro := false, false
 			if err == nil {
@@ -208,6 +216,7 @@ func (c *Coordinator) collectVotes(ctx context.Context, id string, sites []strin
 					}
 				}
 			}
+			c.tracer.Emit(c.cfg.Name, trace.EvVoteRecv, id, site, voteDetail(commit, ro, err))
 			mu.Lock()
 			votes[site] = commit
 			if ro {
@@ -255,6 +264,7 @@ func (c *Coordinator) decide(ctx context.Context, id string, commit bool, execut
 	}
 	_, _ = c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: decisionAux(commit)})
 	_ = c.log.Sync()
+	c.tracer.Emit(c.cfg.Name, trace.EvDecisionReached, id, "", decisionAux(commit))
 	d := &decided{
 		commit:     commit,
 		trackMarks: !commit && spec.Marking != proto.MarkNone,
@@ -325,9 +335,11 @@ func (c *Coordinator) sendDecisionUntilAcked(ctx context.Context, id, site strin
 	for {
 		unmarks := c.board.DrainUnmarks(site)
 		msg := proto.Decision{TxnID: id, Commit: commit, Unmarks: unmarks}
+		c.tracer.Emit(c.cfg.Name, trace.EvDecisionSend, id, site, decisionAux(commit))
 		raw, err := c.caller.Call(ctx, c.cfg.Name, site, msg)
 		if err == nil {
 			if ack, ok := raw.(proto.Ack); ok {
+				c.tracer.Emit(c.cfg.Name, trace.EvDecisionAck, id, site, "")
 				c.mu.Lock()
 				delete(d.pending, site)
 				track := d.trackMarks
@@ -354,6 +366,7 @@ func (c *Coordinator) sendDecisionUntilAcked(ctx context.Context, id, site strin
 // the moment 2PC participants finally unblock), and decided-but-
 // undelivered transactions have their decisions re-sent.
 func (c *Coordinator) Recover(ctx context.Context) error {
+	c.tracer.Emit(c.cfg.Name, trace.EvRecover, "", "", "")
 	records, err := c.log.Records()
 	if err != nil {
 		return err
@@ -399,6 +412,9 @@ func (c *Coordinator) Recover(ctx context.Context) error {
 		}
 	}
 	c.mu.Unlock()
+	// Presume in id order: map iteration order would make the WAL record
+	// sequence (and hence the trace) differ between same-seed runs.
+	sort.Strings(presume)
 
 	// Presumed abort for undecided transactions. The decided map — not the
 	// log snapshot read above — is re-checked under the lock: a run that was
@@ -418,6 +434,7 @@ func (c *Coordinator) Recover(ctx context.Context) error {
 		}
 		delete(c.started, id)
 		c.mu.Unlock()
+		c.tracer.Emit(c.cfg.Name, trace.EvDecisionReached, id, "", "abort presumed")
 		if rec := c.cfg.Recorder; rec != nil {
 			rec.SetFate(id, history.FateAborted)
 		}
@@ -454,6 +471,20 @@ func decisionAux(commit bool) string {
 		return "commit"
 	}
 	return "abort"
+}
+
+// voteDetail spells a vote-round reply for trace details.
+func voteDetail(commit, readOnly bool, err error) string {
+	switch {
+	case err != nil:
+		return "unreachable"
+	case readOnly:
+		return "read-only"
+	case commit:
+		return "yes"
+	default:
+		return "no"
+	}
 }
 
 func joinSites(sites []string) string {

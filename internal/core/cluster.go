@@ -22,12 +22,14 @@ import (
 	"o2pc/internal/coord"
 	"o2pc/internal/history"
 	"o2pc/internal/marking"
+	"o2pc/internal/metrics"
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
 	"o2pc/internal/sg"
 	"o2pc/internal/sim"
 	"o2pc/internal/site"
 	"o2pc/internal/storage"
+	"o2pc/internal/trace"
 	"o2pc/internal/txn"
 )
 
@@ -66,6 +68,12 @@ type Config struct {
 	// timeouts, retry backoffs, resolver periods. Nil defaults to the real
 	// clock; pass a sim.VirtualClock for deterministic simulation.
 	Clock sim.Clock
+	// Tracer, when non-nil, records every protocol step — coordinator
+	// rounds, site votes and local commits, WAL appends, network messages,
+	// compensation runs — as a deterministic virtual-time event log. The
+	// same tracer is shared by every node so Events() yields a single
+	// totally-ordered timeline.
+	Tracer *trace.Tracer
 }
 
 // Cluster is a complete in-process multidatabase.
@@ -93,6 +101,9 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Network.Clock == nil {
 		cfg.Network.Clock = clock
 	}
+	if cfg.Network.Tracer == nil {
+		cfg.Network.Tracer = cfg.Tracer
+	}
 	cl := &Cluster{
 		cfg:     cfg,
 		clock:   clock,
@@ -117,6 +128,7 @@ func NewCluster(cfg Config) *Cluster {
 			LockTimeout:          cfg.LockTimeout,
 			ReadOnlyVotes:        cfg.ReadOnlyVotes,
 			Clock:                clock,
+			Tracer:               cfg.Tracer,
 		})
 		s.SetCaller(cl.network)
 		s.SetVoteAbortInjector(cl.doomed.injectorFor(name))
@@ -131,6 +143,7 @@ func NewCluster(cfg Config) *Cluster {
 			Recorder: cl.recorder,
 			Board:    cl.board,
 			Clock:    clock,
+			Tracer:   cfg.Tracer,
 		}, cl.network)
 		cl.network.Register(name, c.Handle)
 		cl.coords = append(cl.coords, c)
@@ -181,6 +194,9 @@ func (cl *Cluster) Board() *marking.Board { return cl.board }
 
 // Recorder returns the history recorder (nil when Record is off).
 func (cl *Cluster) Recorder() *history.Recorder { return cl.recorder }
+
+// Tracer returns the cluster's tracer (nil when tracing is off).
+func (cl *Cluster) Tracer() *trace.Tracer { return cl.cfg.Tracer }
 
 // Run executes one global transaction through coordinator 0.
 func (cl *Cluster) Run(ctx context.Context, spec coord.TxnSpec) coord.Result {
@@ -280,6 +296,22 @@ func (cl *Cluster) RecoverSite(ctx context.Context, i int) error {
 // the abort rate.
 func (cl *Cluster) DoomAtSite(txnID, siteName string) {
 	cl.doomed.doom(txnID, siteName)
+}
+
+// PublishMetrics adopts every node's stats — coordinator and site counters,
+// gauges, and latency histograms, plus the network's per-message-type
+// census — into reg for Prometheus-style text exposition.
+func (cl *Cluster) PublishMetrics(reg *metrics.Registry) {
+	for _, c := range cl.coords {
+		c.Stats().Publish(reg, "o2pc_coord_"+c.Name()+"_")
+	}
+	for _, s := range cl.sites {
+		s.Stats().Publish(reg, "o2pc_site_"+s.Name()+"_")
+	}
+	net := cl.network.Counts()
+	for _, name := range net.CounterNames() {
+		reg.Adopt("o2pc_net_msgs_total_"+name, net.Counter(name))
+	}
 }
 
 // MessageCounts returns the per-message-type census (experiment E6):

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"o2pc/internal/coord"
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/sim"
+	"o2pc/internal/trace"
+)
+
+// tracedCluster runs one committing and one doomed (aborted, then
+// compensated) O2PC transfer under a traced virtual-time cluster and
+// returns the captured event log.
+func tracedCluster(t *testing.T) []trace.Event {
+	t.Helper()
+	clock := sim.NewVirtualClock()
+	tracer := trace.New(clock, trace.DefaultNodeCapacity)
+	cl := NewCluster(Config{
+		Sites:  2,
+		Clock:  clock,
+		Tracer: tracer,
+		Network: rpc.Config{
+			MinLatency: 100 * time.Microsecond,
+			MaxLatency: time.Millisecond,
+			Seed:       1,
+		},
+	})
+	cl.SeedInt64("acct", 1000)
+	ctx, cancel := clock.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	spec := func(id string) coord.TxnSpec {
+		return coord.TxnSpec{
+			ID:       id,
+			Protocol: proto.O2PC,
+			Marking:  proto.MarkP1,
+			Subtxns: []coord.SubtxnSpec{
+				{Site: "s0", Ops: []proto.Operation{proto.AddMin("acct", -5, 0)}, Comp: proto.CompSemantic},
+				{Site: "s1", Ops: []proto.Operation{proto.Add("acct", 5)}, Comp: proto.CompSemantic},
+			},
+		}
+	}
+	if res := cl.Run(ctx, spec("Tok")); !res.Committed() {
+		t.Fatalf("Tok did not commit: %+v", res)
+	}
+	// s1 votes NO, so s0 — which locally committed and released its locks
+	// at its YES vote — must compensate on the abort decision.
+	cl.DoomAtSite("Tbad", "s1")
+	if res := cl.Run(ctx, spec("Tbad")); res.Outcome != coord.AbortedVote {
+		t.Fatalf("Tbad outcome = %v, want aborted-vote", res.Outcome)
+	}
+	qctx, qcancel := clock.WithTimeout(context.Background(), time.Minute)
+	defer qcancel()
+	if err := cl.Quiesce(qctx); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	return cl.Tracer().Events()
+}
+
+// typesAt filters the event types of one transaction at one node, in
+// trace order ("" node means any node).
+func typesAt(events []trace.Event, txn, node string) []trace.EventType {
+	var out []trace.EventType
+	for _, e := range events {
+		if e.Txn == txn && (node == "" || e.Node == node) {
+			out = append(out, e.Type)
+		}
+	}
+	return out
+}
+
+// requireSubsequence asserts want appears in got, in order.
+func requireSubsequence(t *testing.T, label string, got, want []trace.EventType) {
+	t.Helper()
+	i := 0
+	for _, g := range got {
+		if i < len(want) && g == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Errorf("%s: missing %v (matched %d/%d) in timeline %v", label, want[i], i, len(want), got)
+	}
+}
+
+// TestTraceCommittedTimeline checks the acceptance criterion for a
+// committed transaction: the span timeline covers the whole protocol, from
+// BeginTxn through votes, local commits, lock releases and the decision.
+func TestTraceCommittedTimeline(t *testing.T) {
+	events := tracedCluster(t)
+
+	requireSubsequence(t, "Tok at c0", typesAt(events, "Tok", "c0"), []trace.EventType{
+		trace.EvTxnBegin, trace.EvWALAppend, trace.EvExecSend, trace.EvVoteReqSend,
+		trace.EvVoteRecv, trace.EvWALAppend, trace.EvDecisionReached,
+		trace.EvDecisionSend, trace.EvDecisionAck, trace.EvTxnOutcome,
+	})
+	// Theorem 2's write-ahead point: the decision record is forced (a
+	// wal.sync, which carries no txn id) before the decision is reached.
+	synced := false
+	for _, e := range events {
+		if e.Node != "c0" {
+			continue
+		}
+		if e.Type == trace.EvWALSync {
+			synced = true
+		}
+		if e.Txn == "Tok" && e.Type == trace.EvDecisionReached && !synced {
+			t.Error("Tok decision reached at c0 before any WAL sync")
+		}
+	}
+	if !synced {
+		t.Error("no wal.sync event at c0")
+	}
+	for _, site := range []string{"s0", "s1"} {
+		requireSubsequence(t, "Tok at "+site, typesAt(events, "Tok", site), []trace.EventType{
+			trace.EvExecRecv, trace.EvExecDone, trace.EvVoteReqRecv,
+			trace.EvLocalCommit, trace.EvLockRelease, trace.EvVoteYes,
+			trace.EvDecisionRecv,
+		})
+	}
+	// Global virtual-time order is causal: the coordinator's decision is
+	// reached only after both sites voted, and delivered after that.
+	requireSubsequence(t, "Tok globally", typesAt(events, "Tok", ""), []trace.EventType{
+		trace.EvTxnBegin, trace.EvVoteReqSend, trace.EvVoteReqRecv, trace.EvVoteYes,
+		trace.EvVoteRecv, trace.EvDecisionReached, trace.EvDecisionRecv, trace.EvTxnOutcome,
+	})
+}
+
+// TestTraceCompensatedTimeline checks the acceptance criterion for an
+// aborted transaction whose exposed subtransaction is compensated: s0's
+// lane shows local-commit, lock-release, then the abort decision and a
+// complete compensation run.
+func TestTraceCompensatedTimeline(t *testing.T) {
+	events := tracedCluster(t)
+
+	requireSubsequence(t, "Tbad at s0", typesAt(events, "Tbad", "s0"), []trace.EventType{
+		trace.EvExecRecv, trace.EvExecDone, trace.EvVoteReqRecv,
+		trace.EvLocalCommit, trace.EvLockRelease, trace.EvVoteYes,
+		trace.EvDecisionRecv, trace.EvCompBegin, trace.EvCompEnd,
+	})
+	requireSubsequence(t, "Tbad at s1", typesAt(events, "Tbad", "s1"), []trace.EventType{
+		trace.EvExecRecv, trace.EvVoteReqRecv, trace.EvVoteNo,
+	})
+	requireSubsequence(t, "Tbad at c0", typesAt(events, "Tbad", "c0"), []trace.EventType{
+		trace.EvTxnBegin, trace.EvDecisionReached, trace.EvTxnOutcome,
+	})
+	for _, e := range events {
+		if e.Txn == "Tbad" && e.Node == "c0" && e.Type == trace.EvDecisionReached && e.Detail != "abort" {
+			t.Errorf("Tbad decision detail = %q, want abort", e.Detail)
+		}
+		if e.Txn == "Tbad" && e.Node == "c0" && e.Type == trace.EvTxnOutcome && e.Detail != "aborted-vote" {
+			t.Errorf("Tbad outcome detail = %q, want aborted-vote", e.Detail)
+		}
+	}
+}
+
+// TestTraceExportsBothFormats checks that the same run exports cleanly as
+// JSONL (round-trippable) and as Chrome trace JSON with a lane span per
+// (txn, node) for both the committed and the compensated transaction.
+func TestTraceExportsBothFormats(t *testing.T) {
+	events := tracedCluster(t)
+
+	var jsonl bytes.Buffer
+	if err := trace.WriteJSONL(&jsonl, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadJSONL(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("JSONL round trip lost events: %d != %d", len(back), len(events))
+	}
+
+	var chrome bytes.Buffer
+	if err := trace.WriteChrome(&chrome, events); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &file); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	spans := make(map[string]int)
+	for _, ev := range file.TraceEvents {
+		if ev.Phase == "X" {
+			spans[ev.Name]++
+		}
+	}
+	// One lane span per participating node plus the coordinator.
+	for _, txn := range []string{"Tok", "Tbad"} {
+		if spans[txn] < 3 {
+			t.Errorf("chrome output has %d lane spans for %s, want >= 3 (c0, s0, s1)", spans[txn], txn)
+		}
+	}
+}

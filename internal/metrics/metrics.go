@@ -7,14 +7,19 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing concurrency-safe counter.
+// Counter is a monotonically increasing concurrency-safe counter. Values
+// that can go down (in-flight transactions, queue depths) belong in a
+// Gauge.
 type Counter struct {
 	v atomic.Int64
 }
@@ -22,9 +27,14 @@ type Counter struct {
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
-// Add increments the counter by delta. Negative deltas are permitted for
-// gauge-like uses, but most counters in this repository only grow.
-func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+// Add increments the counter by delta. Counters are strictly monotonic:
+// a negative delta panics — use a Gauge for values that decrease.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("metrics: Counter.Add(%d): counters are monotonic, use a Gauge", delta))
+	}
+	c.v.Add(delta)
+}
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
@@ -32,24 +42,88 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// Gauge is a concurrency-safe instantaneous value that can rise and fall
+// (in-flight transactions, pending subtransactions, queue depths).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add moves the gauge by delta (any sign).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Reset sets the gauge back to zero.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
 // Histogram records a stream of duration (or generic numeric) samples and
-// reports order statistics. It keeps all samples; experiment runs in this
-// repository are bounded, so exactness is preferred over a sketch.
+// reports order statistics. By default it keeps all samples: experiment
+// runs in this repository are bounded, so exactness is preferred over a
+// sketch, and golden tests rely on exact quantiles.
+//
+// For long benchmark runs the retained-sample memory grows without bound;
+// NewReservoirHistogram caps it with uniform reservoir sampling
+// (Algorithm R). In reservoir mode Count, Sum, and Mean stay exact (they
+// are tracked outside the reservoir) while Quantile, Min, and Max become
+// unbiased estimates whose error shrinks with the reservoir size — the
+// usual tradeoff of bounded memory for approximate order statistics.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []float64
 	sorted  bool
 	sum     float64
+
+	// Reservoir mode (resCap > 0): count tracks all observations even
+	// when only resCap samples are retained; rng drives Algorithm R's
+	// replacement choice and is seeded explicitly so runs stay
+	// deterministic (no global rand — the randdet analyzer forbids it).
+	resCap int
+	count  int
+	rng    *rand.Rand
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty exact histogram that retains every sample.
 func NewHistogram() *Histogram { return &Histogram{} }
+
+// NewReservoirHistogram returns a histogram that retains at most cap
+// samples using uniform reservoir sampling (Vitter's Algorithm R), seeded
+// deterministically. Count/Sum/Mean remain exact; quantiles are estimates.
+// A cap <= 0 yields an exact histogram.
+func NewReservoirHistogram(cap int, seed int64) *Histogram {
+	if cap <= 0 {
+		return NewHistogram()
+	}
+	return &Histogram{
+		resCap: cap,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
-	h.samples = append(h.samples, v)
+	h.count++
 	h.sum += v
+	if h.resCap > 0 && len(h.samples) >= h.resCap {
+		// Algorithm R: keep the new sample with probability cap/count.
+		if j := h.rng.Intn(h.count); j < h.resCap {
+			h.samples[j] = v
+			h.sorted = false
+		}
+		h.mu.Unlock()
+		return
+	}
+	h.samples = append(h.samples, v)
 	h.sorted = false
 	h.mu.Unlock()
 }
@@ -59,11 +133,11 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d) / float64(time.Millisecond))
 }
 
-// Count returns the number of recorded samples.
+// Count returns the number of observations (exact in every mode).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return h.count
 }
 
 // Sum returns the sum of all recorded samples.
@@ -73,14 +147,15 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// Mean returns the arithmetic mean, or 0 for an empty histogram.
+// Mean returns the arithmetic mean (exact in every mode), or 0 for an
+// empty histogram.
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.samples))
+	return h.sum / float64(h.count)
 }
 
 // ensureSortedLocked sorts the sample slice if needed. Callers must hold mu.
@@ -122,11 +197,12 @@ func (h *Histogram) Min() float64 { return h.Quantile(0) }
 // Max returns the largest sample, or 0 for an empty histogram.
 func (h *Histogram) Max() float64 { return h.Quantile(1) }
 
-// Reset discards all samples.
+// Reset discards all samples (the reservoir seed stream is not rewound).
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.samples = h.samples[:0]
 	h.sum = 0
+	h.count = 0
 	h.sorted = false
 	h.mu.Unlock()
 }
@@ -161,11 +237,12 @@ func (s Summary) String() string {
 		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
 }
 
-// Registry is a named collection of counters and histograms. A Registry is
-// safe for concurrent use.
+// Registry is a named collection of counters, gauges, and histograms. A
+// Registry is safe for concurrent use.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
@@ -173,6 +250,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
 }
@@ -189,6 +267,18 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the histogram with the given name, creating it on first
 // use.
 func (r *Registry) Histogram(name string) *Histogram {
@@ -202,12 +292,49 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Adopt registers externally-owned instruments under a name, so stats
+// structs kept as plain fields elsewhere (coordinator and site Stats) can
+// be exposed through WriteText without copying. A nil instrument is
+// ignored; adopting over an existing name replaces it.
+func (r *Registry) Adopt(name string, instrument any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch v := instrument.(type) {
+	case *Counter:
+		if v != nil {
+			r.counters[name] = v
+		}
+	case *Gauge:
+		if v != nil {
+			r.gauges[name] = v
+		}
+	case *Histogram:
+		if v != nil {
+			r.histograms[name] = v
+		}
+	default:
+		panic(fmt.Sprintf("metrics: Adopt(%q): unsupported instrument type %T", name, instrument))
+	}
+}
+
 // CounterNames returns the sorted names of all registered counters.
 func (r *Registry) CounterNames() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.counters))
 	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames returns the sorted names of all registered gauges.
+func (r *Registry) GaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -234,7 +361,90 @@ func (r *Registry) Reset() {
 	for _, c := range r.counters {
 		c.Reset()
 	}
+	for _, g := range r.gauges {
+		g.Reset()
+	}
 	for _, h := range r.histograms {
 		h.Reset()
 	}
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric-name
+// charset [a-zA-Z0-9_:], replacing everything else with '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format, in deterministic sorted order: counters and gauges as
+// single samples, histograms as a quantile summary with _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	type histEntry struct {
+		name string
+		h    *Histogram
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for n, c := range r.counters {
+		counters[sanitizeMetricName(n)] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[sanitizeMetricName(n)] = g.Value()
+	}
+	hists := make([]histEntry, 0, len(r.histograms))
+	for n, h := range r.histograms {
+		hists = append(hists, histEntry{sanitizeMetricName(n), h})
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[name]); err != nil {
+			return err
+		}
+	}
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	for _, e := range hists {
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", e.name); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", e.name, q.label, e.h.Quantile(q.q)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", e.name, e.h.Sum(), e.name, e.h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -36,6 +37,57 @@ func TestCounterConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.Value() != 8000 {
 		t.Fatalf("value = %d, want 8000", c.Value())
+	}
+}
+
+func TestCounterRejectsNegativeDelta(t *testing.T) {
+	var c Counter
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Add(-1) did not panic; counters must be monotonic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("value = %d, want 1", g.Value())
+	}
+	g.Add(-5)
+	if g.Value() != -4 {
+		t.Fatalf("value = %d, want -4", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("value = %d, want 7", g.Value())
+	}
+	g.Reset()
+	if g.Value() != 0 {
+		t.Fatalf("reset failed")
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("value = %d, want 0", g.Value())
 	}
 }
 
@@ -127,6 +179,65 @@ func TestHistogramReset(t *testing.T) {
 	}
 }
 
+func TestReservoirHistogramBoundsMemory(t *testing.T) {
+	h := NewReservoirHistogram(128, 1)
+	for i := 1; i <= 100000; i++ {
+		h.Observe(float64(i))
+	}
+	h.mu.Lock()
+	retained := len(h.samples)
+	h.mu.Unlock()
+	if retained != 128 {
+		t.Fatalf("retained %d samples, want 128", retained)
+	}
+	// Count/Sum/Mean are exact regardless of the reservoir.
+	if h.Count() != 100000 {
+		t.Fatalf("count = %d, want 100000", h.Count())
+	}
+	wantSum := float64(100000) * float64(100001) / 2
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Mean() != wantSum/100000 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// Quantiles are approximate but must stay inside the observed range
+	// and roughly near the true value for a uniform stream.
+	p50 := h.Quantile(0.5)
+	if p50 < 1 || p50 > 100000 {
+		t.Fatalf("p50 = %v out of range", p50)
+	}
+	if p50 < 20000 || p50 > 80000 {
+		t.Fatalf("p50 = %v implausibly far from 50000 for a uniform stream", p50)
+	}
+}
+
+func TestReservoirHistogramDeterministic(t *testing.T) {
+	a := NewReservoirHistogram(64, 42)
+	b := NewReservoirHistogram(64, 42)
+	for i := 0; i < 10000; i++ {
+		v := float64(i % 977)
+		a.Observe(v)
+		b.Observe(v)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q=%v: %v != %v; same seed must give the same reservoir", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+func TestReservoirHistogramBelowCapIsExact(t *testing.T) {
+	h := NewReservoirHistogram(1000, 3)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Quantile(0.5) != 3 || h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("below-cap reservoir not exact: p50=%v min=%v max=%v",
+			h.Quantile(0.5), h.Min(), h.Max())
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("b").Inc()
@@ -147,5 +258,75 @@ func TestRegistry(t *testing.T) {
 	r.Reset()
 	if c.Value() != 0 || r.Counter("a") != c {
 		t.Fatalf("reset broke identity")
+	}
+}
+
+func TestRegistryGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("inflight").Inc()
+	r.Gauge("inflight").Inc()
+	if r.Gauge("inflight").Value() != 2 {
+		t.Fatalf("gauge identity not stable")
+	}
+	r.Gauge("depth").Set(-3)
+	if names := r.GaugeNames(); len(names) != 2 || names[0] != "depth" || names[1] != "inflight" {
+		t.Fatalf("gauge names = %v", names)
+	}
+	g := r.Gauge("inflight")
+	r.Reset()
+	if g.Value() != 0 || r.Gauge("inflight") != g {
+		t.Fatalf("reset broke gauge identity")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("txn.commits").Add(12)
+	r.Counter("txn.aborts").Inc()
+	r.Gauge("txn.in-flight").Set(3)
+	h := r.Histogram("latency ms")
+	h.Observe(2.5)
+	h.Observe(2.5)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE txn_aborts counter
+txn_aborts 1
+# TYPE txn_commits counter
+txn_commits 12
+# TYPE txn_in_flight gauge
+txn_in_flight 3
+# TYPE latency_ms summary
+latency_ms{quantile="0.5"} 2.5
+latency_ms{quantile="0.9"} 2.5
+latency_ms{quantile="0.99"} 2.5
+latency_ms_sum 5
+latency_ms_count 2
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("WriteText mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Determinism: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := r.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatalf("WriteText not deterministic")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"plain":        "plain",
+		"a.b-c d":      "a_b_c_d",
+		"9lead":        "_lead",
+		"ok_name:sub9": "ok_name:sub9",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

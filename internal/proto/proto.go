@@ -275,6 +275,37 @@ type ResolveReply struct {
 	Commit bool
 }
 
+// TxnIDOf extracts the global transaction id a message belongs to, or ""
+// for replies (which carry none) and unknown types. The transport's
+// tracer uses it to attribute message events to transactions without
+// knowing the message vocabulary.
+func TxnIDOf(msg any) string {
+	switch m := msg.(type) {
+	case ExecRequest:
+		return m.TxnID
+	case *ExecRequest:
+		return m.TxnID
+	case VoteRequest:
+		return m.TxnID
+	case *VoteRequest:
+		return m.TxnID
+	case Decision:
+		return m.TxnID
+	case *Decision:
+		return m.TxnID
+	case Ack:
+		return m.TxnID
+	case *Ack:
+		return m.TxnID
+	case ResolveRequest:
+		return m.TxnID
+	case *ResolveRequest:
+		return m.TxnID
+	default:
+		return ""
+	}
+}
+
 // RegisterGob registers every message type with encoding/gob for the TCP
 // transport. Safe to call multiple times.
 func RegisterGob() {

@@ -24,7 +24,9 @@ import (
 	"time"
 
 	"o2pc/internal/metrics"
+	"o2pc/internal/proto"
 	"o2pc/internal/sim"
+	"o2pc/internal/trace"
 )
 
 // Handler processes one inbound request at a node.
@@ -61,6 +63,9 @@ type Config struct {
 	// defaults to the real clock; the deterministic simulation harness
 	// passes a sim.VirtualClock.
 	Clock sim.Clock
+	// Tracer, when set, records msg.send/msg.recv/msg.drop events for
+	// every message crossing the network.
+	Tracer *trace.Tracer
 }
 
 // linkKey identifies one directed link for per-link randomness.
@@ -68,9 +73,10 @@ type linkKey struct{ from, to string }
 
 // Network is the in-process simulated transport.
 type Network struct {
-	cfg   Config
-	seed  int64
-	clock sim.Clock
+	cfg    Config
+	seed   int64
+	clock  sim.Clock
+	tracer *trace.Tracer
 
 	mu          sync.Mutex
 	links       map[linkKey]*rand.Rand
@@ -91,6 +97,7 @@ func NewNetwork(cfg Config) *Network {
 		cfg:         cfg,
 		seed:        seed,
 		clock:       sim.OrReal(cfg.Clock),
+		tracer:      cfg.Tracer,
 		links:       make(map[linkKey]*rand.Rand),
 		nodes:       make(map[string]Handler),
 		down:        make(map[string]bool),
@@ -200,31 +207,41 @@ func (n *Network) count(msg any) {
 	n.counts.Counter(fmt.Sprintf("%T", msg)).Inc()
 }
 
+// msgName spells a message type compactly for trace details
+// ("proto.ExecRequest" rather than "*proto.ExecRequest").
+func msgName(msg any) string { return fmt.Sprintf("%T", msg) }
+
 // Call delivers req to node `to` and returns its reply, modeling one-way
 // latency in each direction. Message loss, partitions and crashed nodes
 // surface as ErrUnreachable (after the request's one-way delay, as a
 // timeout would).
 func (n *Network) Call(ctx context.Context, from, to string, req any) (any, error) {
 	n.count(req)
+	n.tracer.Emit(from, trace.EvMsgSend, proto.TxnIDOf(req), to, msgName(req))
 	if err := n.clock.Sleep(ctx, n.delay(from, to)); err != nil {
 		return nil, err
 	}
 	if n.dropped(from, to) {
+		n.tracer.Emit(to, trace.EvMsgDrop, proto.TxnIDOf(req), from, msgName(req))
 		return nil, fmt.Errorf("%w: request dropped", ErrUnreachable)
 	}
 	h, err := n.reachable(from, to)
 	if err != nil {
+		n.tracer.Emit(to, trace.EvMsgDrop, proto.TxnIDOf(req), from, msgName(req)+" unreachable")
 		return nil, err
 	}
+	n.tracer.Emit(to, trace.EvMsgRecv, proto.TxnIDOf(req), from, msgName(req))
 	resp, err := h(ctx, from, req)
 	if err != nil {
 		return nil, err
 	}
 	n.count(resp)
+	n.tracer.Emit(to, trace.EvMsgSend, proto.TxnIDOf(req), from, msgName(resp))
 	if err := n.clock.Sleep(ctx, n.delay(to, from)); err != nil {
 		return nil, err
 	}
 	if n.dropped(to, from) {
+		n.tracer.Emit(from, trace.EvMsgDrop, proto.TxnIDOf(req), to, msgName(resp))
 		return nil, fmt.Errorf("%w: reply dropped", ErrUnreachable)
 	}
 	// The sender may have crashed or been partitioned away while the reply
@@ -234,8 +251,10 @@ func (n *Network) Call(ctx context.Context, from, to string, req any) (any, erro
 	lost := n.down[from] || n.partitioned[to][from]
 	n.mu.Unlock()
 	if lost {
+		n.tracer.Emit(from, trace.EvMsgDrop, proto.TxnIDOf(req), to, msgName(resp)+" undeliverable")
 		return nil, fmt.Errorf("%w: reply undeliverable", ErrUnreachable)
 	}
+	n.tracer.Emit(from, trace.EvMsgRecv, proto.TxnIDOf(req), to, msgName(resp))
 	return resp, nil
 }
 

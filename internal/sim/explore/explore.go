@@ -37,6 +37,7 @@ import (
 	"o2pc/internal/sg"
 	"o2pc/internal/sim"
 	"o2pc/internal/storage"
+	"o2pc/internal/trace"
 )
 
 // Faults selects the failure schedule of one exploration run. The zero
@@ -147,6 +148,9 @@ type Result struct {
 	// History is the recorded execution; Audit its Section 5 verdict.
 	History *history.History
 	Audit   *sg.Audit
+	// Events is the protocol event log of the run (virtual-time ordered),
+	// as captured by the cluster tracer. Deterministic for a given Config.
+	Events []trace.Event
 	// Failures lists every violated oracle (empty on a correct run).
 	Failures []string
 }
@@ -166,11 +170,13 @@ func siteName(i int) string { return fmt.Sprintf("s%d", i) }
 func Run(cfg Config) *Result {
 	cfg = withDefaults(cfg)
 	clock := sim.NewVirtualClock()
+	tracer := trace.New(clock, trace.DefaultNodeCapacity)
 	cl := core.NewCluster(core.Config{
 		Sites:        cfg.Sites,
 		Coordinators: cfg.Coordinators,
 		Record:       true,
 		Clock:        clock,
+		Tracer:       tracer,
 		LockTimeout:  cfg.LockTimeout,
 		Network: rpc.Config{
 			MinLatency: cfg.MinLatency,
@@ -322,6 +328,7 @@ func Run(cfg Config) *Result {
 	if qerr != nil {
 		res.fail("quiesce: %v", qerr)
 	}
+	res.Events = tracer.Events()
 
 	// Oracle 1: conservation (semantic atomicity).
 	for s := 0; s < cfg.Sites; s++ {
@@ -491,5 +498,32 @@ func Trace(res *Result) string {
 	for _, id := range ids {
 		fmt.Fprintf(&b, "%s: %v\n", id, res.History.Txns[id].Fate)
 	}
+	if len(res.Events) > 0 {
+		b.WriteString("protocol events:\n")
+		t0 := res.Events[0].T
+		for _, ev := range res.Events {
+			fmt.Fprintf(&b, "+%-9s %-3s %-18s", time.Duration(ev.T-t0), ev.Node, ev.Type)
+			if ev.Txn != "" {
+				fmt.Fprintf(&b, " txn=%s", ev.Txn)
+			}
+			if ev.Peer != "" {
+				fmt.Fprintf(&b, " peer=%s", ev.Peer)
+			}
+			if ev.Detail != "" {
+				fmt.Fprintf(&b, " %q", ev.Detail)
+			}
+			b.WriteByte('\n')
+		}
+	}
 	return b.String()
+}
+
+// EventsJSONL serializes a result's protocol event log as JSON lines —
+// the byte-stable form the determinism contract is checked against.
+func EventsJSONL(res *Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, res.Events); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -102,6 +103,72 @@ func TestExplorerDeterministic(t *testing.T) {
 	}
 	if a.Failed() {
 		report(t, a)
+	}
+}
+
+// TestExplorerTraceGolden is the tracing determinism contract: two runs of
+// the same seed and fault schedule must serialize byte-identical JSONL
+// event logs — every virtual timestamp, node sequence number, and detail
+// string included.
+func TestExplorerTraceGolden(t *testing.T) {
+	cfg := Config{
+		Seed:    11,
+		Marking: proto.MarkP1,
+		Faults: Faults{
+			DropProb:         0.03,
+			DoomRate:         0.15,
+			CoordCrashCycles: 2,
+			PartitionCycles:  1,
+		},
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	if len(a.Events) == 0 {
+		t.Fatal("run captured no trace events")
+	}
+	aj, err := EventsJSONL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := EventsJSONL(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		i := 0
+		for i < len(aj) && i < len(bj) && aj[i] == bj[i] {
+			i++
+		}
+		lo, hi := i-200, i+200
+		if lo < 0 {
+			lo = 0
+		}
+		clip := func(b []byte) []byte {
+			if hi < len(b) {
+				return b[lo:hi]
+			}
+			return b[lo:]
+		}
+		t.Errorf("trace JSONL diverges at byte %d for identical seed:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			i, clip(aj), clip(bj))
+	}
+}
+
+// TestExplorerTraceInFailureReport checks that an oracle-failure report
+// carries the protocol event log, so every explorer failure arrives with
+// its trace dump attached.
+func TestExplorerTraceInFailureReport(t *testing.T) {
+	res := Run(Config{Seed: 2, Marking: proto.MarkP1, Txns: 2, Clients: 1})
+	if len(res.Events) == 0 {
+		t.Fatal("run captured no trace events")
+	}
+	res.fail("synthetic oracle failure")
+	out := Trace(res)
+	if !strings.Contains(out, "FAIL: synthetic oracle failure") {
+		t.Errorf("report lost the failure line:\n%s", out)
+	}
+	if !strings.Contains(out, "protocol events:") || !strings.Contains(out, "txn.begin") {
+		t.Errorf("report has no protocol event dump:\n%s", out)
 	}
 }
 

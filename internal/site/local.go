@@ -7,6 +7,7 @@ import (
 	"o2pc/internal/lock"
 	"o2pc/internal/proto"
 	"o2pc/internal/storage"
+	"o2pc/internal/trace"
 	"o2pc/internal/txn"
 	"o2pc/internal/wal"
 )
@@ -88,10 +89,12 @@ func (s *Site) SeedInt64(key storage.Key, v int64) {
 // their written keys and resume the decision inquiry — the participant
 // stays blocked exactly as the 2PC protocol requires.
 func (s *Site) Recover(ctx context.Context) (wal.RecoverResult, error) {
+	s.tracer.Emit(s.cfg.Name, trace.EvRecover, "", "", "")
 	s.mu.Lock()
 	s.pend = make(map[string]*pending)
 	s.crashed = false
 	s.mu.Unlock()
+	s.stats.PendingGlobal.Set(0)
 
 	store := storage.NewStore()
 	res, err := wal.Recover(store, s.mgr.Log())
@@ -131,6 +134,7 @@ func (s *Site) Recover(ctx context.Context) (wal.RecoverResult, error) {
 		s.mu.Lock()
 		s.pend[txnID] = p
 		s.mu.Unlock()
+		s.stats.PendingGlobal.Inc()
 		s.startResolver(p)
 	}
 	return res, nil

@@ -29,6 +29,7 @@ import (
 	"o2pc/internal/rpc"
 	"o2pc/internal/sim"
 	"o2pc/internal/storage"
+	"o2pc/internal/trace"
 	"o2pc/internal/txn"
 	"o2pc/internal/wal"
 )
@@ -106,6 +107,9 @@ type Config struct {
 	LockTimeout time.Duration
 	// Log overrides the WAL (defaults to an in-memory log).
 	Log wal.Log
+	// Tracer, when non-nil, records the site's protocol steps (exec,
+	// vote, local commit, decision, compensation) and its WAL writes.
+	Tracer *trace.Tracer
 }
 
 // Stats exposes the site's protocol counters.
@@ -122,6 +126,9 @@ type Stats struct {
 	Rollbacks      *metrics.Counter
 	LocalTxns      *metrics.Counter
 	RevalidateFail *metrics.Counter
+	// PendingGlobal gauges the global subtransactions currently tracked
+	// at this site (executed / prepared / locally committed, undecided).
+	PendingGlobal *metrics.Gauge
 }
 
 func newStats() *Stats {
@@ -138,7 +145,26 @@ func newStats() *Stats {
 		Rollbacks:      &metrics.Counter{},
 		LocalTxns:      &metrics.Counter{},
 		RevalidateFail: &metrics.Counter{},
+		PendingGlobal:  &metrics.Gauge{},
 	}
+}
+
+// Publish adopts every instrument into reg under prefixed Prometheus-style
+// names, for text exposition via Registry.WriteText.
+func (s *Stats) Publish(reg *metrics.Registry, prefix string) {
+	reg.Adopt(prefix+"execs_total", s.Execs)
+	reg.Adopt(prefix+"rejects_retry_total", s.RejectsRetry)
+	reg.Adopt(prefix+"rejects_fatal_total", s.RejectsFatal)
+	reg.Adopt(prefix+"exec_failures_total", s.ExecFailures)
+	reg.Adopt(prefix+"votes_yes_total", s.VotesYes)
+	reg.Adopt(prefix+"votes_no_total", s.VotesNo)
+	reg.Adopt(prefix+"commits_total", s.Commits)
+	reg.Adopt(prefix+"aborts_total", s.Aborts)
+	reg.Adopt(prefix+"compensations_total", s.Compensations)
+	reg.Adopt(prefix+"rollbacks_total", s.Rollbacks)
+	reg.Adopt(prefix+"local_txns_total", s.LocalTxns)
+	reg.Adopt(prefix+"revalidate_fail_total", s.RevalidateFail)
+	reg.Adopt(prefix+"pending_global_txns", s.PendingGlobal)
 }
 
 // pending tracks one global transaction's subtransaction at this site.
@@ -171,12 +197,13 @@ const (
 
 // Site is one participant DBMS.
 type Site struct {
-	cfg   Config
-	clock sim.Clock
-	mgr   *txn.Manager
-	marks *marking.SiteMarks // undone marks (P1 / Simple)
-	lc    *marking.SiteMarks // locally-committed marks (P2 / Simple)
-	stats *Stats
+	cfg    Config
+	clock  sim.Clock
+	mgr    *txn.Manager
+	marks  *marking.SiteMarks // undone marks (P1 / Simple)
+	lc     *marking.SiteMarks // locally-committed marks (P2 / Simple)
+	stats  *Stats
+	tracer *trace.Tracer
 
 	caller rpc.Caller // for Resolve inquiries back to coordinators
 
@@ -201,6 +228,7 @@ func NewSite(cfg Config) *Site {
 	if log == nil {
 		log = wal.NewMemoryLog()
 	}
+	log = trace.WrapLog(log, cfg.Tracer, cfg.Name)
 	clock := sim.OrReal(cfg.Clock)
 	store := storage.NewStore()
 	locks := lock.NewManager()
@@ -221,6 +249,7 @@ func NewSite(cfg Config) *Site {
 		marks:    marking.NewSiteMarks(),
 		lc:       marking.NewSiteMarks(),
 		stats:    newStats(),
+		tracer:   cfg.Tracer,
 		pend:     make(map[string]*pending),
 		resolved: make(map[string]bool),
 	}
@@ -261,8 +290,11 @@ func (s *Site) SetVoteAbortInjector(f func(txnID string) bool) {
 // Recover.)
 func (s *Site) SetCrashed(crashed bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.crashed = crashed
+	s.mu.Unlock()
+	if crashed {
+		s.tracer.Emit(s.cfg.Name, trace.EvCrash, "", "", "")
+	}
 }
 
 // ErrCrashed is returned by handlers while the site is crashed.
@@ -301,9 +333,25 @@ func (s *Site) nextSysID() string {
 // witness facts, so unmarking is never delayed behind a vote round.
 func (s *Site) handleExec(ctx context.Context, req proto.ExecRequest) proto.ExecReply {
 	s.stats.Execs.Inc()
+	s.tracer.Emit(s.cfg.Name, trace.EvExecRecv, req.TxnID, "", "")
 	reply := s.execLocked(ctx, req)
 	reply.Witnesses = s.drainWitnesses()
+	s.tracer.Emit(s.cfg.Name, trace.EvExecDone, req.TxnID, "", execDetail(reply))
 	return reply
+}
+
+// execDetail spells an ExecReply for trace details.
+func execDetail(r proto.ExecReply) string {
+	switch {
+	case r.OK:
+		return "ok"
+	case r.Rejected && r.Fatal:
+		return "rejected-fatal"
+	case r.Rejected:
+		return "rejected-retry"
+	default:
+		return "failed"
+	}
 }
 
 func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.ExecReply {
@@ -405,6 +453,7 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 	s.mu.Lock()
 	s.pend[req.TxnID] = &pending{req: req, t: t, state: stateExecuted, marks: merged}
 	s.mu.Unlock()
+	s.stats.PendingGlobal.Inc()
 	return proto.ExecReply{OK: true, Reads: reads, Marks: merged}
 }
 
@@ -508,12 +557,14 @@ func (s *Site) runOps(ctx context.Context, t *txn.Txn, ops []proto.Operation) (m
 // dangerous reader), and in-flight R1 checks revalidate at vote time.
 func (s *Site) rollbackAsCompensation(ctx context.Context, t *txn.Txn, mark proto.MarkProtocol) {
 	ctID := compensate.CTID(t.ID())
+	s.tracer.Emit(s.cfg.Name, trace.EvCompBegin, t.ID(), "", "rollback as "+ctID)
 	hadWrites := len(t.WriteSet()) > 0
 	if mark != proto.MarkNone && hadWrites {
 		s.marks.MarkUndone(t.ID())
 	}
 	_ = t.Abort(ctID)
 	s.stats.Rollbacks.Inc()
+	s.tracer.Emit(s.cfg.Name, trace.EvCompEnd, t.ID(), "", "rollback")
 	if rec := s.cfg.Recorder; rec != nil {
 		rec.SetFate(ctID, history.FateCommitted)
 	}

@@ -8,6 +8,7 @@ import (
 	"o2pc/internal/history"
 	"o2pc/internal/lock"
 	"o2pc/internal/proto"
+	"o2pc/internal/trace"
 	"o2pc/internal/txn"
 	"o2pc/internal/wal"
 )
@@ -22,6 +23,7 @@ import (
 //     eventual abort decision will be honoured by compensation.
 func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteRequest) proto.VoteReply {
 	witnesses := s.drainWitnesses()
+	s.tracer.Emit(s.cfg.Name, trace.EvVoteReqRecv, req.TxnID, from, "")
 
 	s.mu.Lock()
 	p, ok := s.pend[req.TxnID]
@@ -30,6 +32,7 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 	if !ok {
 		// Exec failed or never arrived: the site has already rolled back.
 		s.stats.VotesNo.Inc()
+		s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "unknown txn")
 		return proto.VoteReply{Commit: false, Reason: "unknown or already rolled-back transaction", Witnesses: witnesses}
 	}
 	// Serialize against a concurrently-arriving decision for this
@@ -38,6 +41,7 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 	defer p.mu.Unlock()
 	if p.decided {
 		s.stats.VotesNo.Inc()
+		s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "already decided")
 		return proto.VoteReply{Commit: false, Reason: "transaction already decided", Witnesses: witnesses}
 	}
 	p.coord = from
@@ -46,6 +50,7 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 	// terminates (vote-abort injection models a local decision to do so).
 	if injector != nil && injector(req.TxnID) {
 		s.voteNo(ctx, p)
+		s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "unilateral abort")
 		return proto.VoteReply{Commit: false, Reason: "site unilaterally aborted", Witnesses: witnesses}
 	}
 
@@ -58,6 +63,7 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 	if p.req.Marking == proto.MarkP2 || p.req.Marking == proto.MarkSimple {
 		if err := s.mgr.Locks().Acquire(ctx, p.t.ID(), MarkKey, lock.Exclusive); err != nil {
 			s.voteNo(ctx, p)
+			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "marking-set lock")
 			return proto.VoteReply{Commit: false, Reason: "marking-set lock: " + err.Error(), Witnesses: witnesses}
 		}
 		s.lc.MarkUndone(p.req.TxnID)
@@ -70,13 +76,17 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 	if s.cfg.ReadOnlyVotes && len(p.t.WriteSet()) == 0 {
 		if err := p.t.Commit(); err != nil {
 			s.voteNo(ctx, p)
+			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "read-only commit failed")
 			return proto.VoteReply{Commit: false, Reason: err.Error(), Witnesses: witnesses}
 		}
 		s.mu.Lock()
 		delete(s.pend, p.req.TxnID)
 		s.resolved[p.req.TxnID] = true
 		s.mu.Unlock()
+		s.stats.PendingGlobal.Dec()
 		s.stats.VotesYes.Inc()
+		s.tracer.Emit(s.cfg.Name, trace.EvLockRelease, req.TxnID, "", "read-only")
+		s.tracer.Emit(s.cfg.Name, trace.EvVoteYes, req.TxnID, from, "read-only")
 		return proto.VoteReply{Commit: true, ReadOnly: true, Witnesses: witnesses}
 	}
 
@@ -84,27 +94,33 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 	if holdLocks {
 		if err := p.t.Prepare(from); err != nil {
 			s.voteNo(ctx, p)
+			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "prepare failed")
 			return proto.VoteReply{Commit: false, Reason: err.Error(), Witnesses: witnesses}
 		}
 		if s.cfg.ReleaseSharedAtVote {
 			p.t.ReleaseSharedLocks()
 		}
 		p.state = statePrepared
+		s.tracer.Emit(s.cfg.Name, trace.EvPrepared, req.TxnID, from, "locks retained")
 		s.startResolver(p)
 	} else {
 		// O2PC: locally commit and release everything now.
 		p.updates = p.t.Updates()
 		if err := p.t.Commit(); err != nil {
 			s.voteNo(ctx, p)
+			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "local commit failed")
 			return proto.VoteReply{Commit: false, Reason: err.Error(), Witnesses: witnesses}
 		}
 		p.state = stateLocallyCommitted
+		s.tracer.Emit(s.cfg.Name, trace.EvLocalCommit, req.TxnID, "", "")
+		s.tracer.Emit(s.cfg.Name, trace.EvLockRelease, req.TxnID, "", "")
 		// The site still carries on with the second phase of the protocol
 		// (Section 2): if the decision is lost to a coordinator failure it
 		// inquires — without holding any locks meanwhile.
 		s.startResolver(p)
 	}
 	s.stats.VotesYes.Inc()
+	s.tracer.Emit(s.cfg.Name, trace.EvVoteYes, req.TxnID, from, "")
 	return proto.VoteReply{Commit: true, Witnesses: witnesses}
 }
 
@@ -116,6 +132,7 @@ func (s *Site) voteNo(ctx context.Context, p *pending) {
 	s.mu.Lock()
 	delete(s.pend, p.req.TxnID)
 	s.mu.Unlock()
+	s.stats.PendingGlobal.Dec()
 }
 
 // drainWitnesses converts pending local witness facts into the piggyback
@@ -136,6 +153,7 @@ func (s *Site) drainWitnesses() []proto.WitnessDelta {
 // undone-to-unmarked notices (rule R3). Decisions are idempotent: a
 // re-sent decision for a forgotten transaction is acknowledged again.
 func (s *Site) handleDecision(ctx context.Context, d proto.Decision) proto.Ack {
+	s.tracer.Emit(s.cfg.Name, trace.EvDecisionRecv, d.TxnID, "", decisionAux(d.Commit))
 	for _, ti := range d.Unmarks {
 		s.writeMark(ctx, ti, false, s.marks)
 	}
@@ -147,6 +165,9 @@ func (s *Site) handleDecision(ctx context.Context, d proto.Decision) proto.Ack {
 	}
 	s.resolved[d.TxnID] = true // fence late ExecRequests for this txn
 	s.mu.Unlock()
+	if ok {
+		s.stats.PendingGlobal.Dec()
+	}
 	if !ok {
 		// Already resolved (e.g. the site voted NO and rolled back, or a
 		// duplicate decision): still report mark state for UDUM1.
@@ -263,6 +284,8 @@ func (s *Site) compensateExposed(ctx context.Context, p *pending) {
 	opts := compensate.Options{
 		EnsureWriteCoverage: !s.cfg.DisableWriteCoverage,
 		Clock:               s.clock,
+		Tracer:              s.tracer,
+		TraceNode:           s.cfg.Name,
 	}
 	if p.req.Marking != proto.MarkNone && len(p.updates) > 0 {
 		// Rule R2: the last operation of CTik marks the site undone with
@@ -303,6 +326,7 @@ func (s *Site) startResolver(p *pending) {
 				return
 			}
 			cctx, ccancel := s.clock.WithTimeout(rctx, s.cfg.ResolvePeriod*4)
+			s.tracer.Emit(s.cfg.Name, trace.EvResolveSend, p.req.TxnID, p.coord, "")
 			resp, err := s.caller.Call(cctx, s.cfg.Name, p.coord, proto.ResolveRequest{TxnID: p.req.TxnID})
 			ccancel()
 			if err != nil {

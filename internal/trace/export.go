@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// eventJSON is the wire form of Event: the Type is spelled by name so
+// traces stay readable and stable if the enum is ever reordered.
+type eventJSON struct {
+	T      int64  `json:"t"`
+	Node   string `json:"node"`
+	Seq    uint64 `json:"seq"`
+	Type   string `json:"type"`
+	Txn    string `json:"txn,omitempty"`
+	Peer   string `json:"peer,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// MarshalJSON encodes the event with its type name.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		T: e.T, Node: e.Node, Seq: e.Seq, Type: e.Type.String(),
+		Txn: e.Txn, Peer: e.Peer, Detail: e.Detail,
+	})
+}
+
+// UnmarshalJSON decodes the wire form, resolving the type name.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w eventJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	typ, ok := TypeByName(w.Type)
+	if !ok {
+		return fmt.Errorf("trace: unknown event type %q", w.Type)
+	}
+	*e = Event{T: w.T, Node: w.Node, Seq: w.Seq, Type: typ,
+		Txn: w.Txn, Peer: w.Peer, Detail: w.Detail}
+	return nil
+}
+
+// WriteJSONL writes one JSON object per line in canonical trace order.
+// The output of a deterministic run is byte-identical across runs.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace, skipping blank lines.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "M" metadata rows name processes/threads, "X" complete events draw
+// spans, "i" instant events draw markers. Perfetto and chrome://tracing
+// both load the {"traceEvents": [...]} envelope.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`            // microseconds
+	Dur   int64          `json:"dur,omitempty"` // microseconds, "X" only
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome renders events as Chrome trace-event JSON. Each transaction
+// becomes a process (pid) and each node a thread (tid) within it, so
+// Perfetto shows one lane per (txn, node) pair: the lane's span runs from
+// the transaction's first to last event at that node, with every event an
+// instant marker on the lane. Events with no transaction (crash, recover,
+// raw message traffic) land in a synthetic "cluster" process.
+func WriteChrome(w io.Writer, events []Event) error {
+	if len(events) == 0 {
+		return json.NewEncoder(w).Encode(chromeFile{TraceEvents: []chromeEvent{}})
+	}
+	sorted := append([]Event(nil), events...)
+	SortEvents(sorted)
+	t0 := sorted[0].T
+
+	// Stable pid/tid assignment: pid 0 is the txn-less "cluster" process,
+	// then one pid per transaction id in sorted order; tids follow the
+	// sorted node names.
+	txns := Txns(sorted)
+	pidOf := map[string]int{"": 0}
+	for i, txn := range txns {
+		pidOf[txn] = i + 1
+	}
+	nodes := Nodes(sorted)
+	tidOf := make(map[string]int, len(nodes))
+	for i, node := range nodes {
+		tidOf[node] = i
+	}
+
+	var out []chromeEvent
+	meta := func(pid int, kind, name string, tid int) {
+		out = append(out, chromeEvent{
+			Name: kind, Phase: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(0, "process_name", "cluster", 0)
+	for _, txn := range txns {
+		meta(pidOf[txn], "process_name", txn, 0)
+	}
+	for pid := 0; pid <= len(txns); pid++ {
+		for _, node := range nodes {
+			meta(pid, "thread_name", node, tidOf[node])
+		}
+	}
+
+	// One span per (txn, node) from first to last event.
+	type laneKey struct {
+		txn, node string
+	}
+	firstT := make(map[laneKey]int64)
+	lastT := make(map[laneKey]int64)
+	var laneOrder []laneKey
+	for _, e := range sorted {
+		k := laneKey{e.Txn, e.Node}
+		if _, ok := firstT[k]; !ok {
+			firstT[k] = e.T
+			laneOrder = append(laneOrder, k)
+		}
+		lastT[k] = e.T
+	}
+	sort.Slice(laneOrder, func(i, j int) bool {
+		a, b := laneOrder[i], laneOrder[j]
+		if a.txn != b.txn {
+			return a.txn < b.txn
+		}
+		return a.node < b.node
+	})
+	for _, k := range laneOrder {
+		name := k.txn
+		if name == "" {
+			name = k.node
+		}
+		dur := (lastT[k] - firstT[k]) / 1e3
+		if dur < 1 {
+			dur = 1
+		}
+		out = append(out, chromeEvent{
+			Name: name, Phase: "X",
+			TS: (firstT[k] - t0) / 1e3, Dur: dur,
+			PID: pidOf[k.txn], TID: tidOf[k.node],
+		})
+	}
+
+	for _, e := range sorted {
+		args := map[string]any{}
+		if e.Peer != "" {
+			args["peer"] = e.Peer
+		}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		out = append(out, chromeEvent{
+			Name: e.Type.String(), Phase: "i",
+			TS: (e.T - t0) / 1e3,
+			PID: pidOf[e.Txn], TID: tidOf[e.Node],
+			Scope: "t", Args: args,
+		})
+	}
+	return json.NewEncoder(w).Encode(chromeFile{TraceEvents: out})
+}
