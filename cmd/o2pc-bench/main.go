@@ -71,6 +71,13 @@ type env struct {
 	dump  string
 	art   *artifacts
 	out   *tabwriter.Writer
+	// Commit-path tuning applied to every cluster built (zero = default):
+	// walBatch enables WAL group commit with the given max batch size,
+	// lockShards overrides the lock managers' key-shard count, and
+	// parallelExec fans out execution of unmarked transactions.
+	walBatch     int
+	lockShards   int
+	parallelExec bool
 }
 
 // row writes one tab-separated table row.
@@ -107,6 +114,9 @@ func main() {
 	traceFile := flag.String("trace", "", "write the first cluster's protocol event log as JSONL to this file")
 	chromeFile := flag.String("trace-chrome", "", "write the first cluster's protocol event log as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	metricsFile := flag.String("metrics", "", "write the first cluster's metrics in Prometheus text form to this file")
+	walBatch := flag.Int("wal-batch", 0, "enable WAL group commit at every site with this max batch size (0 = off)")
+	lockShards := flag.Int("lock-shards", 0, "key-shard count for every site's lock manager (0 = default)")
+	parallelExec := flag.Bool("parallel-exec", false, "fan out execution of unmarked transactions to their sites concurrently")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -135,11 +145,14 @@ func main() {
 		ran[ex.id] = true
 		fmt.Printf("== %s: %s ==\n", ex.id, ex.title)
 		e := &env{
-			quick: *quick,
-			seed:  *seed,
-			dump:  *dump,
-			art:   art,
-			out:   tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0),
+			quick:        *quick,
+			seed:         *seed,
+			dump:         *dump,
+			art:          art,
+			out:          tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0),
+			walBatch:     *walBatch,
+			lockShards:   *lockShards,
+			parallelExec: *parallelExec,
 		}
 		ex.run(e)
 		e.flush()

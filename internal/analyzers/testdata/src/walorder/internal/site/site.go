@@ -72,3 +72,20 @@ func (s *Site) recoverThenLoad() error {
 func (s *Site) unloggedDelete(k storage.Key) {
 	s.store.Delete(k, "x") // want `storage\.Store\.Delete is not dominated by a wal append`
 }
+
+// groupCommitAppend appends through the group-commit decorator. The
+// decorator lives in internal/wal and its Append passes straight through
+// to the inner log, so it dominates the mutation like any wal append.
+func (s *Site) groupCommitAppend(k storage.Key, v storage.Value, g *wal.GroupCommitLog) {
+	_, _ = g.Append(wal.Record{})
+	_ = g.Sync()
+	s.store.Put(k, v, "x")
+}
+
+// groupCommitSyncAlone flushes the group-commit batch without appending
+// anything: Sync is a durability wait, not a log write, so the mutation
+// is still unlogged.
+func (s *Site) groupCommitSyncAlone(k storage.Key, v storage.Value, g *wal.GroupCommitLog) {
+	_ = g.Sync()
+	s.store.Put(k, v, "x") // want `storage\.Store\.Put is not dominated by a wal append`
+}

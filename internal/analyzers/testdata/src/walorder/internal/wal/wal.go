@@ -15,3 +15,13 @@ type Log interface {
 func ApplyUndo(store *storage.Store, recs []Record, by string) {}
 
 func Recover(store *storage.Store, log Log) error { return nil }
+
+// GroupCommitLog mirrors the real decorator: Append passes through to the
+// inner log, Sync only batches the durability wait.
+type GroupCommitLog struct {
+	inner Log
+}
+
+func (g *GroupCommitLog) Append(rec Record) (uint64, error) { return g.inner.Append(rec) }
+
+func (g *GroupCommitLog) Sync() error { return nil }

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -187,6 +188,17 @@ type Config struct {
 	// MarkingRetryDelay is the backoff before retrying a retryable R1
 	// rejection. Defaults to 1ms.
 	MarkingRetryDelay time.Duration
+	// ParallelExec fans the execution phase of unmarked (MarkNone)
+	// transactions out to their sites concurrently, one chain per site,
+	// instead of shipping subtransactions sequentially. This collapses the
+	// execution round from the sum of the per-site latencies to their
+	// maximum — a clear win when network latency dominates — but it gives
+	// up the deterministic site-order lock acquisition the sequential path
+	// provides, so under high data contention with negligible latency it
+	// trades throughput for distributed-deadlock timeouts. Off by default.
+	// Marked transactions always execute sequentially: rule R1 threads the
+	// accumulating transmark state from site to site.
+	ParallelExec bool
 	// Clock supplies the coordinator's notion of time (retry delays,
 	// latency measurement, background delivery). Nil defaults to the real
 	// clock.
@@ -302,7 +314,7 @@ func (c *Coordinator) nextID() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++
-	return fmt.Sprintf("%sT%d", c.cfg.IDPrefix, c.seq)
+	return c.cfg.IDPrefix + "T" + strconv.FormatUint(c.seq, 10)
 }
 
 // writesAt reports whether a subtransaction's ops include a write.

@@ -1,0 +1,173 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"o2pc/internal/history"
+	"o2pc/internal/marking"
+	"o2pc/internal/proto"
+	"o2pc/internal/rpc"
+	"o2pc/internal/site"
+	"o2pc/internal/storage"
+)
+
+// newFanOutRig builds a rig whose coordinator has ParallelExec enabled.
+func newFanOutRig(t *testing.T, nSites int) *rig {
+	t.Helper()
+	r := &rig{
+		net: rpc.NewNetwork(rpc.Config{}),
+		rec: history.NewRecorder(),
+	}
+	for i := 0; i < nSites; i++ {
+		name := siteName(i)
+		s := site.NewSite(site.Config{Name: name, Recorder: r.rec, ResolvePeriod: 2 * time.Millisecond})
+		s.SetCaller(r.net)
+		r.net.Register(name, s.Handle)
+		r.sites = append(r.sites, s)
+	}
+	r.coord = New(Config{
+		Name: "c0", Recorder: r.rec, Board: marking.NewBoard(),
+		ParallelExec: true,
+	}, r.net)
+	r.net.Register("c0", r.coord.Handle)
+	return r
+}
+
+// TestFanOutCommit fans an unmarked transaction over three sites and
+// checks it commits with the same effects sequential execution produces.
+func TestFanOutCommit(t *testing.T) {
+	r := newFanOutRig(t, 3)
+	r.seed("acct", 100)
+	spec := TxnSpec{
+		ID: "Tf1", Protocol: proto.O2PC, Marking: proto.MarkNone,
+		Subtxns: []SubtxnSpec{
+			{Site: siteName(0), Ops: []proto.Operation{proto.AddMin("acct", -30, 0)}, Comp: proto.CompSemantic},
+			{Site: siteName(1), Ops: []proto.Operation{proto.Add("acct", 20)}, Comp: proto.CompSemantic},
+			{Site: siteName(2), Ops: []proto.Operation{proto.Add("acct", 10)}, Comp: proto.CompSemantic},
+		},
+	}
+	res := r.coord.Run(bg(), spec)
+	if res.Outcome != Committed {
+		t.Fatalf("outcome = %v err=%v", res.Outcome, res.Err)
+	}
+	want := []int64{70, 120, 110}
+	for i, w := range want {
+		if got := r.sites[i].ReadInt64("acct"); got != w {
+			t.Fatalf("site %d balance = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestFanOutExecFailureAbortsAllSites checks that when one fanned-out
+// branch fails, every site that executed is sent the abort decision and
+// rolls back.
+func TestFanOutExecFailureAbortsAllSites(t *testing.T) {
+	r := newFanOutRig(t, 3)
+	r.seed("acct", 10)
+	spec := TxnSpec{
+		ID: "Tf2", Protocol: proto.O2PC, Marking: proto.MarkNone,
+		Subtxns: []SubtxnSpec{
+			{Site: siteName(0), Ops: []proto.Operation{proto.Add("acct", 5)}, Comp: proto.CompSemantic},
+			{Site: siteName(1), Ops: []proto.Operation{proto.AddMin("acct", -50, 0)}, Comp: proto.CompSemantic},
+			{Site: siteName(2), Ops: []proto.Operation{proto.Add("acct", 7)}, Comp: proto.CompSemantic},
+		},
+	}
+	res := r.coord.Run(bg(), spec)
+	if res.Outcome != AbortedExec {
+		t.Fatalf("outcome = %v err=%v", res.Outcome, res.Err)
+	}
+	waitQuiesce(t, r)
+	for i := range r.sites {
+		if got := r.sites[i].ReadInt64("acct"); got != 10 {
+			t.Fatalf("site %d balance after abort = %d, want 10", i, got)
+		}
+	}
+	if r.rec.Snapshot().FateOf("Tf2") != history.FateAborted {
+		t.Fatalf("fate not recorded as aborted")
+	}
+}
+
+// TestFanOutDuplicateSiteMatchesSequential revisits a site within one
+// spec. The protocol allows one subtransaction per site (an ExecRequest
+// carries the site's whole op list), so the sequential path rejects the
+// revisit with ErrAlreadyExists — the fan-out chains must fail the same
+// way and leave no effects behind, not deadlock or double-execute.
+func TestFanOutDuplicateSiteMatchesSequential(t *testing.T) {
+	spec := func(id string) TxnSpec {
+		return TxnSpec{
+			ID: id, Protocol: proto.O2PC, Marking: proto.MarkNone,
+			Subtxns: []SubtxnSpec{
+				{Site: siteName(0), Ops: []proto.Operation{proto.Add("acct", 10)}, Comp: proto.CompSemantic},
+				{Site: siteName(1), Ops: []proto.Operation{proto.Add("acct", 1)}, Comp: proto.CompSemantic},
+				{Site: siteName(0), Ops: []proto.Operation{proto.AddMin("acct", -15, 0)}, Comp: proto.CompSemantic},
+			},
+		}
+	}
+	seq := newRig(t, 2)
+	seq.seed("acct", 10)
+	seqRes := seq.coord.Run(bg(), spec("Tsq"))
+
+	fan := newFanOutRig(t, 2)
+	fan.seed("acct", 10)
+	fanRes := fan.coord.Run(bg(), spec("Tf3"))
+
+	if fanRes.Outcome != seqRes.Outcome {
+		t.Fatalf("fan-out outcome = %v, sequential = %v", fanRes.Outcome, seqRes.Outcome)
+	}
+	if fanRes.Outcome != AbortedExec {
+		t.Fatalf("outcome = %v err=%v, want aborted-exec", fanRes.Outcome, fanRes.Err)
+	}
+	waitQuiesce(t, fan)
+	for i := range fan.sites {
+		if got := fan.sites[i].ReadInt64("acct"); got != 10 {
+			t.Fatalf("site %d balance = %d, want 10 (rolled back)", i, got)
+		}
+	}
+}
+
+// TestFanOutMarkedTransactionsStaySequential checks that marked
+// transactions still commit under a ParallelExec coordinator: marking
+// state threads site to site, so the coordinator must fall back to the
+// sequential path for them.
+func TestFanOutMarkedTransactionsStaySequential(t *testing.T) {
+	r := newFanOutRig(t, 2)
+	r.seed("acct", 100)
+	res := r.coord.Run(bg(), transfer(r, proto.O2PC, proto.MarkP1, "Tf4", 25))
+	if res.Outcome != Committed {
+		t.Fatalf("outcome = %v err=%v", res.Outcome, res.Err)
+	}
+	if r.sites[0].ReadInt64("acct") != 75 || r.sites[1].ReadInt64("acct") != 125 {
+		t.Fatalf("balances: %d %d",
+			r.sites[0].ReadInt64("acct"), r.sites[1].ReadInt64("acct"))
+	}
+}
+
+// TestFanOutReadsMerged checks read results from parallel branches are
+// all merged into the coordinator's Result.
+func TestFanOutReadsMerged(t *testing.T) {
+	r := newFanOutRig(t, 3)
+	r.seed("acct", 42)
+	spec := TxnSpec{
+		ID: "Tf5", Protocol: proto.O2PC, Marking: proto.MarkNone,
+		Subtxns: []SubtxnSpec{
+			{Site: siteName(0), Ops: []proto.Operation{proto.Read("acct")}},
+			{Site: siteName(1), Ops: []proto.Operation{proto.Read("acct")}},
+			{Site: siteName(2), Ops: []proto.Operation{proto.Read("acct")}},
+		},
+	}
+	res := r.coord.Run(bg(), spec)
+	if res.Outcome != Committed {
+		t.Fatalf("outcome = %v err=%v", res.Outcome, res.Err)
+	}
+	for i := 0; i < 3; i++ {
+		v, ok := res.Reads[siteName(i)]["acct"]
+		if !ok {
+			t.Fatalf("read from %s missing from merged results (have %v)", siteName(i), res.Reads)
+		}
+		n, err := storage.DecodeInt64(v)
+		if err != nil || n != 42 {
+			t.Fatalf("read from %s = %v (%v), want 42", siteName(i), n, err)
+		}
+	}
+}

@@ -65,52 +65,78 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 	}
 	c.tracer.Emit(c.cfg.Name, trace.EvTxnBegin, id, "",
 		spec.Protocol.String()+"/"+spec.Marking.String()+" sites="+joinSites(execSites(spec)))
-	_, _ = c.log.Append(wal.Record{
+	// Write-ahead: without a durable BEGIN, recovery could not presume
+	// abort for this transaction — so an unloggable BEGIN aborts the run
+	// before any subtransaction ships.
+	if _, err := c.log.Append(wal.Record{
 		Type:  wal.RecBegin,
 		TxnID: id,
 		Aux:   joinSites(execSites(spec)) + "|" + spec.Marking.String(),
-	})
+	}); err != nil {
+		res.Outcome = AbortedCoordinator
+		res.Err = fmt.Errorf("coord: logging begin for %s: %w", id, err)
+		return res
+	}
 
-	// ---- Execution phase: ship subtransactions in site order, carrying
-	// the accumulating transmarks (rule R1 state).
-	var transmarks []string
-	visited := false
+	// ---- Execution phase. Marking protocols thread the accumulating
+	// transmarks through the subtransactions site by site (rule R1 state),
+	// which forces sequential shipment; without marking the subtransactions
+	// are independent and fan out to their sites concurrently — the same
+	// pattern as the vote round — with per-site order preserved.
 	var executed []string
-	for _, st := range spec.Subtxns {
-		req := proto.ExecRequest{
-			TxnID:       id,
-			Ops:         st.Ops,
-			Comp:        st.Comp,
-			Compensator: st.Compensator,
-			Protocol:    spec.Protocol,
-			Marking:     spec.Marking,
-			TransMarks:  transmarks,
-			Visited:     visited,
-		}
-		reply, err := c.execWithRetry(ctx, id, st.Site, req, retries, &res)
-		if err != nil {
-			// Site unreachable, subtransaction failed, or fatal marking
-			// rejection: abort whatever already executed. The failing
-			// site is included in the abort delivery — it may have
-			// executed the subtransaction even though its reply was lost
-			// (decisions are idempotent, so a site that never saw the
-			// request just acks).
+	if c.cfg.ParallelExec && spec.Marking == proto.MarkNone && len(spec.Subtxns) > 1 {
+		if err := c.execFanOut(ctx, id, spec, retries, &res); err != nil {
+			// Abort every spec site: with chains in flight concurrently we
+			// cannot know which executed, and a site may have executed its
+			// subtransaction even though the reply was lost. Decisions are
+			// idempotent, so a site that never saw the request just acks.
 			res.Err = err
 			if res.Outcome == 0 {
 				res.Outcome = AbortedExec
 			}
-			c.decide(ctx, id, false, append(executed, st.Site), spec)
+			c.decide(ctx, id, false, execSites(spec), spec)
 			return res
 		}
-		if len(reply.Reads) > 0 {
-			if res.Reads == nil {
-				res.Reads = make(map[string]map[string][]byte)
+		executed = execSites(spec)
+	} else {
+		var transmarks []string
+		visited := false
+		for _, st := range spec.Subtxns {
+			req := proto.ExecRequest{
+				TxnID:       id,
+				Ops:         st.Ops,
+				Comp:        st.Comp,
+				Compensator: st.Compensator,
+				Protocol:    spec.Protocol,
+				Marking:     spec.Marking,
+				TransMarks:  transmarks,
+				Visited:     visited,
 			}
-			res.Reads[st.Site] = reply.Reads
+			reply, err := c.execWithRetry(ctx, id, st.Site, req, retries, &res)
+			if err != nil {
+				// Site unreachable, subtransaction failed, or fatal marking
+				// rejection: abort whatever already executed. The failing
+				// site is included in the abort delivery — it may have
+				// executed the subtransaction even though its reply was lost
+				// (decisions are idempotent, so a site that never saw the
+				// request just acks).
+				res.Err = err
+				if res.Outcome == 0 {
+					res.Outcome = AbortedExec
+				}
+				c.decide(ctx, id, false, append(executed, st.Site), spec)
+				return res
+			}
+			if len(reply.Reads) > 0 {
+				if res.Reads == nil {
+					res.Reads = make(map[string]map[string][]byte)
+				}
+				res.Reads[st.Site] = reply.Reads
+			}
+			transmarks = reply.Marks
+			visited = true
+			executed = append(executed, st.Site)
 		}
-		transmarks = reply.Marks
-		visited = true
-		executed = append(executed, st.Site)
 	}
 
 	// ---- Vote phase: VOTE-REQ to every participant in parallel.
@@ -156,6 +182,93 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 		res.Err = ErrCrashed
 	}
 	return res
+}
+
+// execFanOut ships the subtransactions of a MarkNone transaction
+// concurrently, one chain per site: subtransactions addressed to the same
+// site keep their spec order within that site's chain, while distinct
+// sites' chains proceed in parallel (spawned in spec order, so virtual-time
+// runs stay deterministic). Retry semantics are per call, exactly as in the
+// sequential path. When chains fail, the one whose failing subtransaction
+// comes first in spec order decides the reported error and outcome,
+// matching what the sequential path would have reported.
+func (c *Coordinator) execFanOut(ctx context.Context, id string, spec TxnSpec, retries int, res *Result) error {
+	type chain struct {
+		site string
+		subs []SubtxnSpec
+		idxs []int // spec index of each subtransaction in the chain
+	}
+	bySite := make(map[string]*chain, len(spec.Subtxns))
+	var chains []*chain
+	for i, st := range spec.Subtxns {
+		ch := bySite[st.Site]
+		if ch == nil {
+			ch = &chain{site: st.Site}
+			bySite[st.Site] = ch
+			chains = append(chains, ch)
+		}
+		ch.subs = append(ch.subs, st)
+		ch.idxs = append(ch.idxs, i)
+	}
+
+	// Each chain gets a private Result: execWithRetry mutates Outcome and
+	// MarkRetries, which must not race across chains.
+	type chainResult struct {
+		res    Result
+		err    error
+		failAt int // spec index of the failing subtransaction
+		reads  map[string][]byte
+	}
+	outs := make([]chainResult, len(chains))
+	g := sim.NewGroup(c.clock)
+	for ci, ch := range chains {
+		ci, ch := ci, ch
+		g.Go(func() {
+			out := &outs[ci]
+			for k, st := range ch.subs {
+				req := proto.ExecRequest{
+					TxnID:       id,
+					Ops:         st.Ops,
+					Comp:        st.Comp,
+					Compensator: st.Compensator,
+					Protocol:    spec.Protocol,
+					Marking:     spec.Marking,
+				}
+				reply, err := c.execWithRetry(ctx, id, ch.site, req, retries, &out.res)
+				if err != nil {
+					out.err = err
+					out.failAt = ch.idxs[k]
+					return
+				}
+				if len(reply.Reads) > 0 {
+					out.reads = reply.Reads
+				}
+			}
+		})
+	}
+	g.Wait()
+
+	fail := -1
+	for ci := range outs {
+		out := &outs[ci]
+		res.MarkRetries += out.res.MarkRetries
+		if out.err != nil && (fail == -1 || out.failAt < outs[fail].failAt) {
+			fail = ci
+		}
+		if out.reads != nil {
+			if res.Reads == nil {
+				res.Reads = make(map[string]map[string][]byte)
+			}
+			res.Reads[chains[ci].site] = out.reads
+		}
+	}
+	if fail >= 0 {
+		if outs[fail].res.Outcome != 0 {
+			res.Outcome = outs[fail].res.Outcome
+		}
+		return outs[fail].err
+	}
+	return nil
 }
 
 // execWithRetry ships one subtransaction, absorbing retryable marking
@@ -262,8 +375,21 @@ func (c *Coordinator) decide(ctx context.Context, id string, commit bool, execut
 		c.mu.Unlock()
 		return commit
 	}
-	_, _ = c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: decisionAux(commit)})
-	_ = c.log.Sync()
+	_, err := c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: decisionAux(commit)})
+	if err == nil {
+		err = c.log.Sync()
+	}
+	if err != nil {
+		// The decision cannot be made durable, so it must not be announced:
+		// a coordinator that cannot write its log is crashed (participants
+		// fall back to resolve inquiries, and recovery — with a working
+		// log — will presume abort). For a commit intent the caller reports
+		// AbortedCoordinator.
+		c.crashed = true
+		c.mu.Unlock()
+		c.tracer.Emit(c.cfg.Name, trace.EvCrash, id, "", "wal: "+err.Error())
+		return false
+	}
 	c.tracer.Emit(c.cfg.Name, trace.EvDecisionReached, id, "", decisionAux(commit))
 	d := &decided{
 		commit:     commit,
@@ -426,7 +552,10 @@ func (c *Coordinator) Recover(ctx context.Context) error {
 			c.mu.Unlock()
 			continue
 		}
-		_, _ = c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: "abort"})
+		if _, err := c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: "abort"}); err != nil {
+			c.mu.Unlock()
+			return fmt.Errorf("coord %s: logging presumed abort for %s: %w", c.cfg.Name, id, err)
+		}
 		c.decided[id] = &decided{
 			commit:     false,
 			trackMarks: wasP1[id],
@@ -439,7 +568,9 @@ func (c *Coordinator) Recover(ctx context.Context) error {
 			rec.SetFate(id, history.FateAborted)
 		}
 	}
-	_ = c.log.Sync()
+	if err := c.log.Sync(); err != nil {
+		return fmt.Errorf("coord %s: syncing presumed aborts: %w", c.cfg.Name, err)
+	}
 
 	// Re-deliver everything still pending, in deterministic id order.
 	c.mu.Lock()

@@ -64,6 +64,22 @@ type Config struct {
 	// ReadOnlyVotes enables the read-only participant optimization at
 	// every site (see site.Config.ReadOnlyVotes; experiment A4).
 	ReadOnlyVotes bool
+	// LockShards overrides the per-site lock manager shard count; zero
+	// selects lock.DefaultShards.
+	LockShards int
+	// WALGroupCommit enables WAL group commit at every site: concurrent
+	// committers coalesce their durability waits into one physical sync
+	// (see site.Config.WALGroupCommit).
+	WALGroupCommit bool
+	// WALGroupWindow and WALGroupMaxBatch tune the group-commit batching;
+	// zero selects the wal package defaults.
+	WALGroupWindow   time.Duration
+	WALGroupMaxBatch int
+	// ParallelExec fans the execution phase of unmarked transactions out to
+	// their sites concurrently (see coord.Config.ParallelExec). Off by
+	// default: parallel chains give up the sequential path's site-order
+	// lock acquisition, which matters under high contention.
+	ParallelExec bool
 	// Clock drives every timer in the cluster — network latency, lock
 	// timeouts, retry backoffs, resolver periods. Nil defaults to the real
 	// clock; pass a sim.VirtualClock for deterministic simulation.
@@ -127,6 +143,10 @@ func NewCluster(cfg Config) *Cluster {
 			ResolvePeriod:        cfg.ResolvePeriod,
 			LockTimeout:          cfg.LockTimeout,
 			ReadOnlyVotes:        cfg.ReadOnlyVotes,
+			LockShards:           cfg.LockShards,
+			WALGroupCommit:       cfg.WALGroupCommit,
+			WALGroupWindow:       cfg.WALGroupWindow,
+			WALGroupMaxBatch:     cfg.WALGroupMaxBatch,
 			Clock:                clock,
 			Tracer:               cfg.Tracer,
 		})
@@ -138,12 +158,13 @@ func NewCluster(cfg Config) *Cluster {
 	for i := 0; i < cfg.Coordinators; i++ {
 		name := fmt.Sprintf("c%d", i)
 		c := coord.New(coord.Config{
-			Name:     name,
-			IDPrefix: prefixFor(i),
-			Recorder: cl.recorder,
-			Board:    cl.board,
-			Clock:    clock,
-			Tracer:   cfg.Tracer,
+			Name:         name,
+			IDPrefix:     prefixFor(i),
+			Recorder:     cl.recorder,
+			Board:        cl.board,
+			ParallelExec: cfg.ParallelExec,
+			Clock:        clock,
+			Tracer:       cfg.Tracer,
 		}, cl.network)
 		cl.network.Register(name, c.Handle)
 		cl.coords = append(cl.coords, c)
@@ -307,6 +328,9 @@ func (cl *Cluster) PublishMetrics(reg *metrics.Registry) {
 	}
 	for _, s := range cl.sites {
 		s.Stats().Publish(reg, "o2pc_site_"+s.Name()+"_")
+		if g := s.GroupCommit(); g != nil {
+			g.Stats().Publish(reg, "o2pc_site_"+s.Name()+"_")
+		}
 	}
 	net := cl.network.Counts()
 	for _, name := range net.CounterNames() {

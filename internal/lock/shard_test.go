@@ -1,0 +1,332 @@
+package lock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"o2pc/internal/storage"
+)
+
+// shardIndex returns the key-shard index a key routes to.
+func shardIndex(m *Manager, key storage.Key) int {
+	return int(fnv32a(string(key))) % m.ShardCount()
+}
+
+// keysInDistinctShards returns n keys guaranteed to land in n different
+// key shards (FNV routing is deterministic, so this is a pure computation).
+func keysInDistinctShards(t *testing.T, m *Manager, n int) []storage.Key {
+	t.Helper()
+	if n > m.ShardCount() {
+		t.Fatalf("asked for %d distinct shards of %d", n, m.ShardCount())
+	}
+	seen := make(map[int]bool)
+	var keys []storage.Key
+	for i := 0; len(keys) < n && i < 10000; i++ {
+		k := storage.Key(fmt.Sprintf("k%04d", i))
+		if idx := shardIndex(m, k); !seen[idx] {
+			seen[idx] = true
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < n {
+		t.Fatalf("found only %d distinct shards", len(keys))
+	}
+	return keys
+}
+
+// TestCrossShardReleaseAll locks keys spread over every shard under one
+// transaction and checks ReleaseAll frees them all, leaving each key
+// immediately grantable to another transaction.
+func TestCrossShardReleaseAll(t *testing.T) {
+	m := NewManager()
+	keys := keysInDistinctShards(t, m, m.ShardCount())
+	for _, k := range keys {
+		mustAcquire(t, m, "T1", k, Exclusive)
+	}
+	if got := len(m.Held("T1")); got != len(keys) {
+		t.Fatalf("held = %d, want %d", got, len(keys))
+	}
+	m.ReleaseAll("T1")
+	if m.HoldsAny("T1") {
+		t.Fatalf("T1 still holds locks after ReleaseAll")
+	}
+	for _, k := range keys {
+		mustAcquire(t, m, "T2", k, Exclusive)
+	}
+	if got := len(m.Held("T2")); got != len(keys) {
+		t.Fatalf("T2 held = %d, want %d", got, len(keys))
+	}
+}
+
+// TestPromotionUnderContentionAcrossShards runs the upgrade-priority
+// scenario concurrently on keys in different shards: on each key T-up
+// holds S and queues an upgrade to X while T-plain queues a fresh X
+// request; when the other S holder releases, the upgrade must win.
+func TestPromotionUnderContentionAcrossShards(t *testing.T) {
+	m := NewManager()
+	keys := keysInDistinctShards(t, m, 4)
+	for i, k := range keys {
+		holder := fmt.Sprintf("H%d", i)
+		up := fmt.Sprintf("U%d", i)
+		plain := fmt.Sprintf("P%d", i)
+		mustAcquire(t, m, holder, k, Shared)
+		mustAcquire(t, m, up, k, Shared)
+
+		upDone := make(chan error, 1)
+		go func() { upDone <- m.Acquire(context.Background(), up, k, Exclusive) }()
+		// Wait until the upgrade is queued so the plain X lands behind it.
+		waitQueued(t, m, k, up)
+		plainDone := make(chan error, 1)
+		go func() { plainDone <- m.Acquire(context.Background(), plain, k, Exclusive) }()
+		waitQueued(t, m, k, plain)
+
+		m.ReleaseAll(holder)
+		if err := <-upDone; err != nil {
+			t.Fatalf("key %s: upgrade: %v", k, err)
+		}
+		// The plain X must still be waiting: the upgrade holds X.
+		select {
+		case err := <-plainDone:
+			t.Fatalf("key %s: plain X granted before upgrader released: %v", k, err)
+		case <-time.After(10 * time.Millisecond):
+		}
+		if m.Held(up)[k] != Exclusive {
+			t.Fatalf("key %s: upgrader mode = %v, want X", k, m.Held(up)[k])
+		}
+		m.ReleaseAll(up)
+		if err := <-plainDone; err != nil {
+			t.Fatalf("key %s: plain X after upgrader release: %v", k, err)
+		}
+		m.ReleaseAll(plain)
+	}
+}
+
+// waitQueued spins until txn has a queued (not granted) request on key.
+func waitQueued(t *testing.T, m *Manager, key storage.Key, txn string) {
+	t.Helper()
+	sh := m.shardOf(key)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		sh.mu.Lock()
+		queued := false
+		if st, ok := sh.locks[key]; ok {
+			for _, q := range st.queue {
+				if q.txn == txn {
+					queued = true
+					break
+				}
+			}
+		}
+		sh.mu.Unlock()
+		if queued {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("txn %s never queued on %s", txn, key)
+}
+
+// TestDeadlockVictimAcrossShards builds a two-transaction cycle whose keys
+// live in different shards and checks the detector still sees it and
+// aborts the younger transaction.
+func TestDeadlockVictimAcrossShards(t *testing.T) {
+	m := NewManager()
+	keys := keysInDistinctShards(t, m, 2)
+	a, b := keys[0], keys[1]
+
+	mustAcquire(t, m, "T1", a, Exclusive) // T1 registers first: older
+	mustAcquire(t, m, "T2", b, Exclusive)
+
+	t1Done := make(chan error, 1)
+	go func() { t1Done <- m.Acquire(context.Background(), "T1", b, Exclusive) }()
+	waitQueued(t, m, b, "T1")
+
+	// Closing the cycle from T2 must pick the younger T2 as victim.
+	if err := m.Acquire(context.Background(), "T2", a, Exclusive); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("T2 acquire = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll("T2")
+	if err := <-t1Done; err != nil {
+		t.Fatalf("T1 after victim release: %v", err)
+	}
+	if m.Stats().Deadlocks.Value() == 0 {
+		t.Fatalf("deadlock not counted")
+	}
+	m.ReleaseAll("T1")
+}
+
+// TestDeadlockVictimPriorityAcrossShards checks SetVictimPriority still
+// steers victim selection when the cycle spans shards: the high-priority
+// (more abortable) transaction is killed even though it is older.
+func TestDeadlockVictimPriorityAcrossShards(t *testing.T) {
+	m := NewManager()
+	m.SetVictimPriority(func(txn string) int {
+		if txn == "T1" {
+			return 1 // make the older T1 the preferred victim
+		}
+		return 0
+	})
+	keys := keysInDistinctShards(t, m, 2)
+	a, b := keys[0], keys[1]
+
+	mustAcquire(t, m, "T1", a, Exclusive)
+	mustAcquire(t, m, "T2", b, Exclusive)
+
+	t1Done := make(chan error, 1)
+	go func() { t1Done <- m.Acquire(context.Background(), "T1", b, Exclusive) }()
+	waitQueued(t, m, b, "T1")
+
+	t2Done := make(chan error, 1)
+	go func() { t2Done <- m.Acquire(context.Background(), "T2", a, Exclusive) }()
+
+	// T2's detection pass must abort T1's pending request.
+	if err := <-t1Done; !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("T1 acquire = %v, want ErrDeadlock (priority victim)", err)
+	}
+	m.ReleaseAll("T1")
+	if err := <-t2Done; err != nil {
+		t.Fatalf("T2 after victim release: %v", err)
+	}
+	m.ReleaseAll("T2")
+}
+
+// TestShardAcquisitionSpread checks the FNV routing actually spreads
+// distinct keys across shards rather than piling onto one.
+func TestShardAcquisitionSpread(t *testing.T) {
+	m := NewManager()
+	const n = 256
+	for i := 0; i < n; i++ {
+		mustAcquire(t, m, "T1", storage.Key(fmt.Sprintf("acct%03d", i)), Exclusive)
+	}
+	counts := m.ShardAcquisitions()
+	var total int64
+	busy := 0
+	for _, c := range counts {
+		total += c
+		if c > 0 {
+			busy++
+		}
+	}
+	if total != n {
+		t.Fatalf("total shard acquisitions = %d, want %d", total, n)
+	}
+	if busy < m.ShardCount()/2 {
+		t.Fatalf("only %d/%d shards saw traffic", busy, m.ShardCount())
+	}
+	m.ReleaseAll("T1")
+}
+
+// TestShardCountConfig pins the shard-count plumbing.
+func TestShardCountConfig(t *testing.T) {
+	if got := NewManagerShards(0).ShardCount(); got != DefaultShards {
+		t.Fatalf("NewManagerShards(0) shards = %d, want %d", got, DefaultShards)
+	}
+	if got := NewManagerShards(4).ShardCount(); got != 4 {
+		t.Fatalf("NewManagerShards(4) shards = %d, want 4", got)
+	}
+	if got := NewManager().ShardCount(); got != DefaultShards {
+		t.Fatalf("NewManager shards = %d, want %d", got, DefaultShards)
+	}
+}
+
+// TestShardStressOrderedAcquire hammers the manager from many goroutines
+// acquiring overlapping key sets in a global order (so no deadlock can
+// form) and requires every acquisition to succeed. Run with -race -count=5
+// for the shard-discipline stress the sharding change demands.
+func TestShardStressOrderedAcquire(t *testing.T) {
+	m := NewManager()
+	const (
+		workers = 8
+		iters   = 150
+		keys    = 24
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				txn := fmt.Sprintf("W%d-%d", w, i)
+				// Three keys in ascending index order: global ordering
+				// prevents deadlock, contention exercises queues and
+				// promotion across shards.
+				base := (w + i) % keys
+				for j := 0; j < 3; j++ {
+					k := storage.Key(fmt.Sprintf("s%02d", (base+j*5)%keys))
+					mode := Exclusive
+					if j == 0 {
+						mode = Shared
+					}
+					if err := m.Acquire(context.Background(), txn, k, mode); err != nil {
+						t.Errorf("%s acquire %s: %v", txn, k, err)
+						return
+					}
+				}
+				m.ReleaseAll(txn)
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < iters; i++ {
+			if m.HoldsAny(fmt.Sprintf("W%d-%d", w, i)) {
+				t.Fatalf("W%d-%d leaked locks", w, i)
+			}
+		}
+	}
+}
+
+// TestShardStressDeadlockRecovery hammers the detector: workers grab key
+// pairs in opposite orders, so deadlocks are guaranteed; victims release
+// and retry. The run must terminate with every worker eventually done and
+// no locks leaked.
+func TestShardStressDeadlockRecovery(t *testing.T) {
+	m := NewManager()
+	const (
+		workers = 6
+		iters   = 40
+	)
+	pairs := [][2]storage.Key{
+		{"dx0", "dx1"}, {"dx2", "dx3"}, {"dx4", "dx5"},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				txn := fmt.Sprintf("D%d-%d", w, i)
+				pair := pairs[(w+i)%len(pairs)]
+				first, second := pair[0], pair[1]
+				if w%2 == 1 {
+					first, second = second, first // opposite order: deadlocks
+				}
+				for {
+					if err := m.Acquire(context.Background(), txn, first, Exclusive); err != nil {
+						m.ReleaseAll(txn)
+						continue
+					}
+					if err := m.Acquire(context.Background(), txn, second, Exclusive); err != nil {
+						m.ReleaseAll(txn)
+						continue
+					}
+					break
+				}
+				m.ReleaseAll(txn)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, pair := range pairs {
+		for _, k := range pair {
+			mustAcquire(t, m, "probe", k, Exclusive)
+		}
+	}
+	m.ReleaseAll("probe")
+}

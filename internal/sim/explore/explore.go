@@ -90,6 +90,12 @@ type Config struct {
 	// LockTimeout bounds lock waits at the sites (default 5ms — short, so
 	// distributed deadlocks resolve quickly in virtual time).
 	LockTimeout time.Duration
+	// WALGroupCommit enables the sites' WAL group-commit decorator: the
+	// durability waits of concurrent committers coalesce into shared
+	// syncs, with the batching window driven by the run's virtual clock.
+	// WALGroupWindow overrides the decorator's default window when set.
+	WALGroupCommit bool
+	WALGroupWindow time.Duration
 	// Faults is the failure schedule.
 	Faults Faults
 }
@@ -172,12 +178,14 @@ func Run(cfg Config) *Result {
 	clock := sim.NewVirtualClock()
 	tracer := trace.New(clock, trace.DefaultNodeCapacity)
 	cl := core.NewCluster(core.Config{
-		Sites:        cfg.Sites,
-		Coordinators: cfg.Coordinators,
-		Record:       true,
-		Clock:        clock,
-		Tracer:       tracer,
-		LockTimeout:  cfg.LockTimeout,
+		Sites:          cfg.Sites,
+		Coordinators:   cfg.Coordinators,
+		Record:         true,
+		Clock:          clock,
+		Tracer:         tracer,
+		LockTimeout:    cfg.LockTimeout,
+		WALGroupCommit: cfg.WALGroupCommit,
+		WALGroupWindow: cfg.WALGroupWindow,
 		Network: rpc.Config{
 			MinLatency: cfg.MinLatency,
 			MaxLatency: cfg.MaxLatency,

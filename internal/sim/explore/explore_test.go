@@ -233,3 +233,56 @@ func TestExplorerConfigDefaults(t *testing.T) {
 		t.Errorf("defaults drifted:\n got %s\nwant %s", got, want)
 	}
 }
+
+// TestExplorerTraceGoldenGroupCommit is the determinism contract with WAL
+// group commit switched on: the sites' durability waits coalesce through
+// the virtual-clock-driven flusher, and two runs of the same seed must
+// still serialize byte-identical JSONL event logs — including the
+// wal.sync events that now carry physical batch sizes.
+func TestExplorerTraceGoldenGroupCommit(t *testing.T) {
+	cfg := Config{
+		Seed:           11,
+		Marking:        proto.MarkP1,
+		WALGroupCommit: true,
+		Faults: Faults{
+			DropProb:         0.03,
+			DoomRate:         0.15,
+			CoordCrashCycles: 2,
+			PartitionCycles:  1,
+		},
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Failed() {
+		report(t, a)
+	}
+	aj, err := EventsJSONL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := EventsJSONL(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(aj, []byte("batch=")) {
+		t.Error("no batched wal.sync event in trace: group commit never engaged")
+	}
+	if !bytes.Equal(aj, bj) {
+		i := 0
+		for i < len(aj) && i < len(bj) && aj[i] == bj[i] {
+			i++
+		}
+		t.Errorf("trace JSONL diverges at byte %d with group commit enabled", i)
+	}
+	ah, err := CanonicalJSON(a.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := CanonicalJSON(b.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ah, bh) {
+		t.Error("histories diverge for identical seed with group commit enabled")
+	}
+}

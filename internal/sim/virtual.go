@@ -409,7 +409,13 @@ func (g *Group) Go(fn func()) {
 }
 
 // Wait blocks (in real or virtual time) until every spawned member has
-// finished.
+// finished. The real clock joins directly on the WaitGroup — the generic
+// path's method value and progress closure allocate, which the commit
+// path's per-phase joins would pay on every transaction.
 func (g *Group) Wait() {
+	if _, ok := g.clock.(realClock); ok {
+		g.wg.Wait()
+		return
+	}
 	g.clock.Join(g.wg.Wait, func() bool { return g.left.Load() == 0 })
 }

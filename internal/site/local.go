@@ -68,13 +68,19 @@ func (s *Site) Seed(key storage.Key, value storage.Value) {
 		Writer:  SeedTxnID,
 	}
 	log := s.mgr.Log()
-	_, _ = log.Append(wal.Record{
+	if _, err := log.Append(wal.Record{
 		Type:   wal.RecUpdate,
 		TxnID:  SeedTxnID,
 		Before: wal.ImageOf(prev, existed),
 		After:  after,
-	})
-	_, _ = log.Append(wal.Record{Type: wal.RecCommit, TxnID: SeedTxnID})
+	}); err != nil {
+		// Bootstrap precedes all traffic; an unloggable seed would silently
+		// vanish on the first crash recovery, so it is a setup bug.
+		panic(fmt.Sprintf("site %s: seeding %s: %v", s.cfg.Name, key, err))
+	}
+	if _, err := log.Append(wal.Record{Type: wal.RecCommit, TxnID: SeedTxnID}); err != nil {
+		panic(fmt.Sprintf("site %s: seeding %s: %v", s.cfg.Name, key, err))
+	}
 	store.Put(key, value, SeedTxnID)
 }
 
@@ -135,7 +141,7 @@ func (s *Site) Recover(ctx context.Context) (wal.RecoverResult, error) {
 		s.pend[txnID] = p
 		s.mu.Unlock()
 		s.stats.PendingGlobal.Inc()
-		s.startResolver(p)
+		s.armResolver()
 	}
 	return res, nil
 }

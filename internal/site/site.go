@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -107,6 +108,21 @@ type Config struct {
 	LockTimeout time.Duration
 	// Log overrides the WAL (defaults to an in-memory log).
 	Log wal.Log
+	// LockShards overrides the lock manager's shard count; zero selects
+	// lock.DefaultShards.
+	LockShards int
+	// WALGroupCommit wraps the site's WAL in a group-commit decorator:
+	// concurrent Append+Sync committers coalesce into one physical sync
+	// (wal.GroupCommitLog). The record order in the log is untouched, so
+	// the Theorem 2 write-ahead discipline holds verbatim; only the
+	// durability waits are batched.
+	WALGroupCommit bool
+	// WALGroupWindow bounds how long a committer waits for companions
+	// before its batch is synced; zero selects wal.DefaultGroupWindow.
+	WALGroupWindow time.Duration
+	// WALGroupMaxBatch syncs a batch immediately once this many committers
+	// are queued; zero selects wal.DefaultGroupMaxBatch.
+	WALGroupMaxBatch int
 	// Tracer, when non-nil, records the site's protocol steps (exec,
 	// vote, local commit, decision, compensation) and its WAL writes.
 	Tracer *trace.Tracer
@@ -181,7 +197,6 @@ type pending struct {
 	state   pendingState
 	coord   string // coordinator node name, learned from the vote request
 	marks   []string
-	stop    context.CancelFunc // cancels the resolver when a decision arrives
 
 	mu      sync.Mutex
 	decided bool // a decision has been (or is being) applied
@@ -204,16 +219,18 @@ type Site struct {
 	lc     *marking.SiteMarks // locally-committed marks (P2 / Simple)
 	stats  *Stats
 	tracer *trace.Tracer
+	group  *wal.GroupCommitLog // non-nil when WALGroupCommit is on
 
 	caller rpc.Caller // for Resolve inquiries back to coordinators
 
-	mu       sync.Mutex
-	pend     map[string]*pending
-	resolved map[string]bool // txns whose decision this site has processed
-	injector func(txnID string) bool
-	localSeq uint64
-	sysSeq   uint64
-	crashed  bool
+	mu         sync.Mutex
+	pend       map[string]*pending
+	resolved   map[string]bool // txns whose decision this site has processed
+	injector   func(txnID string) bool
+	localSeq   uint64
+	sysSeq     uint64
+	crashed    bool
+	resolverOn bool // the site-wide decision-inquiry scanner is running
 }
 
 // NewSite assembles a site over a fresh store and lock manager.
@@ -224,15 +241,41 @@ func NewSite(cfg Config) *Site {
 	if cfg.LockTimeout <= 0 {
 		cfg.LockTimeout = 250 * time.Millisecond
 	}
+	clock := sim.OrReal(cfg.Clock)
 	log := cfg.Log
 	if log == nil {
 		log = wal.NewMemoryLog()
 	}
-	log = trace.WrapLog(log, cfg.Tracer, cfg.Name)
-	clock := sim.OrReal(cfg.Clock)
+	var group *wal.GroupCommitLog
+	if cfg.WALGroupCommit {
+		gcfg := wal.GroupCommitConfig{
+			Window:   cfg.WALGroupWindow,
+			MaxBatch: cfg.WALGroupMaxBatch,
+			Clock:    clock,
+		}
+		if tr, node := cfg.Tracer, cfg.Name; tr != nil {
+			// One EvWALSync per physical sync, carrying the batch size —
+			// the per-caller Sync returns stay silent (WrapAppends).
+			gcfg.OnFlush = func(batch int) {
+				tr.Emit(node, trace.EvWALSync, "", "", "batch="+strconv.Itoa(batch))
+			}
+		}
+		group = wal.NewGroupCommitLog(log, gcfg)
+		log = trace.WrapAppends(group, cfg.Tracer, cfg.Name)
+	} else {
+		log = trace.WrapLog(log, cfg.Tracer, cfg.Name)
+	}
 	store := storage.NewStore()
-	locks := lock.NewManager()
+	locks := lock.NewManagerShards(cfg.LockShards)
 	locks.SetClock(clock)
+	// Bound every blocking lock wait — execution, marking-set traffic,
+	// compensation — by the lock timeout: distributed 2PL deadlocks
+	// (including ones through the marking set and compensating
+	// transactions) are invisible to per-site detection and are broken by
+	// timing out and aborting the global transaction. Arming the deadline
+	// inside the manager's wait path keeps the grant fast path free of
+	// timers and derived contexts.
+	locks.SetWaitTimeout(cfg.LockTimeout)
 	// Persistence of compensation: compensating transactions are only
 	// chosen as deadlock victims when a cycle consists solely of them.
 	locks.SetVictimPriority(func(id string) int {
@@ -250,10 +293,15 @@ func NewSite(cfg Config) *Site {
 		lc:       marking.NewSiteMarks(),
 		stats:    newStats(),
 		tracer:   cfg.Tracer,
+		group:    group,
 		pend:     make(map[string]*pending),
 		resolved: make(map[string]bool),
 	}
 }
+
+// GroupCommit returns the site's WAL group-commit decorator, or nil when
+// WALGroupCommit is off (metrics publication, tests).
+func (s *Site) GroupCommit() *wal.GroupCommitLog { return s.group }
 
 // Name returns the site's node name.
 func (s *Site) Name() string { return s.cfg.Name }
@@ -314,7 +362,7 @@ func (s *Site) Handle(ctx context.Context, from string, req any) (any, error) {
 	case proto.VoteRequest:
 		return s.handleVote(ctx, from, m), nil
 	case proto.Decision:
-		return s.handleDecision(ctx, m), nil
+		return s.handleDecision(ctx, m)
 	default:
 		return nil, fmt.Errorf("site %s: unknown message %T", s.cfg.Name, req)
 	}
@@ -372,19 +420,15 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 		return proto.ExecReply{Err: err.Error()}
 	}
 
-	// Bound every lock wait of the execution phase — including the
-	// marking-set acquisition — by the lock timeout: distributed 2PL
-	// deadlocks (including ones through the marking set and compensating
-	// transactions) are invisible to per-site detection and are broken by
-	// timing out and aborting the global transaction.
-	opCtx, cancelOps := s.clock.WithTimeout(ctx, s.cfg.LockTimeout)
-	defer cancelOps()
+	// Lock waits below — including the marking-set acquisition — are
+	// bounded by the manager's wait timeout (wired from LockTimeout at
+	// construction), so no per-execution deadline context is needed.
 
 	// R1: marking compatibility check, coupled to 2PL via MarkKey.
 	var merged []string
 	holdMarkLock := false
 	if req.Marking != proto.MarkNone {
-		verdict, m, err := s.checkMarks(opCtx, t, req)
+		verdict, m, err := s.checkMarks(ctx, t, req)
 		if err != nil {
 			_ = t.Abort("")
 			return proto.ExecReply{Err: err.Error()}
@@ -418,7 +462,7 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 		}
 	}
 
-	reads, execErr := s.runOps(opCtx, t, req.Ops)
+	reads, execErr := s.runOps(ctx, t, req.Ops)
 	if execErr == nil && !holdMarkLock && req.Marking != proto.MarkNone {
 		// The validation step of the early-unlock compromise, "as the last
 		// action of the subtransaction" (Section 6.2) — while this
@@ -428,7 +472,7 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 		// visible here; validating later (e.g. at vote time) would race
 		// with UDUM1 unmarking and could admit a reader of inconsistent
 		// compensation states.
-		if !s.validateMarks(opCtx, t.ID(), req.Marking, merged) {
+		if !s.validateMarks(ctx, t.ID(), req.Marking, merged) {
 			s.stats.RevalidateFail.Inc()
 			// Nothing was exposed (all locks still held everywhere, the
 			// vote phase has not begun): unexposed roll-back, and the
@@ -459,7 +503,7 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 
 // checkMarks performs the R1 check under a shared lock on MarkKey.
 func (s *Site) checkMarks(ctx context.Context, t *txn.Txn, req proto.ExecRequest) (marking.Verdict, []string, error) {
-	if err := s.mgr.Locks().Acquire(ctx, t.ID(), MarkKey, lock.Shared); err != nil {
+	if err := s.mgr.Locks().AcquireBounded(ctx, t.ID(), MarkKey, lock.Shared); err != nil {
 		return marking.Retry, nil, err
 	}
 	var verdict marking.Verdict
@@ -480,9 +524,7 @@ func (s *Site) checkMarks(ctx context.Context, t *txn.Txn, req proto.ExecRequest
 // subtransaction's last action (the validation step of the early-release
 // compromise). The caller's transaction still holds its data locks.
 func (s *Site) validateMarks(ctx context.Context, txnID string, mark proto.MarkProtocol, adopted []string) bool {
-	rctx, cancel := s.clock.WithTimeout(ctx, s.cfg.LockTimeout)
-	defer cancel()
-	if err := s.mgr.Locks().Acquire(rctx, txnID, MarkKey, lock.Shared); err != nil {
+	if err := s.mgr.Locks().AcquireBounded(ctx, txnID, MarkKey, lock.Shared); err != nil {
 		return false
 	}
 	defer s.mgr.Locks().Release(txnID, MarkKey)
@@ -615,9 +657,7 @@ func (s *Site) writeMark(ctx context.Context, forward string, add bool, set *mar
 
 func (s *Site) tryWriteMark(ctx context.Context, forward string, add bool, set *marking.SiteMarks) bool {
 	sys := s.nextSysID()
-	actx, cancel := s.clock.WithTimeout(ctx, s.cfg.LockTimeout)
-	defer cancel()
-	if err := s.mgr.Locks().Acquire(actx, sys, MarkKey, lock.Exclusive); err != nil {
+	if err := s.mgr.Locks().AcquireBounded(ctx, sys, MarkKey, lock.Exclusive); err != nil {
 		return false
 	}
 	if add {

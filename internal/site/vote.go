@@ -3,6 +3,7 @@ package site
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"o2pc/internal/compensate"
 	"o2pc/internal/history"
@@ -102,11 +103,14 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 		}
 		p.state = statePrepared
 		s.tracer.Emit(s.cfg.Name, trace.EvPrepared, req.TxnID, from, "locks retained")
-		s.startResolver(p)
+		s.armResolver()
 	} else {
-		// O2PC: locally commit and release everything now.
+		// O2PC: locally commit durably and release everything now. The
+		// durable sync before the release is Theorem 2's write-ahead point:
+		// the exposure record must survive a crash once other transactions
+		// can read the exposed state.
 		p.updates = p.t.Updates()
-		if err := p.t.Commit(); err != nil {
+		if err := p.t.CommitDurable(); err != nil {
 			s.voteNo(ctx, p)
 			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "local commit failed")
 			return proto.VoteReply{Commit: false, Reason: err.Error(), Witnesses: witnesses}
@@ -117,7 +121,7 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 		// The site still carries on with the second phase of the protocol
 		// (Section 2): if the decision is lost to a coordinator failure it
 		// inquires — without holding any locks meanwhile.
-		s.startResolver(p)
+		s.armResolver()
 	}
 	s.stats.VotesYes.Inc()
 	s.tracer.Emit(s.cfg.Name, trace.EvVoteYes, req.TxnID, from, "")
@@ -151,8 +155,10 @@ func (s *Site) drainWitnesses() []proto.WitnessDelta {
 
 // handleDecision applies a coordinator DECISION, including any piggybacked
 // undone-to-unmarked notices (rule R3). Decisions are idempotent: a
-// re-sent decision for a forgotten transaction is acknowledged again.
-func (s *Site) handleDecision(ctx context.Context, d proto.Decision) proto.Ack {
+// re-sent decision for a forgotten transaction is acknowledged again. A
+// WAL failure surfaces as an error (no ack), so the coordinator keeps
+// retrying rather than treating the decision as applied.
+func (s *Site) handleDecision(ctx context.Context, d proto.Decision) (proto.Ack, error) {
 	s.tracer.Emit(s.cfg.Name, trace.EvDecisionRecv, d.TxnID, "", decisionAux(d.Commit))
 	for _, ti := range d.Unmarks {
 		s.writeMark(ctx, ti, false, s.marks)
@@ -163,6 +169,7 @@ func (s *Site) handleDecision(ctx context.Context, d proto.Decision) proto.Ack {
 	if ok {
 		delete(s.pend, d.TxnID)
 	}
+	wasResolved := s.resolved[d.TxnID]
 	s.resolved[d.TxnID] = true // fence late ExecRequests for this txn
 	s.mu.Unlock()
 	if ok {
@@ -171,7 +178,7 @@ func (s *Site) handleDecision(ctx context.Context, d proto.Decision) proto.Ack {
 	if !ok {
 		// Already resolved (e.g. the site voted NO and rolled back, or a
 		// duplicate decision): still report mark state for UDUM1.
-		return proto.Ack{TxnID: d.TxnID, Marked: s.marks.Contains(d.TxnID)}
+		return proto.Ack{TxnID: d.TxnID, Marked: s.marks.Contains(d.TxnID)}, nil
 	}
 	// Serialize against a concurrently-running vote handler for this
 	// transaction: the decision must observe the post-vote state (e.g.
@@ -180,18 +187,30 @@ func (s *Site) handleDecision(ctx context.Context, d proto.Decision) proto.Ack {
 	s.lockPending(p)
 	defer p.mu.Unlock()
 	p.decided = true
-	if p.stop != nil {
-		p.stop()
-	}
 
-	_, _ = s.mgr.Log().Append(wal.Record{
+	// Write-ahead: the decision record lands before the decision's effects.
+	// If the log refuses it, undo the bookkeeping and report the failure —
+	// the transaction stays pending and the coordinator's retry (or the
+	// resolver) delivers the decision again once the site can log it.
+	if _, err := s.mgr.Log().Append(wal.Record{
 		Type:  wal.RecDecision,
 		TxnID: d.TxnID,
 		Aux:   decisionAux(d.Commit),
-	})
+	}); err != nil {
+		p.decided = false
+		s.mu.Lock()
+		s.pend[d.TxnID] = p
+		if !wasResolved {
+			delete(s.resolved, d.TxnID)
+		}
+		s.mu.Unlock()
+		s.stats.PendingGlobal.Inc()
+		return proto.Ack{}, fmt.Errorf("site %s: logging decision for %s: %w", s.cfg.Name, d.TxnID, err)
+	}
 
+	var applyErr error
 	if d.Commit {
-		s.applyCommit(p)
+		applyErr = s.applyCommit(p)
 	} else {
 		s.applyAbort(ctx, p)
 	}
@@ -202,7 +221,7 @@ func (s *Site) handleDecision(ctx context.Context, d proto.Decision) proto.Ack {
 		// mark via compensation/rollback).
 		s.writeMark(ctx, d.TxnID, false, s.lc)
 	}
-	return proto.Ack{TxnID: d.TxnID, Marked: s.marks.Contains(d.TxnID)}
+	return proto.Ack{TxnID: d.TxnID, Marked: s.marks.Contains(d.TxnID)}, applyErr
 }
 
 func decisionAux(commit bool) string {
@@ -212,7 +231,8 @@ func decisionAux(commit bool) string {
 	return "abort"
 }
 
-func (s *Site) applyCommit(p *pending) {
+func (s *Site) applyCommit(p *pending) error {
+	var err error
 	switch p.state {
 	case statePrepared:
 		if p.t == nil {
@@ -221,19 +241,20 @@ func (s *Site) applyCommit(p *pending) {
 			s.mgr.Locks().ReleaseAll(p.req.TxnID)
 			break
 		}
-		_ = p.t.Commit() // releases the retained locks
+		err = p.t.Commit() // releases the retained locks
 	case stateLocallyCommitted:
 		// Already committed locally; nothing to release.
 	case stateExecuted:
 		// A commit decision without a vote round cannot happen for this
 		// site (the coordinator only commits after unanimous YES votes);
 		// commit defensively.
-		_ = p.t.Commit()
+		err = p.t.Commit()
 	}
 	s.stats.Commits.Inc()
 	if rec := s.cfg.Recorder; rec != nil {
 		rec.SetFate(p.req.TxnID, history.FateCommitted)
 	}
+	return err
 }
 
 func (s *Site) applyAbort(ctx context.Context, p *pending) {
@@ -309,38 +330,86 @@ func (s *Site) compensateExposed(ctx context.Context, p *pending) {
 	}
 }
 
-// startResolver arms the blocked-participant watchdog for a prepared
-// transaction: if no decision arrives, the site periodically asks the
-// coordinator to resolve the transaction — the classic in-doubt inquiry.
-// The participant stays blocked (locks held) until an answer arrives;
-// this is the unbounded window O2PC exists to remove.
-func (s *Site) startResolver(p *pending) {
-	rctx, cancel := context.WithCancel(context.Background())
-	p.stop = cancel
+// armResolver ensures the site's decision-inquiry scanner is running: if no
+// decision arrives for a voted transaction, the site periodically asks the
+// coordinator to resolve it — the classic in-doubt inquiry. A prepared
+// participant stays blocked (locks held) until an answer arrives; this is
+// the unbounded window O2PC exists to remove. (An O2PC participant runs the
+// same inquiry loop without holding any locks.)
+//
+// One scanner serves every pending transaction of the site: decisions
+// normally arrive within a round trip, so a per-transaction watchdog
+// goroutine (plus its cancel context and timer) is pure overhead on the
+// commit path — the scanner costs one timer per ResolvePeriod for the whole
+// site and exits as soon as nothing is pending.
+func (s *Site) armResolver() {
 	if s.caller == nil {
 		return
 	}
-	s.clock.Go(func() {
-		for {
-			if err := s.clock.Sleep(rctx, s.cfg.ResolvePeriod); err != nil {
-				return
-			}
-			cctx, ccancel := s.clock.WithTimeout(rctx, s.cfg.ResolvePeriod*4)
-			s.tracer.Emit(s.cfg.Name, trace.EvResolveSend, p.req.TxnID, p.coord, "")
-			resp, err := s.caller.Call(cctx, s.cfg.Name, p.coord, proto.ResolveRequest{TxnID: p.req.TxnID})
-			ccancel()
-			if err != nil {
-				continue
-			}
-			rr, ok := resp.(proto.ResolveReply)
-			if !ok || !rr.Known {
-				continue
-			}
-			if rctx.Err() != nil {
-				return
-			}
-			s.handleDecision(context.Background(), proto.Decision{TxnID: p.req.TxnID, Commit: rr.Commit})
+	s.mu.Lock()
+	armed := s.resolverOn
+	s.resolverOn = true
+	s.mu.Unlock()
+	if armed {
+		return
+	}
+	s.clock.Go(s.resolverLoop)
+}
+
+// resolverLoop periodically scans the pending table for voted, undecided
+// transactions and inquires about each. Targets are visited in transaction
+// ID order so virtual-time runs stay deterministic. The loop exits (and
+// disarms) when a scan finds nothing to resolve; the next vote re-arms it.
+func (s *Site) resolverLoop() {
+	for {
+		_ = s.clock.Sleep(context.Background(), s.cfg.ResolvePeriod)
+		targets := s.resolveTargets()
+		if targets == nil {
 			return
 		}
-	})
+		for _, p := range targets {
+			s.resolveOnce(p)
+		}
+	}
+}
+
+// resolveTargets snapshots the voted, undecided pending transactions in ID
+// order. A nil return means the scanner disarmed itself (under the same
+// mutex armResolver checks, so no vote can slip between the empty scan and
+// the disarm).
+func (s *Site) resolveTargets() []*pending {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var targets []*pending
+	for _, p := range s.pend {
+		if p.coord == "" || (p.state != statePrepared && p.state != stateLocallyCommitted) {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	if len(targets) == 0 {
+		s.resolverOn = false
+		return nil
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].req.TxnID < targets[j].req.TxnID })
+	return targets
+}
+
+// resolveOnce sends one decision inquiry for p and applies the answer, if
+// the coordinator knows one. handleDecision is idempotent, so racing a
+// concurrently-arriving decision is harmless.
+func (s *Site) resolveOnce(p *pending) {
+	cctx, cancel := s.clock.WithTimeout(context.Background(), s.cfg.ResolvePeriod*4)
+	s.tracer.Emit(s.cfg.Name, trace.EvResolveSend, p.req.TxnID, p.coord, "")
+	resp, err := s.caller.Call(cctx, s.cfg.Name, p.coord, proto.ResolveRequest{TxnID: p.req.TxnID})
+	cancel()
+	if err != nil {
+		return
+	}
+	rr, ok := resp.(proto.ResolveReply)
+	if !ok || !rr.Known {
+		return
+	}
+	// A WAL failure leaves the transaction pending; the next scan retries.
+	_, _ = s.handleDecision(context.Background(), proto.Decision{TxnID: p.req.TxnID, Commit: rr.Commit})
 }

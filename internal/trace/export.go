@@ -196,7 +196,7 @@ func WriteChrome(w io.Writer, events []Event) error {
 		}
 		out = append(out, chromeEvent{
 			Name: e.Type.String(), Phase: "i",
-			TS: (e.T - t0) / 1e3,
+			TS:  (e.T - t0) / 1e3,
 			PID: pidOf[e.Txn], TID: tidOf[e.Node],
 			Scope: "t", Args: args,
 		})

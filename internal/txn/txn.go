@@ -208,6 +208,20 @@ func (t *Txn) requireActive() error {
 	return nil
 }
 
+// acquire takes a data lock for this transaction. Subtransactions of
+// global transactions bound their waits by the lock manager's wait timeout
+// (a distributed 2PL deadlock is invisible to per-site detection and is
+// broken by timing out); local and compensating transactions wait
+// unbounded — their lock scopes are single-site, where the waits-for
+// detector suffices, and compensation must never fail on a spurious
+// timeout (persistence of compensation).
+func (t *Txn) acquire(ctx context.Context, key storage.Key, mode lock.Mode) error {
+	if t.kind == history.KindGlobal {
+		return t.m.locks.AcquireBounded(ctx, t.id, key, mode)
+	}
+	return t.m.locks.Acquire(ctx, t.id, key, mode)
+}
+
 // Read acquires a shared lock on key and returns its current value.
 // Reading an absent key is legal (returns storage.ErrNotFound) and is still
 // recorded as a read of the initial state.
@@ -219,7 +233,7 @@ func (t *Txn) Read(ctx context.Context, key storage.Key) (storage.Value, error) 
 	}
 	t.mu.Unlock()
 
-	if err := t.m.locks.Acquire(ctx, t.id, key, lock.Shared); err != nil {
+	if err := t.acquire(ctx, key, lock.Shared); err != nil {
 		return nil, err
 	}
 
@@ -266,7 +280,7 @@ func (t *Txn) update(ctx context.Context, key storage.Key, value storage.Value, 
 	}
 	t.mu.Unlock()
 
-	if err := t.m.locks.Acquire(ctx, t.id, key, lock.Exclusive); err != nil {
+	if err := t.acquire(ctx, key, lock.Exclusive); err != nil {
 		return err
 	}
 
@@ -308,7 +322,7 @@ func (t *Txn) ReadForUpdate(ctx context.Context, key storage.Key) (storage.Value
 	}
 	t.mu.Unlock()
 
-	if err := t.m.locks.Acquire(ctx, t.id, key, lock.Exclusive); err != nil {
+	if err := t.acquire(ctx, key, lock.Exclusive); err != nil {
 		return nil, err
 	}
 	t.mu.Lock()
@@ -419,6 +433,41 @@ func (t *Txn) Commit() error {
 	t.m.locks.ReleaseAll(t.id)
 	t.m.finish(t.id)
 	return nil
+}
+
+// CommitDurable is Commit with a durability barrier: the commit record is
+// synced to stable storage before any lock is released. This is the O2PC
+// exposure point — Theorem 2's write-ahead discipline requires the record
+// of Ti's writes to be durable before the early lock release exposes them
+// to other transactions (a reader could otherwise commit against state
+// whose provenance a crash then erases). Under a wal.GroupCommitLog the
+// sync coalesces with concurrent committers; the wait still completes
+// before this transaction's locks fall.
+func (t *Txn) CommitDurable() error {
+	t.mu.Lock()
+	if t.status != StatusActive && t.status != StatusPrepared {
+		st := t.status
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrNotActive, t.id, st)
+	}
+	recType := wal.RecCommit
+	if t.kind == history.KindCompensating {
+		recType = wal.RecCompEnd
+	}
+	if _, err := t.m.log.Append(wal.Record{Type: recType, TxnID: t.id}); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.status = StatusCommitted
+	t.mu.Unlock()
+
+	err := t.m.log.Sync()
+	// Locks are released even when the sync fails (a failing log means the
+	// site is shutting down or broken; wedging every waiter helps nobody),
+	// but the error is reported so the vote does not claim durability.
+	t.m.locks.ReleaseAll(t.id)
+	t.m.finish(t.id)
+	return err
 }
 
 // ReleaseLocks drops every lock the transaction holds without changing its

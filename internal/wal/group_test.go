@@ -1,0 +1,249 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"o2pc/internal/sim"
+)
+
+// countingSyncLog wraps a Log and counts physical Sync calls, optionally
+// forcing them to fail.
+type countingSyncLog struct {
+	Log
+	syncs   atomic.Int64
+	syncErr error
+}
+
+func (c *countingSyncLog) Sync() error {
+	c.syncs.Add(1)
+	if c.syncErr != nil {
+		return c.syncErr
+	}
+	return c.Log.Sync()
+}
+
+// TestGroupCommitCoalescesRealClock is the headline group-commit property:
+// K concurrent committers cost far fewer than K physical syncs. The batch
+// is made deterministic by setting MaxBatch = K: the last committer to
+// enqueue flushes the whole batch inline, so stragglers cannot split it
+// into per-caller syncs.
+func TestGroupCommitCoalescesRealClock(t *testing.T) {
+	const K = 64
+	inner := &countingSyncLog{Log: NewMemoryLog()}
+	g := NewGroupCommitLog(inner, GroupCommitConfig{
+		Window:   25 * time.Millisecond,
+		MaxBatch: K,
+	})
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(K)
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		i := i
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if _, err := g.Append(Record{Type: RecBegin, TxnID: "T"}); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = g.Sync()
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d: %v", i, err)
+		}
+	}
+	if n := inner.syncs.Load(); n < 1 || n > K/4 {
+		t.Fatalf("physical syncs = %d for %d committers, want 1..%d", n, K, K/4)
+	}
+	if got := g.Stats().Syncs.Value(); got != inner.syncs.Load() {
+		t.Fatalf("stats syncs = %d, inner = %d", got, inner.syncs.Load())
+	}
+}
+
+// TestGroupCommitVirtualDeterministic runs the same staggered-committer
+// schedule twice under virtual clocks and requires identical batching:
+// same physical sync count, same flush sizes, same virtual elapsed time.
+func TestGroupCommitVirtualDeterministic(t *testing.T) {
+	type outcome struct {
+		syncs   int64
+		flushes []int
+		elapsed time.Duration
+	}
+	run := func() outcome {
+		clock := sim.NewVirtualClock()
+		var flushes []int
+		var fmu sync.Mutex
+		inner := &countingSyncLog{Log: NewMemoryLog()}
+		g := NewGroupCommitLog(inner, GroupCommitConfig{
+			Window:   100 * time.Microsecond,
+			MaxBatch: 1 << 20,
+			Clock:    clock,
+			OnFlush: func(batch int) {
+				fmu.Lock()
+				flushes = append(flushes, batch)
+				fmu.Unlock()
+			},
+		})
+		const K = 32
+		grp := sim.NewGroup(clock)
+		for i := 0; i < K; i++ {
+			i := i
+			grp.Go(func() {
+				_ = clock.Sleep(context.Background(), time.Duration(i+1)*time.Microsecond)
+				if _, err := g.Append(Record{Type: RecBegin, TxnID: "T"}); err != nil {
+					t.Errorf("append: %v", err)
+				}
+				if err := g.Sync(); err != nil {
+					t.Errorf("sync: %v", err)
+				}
+			})
+		}
+		grp.Wait()
+		return outcome{syncs: inner.syncs.Load(), flushes: flushes, elapsed: clock.Elapsed()}
+	}
+
+	a, b := run(), run()
+	if a.syncs != b.syncs || a.elapsed != b.elapsed || len(a.flushes) != len(b.flushes) {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+	for i := range a.flushes {
+		if a.flushes[i] != b.flushes[i] {
+			t.Fatalf("flush %d differs: %v vs %v", i, a.flushes, b.flushes)
+		}
+	}
+	// All 32 committers arrive within 32µs of each other; the 100µs window
+	// opened by the first must cover every one of them in a single flush.
+	if a.syncs != 1 || len(a.flushes) != 1 || a.flushes[0] != 32 {
+		t.Fatalf("syncs = %d flushes = %v, want one flush of 32", a.syncs, a.flushes)
+	}
+}
+
+// TestGroupCommitMaxBatchFlushesImmediately checks that a full batch does
+// not wait out the window: with MaxBatch committers queued the flush
+// happens inline, so virtual time never advances to the window deadline.
+func TestGroupCommitMaxBatchFlushesImmediately(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	inner := &countingSyncLog{Log: NewMemoryLog()}
+	g := NewGroupCommitLog(inner, GroupCommitConfig{
+		Window:   time.Hour,
+		MaxBatch: 4,
+		Clock:    clock,
+	})
+	grp := sim.NewGroup(clock)
+	for i := 0; i < 4; i++ {
+		i := i
+		grp.Go(func() {
+			_ = clock.Sleep(context.Background(), time.Duration(i+1)*time.Microsecond)
+			if err := g.Sync(); err != nil {
+				t.Errorf("sync: %v", err)
+			}
+		})
+	}
+	grp.Wait()
+	if inner.syncs.Load() != 1 {
+		t.Fatalf("syncs = %d, want 1", inner.syncs.Load())
+	}
+	if el := clock.Elapsed(); el >= time.Hour {
+		t.Fatalf("elapsed %v: batch waited out the window", el)
+	}
+}
+
+// TestGroupCommitSyncErrorFansOut checks that a failed physical sync is
+// reported to every committer in the batch, not just the one that
+// triggered the flush.
+func TestGroupCommitSyncErrorFansOut(t *testing.T) {
+	boom := errors.New("disk on fire")
+	clock := sim.NewVirtualClock()
+	inner := &countingSyncLog{Log: NewMemoryLog(), syncErr: boom}
+	g := NewGroupCommitLog(inner, GroupCommitConfig{
+		Window:   50 * time.Microsecond,
+		MaxBatch: 1 << 20,
+		Clock:    clock,
+	})
+	const K = 3
+	errs := make([]error, K)
+	grp := sim.NewGroup(clock)
+	for i := 0; i < K; i++ {
+		i := i
+		grp.Go(func() {
+			_ = clock.Sleep(context.Background(), time.Duration(i+1)*time.Microsecond)
+			errs[i] = g.Sync()
+		})
+	}
+	grp.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("committer %d: err = %v, want %v", i, err, boom)
+		}
+	}
+	if inner.syncs.Load() != 1 {
+		t.Fatalf("syncs = %d, want 1", inner.syncs.Load())
+	}
+}
+
+// TestGroupCommitCloseFlushesWaiters checks that Close releases queued
+// committers with a final flush instead of stranding them, and that Sync
+// after Close reports ErrClosed.
+func TestGroupCommitCloseFlushesWaiters(t *testing.T) {
+	inner := &countingSyncLog{Log: NewMemoryLog()}
+	g := NewGroupCommitLog(inner, GroupCommitConfig{
+		Window:   time.Hour, // the window never elapses; only Close can flush
+		MaxBatch: 1 << 20,
+	})
+	done := make(chan error, 1)
+	go func() { done <- g.Sync() }()
+	// Wait until the committer is actually queued before closing.
+	for {
+		g.mu.Lock()
+		n := len(g.waiters)
+		g.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("queued sync after close: %v", err)
+	}
+	if inner.syncs.Load() != 1 {
+		t.Fatalf("syncs = %d, want 1", inner.syncs.Load())
+	}
+	if err := g.Sync(); err != ErrClosed {
+		t.Fatalf("sync on closed log: %v, want ErrClosed", err)
+	}
+}
+
+// TestGroupCommitAppendPassThrough checks that the decorator leaves record
+// order and LSN assignment entirely to the inner log.
+func TestGroupCommitAppendPassThrough(t *testing.T) {
+	inner := NewMemoryLog()
+	g := NewGroupCommitLog(inner, GroupCommitConfig{})
+	if g.Inner() != Log(inner) {
+		t.Fatalf("Inner() is not the wrapped log")
+	}
+	for i := 1; i <= 3; i++ {
+		lsn, err := g.Append(Record{Type: RecBegin, TxnID: "T"})
+		if err != nil || lsn != uint64(i) {
+			t.Fatalf("append %d: lsn=%d err=%v", i, lsn, err)
+		}
+	}
+	recs, err := g.Records()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("records: n=%d err=%v", len(recs), err)
+	}
+}

@@ -118,10 +118,19 @@ type Log interface {
 	Close() error
 }
 
+// memSegmentSize is the record capacity of one MemoryLog segment. Segments
+// keep Append at a bounded allocation cost: a flat []Record doubles its
+// backing array as the log grows, and on a long run the allocator spends
+// more time zeroing and copying multi-megabyte slabs (and the GC rescanning
+// them) than the rest of the commit path combined. With fixed-size segments
+// nothing is ever copied and no allocation exceeds one segment.
+const memSegmentSize = 1024
+
 // MemoryLog is an in-memory Log used by simulations and tests.
 type MemoryLog struct {
 	mu      sync.Mutex
-	records []Record
+	segs    [][]Record // all but the last are exactly memSegmentSize long
+	count   int
 	nextLSN uint64
 	closed  bool
 }
@@ -141,7 +150,12 @@ func (l *MemoryLog) Append(rec Record) (uint64, error) {
 	}
 	rec.LSN = l.nextLSN
 	l.nextLSN++
-	l.records = append(l.records, rec)
+	if n := len(l.segs); n == 0 || len(l.segs[n-1]) == memSegmentSize {
+		l.segs = append(l.segs, make([]Record, 0, memSegmentSize))
+	}
+	last := len(l.segs) - 1
+	l.segs[last] = append(l.segs[last], rec)
+	l.count++
 	return rec.LSN, nil
 }
 
@@ -152,8 +166,10 @@ func (l *MemoryLog) Records() ([]Record, error) {
 	if l.closed {
 		return nil, ErrClosed
 	}
-	out := make([]Record, len(l.records))
-	copy(out, l.records)
+	out := make([]Record, 0, l.count)
+	for _, seg := range l.segs {
+		out = append(out, seg...)
+	}
 	return out, nil
 }
 
@@ -172,7 +188,7 @@ func (l *MemoryLog) Close() error {
 func (l *MemoryLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.records)
+	return l.count
 }
 
 // TxnStatus summarizes one transaction's fate as recorded in a log.

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -184,17 +185,30 @@ type Generator struct {
 	picker *keyPicker
 	sites  []string
 	n      int
+	// keys caches the Key strings for the configured keyspace and perm is
+	// the reusable site-permutation buffer: spec generation sits on the
+	// benchmark's critical path, and formatting every key name (and
+	// allocating a fresh permutation) per transaction shows up as a
+	// measurable share of the allocation profile.
+	keys []string
+	perm []int
 }
 
 // NewGenerator builds a generator over the given site names.
 func NewGenerator(cfg Config, sites []string) *Generator {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	keys := make([]string, cfg.KeysPerSite)
+	for i := range keys {
+		keys[i] = Key(i)
+	}
 	return &Generator{
 		cfg:    cfg,
 		rng:    rng,
 		picker: newKeyPicker(cfg, rng),
 		sites:  sites,
+		keys:   keys,
+		perm:   make([]int, len(sites)),
 	}
 }
 
@@ -204,13 +218,21 @@ func (g *Generator) Next() (coord.TxnSpec, string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.n++
-	id := fmt.Sprintf("w%d", g.n)
+	id := "w" + strconv.Itoa(g.n)
 
 	k := g.cfg.SitesPerTxn
 	if k > len(g.sites) {
 		k = len(g.sites)
 	}
-	perm := g.rng.Perm(len(g.sites))[:k]
+	// In-place Fisher-Yates with rand.Perm's exact draw sequence, so
+	// seeded workloads are unchanged while the permutation buffer is
+	// reused across calls.
+	for i := 0; i < len(g.sites); i++ {
+		j := g.rng.Intn(i + 1)
+		g.perm[i] = g.perm[j]
+		g.perm[j] = i
+	}
+	perm := g.perm[:k]
 
 	spec := coord.TxnSpec{
 		ID:       id,
@@ -221,7 +243,7 @@ func (g *Generator) Next() (coord.TxnSpec, string) {
 		ops := make([]proto.Operation, 0, g.cfg.OpsPerSite)
 		wrote := false
 		for j := 0; j < g.cfg.OpsPerSite; j++ {
-			key := Key(g.picker.pick())
+			key := g.keys[g.picker.pick()]
 			if g.rng.Float64() < g.cfg.ReadFrac {
 				ops = append(ops, proto.Read(key))
 			} else {
