@@ -106,6 +106,76 @@ func TestRunFormats(t *testing.T) {
 	}
 }
 
+// recoverySampleJSONL is a site crash/recover episode: T1 is exposed at
+// s0, the site crashes, restarts, replays its marks, rebuilds the exposed
+// entry, and re-runs the compensation after the ABORT lands.
+const recoverySampleJSONL = `{"t":1000000,"node":"s0","seq":1,"type":"exposed","txn":"T1","peer":"c0"}
+{"t":2000000,"node":"s0","seq":2,"type":"crash"}
+{"t":3000000,"node":"s0","seq":3,"type":"recover"}
+{"t":3100000,"node":"s0","seq":4,"type":"recover.marks","detail":"undone=1 lc=0"}
+{"t":3200000,"node":"s0","seq":5,"type":"recover.pending","txn":"T1","peer":"c0","detail":"exposed"}
+{"t":4000000,"node":"s1","seq":1,"type":"recover.pending","txn":"T2","peer":"c0","detail":"in-doubt"}
+{"t":5000000,"node":"s0","seq":6,"type":"recover.comp","txn":"T1"}
+`
+
+// TestRunRecoveryEvents pins that the tool recognizes and renders the
+// recovery/exposure events in both timeline and lanes formats, and that
+// they filter by name.
+func TestRunRecoveryEvents(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    []string
+		wantNot []string
+	}{
+		{
+			name: "timeline",
+			args: nil,
+			want: []string{
+				"exposed txn=T1 peer=c0",
+				"recover.marks", `"undone=1 lc=0"`,
+				"recover.pending txn=T1 peer=c0", `"exposed"`,
+				"recover.comp txn=T1",
+			},
+		},
+		{
+			name: "lanes place recovery in the site's column",
+			args: []string{"-format", "lanes"},
+			want: []string{"s0", "s1", "recover.comp txn=T1", "recover.pending txn=T2"},
+		},
+		{
+			name:    "type filter by recovery names",
+			args:    []string{"-type", "recover.pending,recover.comp"},
+			want:    []string{"recover.pending", "recover.comp"},
+			wantNot: []string{"recover.marks", "exposed txn=T1 peer=c0", "crash"},
+		},
+		{
+			name:    "exposed filters alone",
+			args:    []string{"-type", "exposed"},
+			want:    []string{"exposed txn=T1"},
+			wantNot: []string{"recover"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, strings.NewReader(recoverySampleJSONL), &out); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+			for _, not := range tc.wantNot {
+				if strings.Contains(out.String(), not) {
+					t.Errorf("output unexpectedly contains %q:\n%s", not, out.String())
+				}
+			}
+		})
+	}
+}
+
 // TestJSONLOutputReparses pins that filtered jsonl output is itself a
 // valid trace (the tool's output can be piped back into the tool).
 func TestJSONLOutputReparses(t *testing.T) {

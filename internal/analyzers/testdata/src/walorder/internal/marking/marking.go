@@ -1,0 +1,26 @@
+// Package marking is a miniature of the real internal/marking for the
+// walorder fixture: SiteMarks is the raw in-memory set, LoggedMarks the
+// WAL-backed decorator whose mutators log internally.
+package marking
+
+type SiteMarks struct {
+	undone map[string]bool
+}
+
+func (s *SiteMarks) MarkUndone(ti string) {}
+
+func (s *SiteMarks) Unmark(ti string) {}
+
+func (s *SiteMarks) Contains(ti string) bool { return s.undone[ti] }
+
+// LoggedMarks mirrors the real decorator: MarkUndone/Unmark append a
+// RecMark/RecUnmark record before touching the in-memory set.
+type LoggedMarks struct {
+	inner *SiteMarks
+}
+
+func (m *LoggedMarks) MarkUndone(ti string) error { return nil }
+
+func (m *LoggedMarks) Unmark(ti string) error { return nil }
+
+func (m *LoggedMarks) Contains(ti string) bool { return m.inner.Contains(ti) }

@@ -3,6 +3,7 @@
 package site
 
 import (
+	"walorder/internal/marking"
 	"walorder/internal/storage"
 	"walorder/internal/wal"
 )
@@ -10,6 +11,8 @@ import (
 type Site struct {
 	store *storage.Store
 	log   wal.Log
+	marks *marking.SiteMarks
+	lm    *marking.LoggedMarks
 }
 
 // seedBypass is the SeedInt64 class of bug: an unlogged store write.
@@ -88,4 +91,35 @@ func (s *Site) groupCommitAppend(k storage.Key, v storage.Value, g *wal.GroupCom
 func (s *Site) groupCommitSyncAlone(k storage.Key, v storage.Value, g *wal.GroupCommitLog) {
 	_ = g.Sync()
 	s.store.Put(k, v, "x") // want `storage\.Store\.Put is not dominated by a wal append`
+}
+
+// rawMark mutates the raw marking set with no append: the mark exists
+// only in memory and vanishes on crash recovery.
+func (s *Site) rawMark(ti string) {
+	s.marks.MarkUndone(ti) // want `marking\.SiteMarks\.MarkUndone is not dominated by a wal append`
+}
+
+// rawUnmark exercises the second mark mutator.
+func (s *Site) rawUnmark(ti string) {
+	s.marks.Unmark(ti) // want `marking\.SiteMarks\.Unmark is not dominated by a wal append`
+}
+
+// rawMarkLogged appends first, then mutates the raw set: clean, the
+// replay path in Recover works exactly like this.
+func (s *Site) rawMarkLogged(ti string) {
+	_, _ = s.log.Append(wal.Record{TxnID: ti})
+	s.marks.MarkUndone(ti)
+}
+
+// loggedMarks mutates through the decorator: its mutators append
+// internally, so they are clean and dominate later store mutations too.
+func (s *Site) loggedMarks(k storage.Key, v storage.Value, ti string) {
+	_ = s.lm.MarkUndone(ti)
+	s.store.Put(k, v, "x")
+	_ = s.lm.Unmark(ti)
+}
+
+// markReadsAreFree reads never need the log.
+func (s *Site) markReadsAreFree(ti string) bool {
+	return s.marks.Contains(ti) || s.lm.Contains(ti)
 }

@@ -43,6 +43,16 @@ var walorderAppends = map[string]bool{
 	"Recover": true, "WriteCheckpoint": true,
 }
 
+// walorderMarkMutators is the set of marking-set mutations that must obey
+// the same write-ahead discipline as store mutations: a mark that exists
+// only in memory vanishes on a crash, and the paper's marking protocols
+// rely on undone/lc marks surviving exactly as long as the log says they
+// do. Calls on the raw SiteMarks require a dominating append; calls on the
+// LoggedMarks decorator log internally and count as appends themselves.
+var walorderMarkMutators = map[string]bool{
+	"MarkUndone": true, "Unmark": true,
+}
+
 func runWalorder(pass *framework.Pass) error {
 	if !pathEndsWith(pass.Pkg.Path(), "internal/site") {
 		return nil
@@ -253,6 +263,23 @@ func (w *walWalker) call(call *ast.CallExpr, appended bool) bool {
 
 	if pathEndsWith(path, "internal/wal") && walorderAppends[name] {
 		return true
+	}
+	if pathEndsWith(path, "internal/marking") && walorderMarkMutators[name] {
+		if named := recvNamed(fn); named != nil {
+			switch named.Obj().Name() {
+			case "LoggedMarks":
+				// The decorator appends RecMark/RecUnmark before touching
+				// the in-memory set: it is itself a wal append.
+				return true
+			case "SiteMarks":
+				if !appended {
+					w.pass.Reportf(call.Pos(),
+						"marking.SiteMarks.%s is not dominated by a wal append in this function: "+
+							"an unlogged mark vanishes on crash recovery; "+
+							"mutate through marking.LoggedMarks or append a RecMark/RecUnmark record first", name)
+				}
+			}
+		}
 	}
 	if pathEndsWith(path, "internal/storage") && walorderMutators[name] {
 		if named := recvNamed(fn); named != nil && named.Obj().Name() == "Store" && !appended {

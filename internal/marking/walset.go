@@ -1,0 +1,89 @@
+package marking
+
+import "o2pc/internal/wal"
+
+// LoggedMarks is a WAL-backed decorator over SiteMarks: every mutation of
+// the marking set is logged write-ahead (RecMark/RecUnmark with the set's
+// label in Aux) before the in-memory set changes, so a restarted site can
+// rebuild sitemarks.k from its log. The paper stores the marking set "as
+// part of the database" precisely so it enjoys the database's recoverability
+// (Section 6.2); this decorator is that durability without moving the set
+// into the keyspace. The caller keeps the lock-on-system-key discipline —
+// LoggedMarks adds logging, not locking.
+type LoggedMarks struct {
+	inner *SiteMarks
+	log   wal.Log
+	set   string // wal.MarkSetUndone or wal.MarkSetLC
+}
+
+// NewLoggedMarks wraps inner so mutations are logged to log under the given
+// set label. A nil log disables logging (pure in-memory behavior).
+func NewLoggedMarks(inner *SiteMarks, log wal.Log, set string) *LoggedMarks {
+	return &LoggedMarks{inner: inner, log: log, set: set}
+}
+
+// Raw returns the underlying SiteMarks for read-side consumers.
+func (l *LoggedMarks) Raw() *SiteMarks { return l.inner }
+
+// MarkUndone logs a RecMark record and then marks ti in the in-memory set.
+// On a log failure the mark is still applied — an extra undone mark is
+// strictly conservative (it can only force retries or aborts, never admit a
+// regular cycle) — and the error is returned so the caller can retry the
+// logging.
+func (l *LoggedMarks) MarkUndone(ti string) error {
+	var err error
+	if l.log != nil {
+		_, err = l.log.Append(wal.Record{Type: wal.RecMark, TxnID: ti, Aux: l.set})
+	}
+	l.inner.MarkUndone(ti)
+	return err
+}
+
+// Unmark logs a RecUnmark record and then clears ti from the in-memory set.
+// On a log failure the in-memory set is left untouched: a stale mark is
+// safe (conservative), but clearing a mark that would resurface after a
+// crash would let the UDUM1 condition appear satisfied when the durable
+// state says otherwise.
+func (l *LoggedMarks) Unmark(ti string) error {
+	if l.log != nil {
+		if _, err := l.log.Append(wal.Record{Type: wal.RecUnmark, TxnID: ti, Aux: l.set}); err != nil {
+			return err
+		}
+	}
+	l.inner.Unmark(ti)
+	return nil
+}
+
+// Restore replaces the in-memory set with marks without logging — the
+// recovery replay hook. Witness state is volatile and cleared.
+func (l *LoggedMarks) Restore(marks map[string]bool) { l.inner.Restore(marks) }
+
+// Contains delegates to the underlying set.
+func (l *LoggedMarks) Contains(ti string) bool { return l.inner.Contains(ti) }
+
+// Snapshot delegates to the underlying set.
+func (l *LoggedMarks) Snapshot() []string { return l.inner.Snapshot() }
+
+// Len delegates to the underlying set.
+func (l *LoggedMarks) Len() int { return l.inner.Len() }
+
+// RecordWitness delegates to the underlying set; witness state is volatile
+// UDUM1 bookkeeping and deliberately not logged.
+func (l *LoggedMarks) RecordWitness(marks []string) { l.inner.RecordWitness(marks) }
+
+// DrainWitnesses delegates to the underlying set.
+func (l *LoggedMarks) DrainWitnesses() []string { return l.inner.DrainWitnesses() }
+
+// Restore replaces the mark set with marks and clears the (volatile)
+// witness state. Used by recovery to install the set replayed from the WAL.
+func (s *SiteMarks) Restore(marks map[string]bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.undone = make(map[string]bool, len(marks))
+	for ti, on := range marks {
+		if on {
+			s.undone[ti] = true
+		}
+	}
+	s.witnessed = make(map[string]bool)
+}

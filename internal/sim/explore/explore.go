@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -55,6 +56,15 @@ type Faults struct {
 	// PartitionSpan, then heal it.
 	PartitionCycles int
 	PartitionSpan   time.Duration
+	// SiteCrashCycles crash/recover sites this many times, rotating over
+	// the cluster; SiteCrashSpacing separates the cycles and
+	// SiteCrashDowntime is how long each site stays down. A crashed site
+	// loses all volatile state — pending subtransactions, marking sets,
+	// lock tables — and Recover rebuilds it from the WAL, so these cycles
+	// exercise exposure records, resumed inquiries and re-run compensation.
+	SiteCrashCycles   int
+	SiteCrashSpacing  time.Duration
+	SiteCrashDowntime time.Duration
 	// DoomRate is the probability that a transaction is doomed to a
 	// unilateral NO vote at one of its sites.
 	DoomRate float64
@@ -267,6 +277,21 @@ func Run(cfg Config) *Result {
 		})
 	}
 
+	// Recovery failures anywhere in the fault schedule are oracle-grade
+	// evidence (a site that cannot rebuild from its WAL is exactly the bug
+	// this matrix hunts), so they are collected and surfaced in the result
+	// rather than discarded.
+	var recMu sync.Mutex
+	var recoveryErrs []string
+	recordRecovery := func(what string, err error) {
+		if err == nil {
+			return
+		}
+		recMu.Lock()
+		recoveryErrs = append(recoveryErrs, fmt.Sprintf("%s: %v", what, err))
+		recMu.Unlock()
+	}
+
 	faults := sim.NewGroup(clock)
 	if n := cfg.Faults.CoordCrashCycles; n > 0 && cfg.Coordinators > 1 {
 		target := cfg.Coordinators - 1
@@ -287,7 +312,33 @@ func Run(cfg Config) *Result {
 				// Always bring it back, even on a dead context: the final
 				// recovery pass needs a live coordinator.
 				rctx, rcancel := clock.WithTimeout(context.Background(), time.Minute)
-				_ = cl.RecoverCoordinator(rctx, target)
+				recordRecovery(fmt.Sprintf("recover coordinator c%d (cycle %d)", target, i),
+					cl.RecoverCoordinator(rctx, target))
+				rcancel()
+			}
+		})
+	}
+	if n := cfg.Faults.SiteCrashCycles; n > 0 {
+		spacing, downtime := cfg.Faults.SiteCrashSpacing, cfg.Faults.SiteCrashDowntime
+		if spacing <= 0 {
+			spacing = 4 * time.Millisecond
+		}
+		if downtime <= 0 {
+			downtime = 3 * time.Millisecond
+		}
+		faults.Go(func() {
+			for i := 0; i < n; i++ {
+				if clock.Sleep(ctx, spacing) != nil {
+					return
+				}
+				target := i % cfg.Sites
+				cl.CrashSite(target)
+				_ = clock.Sleep(ctx, downtime)
+				// Always restart, even on a dead context: the oracles read
+				// every site's post-recovery state.
+				rctx, rcancel := clock.WithTimeout(context.Background(), time.Minute)
+				recordRecovery(fmt.Sprintf("recover site s%d (cycle %d)", target, i),
+					cl.RecoverSite(rctx, target))
 				rcancel()
 			}
 		})
@@ -319,7 +370,8 @@ func Run(cfg Config) *Result {
 	// doubt, no mark is left waiting on an undelivered decision.
 	for i := 0; i < cfg.Coordinators; i++ {
 		rctx, rcancel := clock.WithTimeout(context.Background(), 2*time.Minute)
-		_ = cl.RecoverCoordinator(rctx, i)
+		recordRecovery(fmt.Sprintf("final recovery pass, coordinator c%d", i),
+			cl.RecoverCoordinator(rctx, i))
 		rcancel()
 	}
 
@@ -329,6 +381,11 @@ func Run(cfg Config) *Result {
 		Aborted:   int(aborted.Load()),
 		Expected:  int64(cfg.Sites*cfg.Accounts) * cfg.InitialBalance,
 	}
+	recMu.Lock()
+	for _, e := range recoveryErrs {
+		res.fail("recovery error: %s", e)
+	}
+	recMu.Unlock()
 
 	qctx, qcancel := clock.WithTimeout(context.Background(), 2*time.Minute)
 	qerr := cl.Quiesce(qctx)
@@ -462,6 +519,11 @@ func shrinkCandidates(c Config) []Config {
 	if c.Faults.CoordCrashCycles > 0 {
 		d := c
 		d.Faults.CoordCrashCycles = 0
+		out = append(out, d)
+	}
+	if c.Faults.SiteCrashCycles > 0 {
+		d := c
+		d.Faults.SiteCrashCycles = 0
 		out = append(out, d)
 	}
 	if c.Faults.DoomRate > 0 {

@@ -32,11 +32,13 @@ func matrix() []struct {
 		{"drops", Config{Marking: proto.MarkP2, Faults: Faults{DropProb: 0.05}}},
 		{"doom", Config{Marking: proto.MarkSimple, Faults: Faults{DoomRate: 0.3}}},
 		{"coord-crash", Config{Marking: proto.MarkP1, Faults: Faults{CoordCrashCycles: 3}}},
+		{"site-crash", Config{Marking: proto.MarkP1, Faults: Faults{SiteCrashCycles: 2}}},
 		{"partition", Config{Marking: proto.MarkP1, Faults: Faults{PartitionCycles: 2}}},
 		{"everything", Config{Marking: proto.MarkP1, Faults: Faults{
 			DropProb:         0.03,
 			DoomRate:         0.15,
 			CoordCrashCycles: 2,
+			SiteCrashCycles:  2,
 			PartitionCycles:  1,
 		}}},
 	}
@@ -284,5 +286,55 @@ func TestExplorerTraceGoldenGroupCommit(t *testing.T) {
 	}
 	if !bytes.Equal(ah, bh) {
 		t.Error("histories diverge for identical seed with group commit enabled")
+	}
+}
+
+// TestExplorerTraceGoldenSiteCrash is the determinism contract over a
+// schedule that includes site crash/recover cycles: two runs of the same
+// seed must serialize byte-identical JSONL event logs, recovery events
+// (recover.pending, recover.marks, resumed compensation) included. This
+// is what lets a failing site-crash seed be replayed and shrunk.
+func TestExplorerTraceGoldenSiteCrash(t *testing.T) {
+	cfg := Config{
+		Seed:    11,
+		Marking: proto.MarkP1,
+		Faults: Faults{
+			DropProb:        0.03,
+			SiteCrashCycles: 2,
+		},
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Failed() {
+		report(t, a)
+	}
+	aj, err := EventsJSONL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := EventsJSONL(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(aj, []byte(`"recover"`)) {
+		t.Error("no site recovery event in trace: crash cycles never engaged")
+	}
+	if !bytes.Equal(aj, bj) {
+		i := 0
+		for i < len(aj) && i < len(bj) && aj[i] == bj[i] {
+			i++
+		}
+		t.Errorf("trace JSONL diverges at byte %d with site crashes enabled", i)
+	}
+	ah, err := CanonicalJSON(a.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := CanonicalJSON(b.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ah, bh) {
+		t.Error("histories diverge for identical seed with site crashes enabled")
 	}
 }

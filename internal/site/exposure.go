@@ -1,0 +1,42 @@
+package site
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"o2pc/internal/proto"
+)
+
+// exposure is the Aux payload of a RecExposed record: everything a
+// restarted site needs to resume an exposed-but-undecided subtransaction
+// from its WAL alone — the coordinator to direct the decision inquiry at,
+// and the original request, whose operation list drives the semantic
+// compensation plan on an ABORT decision (re-deriving a plan from
+// before-images would erase interleaved committed updates; the paper's
+// semantic atomicity demands the inverse operations instead).
+//
+// The payload is JSON so the wal package stays protocol-agnostic: it frames
+// Aux as an opaque string and only this package interprets it.
+type exposure struct {
+	Coord string            `json:"coord"`
+	Req   proto.ExecRequest `json:"req"`
+}
+
+// encodeExposure serializes e for the RecExposed Aux field.
+func encodeExposure(e exposure) string {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// ExecRequest is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("site: encoding exposure for %s: %v", e.Req.TxnID, err))
+	}
+	return string(b)
+}
+
+// decodeExposure parses a RecExposed Aux payload.
+func decodeExposure(aux string) (exposure, error) {
+	var e exposure
+	if err := json.Unmarshal([]byte(aux), &e); err != nil {
+		return exposure{}, fmt.Errorf("site: decoding exposure record: %w", err)
+	}
+	return e, nil
+}

@@ -3,7 +3,11 @@ package site
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strconv"
+	"time"
 
+	"o2pc/internal/history"
 	"o2pc/internal/lock"
 	"o2pc/internal/proto"
 	"o2pc/internal/storage"
@@ -90,17 +94,44 @@ func (s *Site) SeedInt64(key storage.Key, v int64) {
 }
 
 // Recover rebuilds the site's volatile state from its WAL after a crash:
-// the store is reconstructed, loser transactions are rolled back, and
-// in-doubt (prepared, undecided) transactions re-acquire exclusive locks on
-// their written keys and resume the decision inquiry — the participant
-// stays blocked exactly as the 2PC protocol requires.
+// the store is reconstructed, loser transactions are rolled back, the
+// marking sets are replayed from their RecMark/RecUnmark records, in-doubt
+// (prepared, undecided) transactions re-acquire exclusive locks on their
+// written keys and resume the decision inquiry — the participant stays
+// blocked exactly as the 2PC protocol requires — and exposed-but-undecided
+// subtransactions (RecExposed without a decision) re-enter the pending
+// table lock-free and resume their inquiry too, which is the window O2PC
+// opens: the restarted site can still honour an eventual ABORT by
+// compensation, driven entirely by its own log. A compensation the crash
+// interrupted (RecCompBegin without RecCompEnd, or an ABORT decision the
+// crash preempted) is re-run before the site reopens.
 func (s *Site) Recover(ctx context.Context) (wal.RecoverResult, error) {
 	s.tracer.Emit(s.cfg.Name, trace.EvRecover, "", "", "")
+
+	// Drain handlers that were mid-flight when the crash hit: a real crash
+	// kills the process's threads, and by restart time they are gone. The
+	// in-process analogue is waiting for them to return (they observe the
+	// crashed flag at their next fence and cannot install new state).
+	for {
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if err := s.clock.Sleep(ctx, 200*time.Microsecond); err != nil {
+			return wal.RecoverResult{}, err
+		}
+	}
+
+	// Volatile state is lost: pending and resolved tables, the in-memory
+	// marking sets, and the kernel's live transactions with their locks.
 	s.mu.Lock()
 	s.pend = make(map[string]*pending)
-	s.crashed = false
+	s.resolved = make(map[string]bool)
 	s.mu.Unlock()
 	s.stats.PendingGlobal.Set(0)
+	s.mgr.CrashReset()
 
 	store := storage.NewStore()
 	res, err := wal.Recover(store, s.mgr.Log())
@@ -113,18 +144,51 @@ func (s *Site) Recover(ctx context.Context) (wal.RecoverResult, error) {
 	if err != nil {
 		return res, err
 	}
-	analysis := wal.Analyze(records)
+	// Analyze the records recovery replays: carried checkpoint state plus
+	// the tail (image records of the checkpoint itself carry no protocol
+	// state).
+	replay := wal.Replay(records)
+	analysis := wal.Analyze(replay)
 	coords := make(map[string]string)
-	for _, rec := range records {
+	for _, rec := range replay {
 		if rec.Type == wal.RecPrepared {
 			coords[rec.TxnID] = rec.Aux
 		}
 	}
+
+	// The resolved table fences stale subtransactions; rebuild it from the
+	// logged decisions.
+	s.mu.Lock()
+	for txnID := range analysis.Decisions {
+		s.resolved[txnID] = true
+	}
+	s.mu.Unlock()
+
+	// Marking sets: replay the RecMark/RecUnmark history. Witness state is
+	// volatile UDUM1 bookkeeping and restarts empty (the marks it would
+	// have reported are still present and will be witnessed again).
+	s.marks.Restore(analysis.Marks[wal.MarkSetUndone])
+	s.lc.Restore(analysis.Marks[wal.MarkSetLC])
+	s.tracer.Emit(s.cfg.Name, trace.EvRecoverMarks, "", "",
+		"undone="+strconv.Itoa(s.marks.Len())+" lc="+strconv.Itoa(s.lc.Len()))
+
+	// Loser transactions (began, no terminal record) were undone by the
+	// store rebuild; void their recorded operations so the history shows
+	// the committed projection — exactly what rollbackUnexposed does for a
+	// live unexposed roll-back. Compensating transactions are excluded:
+	// interrupted compensation re-runs below and re-records.
+	if rec := s.cfg.Recorder; rec != nil {
+		for _, txnID := range sortedActives(analysis) {
+			rec.VoidSiteOps(s.cfg.Name, txnID)
+		}
+	}
+
 	// In-doubt transactions can only arise under 2PC (or O2PC real-action
 	// subtransactions): O2PC participants never enter the prepared-and-
 	// waiting state, which is the entire point of the protocol. Each one
 	// re-acquires exclusive locks on its write set and resumes the
 	// decision inquiry — the participant is blocked again, as 2PC demands.
+	sort.Strings(res.InDoubt)
 	for _, txnID := range res.InDoubt {
 		p := &pending{
 			req:     proto.ExecRequest{TxnID: txnID, Protocol: proto.TwoPC},
@@ -141,7 +205,103 @@ func (s *Site) Recover(ctx context.Context) (wal.RecoverResult, error) {
 		s.pend[txnID] = p
 		s.mu.Unlock()
 		s.stats.PendingGlobal.Inc()
-		s.armResolver()
+		s.stats.RecoveredInDoubt.Inc()
+		s.tracer.Emit(s.cfg.Name, trace.EvRecoverPending, txnID, p.coord, "in-doubt")
+	}
+
+	// Exposed subtransactions: locally committed and lock-free before the
+	// crash. Undecided ones re-enter the pending table (still lock-free)
+	// and resume the inquiry; ones whose ABORT decision was logged but not
+	// fully compensated re-run the compensating subtransaction now.
+	var resumeComp []*pending
+	for _, txnID := range sortedExposed(analysis) {
+		info, err := decodeExposure(analysis.Exposed[txnID])
+		if err != nil {
+			return res, fmt.Errorf("site %s: recovering %s: %w", s.cfg.Name, txnID, err)
+		}
+		p := &pending{
+			req:     info.Req,
+			state:   stateLocallyCommitted,
+			coord:   info.Coord,
+			updates: analysis.Updates[txnID],
+		}
+		if analysis.Decisions[txnID] == "abort" {
+			p.decided = true
+			resumeComp = append(resumeComp, p)
+		} else {
+			s.mu.Lock()
+			s.pend[txnID] = p
+			s.mu.Unlock()
+			s.stats.PendingGlobal.Inc()
+			s.stats.RecoveredExposed.Inc()
+			s.tracer.Emit(s.cfg.Name, trace.EvRecoverPending, txnID, p.coord, "exposed")
+		}
+	}
+
+	// Reopen for traffic before re-running interrupted compensations: they
+	// acquire data locks like any compensating transaction, and marking
+	// keeps concurrent readers safe exactly as it does outside recovery.
+	// The fresh epoch scopes the new up period's background work (the
+	// crash cancelled the previous one).
+	s.mu.Lock()
+	s.epoch, s.epochCancel = context.WithCancel(context.Background())
+	s.crashed = false
+	s.mu.Unlock()
+	s.stats.Recoveries.Inc()
+	s.armResolver()
+
+	for _, p := range resumeComp {
+		s.stats.ResumedCompensations.Inc()
+		s.tracer.Emit(s.cfg.Name, trace.EvRecoverComp, p.req.TxnID, "", "")
+		if rec := s.cfg.Recorder; rec != nil {
+			rec.SetFate(p.req.TxnID, history.FateAborted)
+		}
+		s.compensateExposed(ctx, p)
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 	}
 	return res, nil
+}
+
+// sortedActives lists the still-active (loser) non-compensating
+// transactions of an analysis in sorted order, for deterministic replay.
+func sortedActives(a wal.Analysis) []string {
+	var out []string
+	for txnID, st := range a.Status {
+		if st != wal.StatusActive {
+			continue
+		}
+		if _, isCT := a.CompForward[txnID]; isCT {
+			continue
+		}
+		out = append(out, txnID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedExposed lists, in sorted order, the exposed subtransactions that
+// actually locally committed (the exposure record lands just before the
+// commit record; if the commit failed the vote handler rolled the
+// subtransaction back and the exposure is void) and still need attention:
+// either undecided, or abort-decided with the compensation incomplete.
+func sortedExposed(a wal.Analysis) []string {
+	var out []string
+	for txnID := range a.Exposed {
+		if a.Status[txnID] != wal.StatusCommitted {
+			continue
+		}
+		switch a.Decisions[txnID] {
+		case "commit":
+			continue
+		case "abort":
+			if a.CompensationComplete(txnID) {
+				continue
+			}
+		}
+		out = append(out, txnID)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -142,6 +142,17 @@ type Stats struct {
 	Rollbacks      *metrics.Counter
 	LocalTxns      *metrics.Counter
 	RevalidateFail *metrics.Counter
+	// Recoveries counts completed Recover runs (site restarts).
+	Recoveries *metrics.Counter
+	// RecoveredInDoubt counts prepared-undecided subtransactions rebuilt
+	// from the WAL by Recover (the 2PC blocking window).
+	RecoveredInDoubt *metrics.Counter
+	// RecoveredExposed counts exposed-undecided subtransactions rebuilt
+	// from RecExposed records by Recover (the O2PC window).
+	RecoveredExposed *metrics.Counter
+	// ResumedCompensations counts compensating transactions re-run by
+	// Recover after a crash interrupted them (or preempted their start).
+	ResumedCompensations *metrics.Counter
 	// PendingGlobal gauges the global subtransactions currently tracked
 	// at this site (executed / prepared / locally committed, undecided).
 	PendingGlobal *metrics.Gauge
@@ -159,9 +170,13 @@ func newStats() *Stats {
 		Aborts:         &metrics.Counter{},
 		Compensations:  &metrics.Counter{},
 		Rollbacks:      &metrics.Counter{},
-		LocalTxns:      &metrics.Counter{},
-		RevalidateFail: &metrics.Counter{},
-		PendingGlobal:  &metrics.Gauge{},
+		LocalTxns:            &metrics.Counter{},
+		RevalidateFail:       &metrics.Counter{},
+		Recoveries:           &metrics.Counter{},
+		RecoveredInDoubt:     &metrics.Counter{},
+		RecoveredExposed:     &metrics.Counter{},
+		ResumedCompensations: &metrics.Counter{},
+		PendingGlobal:        &metrics.Gauge{},
 	}
 }
 
@@ -180,6 +195,10 @@ func (s *Stats) Publish(reg *metrics.Registry, prefix string) {
 	reg.Adopt(prefix+"rollbacks_total", s.Rollbacks)
 	reg.Adopt(prefix+"local_txns_total", s.LocalTxns)
 	reg.Adopt(prefix+"revalidate_fail_total", s.RevalidateFail)
+	reg.Adopt(prefix+"recoveries_total", s.Recoveries)
+	reg.Adopt(prefix+"recovered_in_doubt_total", s.RecoveredInDoubt)
+	reg.Adopt(prefix+"recovered_exposed_total", s.RecoveredExposed)
+	reg.Adopt(prefix+"resumed_compensations_total", s.ResumedCompensations)
 	reg.Adopt(prefix+"pending_global_txns", s.PendingGlobal)
 }
 
@@ -215,8 +234,8 @@ type Site struct {
 	cfg    Config
 	clock  sim.Clock
 	mgr    *txn.Manager
-	marks  *marking.SiteMarks // undone marks (P1 / Simple)
-	lc     *marking.SiteMarks // locally-committed marks (P2 / Simple)
+	marks  *marking.LoggedMarks // undone marks (P1 / Simple), WAL-backed
+	lc     *marking.LoggedMarks // locally-committed marks (P2 / Simple), WAL-backed
 	stats  *Stats
 	tracer *trace.Tracer
 	group  *wal.GroupCommitLog // non-nil when WALGroupCommit is on
@@ -230,7 +249,18 @@ type Site struct {
 	localSeq   uint64
 	sysSeq     uint64
 	crashed    bool
+	inflight   int  // protocol handlers currently running (drained by Recover)
 	resolverOn bool // the site-wide decision-inquiry scanner is running
+
+	// epoch is cancelled by a crash and replaced on restart: it scopes work
+	// that must survive the triggering request but not the process — the
+	// compensation retry loop, background mark maintenance. A real crash
+	// kills those threads outright; cancelling the epoch is the in-process
+	// analogue, and it is what lets Recover's handler drain terminate when
+	// a handler is parked in a retry loop (its lock holder may be waiting
+	// for a decision that cannot arrive while the site is closed).
+	epoch       context.Context
+	epochCancel context.CancelFunc
 }
 
 // NewSite assembles a site over a fresh store and lock manager.
@@ -285,12 +315,19 @@ func NewSite(cfg Config) *Site {
 		return 0
 	})
 	mgr := txn.NewManager(cfg.Name, store, locks, log, cfg.Recorder)
+	epoch, epochCancel := context.WithCancel(context.Background())
 	return &Site{
-		cfg:      cfg,
-		clock:    clock,
-		mgr:      mgr,
-		marks:    marking.NewSiteMarks(),
-		lc:       marking.NewSiteMarks(),
+		epoch:       epoch,
+		epochCancel: epochCancel,
+		cfg:   cfg,
+		clock: clock,
+		mgr:   mgr,
+		// Marking sets are WAL-backed: every mutation logs a RecMark or
+		// RecUnmark record write-ahead through the same (traced, possibly
+		// group-committed) log as the store, so sitemarks.k survives a
+		// site crash like the rest of the database (Section 6.2).
+		marks:    marking.NewLoggedMarks(marking.NewSiteMarks(), log, wal.MarkSetUndone),
+		lc:       marking.NewLoggedMarks(marking.NewSiteMarks(), log, wal.MarkSetLC),
 		stats:    newStats(),
 		tracer:   cfg.Tracer,
 		group:    group,
@@ -310,11 +347,11 @@ func (s *Site) Name() string { return s.cfg.Name }
 func (s *Site) Manager() *txn.Manager { return s.mgr }
 
 // Marks exposes the undone-mark set (tests, Figure 2 audits).
-func (s *Site) Marks() *marking.SiteMarks { return s.marks }
+func (s *Site) Marks() *marking.SiteMarks { return s.marks.Raw() }
 
 // LCMarks exposes the locally-committed-mark set used by protocol P2 and
 // the simple protocol.
-func (s *Site) LCMarks() *marking.SiteMarks { return s.lc }
+func (s *Site) LCMarks() *marking.SiteMarks { return s.lc.Raw() }
 
 // Stats returns the site's counters.
 func (s *Site) Stats() *Stats { return s.stats }
@@ -339,23 +376,50 @@ func (s *Site) SetVoteAbortInjector(f func(txnID string) bool) {
 func (s *Site) SetCrashed(crashed bool) {
 	s.mu.Lock()
 	s.crashed = crashed
+	cancel := s.epochCancel
+	if !crashed && s.epoch.Err() != nil {
+		// Un-crashing without Recover (tests): open a fresh epoch so
+		// epoch-scoped work is not stillborn.
+		s.epoch, s.epochCancel = context.WithCancel(context.Background())
+	}
 	s.mu.Unlock()
 	if crashed {
+		// Kill the up period's background work: a crash takes the
+		// process's threads with it, and handlers blocked in retry loops
+		// must unwind so Recover's drain can complete.
+		cancel()
 		s.tracer.Emit(s.cfg.Name, trace.EvCrash, "", "", "")
 	}
+}
+
+// upCtx returns the context scoping work to the site's current up period.
+// It is cancelled by SetCrashed(true) and replaced when the site reopens.
+func (s *Site) upCtx() context.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // ErrCrashed is returned by handlers while the site is crashed.
 var ErrCrashed = errors.New("site: crashed")
 
 // Handle implements rpc.Handler: the site's protocol message dispatcher.
+// Handlers register as in-flight so Recover can wait for them to drain —
+// the in-process analogue of "the crashed process's threads are gone by the
+// time the site restarts".
 func (s *Site) Handle(ctx context.Context, from string, req any) (any, error) {
 	s.mu.Lock()
-	crashed := s.crashed
-	s.mu.Unlock()
-	if crashed {
+	if s.crashed {
+		s.mu.Unlock()
 		return nil, ErrCrashed
 	}
+	s.inflight++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inflight--
+		s.mu.Unlock()
+	}()
 	switch m := req.(type) {
 	case proto.ExecRequest:
 		return s.handleExec(ctx, m), nil
@@ -602,7 +666,9 @@ func (s *Site) rollbackAsCompensation(ctx context.Context, t *txn.Txn, mark prot
 	s.tracer.Emit(s.cfg.Name, trace.EvCompBegin, t.ID(), "", "rollback as "+ctID)
 	hadWrites := len(t.WriteSet()) > 0
 	if mark != proto.MarkNone && hadWrites {
-		s.marks.MarkUndone(t.ID())
+		// A log failure leaves the mark applied in memory (conservative);
+		// the Abort append below would surface the same broken log.
+		_ = s.marks.MarkUndone(t.ID())
 	}
 	_ = t.Abort(ctID)
 	s.stats.Rollbacks.Inc()
@@ -637,36 +703,45 @@ func (s *Site) rollbackUnexposed(t *txn.Txn) {
 // for may themselves be waiting for this very handler's decision) — and a
 // failed attempt retries in the background: mark maintenance is idempotent
 // and safe at any later time.
-func (s *Site) writeMark(ctx context.Context, forward string, add bool, set *marking.SiteMarks) {
+func (s *Site) writeMark(ctx context.Context, forward string, add bool, set *marking.LoggedMarks) {
 	if s.tryWriteMark(ctx, forward, add, set) {
 		return
 	}
+	// Retries are scoped to the current up period: a crash kills them (a
+	// real crash takes the threads), and Recover's WAL replay restores the
+	// authoritative mark state they would otherwise race.
+	ep := s.upCtx()
 	s.clock.Go(func() {
 		// The short sleep parks the fresh goroutine on its own timer
 		// before it touches the lock manager, so the spawning handler
 		// finishes its (virtually instantaneous) work alone rather than
 		// racing the retry for queue positions.
-		for {
-			_ = s.clock.Sleep(context.Background(), time.Microsecond)
-			if s.tryWriteMark(context.Background(), forward, add, set) {
+		for ep.Err() == nil {
+			if s.clock.Sleep(ep, time.Microsecond) != nil {
+				return
+			}
+			if s.tryWriteMark(ep, forward, add, set) {
 				return
 			}
 		}
 	})
 }
 
-func (s *Site) tryWriteMark(ctx context.Context, forward string, add bool, set *marking.SiteMarks) bool {
+func (s *Site) tryWriteMark(ctx context.Context, forward string, add bool, set *marking.LoggedMarks) bool {
 	sys := s.nextSysID()
 	if err := s.mgr.Locks().AcquireBounded(ctx, sys, MarkKey, lock.Exclusive); err != nil {
 		return false
 	}
+	var err error
 	if add {
-		set.MarkUndone(forward)
+		err = set.MarkUndone(forward)
 	} else {
-		set.Unmark(forward)
+		err = set.Unmark(forward)
 	}
 	s.mgr.Locks().ReleaseAll(sys)
-	return true
+	// A failed log append reports false so the background loop retries the
+	// (idempotent) mark maintenance until the record lands.
+	return err == nil
 }
 
 // lockPending takes p.mu on behalf of a protocol handler. The holder may be

@@ -46,6 +46,15 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 		return proto.VoteReply{Commit: false, Reason: "transaction already decided", Witnesses: witnesses}
 	}
 	p.coord = from
+	if p.t == nil {
+		// A pending entry rebuilt by Recover has no live transaction: its
+		// vote already happened in a previous incarnation, so a duplicate
+		// VOTE-REQ (delayed in the network across the crash) answers NO
+		// without touching anything — the resolver is already inquiring.
+		s.stats.VotesNo.Inc()
+		s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "recovered entry")
+		return proto.VoteReply{Commit: false, Reason: "subtransaction recovered from WAL; awaiting decision", Witnesses: witnesses}
+	}
 
 	// Site autonomy: the site may abort any subtransaction before it
 	// terminates (vote-abort injection models a local decision to do so).
@@ -67,7 +76,11 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "marking-set lock")
 			return proto.VoteReply{Commit: false, Reason: "marking-set lock: " + err.Error(), Witnesses: witnesses}
 		}
-		s.lc.MarkUndone(p.req.TxnID)
+		if err := s.lc.MarkUndone(p.req.TxnID); err != nil {
+			s.voteNo(ctx, p)
+			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "marking-set log")
+			return proto.VoteReply{Commit: false, Reason: "marking-set log: " + err.Error(), Witnesses: witnesses}
+		}
 	}
 
 	// Read-only participant optimization: nothing to commit, nothing to
@@ -108,14 +121,27 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 		// O2PC: locally commit durably and release everything now. The
 		// durable sync before the release is Theorem 2's write-ahead point:
 		// the exposure record must survive a crash once other transactions
-		// can read the exposed state.
+		// can read the exposed state. The RecExposed record lands before the
+		// commit record so the CommitDurable sync covers both: a restarted
+		// site finds everything it needs — the coordinator to ask, the
+		// operations to compensate — in its own log.
 		p.updates = p.t.Updates()
+		if _, err := s.mgr.Log().Append(wal.Record{
+			Type:  wal.RecExposed,
+			TxnID: p.req.TxnID,
+			Aux:   encodeExposure(exposure{Coord: from, Req: p.req}),
+		}); err != nil {
+			s.voteNo(ctx, p)
+			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "exposure log failed")
+			return proto.VoteReply{Commit: false, Reason: err.Error(), Witnesses: witnesses}
+		}
 		if err := p.t.CommitDurable(); err != nil {
 			s.voteNo(ctx, p)
 			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "local commit failed")
 			return proto.VoteReply{Commit: false, Reason: err.Error(), Witnesses: witnesses}
 		}
 		p.state = stateLocallyCommitted
+		s.tracer.Emit(s.cfg.Name, trace.EvExposed, req.TxnID, from, "")
 		s.tracer.Emit(s.cfg.Name, trace.EvLocalCommit, req.TxnID, "", "")
 		s.tracer.Emit(s.cfg.Name, trace.EvLockRelease, req.TxnID, "", "")
 		// The site still carries on with the second phase of the protocol
@@ -159,6 +185,15 @@ func (s *Site) drainWitnesses() []proto.WitnessDelta {
 // WAL failure surfaces as an error (no ack), so the coordinator keeps
 // retrying rather than treating the decision as applied.
 func (s *Site) handleDecision(ctx context.Context, d proto.Decision) (proto.Ack, error) {
+	// The resolver loop calls in directly (not through Handle), so a crashed
+	// site must refuse here too: volatile state mutated "while down" would
+	// not survive the Recover replay.
+	s.mu.Lock()
+	crashed := s.crashed
+	s.mu.Unlock()
+	if crashed {
+		return proto.Ack{}, ErrCrashed
+	}
 	s.tracer.Emit(s.cfg.Name, trace.EvDecisionRecv, d.TxnID, "", decisionAux(d.Commit))
 	for _, ti := range d.Unmarks {
 		s.writeMark(ctx, ti, false, s.marks)
@@ -265,9 +300,16 @@ func (s *Site) applyAbort(ctx context.Context, p *pending) {
 	switch p.state {
 	case statePrepared, stateExecuted:
 		if p.t == nil {
-			// Recovered in-doubt transaction: undo from the log.
+			// Recovered in-doubt transaction: undo from the log. The ABORT
+			// record follows the restore and precedes the lock release —
+			// Txn.Abort's ordering — so a later crash replays this undo at
+			// its position in the log, before any later writer of the same
+			// keys. (A failed append leaves a log that the next Sync-ing
+			// committer will surface; the undo itself is already justified
+			// by the logged before-images.)
 			ctID := compensate.CTID(p.req.TxnID)
 			wal.ApplyUndo(s.mgr.Store(), p.updates, ctID)
+			_, _ = s.mgr.Log().Append(wal.Record{Type: wal.RecAbort, TxnID: p.req.TxnID, Aux: ctID})
 			s.mgr.Locks().ReleaseAll(p.req.TxnID)
 			s.stats.Rollbacks.Inc()
 			break
@@ -286,7 +328,12 @@ func (s *Site) applyAbort(ctx context.Context, p *pending) {
 		// mark applies.
 		s.rollbackAsCompensation(ctx, p.t, p.req.Marking)
 	case stateLocallyCommitted:
-		s.compensateExposed(ctx, p)
+		// Epoch scope, not the delivery context: compensation is the
+		// site's own obligation once the abort decision is logged — it
+		// must outlive the triggering request, and it must die with the
+		// up period (a crash mid-retry unwinds here; Recover re-runs the
+		// compensation from the WAL).
+		s.compensateExposed(s.upCtx(), p)
 	}
 }
 
@@ -317,8 +364,7 @@ func (s *Site) compensateExposed(ctx context.Context, p *pending) {
 			if err := s.mgr.Locks().Acquire(fctx, t.ID(), MarkKey, lock.Exclusive); err != nil {
 				return err
 			}
-			s.marks.MarkUndone(p.req.TxnID)
-			return nil
+			return s.marks.MarkUndone(p.req.TxnID)
 		}
 	}
 	if err := compensate.Run(ctx, s.mgr, forward, plan, opts); err != nil {
@@ -359,10 +405,19 @@ func (s *Site) armResolver() {
 // resolverLoop periodically scans the pending table for voted, undecided
 // transactions and inquires about each. Targets are visited in transaction
 // ID order so virtual-time runs stay deterministic. The loop exits (and
-// disarms) when a scan finds nothing to resolve; the next vote re-arms it.
+// disarms) when a scan finds nothing to resolve, or when the site crashes
+// (the crash kills the process's threads; Recover re-arms the inquiry for
+// the entries it rebuilds); the next vote or recovery re-arms it.
 func (s *Site) resolverLoop() {
 	for {
 		_ = s.clock.Sleep(context.Background(), s.cfg.ResolvePeriod)
+		s.mu.Lock()
+		if s.crashed {
+			s.resolverOn = false
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
 		targets := s.resolveTargets()
 		if targets == nil {
 			return

@@ -66,6 +66,10 @@ const (
 	EvMsgDrop
 	EvCrash
 	EvRecover
+	EvExposed
+	EvRecoverPending
+	EvRecoverComp
+	EvRecoverMarks
 
 	numEventTypes // sentinel; keep last
 )
@@ -103,6 +107,10 @@ var eventTypeNames = [numEventTypes]string{
 	EvMsgDrop:         "msg.drop",
 	EvCrash:           "crash",
 	EvRecover:         "recover",
+	EvExposed:         "exposed",
+	EvRecoverPending:  "recover.pending",
+	EvRecoverComp:     "recover.comp",
+	EvRecoverMarks:    "recover.marks",
 }
 
 // eventTypeByName is the inverse of eventTypeNames, for JSONL decoding.

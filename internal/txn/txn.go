@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"o2pc/internal/history"
@@ -163,6 +164,26 @@ func (m *Manager) ActiveCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.active)
+}
+
+// CrashReset discards every live transaction and releases its locks,
+// modeling the loss of volatile state on a site crash: a real restart has
+// no in-memory transaction table and an empty lock manager, and recovery
+// rebuilds both from the log. Nothing is logged — the abandoned
+// transactions have no terminal record, which is exactly what makes
+// recovery treat them as losers.
+func (m *Manager) CrashReset() {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.active))
+	for id := range m.active {
+		ids = append(ids, id)
+	}
+	m.active = make(map[string]*Txn)
+	m.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		m.locks.ReleaseAll(id)
+	}
 }
 
 func (m *Manager) finish(id string) {

@@ -161,3 +161,139 @@ func TestCompactShrinksFileLog(t *testing.T) {
 		t.Fatalf("append after compact: lsn=%d err=%v", lsn, err)
 	}
 }
+
+// TestCheckpointRetainsExposedUndecided is the checkpoint x exposure
+// contract: a checkpoint taken while a subtransaction is exposed but
+// undecided must retain enough log — exposure payload, before-images,
+// marking state — for the restarted site to resume the inquiry and
+// compensate on an eventual ABORT.
+func TestCheckpointRetainsExposedUndecided(t *testing.T) {
+	l := NewMemoryLog()
+	store := storage.NewStore()
+
+	// T1 is an O2PC subtransaction: exposure logged ahead of the local
+	// commit, no global decision yet; its lc mark is set (P2-style).
+	appendAll(t, l,
+		Record{Type: RecBegin, TxnID: "T1"},
+		upd("T1", "bal", "100", "90", true),
+		Record{Type: RecExposed, TxnID: "T1", Aux: `{"coord":"c0"}`},
+		Record{Type: RecCommit, TxnID: "T1"},
+		Record{Type: RecMark, TxnID: "T1", Aux: MarkSetLC},
+	)
+	store.Put("bal", storage.Value("90"), "T1")
+	if _, err := WriteCheckpoint(l, store); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Restart: the store comes back with the exposed commit applied...
+	fresh := storage.NewStore()
+	if _, err := Recover(fresh, l); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rec, err := fresh.Get("bal"); err != nil || string(rec.Value) != "90" {
+		t.Fatalf("exposed commit lost across checkpoint: %v %v", rec, err)
+	}
+
+	// ...and the replayed records still carry everything compensation
+	// needs: the exposure payload, the before-image, and the lc mark.
+	records, err := l.Records()
+	if err != nil {
+		t.Fatalf("records: %v", err)
+	}
+	a := Analyze(Replay(records))
+	if a.Exposed["T1"] != `{"coord":"c0"}` {
+		t.Fatalf("exposure payload truncated by checkpoint: %q", a.Exposed["T1"])
+	}
+	if a.Status["T1"] != StatusCommitted {
+		t.Fatalf("exposed status = %v, want committed", a.Status["T1"])
+	}
+	ups := a.Updates["T1"]
+	if len(ups) != 1 || string(ups[0].Before.Value) != "100" || !ups[0].Before.Existed {
+		t.Fatalf("before-image truncated by checkpoint: %+v", ups)
+	}
+	if !a.Marks[MarkSetLC]["T1"] {
+		t.Fatalf("lc mark truncated by checkpoint: %v", a.Marks)
+	}
+}
+
+// TestCheckpointDropsResolvedExposure: once the decision is logged (and,
+// for ABORT, the compensating transaction completed), the next checkpoint
+// owes the exposure nothing and CarryRecords returns only mark snapshots.
+func TestCheckpointDropsResolvedExposure(t *testing.T) {
+	exposed := func(decision string, compRecs ...Record) []Record {
+		recs := []Record{
+			{Type: RecBegin, TxnID: "T1"},
+			upd("T1", "bal", "100", "90", true),
+			{Type: RecExposed, TxnID: "T1", Aux: `{"coord":"c0"}`},
+			{Type: RecCommit, TxnID: "T1"},
+			{Type: RecDecision, TxnID: "T1", Aux: decision},
+		}
+		return append(recs, compRecs...)
+	}
+
+	if carry := CarryRecords(exposed("commit")); len(carry) != 0 {
+		t.Fatalf("commit-decided exposure still carried: %+v", carry)
+	}
+	done := exposed("abort",
+		Record{Type: RecCompBegin, TxnID: "CTT1", Aux: "T1"},
+		upd("CTT1", "bal", "90", "100", true),
+		Record{Type: RecCompEnd, TxnID: "CTT1"},
+	)
+	if carry := CarryRecords(done); len(carry) != 0 {
+		t.Fatalf("fully compensated exposure still carried: %+v", carry)
+	}
+
+	// An ABORT whose compensation was interrupted (COMP-BEGIN without
+	// COMP-END) must carry both the exposed records and the partial CT.
+	interrupted := exposed("abort",
+		Record{Type: RecCompBegin, TxnID: "CTT1", Aux: "T1"},
+	)
+	carry := CarryRecords(interrupted)
+	carried := make(map[string]bool)
+	for _, rec := range carry {
+		carried[rec.TxnID] = true
+	}
+	if !carried["T1"] || !carried["CTT1"] {
+		t.Fatalf("interrupted compensation dropped by checkpoint: carried %v", carried)
+	}
+}
+
+// TestCheckpointSnapshotsMarks: marking sets outlive the transactions
+// that created them, so checkpoints re-snapshot them as fresh RecMark
+// records — and an unmark before the checkpoint means no record at all.
+func TestCheckpointSnapshotsMarks(t *testing.T) {
+	records := []Record{
+		{Type: RecMark, TxnID: "T1", Aux: MarkSetUndone},
+		{Type: RecMark, TxnID: "T2", Aux: MarkSetUndone},
+		{Type: RecMark, TxnID: "T2", Aux: MarkSetLC},
+		{Type: RecUnmark, TxnID: "T1", Aux: MarkSetUndone},
+	}
+	carry := CarryRecords(records)
+	want := []Record{
+		{Type: RecMark, TxnID: "T2", Aux: MarkSetLC},
+		{Type: RecMark, TxnID: "T2", Aux: MarkSetUndone},
+	}
+	if len(carry) != len(want) {
+		t.Fatalf("carried %+v, want %+v", carry, want)
+	}
+	for i := range want {
+		if carry[i].Type != want[i].Type || carry[i].TxnID != want[i].TxnID || carry[i].Aux != want[i].Aux {
+			t.Fatalf("carried %+v, want %+v", carry, want)
+		}
+	}
+
+	// And across a real checkpoint + restart the marks replay intact.
+	l := NewMemoryLog()
+	appendAll(t, l, records...)
+	if _, err := WriteCheckpoint(l, storage.NewStore()); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatalf("records: %v", err)
+	}
+	a := Analyze(Replay(recs))
+	if a.Marks[MarkSetUndone]["T1"] || !a.Marks[MarkSetUndone]["T2"] || !a.Marks[MarkSetLC]["T2"] {
+		t.Fatalf("marks after checkpointed restart: %v", a.Marks)
+	}
+}

@@ -45,6 +45,29 @@ const (
 	RecCompEnd
 	// RecCheckpoint carries a serialized snapshot boundary marker.
 	RecCheckpoint
+	// RecExposed marks an O2PC subtransaction that locally committed and
+	// released its locks before the global decision (the paper's "exposure"
+	// point). Aux carries the compensation context the restarted site needs
+	// to resume the decision inquiry and, on ABORT, run the compensating
+	// subtransaction: the coordinator name and the original request
+	// (operations, compensation mode, marking protocol). Per Theorem 2 the
+	// record must be durable before the locks are released.
+	RecExposed
+	// RecMark records the addition of a transaction to a marking set
+	// (MarkSetUndone or MarkSetLC in Aux). Written write-ahead of the
+	// in-memory mutation so the sitemarks.k sets survive a site crash.
+	RecMark
+	// RecUnmark records the removal of a transaction from a marking set.
+	RecUnmark
+)
+
+// Marking-set labels carried in the Aux field of RecMark/RecUnmark records.
+// They name the paper's two per-site sets: the undone marks of marking
+// protocols P1/P2/Simple, and the locally-committed-undecided (lc) marks of
+// P2/Simple.
+const (
+	MarkSetUndone = "undone"
+	MarkSetLC     = "lc"
 )
 
 // String returns the record type mnemonic.
@@ -68,6 +91,12 @@ func (t RecordType) String() string {
 		return "COMP-END"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecExposed:
+		return "EXPOSED"
+	case RecMark:
+		return "MARK"
+	case RecUnmark:
+		return "UNMARK"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -230,6 +259,30 @@ type Analysis struct {
 	// Decisions maps transaction ID to the recorded coordinator outcome
 	// ("commit" or "abort"), if a RecDecision record exists.
 	Decisions map[string]string
+	// Exposed maps transaction ID to the Aux payload of its RecExposed
+	// record: the subtransaction locally committed and released its locks
+	// before the global decision. Whether it is still undecided is read off
+	// Decisions.
+	Exposed map[string]string
+	// Marks replays RecMark/RecUnmark in log order per marking set: for
+	// each set label (MarkSetUndone, MarkSetLC) the transactions currently
+	// marked.
+	Marks map[string]map[string]bool
+	// CompForward maps a compensating transaction's ID to the forward
+	// transaction it compensates (the Aux of its RecCompBegin record).
+	CompForward map[string]string
+}
+
+// CompensationComplete reports whether a compensating transaction for
+// forward ran to completion in this analysis (COMP-BEGIN naming forward,
+// with the compensating transaction's own status committed via COMP-END).
+func (a Analysis) CompensationComplete(forward string) bool {
+	for ct, f := range a.CompForward {
+		if f == forward && a.Status[ct] == StatusCommitted {
+			return true
+		}
+	}
+	return false
 }
 
 // Analyze scans all records and classifies every transaction that appears.
@@ -238,11 +291,19 @@ func Analyze(records []Record) Analysis {
 		Status:    make(map[string]TxnStatus),
 		Updates:   make(map[string][]Record),
 		Decisions: make(map[string]string),
+		Exposed:     make(map[string]string),
+		Marks:       make(map[string]map[string]bool),
+		CompForward: make(map[string]string),
 	}
 	for _, rec := range records {
 		switch rec.Type {
-		case RecBegin, RecCompBegin:
+		case RecBegin:
 			a.Status[rec.TxnID] = StatusActive
+		case RecCompBegin:
+			a.Status[rec.TxnID] = StatusActive
+			if rec.Aux != "" {
+				a.CompForward[rec.TxnID] = rec.Aux
+			}
 		case RecUpdate:
 			a.Updates[rec.TxnID] = append(a.Updates[rec.TxnID], rec)
 			if _, ok := a.Status[rec.TxnID]; !ok {
@@ -256,6 +317,17 @@ func Analyze(records []Record) Analysis {
 			a.Status[rec.TxnID] = StatusAborted
 		case RecDecision:
 			a.Decisions[rec.TxnID] = rec.Aux
+		case RecExposed:
+			a.Exposed[rec.TxnID] = rec.Aux
+		case RecMark:
+			set := a.Marks[rec.Aux]
+			if set == nil {
+				set = make(map[string]bool)
+				a.Marks[rec.Aux] = set
+			}
+			set[rec.TxnID] = true
+		case RecUnmark:
+			delete(a.Marks[rec.Aux], rec.TxnID)
 		case RecCheckpoint:
 			// Checkpoint brackets carry no transaction state; Recover
 			// consumes them via lastCheckpoint before analysis.
@@ -315,26 +387,51 @@ type RecoverResult struct {
 // O2PC protocol removes.
 //
 // When the log contains a complete checkpoint (WriteCheckpoint), recovery
-// starts from the last one: its images load directly and only the tail
-// replays.
+// starts from the last one: its images load directly, carried protocol
+// records inside the bracket (exposed-but-undecided subtransactions, marks,
+// in-doubt preparations — see CarryRecords) replay first, and then the tail.
 func Recover(store *storage.Store, log Log) (RecoverResult, error) {
 	records, err := log.Records()
 	if err != nil {
 		return RecoverResult{}, err
 	}
-	if begin, end, ok := lastCheckpoint(records); ok {
-		for _, rec := range records[begin+1 : end] {
-			if rec.Type != RecUpdate || rec.TxnID != ckptTxnID {
-				return RecoverResult{}, fmt.Errorf("wal: malformed checkpoint record %v inside bracket", rec.Type)
-			}
-			store.Restore(storage.Record{
-				Key:   rec.After.Key,
-				Value: rec.After.Value,
-			}, rec.After.Writer)
-		}
-		records = records[end+1:]
+	images, replay := splitCheckpoint(records)
+	for _, rec := range images {
+		store.Restore(storage.Record{
+			Key:   rec.After.Key,
+			Value: rec.After.Value,
+		}, rec.After.Writer)
 	}
-	return recoverRecords(store, records)
+	return recoverRecords(store, replay)
+}
+
+// splitCheckpoint partitions records around the last complete checkpoint:
+// images are the bracket's snapshot records (nil when no checkpoint exists)
+// and replay is everything recovery must run redo/undo/analysis over — the
+// non-image records carried inside the bracket followed by the post-bracket
+// tail. Without a checkpoint, replay is the whole log.
+func splitCheckpoint(records []Record) (images, replay []Record) {
+	begin, end, ok := lastCheckpoint(records)
+	if !ok {
+		return nil, records
+	}
+	for _, rec := range records[begin+1 : end] {
+		if rec.Type == RecUpdate && rec.TxnID == ckptTxnID {
+			images = append(images, rec)
+			continue
+		}
+		replay = append(replay, rec)
+	}
+	return images, append(replay, records[end+1:]...)
+}
+
+// Replay returns the records recovery analysis runs over: the protocol
+// records carried inside the last complete checkpoint bracket plus the tail
+// after it, or the whole log when no checkpoint exists. Site-level recovery
+// uses this view to rebuild its pending tables and marking sets.
+func Replay(records []Record) []Record {
+	_, replay := splitCheckpoint(records)
+	return replay
 }
 
 // recoverRecords runs redo/undo resolution over an already-loaded record
@@ -345,15 +442,31 @@ func recoverRecords(store *storage.Store, records []Record) (RecoverResult, erro
 
 	// Redo phase: replay every update in log order; committed and prepared
 	// transactions keep their effects, losers are undone afterwards.
+	// Image records from an incomplete checkpoint bracket (crash during
+	// WriteCheckpoint) restate live values — redo would be harmless but the
+	// loser-undo below would remove the keys, so skip them entirely.
+	//
+	// An ABORT record is appended only after the live roll-back restored
+	// the before-images and while the transaction's locks were still held,
+	// so its undo belongs at the record's log position — replaying it here
+	// (with the logged attribution) keeps it ordered before any later
+	// writer that locked the same keys after the live release. Undoing such
+	// a transaction at the end instead would re-install its stale
+	// before-images on top of later committed writes.
 	for _, rec := range records {
-		if rec.Type != RecUpdate {
-			continue
+		switch {
+		case rec.Type == RecUpdate && rec.TxnID != ckptTxnID:
+			ApplyRedo(store, []Record{rec}, rec.TxnID)
+		case rec.Type == RecAbort:
+			ApplyUndo(store, a.Updates[rec.TxnID], rec.Aux)
 		}
-		ApplyRedo(store, []Record{rec}, rec.TxnID)
 	}
 
 	// Resolve each transaction.
 	for txn, st := range a.Status {
+		if txn == ckptTxnID {
+			continue
+		}
 		switch st {
 		case StatusCommitted:
 			res.Redone = append(res.Redone, txn)
@@ -371,9 +484,9 @@ func recoverRecords(store *storage.Store, records []Record) (RecoverResult, erro
 				res.InDoubt = append(res.InDoubt, txn)
 			}
 		case StatusAborted:
-			// ABORT records are written only after undo completed, but the
-			// redo phase above re-applied the updates; undo them again.
-			ApplyUndo(store, a.Updates[txn], "recovery:"+txn)
+			// The log-order pass above already replayed the undo at the
+			// ABORT record's position; re-undoing here would clobber later
+			// committed writes to the same keys.
 			res.Undone = append(res.Undone, txn)
 		}
 	}

@@ -231,6 +231,83 @@ func TestRecoverAbortedTxnStaysUndone(t *testing.T) {
 	}
 }
 
+// TestRecoverAbortThenLaterCommitSameKey pins the undo ordering of
+// crash recovery: T2 updates a key, rolls back live (ABORT logged after
+// the before-images were restored, locks released after that), and T4
+// then writes the same key and commits — all before the crash. T2's undo
+// must replay at its ABORT record's log position, not after the redo
+// pass, or it re-installs T2's stale before-image on top of T4's
+// committed write (the seed-107 conservation violation found by the
+// explorer: an aborted 2PC transfer's undo erased a later committed
+// O2PC transfer on the same account).
+func TestRecoverAbortThenLaterCommitSameKey(t *testing.T) {
+	l := NewMemoryLog()
+	appendAll(t, l,
+		Record{Type: RecBegin, TxnID: "T2"},
+		Record{Type: RecUpdate, TxnID: "T2",
+			Before: Image{Key: "acct", Value: storage.Value("1000"), Existed: true, Writer: "init"},
+			After:  Image{Key: "acct", Value: storage.Value("993"), Existed: true, Writer: "T2"}},
+		Record{Type: RecDecision, TxnID: "T2", Aux: "abort"},
+		Record{Type: RecAbort, TxnID: "T2"},
+		// T4 locks the key only after T2's roll-back released it, so its
+		// before-image already reflects the restored value.
+		Record{Type: RecBegin, TxnID: "T4"},
+		Record{Type: RecUpdate, TxnID: "T4",
+			Before: Image{Key: "acct", Value: storage.Value("1000"), Existed: true, Writer: "init"},
+			After:  Image{Key: "acct", Value: storage.Value("1009"), Existed: true, Writer: "T4"}},
+		Record{Type: RecExposed, TxnID: "T4", Aux: `{"coord":"c0"}`},
+		Record{Type: RecCommit, TxnID: "T4"},
+		Record{Type: RecDecision, TxnID: "T4", Aux: "commit"},
+	)
+	store := storage.NewStore()
+	res, err := Recover(store, l)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(res.Undone) != 1 || res.Undone[0] != "T2" {
+		t.Fatalf("undone = %v, want [T2]", res.Undone)
+	}
+	rec, err := store.Get("acct")
+	if err != nil {
+		t.Fatalf("acct: %v", err)
+	}
+	if string(rec.Value) != "1009" || rec.Writer != "T4" {
+		t.Fatalf("acct = %q by %q, want 1009 by T4 (aborted T2's undo clobbered the later committed write)", rec.Value, rec.Writer)
+	}
+}
+
+// TestRecoverAbortAttributionMatchesLiveRollback pins that recovery
+// replays an ABORT record's undo with the attribution the live roll-back
+// logged in Aux: a compensating-transaction ID re-attributes the restored
+// version (so post-recovery readers read-from the compensation, as live
+// readers did), while an empty Aux preserves the original writer.
+func TestRecoverAbortAttributionMatchesLiveRollback(t *testing.T) {
+	for _, tc := range []struct {
+		aux        string
+		wantWriter string
+	}{{"CTT1", "CTT1"}, {"", "init"}} {
+		l := NewMemoryLog()
+		appendAll(t, l,
+			Record{Type: RecBegin, TxnID: "T1"},
+			Record{Type: RecUpdate, TxnID: "T1",
+				Before: Image{Key: "a", Value: storage.Value("v0"), Existed: true, Writer: "init"},
+				After:  Image{Key: "a", Value: storage.Value("v1"), Existed: true, Writer: "T1"}},
+			Record{Type: RecAbort, TxnID: "T1", Aux: tc.aux},
+		)
+		store := storage.NewStore()
+		if _, err := Recover(store, l); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		rec, err := store.Get("a")
+		if err != nil {
+			t.Fatalf("aux=%q: %v", tc.aux, err)
+		}
+		if string(rec.Value) != "v0" || rec.Writer != tc.wantWriter {
+			t.Fatalf("aux=%q: a = %q by %q, want v0 by %q", tc.aux, rec.Value, rec.Writer, tc.wantWriter)
+		}
+	}
+}
+
 func appendAll(t *testing.T, l Log, recs ...Record) {
 	t.Helper()
 	for _, rec := range recs {
@@ -260,11 +337,34 @@ func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMarshalRecoveryRecordsRoundTrip pins the encoding of the recovery
+// record types PR 5 introduced: exposure (with its JSON payload in Aux)
+// and the marking-set mutations.
+func TestMarshalRecoveryRecordsRoundTrip(t *testing.T) {
+	for _, rec := range []Record{
+		{LSN: 7, Type: RecExposed, TxnID: "T3", Aux: `{"coord":"c1","req":{"txn_id":"T3"}}`},
+		{LSN: 8, Type: RecMark, TxnID: "T3", Aux: MarkSetUndone},
+		{LSN: 9, Type: RecUnmark, TxnID: "T3", Aux: MarkSetUndone},
+		{LSN: 10, Type: RecMark, TxnID: "T4", Aux: MarkSetLC},
+	} {
+		got, err := ReadRecord(bytes.NewReader(Marshal(rec)))
+		if err != nil {
+			t.Fatalf("%v: read: %v", rec.Type, err)
+		}
+		if !reflect.DeepEqual(rec, got) {
+			t.Fatalf("roundtrip mismatch:\n  in:  %+v\n  out: %+v", rec, got)
+		}
+		if got.Type.String() == "" || got.Type.String()[0] == 'R' {
+			t.Fatalf("%v: missing String() case: %q", rec.Type, got.Type.String())
+		}
+	}
+}
+
 func TestEncodingQuick(t *testing.T) {
 	f := func(lsn uint64, typ uint8, txn, key, val, writer, aux string, existed, deleted bool) bool {
 		rec := Record{
 			LSN:   lsn,
-			Type:  RecordType(typ%9 + 1),
+			Type:  RecordType(typ%12 + 1), // all record types through RecUnmark
 			TxnID: txn,
 			Before: Image{Key: storage.Key(key), Existed: existed,
 				Deleted: deleted, Writer: writer},
