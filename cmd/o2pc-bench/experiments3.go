@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"o2pc/internal/core"
+	"o2pc/internal/rpc"
+	"o2pc/internal/workload"
+)
+
+// hostileCluster is the common cluster shape for the multi-shot and
+// hostile-workload experiments: a mid-size cluster with realistic WAN-ish
+// one-way latency, seeded from the bench seed.
+func hostileCluster(e *env) core.Config {
+	return core.Config{
+		Sites:   6,
+		Network: rpc.Config{MinLatency: 300 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: e.seed},
+	}
+}
+
+// runE11 — the optimistic-assumption crossover, revisited with multi-shot
+// sessions. A session holds its subtransactions open across several rounds
+// of think time, so an eventual NO vote throws away strictly more work than
+// a one-shot abort — and under O2PC the compensation debt per abort grows
+// with the rounds that preceded the vote. The crossover point (where 2PC
+// catches O2PC+P1) therefore arrives at a lower abort probability than in
+// the one-shot sweep of E4.
+func runE11(e *env) {
+	probs := []float64{0, 0.02, 0.05, 0.10, 0.20, 0.50}
+	if e.quick {
+		probs = []float64{0, 0.05, 0.20}
+	}
+	rounds := 3
+	if e.multishot > 0 {
+		rounds = e.multishot
+	}
+	load := func(p float64, st stack, rounds int) workload.Config {
+		return workload.Config{
+			Clients:       8,
+			TxnsPerClient: e.scale(40, 10),
+			SitesPerTxn:   2,
+			KeysPerSite:   512,
+			HotKeys:       32,
+			HotProb:       0.5,
+			ReadFrac:      0.3,
+			AbortProb:     p,
+			Protocol:      st.protocol,
+			Marking:       st.marking,
+			Rounds:        rounds,
+			ThinkTime:     100 * time.Microsecond,
+		}
+	}
+	e.row("abort prob", "2PC txn/s", "O2PC+P1 txn/s", "P1 1-shot txn/s", "P1 commit rate", "comps")
+	for _, p := range probs {
+		tps := map[string]float64{}
+		var oneShot float64
+		var p1Rate float64
+		var comps int64
+		for _, st := range []stack{st2PC, stO2PCP1} {
+			rep, _ := runLoad(e, hostileCluster(e), load(p, st, rounds))
+			tps[st.name] = rep.Throughput
+			if st == stO2PCP1 {
+				p1Rate = rep.CommitRate
+				comps = rep.Compensations
+			}
+		}
+		// The one-shot P1 baseline at the same abort probability, for the
+		// crossover comparison against E4's regime.
+		repOne, _ := runLoad(e, hostileCluster(e), load(p, stO2PCP1, 1))
+		oneShot = repOne.Throughput
+		e.row(pct(p), f0(tps["2PC"]), f0(tps["O2PC+P1"]), f0(oneShot), pct(p1Rate), d(comps))
+	}
+}
+
+// runE12 — exposure-duration distribution vs session round count. The
+// exposure window (a site's local commit at the YES vote until the decision
+// arrives) is bounded by the commit point's message round trips, not by
+// session length: rounds happen before the vote, so stretching a session
+// must NOT stretch exposure. The table pins that claim — the per-decided-
+// subtransaction exposure quantiles stay flat as rounds grow while lock
+// hold times (which DO cover the rounds) climb.
+func runE12(e *env) {
+	roundCounts := []int{1, 2, 4, 8}
+	if e.quick {
+		roundCounts = []int{1, 4}
+	}
+	e.row("rounds", "exposure p50 (ms)", "exposure p99 (ms)", "exposed n", "holdX mean (ms)", "commit rate")
+	for _, rounds := range roundCounts {
+		rep, _ := runLoad(e, hostileCluster(e), workload.Config{
+			Clients:       6,
+			TxnsPerClient: e.scale(30, 8),
+			SitesPerTxn:   2,
+			KeysPerSite:   512,
+			HotKeys:       32,
+			HotProb:       0.5,
+			ReadFrac:      0.3,
+			AbortProb:     0.1,
+			Protocol:      stO2PCP1.protocol,
+			Marking:       stO2PCP1.marking,
+			Rounds:        rounds,
+			ThinkTime:     100 * time.Microsecond,
+		})
+		e.row(fmt.Sprintf("%d", rounds), ms(rep.Exposure.P50), ms(rep.Exposure.P99),
+			d(int64(rep.Exposure.Count)), ms(rep.LockHoldX.Mean), pct(rep.CommitRate))
+	}
+}
+
+// runE13 — the marking tax under Zipfian skew and flash-crowd arrivals.
+// Marking only costs when transactions actually meet: under uniform access
+// the R1 check almost never fires, while a Zipf hot-spot concentrates every
+// session on the same few keys and burst arrivals synchronize them in time.
+// The sweep shows the R1 rejection and retry counters climbing with skew,
+// and what that does to P1's commit rate relative to unprotected O2PC.
+func runE13(e *env) {
+	skews := []float64{0, 1.2, 1.5, 2.0, 3.0}
+	if e.quick {
+		skews = []float64{0, 1.5, 3.0}
+	}
+	e.row("zipf s", "P1 txn/s", "P1 commit rate", "rej retry", "rej fatal", "mark retries", "O2PC txn/s")
+	for _, s := range skews {
+		var p1 workload.Report
+		tps := map[string]float64{}
+		for _, st := range []stack{stO2PCP1, stO2PC} {
+			rep, _ := runLoad(e, hostileCluster(e), workload.Config{
+				Clients:       8,
+				TxnsPerClient: e.scale(40, 10),
+				SitesPerTxn:   2,
+				KeysPerSite:   256,
+				ZipfS:         s,
+				HotKeys:       16,
+				HotProb:       0.6,
+				ReadFrac:      0.3,
+				AbortProb:     0.1,
+				Protocol:      st.protocol,
+				Marking:       st.marking,
+				Rounds:        3,
+				ThinkTime:     50 * time.Microsecond,
+				BurstSize:     8,
+				BurstGap:      300 * time.Microsecond,
+			})
+			tps[st.name] = rep.Throughput
+			if st == stO2PCP1 {
+				p1 = rep
+			}
+		}
+		label := "uniform+hot"
+		if s > 0 {
+			label = fmt.Sprintf("%.1f", s)
+		} else if e.zipfS > 1 {
+			// The global -zipf-s flag fills the baseline row's zero field
+			// (flags fill what the experiment leaves unpinned), so the
+			// uniform baseline is not uniform on this invocation.
+			label = fmt.Sprintf("%.1f (flag)", e.zipfS)
+		}
+		e.row(label, f0(tps["O2PC+P1"]), pct(p1.CommitRate),
+			d(p1.RejectsRetry), d(p1.RejectsFatal), d(p1.MarkRetries), f0(tps["O2PC"]))
+	}
+}

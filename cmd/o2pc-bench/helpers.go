@@ -63,14 +63,40 @@ func (e *env) cluster(cfg core.Config) *core.Cluster {
 }
 
 // runLoad builds a cluster with cfgCluster, runs the workload, and returns
-// the report (and the cluster for further inspection).
+// the report (and the cluster for further inspection). The global hostile-
+// workload flags (-multishot, -zipf-s, -burst, -read-frac) are applied
+// unless the experiment pinned the corresponding field itself.
 func runLoad(e *env, cfgCluster core.Config, cfgLoad workload.Config) (workload.Report, *core.Cluster) {
 	if cfgLoad.Seed == 0 {
 		cfgLoad.Seed = e.seed
 	}
+	cfgLoad = applyHostileFlags(e, cfgLoad)
 	cl := e.cluster(cfgCluster)
 	rep := workload.Run(bg(), cl, cfgLoad)
 	return rep, cl
+}
+
+// applyHostileFlags merges the global hostile-workload flags into a
+// workload config: flags fill fields the experiment left zero, experiment
+// pins win, and -read-frac (>= 0) always wins because zero is a meaningful
+// read fraction.
+func applyHostileFlags(e *env, cfg workload.Config) workload.Config {
+	if e.multishot > 0 && cfg.Rounds == 0 {
+		cfg.Rounds = e.multishot
+	}
+	if e.zipfS > 1 && cfg.ZipfS == 0 {
+		cfg.ZipfS = e.zipfS
+	}
+	if e.burst > 0 && cfg.BurstSize == 0 {
+		cfg.BurstSize = e.burst
+		if cfg.BurstGap == 0 {
+			cfg.BurstGap = 200 * time.Microsecond
+		}
+	}
+	if e.readFrac >= 0 {
+		cfg.ReadFrac = e.readFrac
+	}
+	return cfg
 }
 
 // scale shrinks a count in quick mode.

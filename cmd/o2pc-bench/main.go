@@ -18,6 +18,9 @@
 //	E8  atomicity of compensation (Theorem 2)
 //	E9  real actions (non-compensatable subtransactions)
 //	E10 scaling with sites per transaction
+//	E11 multi-shot sessions: the abort-rate crossover revisited
+//	E12 exposure-duration distribution vs session round count
+//	E13 the marking tax under Zipfian skew and flash-crowd arrivals
 //	A1  ablation: read-lock release at VOTE-REQ
 //	A2  ablation: marking-set lock strategy (Section 6.2 deadlock)
 //	A3  ablation: P1 vs the dual P2
@@ -27,6 +30,7 @@
 //
 //	o2pc-bench [-exp all|F1,E3,...] [-quick] [-seed N] [-dump DIR]
 //	           [-trace FILE] [-trace-chrome FILE] [-metrics FILE]
+//	           [-multishot N] [-zipf-s S] [-burst N] [-read-frac F]
 //
 // -dump writes each experiment's recorded history as JSON for offline
 // auditing with sgcheck. -trace / -trace-chrome write the protocol event
@@ -78,6 +82,16 @@ type env struct {
 	walBatch     int
 	lockShards   int
 	parallelExec bool
+	// Hostile-workload knobs applied to every workload run (unless the
+	// experiment pinned the field itself): multishot switches loads to
+	// sessions of that many rounds, zipfS replaces the hot-set model with a
+	// Zipf(s) skew, burst groups arrivals into flash-crowd waves of that
+	// size, and readFrac overrides the read fraction (negative = keep the
+	// experiment's own value).
+	multishot int
+	zipfS     float64
+	burst     int
+	readFrac  float64
 }
 
 // row writes one tab-separated table row.
@@ -100,6 +114,9 @@ var experiments = []experiment{
 	{"E8", "atomicity of compensation (Theorem 2)", runE8},
 	{"E9", "real actions — lock retention fraction sweep", runE9},
 	{"E10", "scaling with sites per transaction", runE10},
+	{"E11", "multi-shot sessions — the abort-rate crossover revisited", runE11},
+	{"E12", "exposure-duration distribution vs session round count", runE12},
+	{"E13", "the marking tax under Zipfian skew and flash-crowd arrivals", runE13},
 	{"A1", "ablation — releasing read locks at VOTE-REQ", runA1},
 	{"A2", "ablation — marking-set lock strategy (Section 6.2)", runA2},
 	{"A3", "ablation — P1 vs the dual protocol P2", runA3},
@@ -107,17 +124,31 @@ var experiments = []experiment{
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run (comma-separated IDs, or 'all')")
-	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
-	seed := flag.Int64("seed", 1991, "workload seed")
-	dump := flag.String("dump", "", "directory for history JSON dumps (sgcheck input)")
-	traceFile := flag.String("trace", "", "write the first cluster's protocol event log as JSONL to this file")
-	chromeFile := flag.String("trace-chrome", "", "write the first cluster's protocol event log as Chrome trace-event JSON (Perfetto-loadable) to this file")
-	metricsFile := flag.String("metrics", "", "write the first cluster's metrics in Prometheus text form to this file")
-	walBatch := flag.Int("wal-batch", 0, "enable WAL group commit at every site with this max batch size (0 = off)")
-	lockShards := flag.Int("lock-shards", 0, "key-shard count for every site's lock manager (0 = default)")
-	parallelExec := flag.Bool("parallel-exec", false, "fan out execution of unmarked transactions to their sites concurrently")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command, factored for tests: flags from args, tables to
+// stdout, diagnostics to stderr. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("o2pc-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	expFlag := fs.String("exp", "all", "experiments to run (comma-separated IDs, or 'all')")
+	quick := fs.Bool("quick", false, "smaller workloads (CI-sized)")
+	seed := fs.Int64("seed", 1991, "workload seed")
+	dump := fs.String("dump", "", "directory for history JSON dumps (sgcheck input)")
+	traceFile := fs.String("trace", "", "write the first cluster's protocol event log as JSONL to this file")
+	chromeFile := fs.String("trace-chrome", "", "write the first cluster's protocol event log as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	metricsFile := fs.String("metrics", "", "write the first cluster's metrics in Prometheus text form to this file")
+	walBatch := fs.Int("wal-batch", 0, "enable WAL group commit at every site with this max batch size (0 = off)")
+	lockShards := fs.Int("lock-shards", 0, "key-shard count for every site's lock manager (0 = default)")
+	parallelExec := fs.Bool("parallel-exec", false, "fan out execution of unmarked transactions to their sites concurrently")
+	multishot := fs.Int("multishot", 0, "run workloads as multi-shot sessions of this many rounds (0 = one-shot)")
+	zipfS := fs.Float64("zipf-s", 0, "replace the hot-set model with a Zipf(s) key skew (needs s > 1)")
+	burst := fs.Int("burst", 0, "flash-crowd arrival: clients pause after every N transactions (0 = smooth)")
+	readFrac := fs.Float64("read-frac", -1, "override each workload's read fraction (negative = keep per-experiment values)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	want := map[string]bool{}
 	if *expFlag != "all" {
@@ -127,8 +158,8 @@ func main() {
 	}
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "o2pc-bench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "o2pc-bench:", err)
+			return 1
 		}
 	}
 
@@ -143,25 +174,29 @@ func main() {
 			continue
 		}
 		ran[ex.id] = true
-		fmt.Printf("== %s: %s ==\n", ex.id, ex.title)
+		fmt.Fprintf(stdout, "== %s: %s ==\n", ex.id, ex.title)
 		e := &env{
 			quick:        *quick,
 			seed:         *seed,
 			dump:         *dump,
 			art:          art,
-			out:          tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0),
+			out:          tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0),
 			walBatch:     *walBatch,
 			lockShards:   *lockShards,
 			parallelExec: *parallelExec,
+			multishot:    *multishot,
+			zipfS:        *zipfS,
+			burst:        *burst,
+			readFrac:     *readFrac,
 		}
 		ex.run(e)
 		e.flush()
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if art != nil {
 		if err := writeArtifacts(art, *traceFile, *chromeFile, *metricsFile); err != nil {
-			fmt.Fprintln(os.Stderr, "o2pc-bench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "o2pc-bench:", err)
+			return 1
 		}
 	}
 	var missing []string
@@ -172,9 +207,10 @@ func main() {
 	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
-		fmt.Fprintln(os.Stderr, "o2pc-bench: unknown experiments:", strings.Join(missing, ","))
-		os.Exit(2)
+		fmt.Fprintln(stderr, "o2pc-bench: unknown experiments:", strings.Join(missing, ","))
+		return 2
 	}
+	return 0
 }
 
 // writeArtifacts dumps the captured trace and metrics to the flagged files.

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"o2pc/internal/workload"
+)
+
+// TestRunFlags drives the factored run() through the hostile-workload
+// flags and the error paths, checking exit codes and output.
+func TestRunFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		wantCode  int
+		wantOut   []string
+		wantErrTx []string
+	}{
+		{
+			name: "multishot zipf burst readfrac",
+			args: []string{"-exp", "E12", "-quick",
+				"-multishot", "3", "-zipf-s", "1.5", "-burst", "5", "-read-frac", "0.4"},
+			wantCode: 0,
+			wantOut:  []string{"== E12:", "exposure p50", "rounds"},
+		},
+		{
+			name:     "unknown experiment",
+			args:     []string{"-exp", "E99", "-quick"},
+			wantCode: 2,
+			wantErrTx: []string{
+				"unknown experiments: E99",
+			},
+		},
+		{
+			name:     "bad flag",
+			args:     []string{"-no-such-flag"},
+			wantCode: 2,
+		},
+		{
+			name:     "bad flag value",
+			args:     []string{"-multishot", "three"},
+			wantCode: 2,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(stdout.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+				}
+			}
+			for _, want := range tc.wantErrTx {
+				if !strings.Contains(stderr.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+				}
+			}
+		})
+	}
+}
+
+// TestRunFlagOverridesRespectPins checks the precedence contract: global
+// hostile-workload flags fill workload fields the experiment left zero, but
+// never override a field the experiment pinned.
+func TestRunFlagOverridesRespectPins(t *testing.T) {
+	e := &env{multishot: 5, zipfS: 2.0, burst: 4, readFrac: 0.7}
+	cfg := applyHostileFlags(e, workload.Config{})
+	if cfg.Rounds != 5 || cfg.ZipfS != 2.0 || cfg.BurstSize != 4 || cfg.ReadFrac != 0.7 {
+		t.Errorf("flags not applied to unpinned config: %+v", cfg)
+	}
+	pinned := workload.Config{Rounds: 2, ZipfS: 1.1, BurstSize: 9}
+	got := applyHostileFlags(e, pinned)
+	if got.Rounds != 2 || got.ZipfS != 1.1 || got.BurstSize != 9 {
+		t.Errorf("flags overrode pinned fields: %+v", got)
+	}
+	if got.ReadFrac != 0.7 {
+		t.Errorf("read-frac >= 0 must always win, got %v", got.ReadFrac)
+	}
+}

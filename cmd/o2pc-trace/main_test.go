@@ -196,3 +196,64 @@ func TestJSONLOutputReparses(t *testing.T) {
 		}
 	}
 }
+
+// sessionSampleJSONL is a multi-shot session: S1 opens at c0, runs three
+// rounds (the site set growing from s0 to s0+s1), then commits.
+const sessionSampleJSONL = `{"t":1000000,"node":"c0","seq":1,"type":"txn.begin","txn":"S1","detail":"O2PC/P1 session"}
+{"t":1000001,"node":"c0","seq":2,"type":"session.open","txn":"S1"}
+{"t":2000000,"node":"c0","seq":3,"type":"session.round","txn":"S1","detail":"round=1 sites=s0"}
+{"t":2500000,"node":"s0","seq":1,"type":"exec.recv","txn":"S1","peer":"c0"}
+{"t":3000000,"node":"c0","seq":4,"type":"session.round","txn":"S1","detail":"round=2 sites=s0,s1"}
+{"t":3500000,"node":"s0","seq":2,"type":"exec.recv","txn":"S1","peer":"c0","detail":"round=2"}
+{"t":5000000,"node":"c0","seq":5,"type":"decision.reached","txn":"S1","detail":"commit"}
+`
+
+// TestRunSessionEvents pins that the tool recognizes and renders the
+// session-round trace events, and that they filter by name.
+func TestRunSessionEvents(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    []string
+		wantNot []string
+	}{
+		{
+			name: "timeline",
+			args: nil,
+			want: []string{
+				"session.open txn=S1",
+				"session.round txn=S1", `"round=1 sites=s0"`, `"round=2 sites=s0,s1"`,
+				"exec.recv txn=S1", `"round=2"`,
+			},
+		},
+		{
+			name:    "type filter by session names",
+			args:    []string{"-type", "session.open,session.round"},
+			want:    []string{"session.open", "round=2 sites=s0,s1"},
+			wantNot: []string{"exec.recv", "decision.reached"},
+		},
+		{
+			name: "lanes place session events in the coordinator's column",
+			args: []string{"-format", "lanes"},
+			want: []string{"c0", "s0", "session.round txn=S1"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, strings.NewReader(sessionSampleJSONL), &out); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+			for _, not := range tc.wantNot {
+				if strings.Contains(out.String(), not) {
+					t.Errorf("output unexpectedly contains %q:\n%s", not, out.String())
+				}
+			}
+		})
+	}
+}

@@ -92,3 +92,28 @@ func stdlibEnum(m time.Month) bool {
 	}
 	return false
 }
+
+// sessionFull names every session state: clean.
+func sessionFull(s kinds.SessionState) string {
+	switch s {
+	case kinds.SessionActive:
+		return "active"
+	case kinds.SessionCommitted:
+		return "committed"
+	case kinds.SessionAborted:
+		return "aborted"
+	}
+	return ""
+}
+
+// sessionMissing forgets the aborted arm — the settle-path bug the
+// analyzer exists to catch.
+func sessionMissing(s kinds.SessionState) string {
+	switch s { // want `switch over kinds\.SessionState is not exhaustive: missing SessionAborted`
+	case kinds.SessionActive:
+		return "active"
+	case kinds.SessionCommitted:
+		return "committed"
+	}
+	return ""
+}

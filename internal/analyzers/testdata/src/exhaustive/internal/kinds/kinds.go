@@ -16,3 +16,13 @@ const (
 type Width int
 
 const DefaultWidth Width = 80
+
+// SessionState mirrors coord.SessionState: the multi-shot session
+// lifecycle enum.
+type SessionState uint8
+
+const (
+	SessionActive SessionState = iota + 1
+	SessionCommitted
+	SessionAborted
+)

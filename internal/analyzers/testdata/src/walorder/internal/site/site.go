@@ -123,3 +123,18 @@ func (s *Site) loggedMarks(k storage.Key, v storage.Value, ti string) {
 func (s *Site) markReadsAreFree(ti string) bool {
 	return s.marks.Contains(ti) || s.lm.Contains(ti)
 }
+
+// continueRoundLogged mirrors execContinue's write path for a multi-shot
+// session round: the round's updates land only after the WAL append, so a
+// crash between them replays cleanly.
+func (s *Site) continueRoundLogged(k storage.Key, v storage.Value) {
+	_, _ = s.log.Append(wal.Record{TxnID: "S1"})
+	s.store.Put(k, v, "S1")
+}
+
+// continueRoundUnlogged applies a session round's write with no append:
+// a crash mid-session would lose the round while the coordinator still
+// counts the site as a participant.
+func (s *Site) continueRoundUnlogged(k storage.Key, v storage.Value) {
+	s.store.Put(k, v, "S1") // want `storage\.Store\.Put is not dominated by a wal append`
+}

@@ -75,6 +75,9 @@ const (
 	// AbortedCoordinator means the coordinator failed before deciding and
 	// presumed abort during recovery.
 	AbortedCoordinator
+	// AbortedClient means the client abandoned a multi-shot session
+	// (Session.Abort) and the coordinator decided abort on its behalf.
+	AbortedClient
 )
 
 // String returns the outcome mnemonic.
@@ -90,6 +93,8 @@ func (o Outcome) String() string {
 		return "aborted-marking"
 	case AbortedCoordinator:
 		return "aborted-coordinator"
+	case AbortedClient:
+		return "aborted-client"
 	default:
 		return fmt.Sprintf("Outcome(%d)", uint8(o))
 	}

@@ -139,6 +139,15 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 		}
 	}
 
+	c.finishCommit(ctx, id, executed, spec, &res)
+	return res
+}
+
+// finishCommit drives the commit point of an executed transaction: the
+// parallel vote round, the read-only participant filtering, and the
+// decision. It fills res.Outcome (and res.Err on coordinator failure).
+// Shared by the one-shot Run path and Session.Commit.
+func (c *Coordinator) finishCommit(ctx context.Context, id string, executed []string, spec TxnSpec, res *Result) {
 	// ---- Vote phase: VOTE-REQ to every participant in parallel.
 	votes, readOnly := c.collectVotes(ctx, id, executed)
 	allYes := true
@@ -165,13 +174,13 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 		// decision). Recovery will presume abort.
 		res.Outcome = AbortedCoordinator
 		res.Err = ErrCrashed
-		return res
+		return
 	}
 
 	if !allYes {
 		res.Outcome = AbortedVote
 		c.decide(ctx, id, false, executed, spec)
-		return res
+		return
 	}
 	if c.decide(ctx, id, true, executed, spec) {
 		res.Outcome = Committed
@@ -181,7 +190,6 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 		res.Outcome = AbortedCoordinator
 		res.Err = ErrCrashed
 	}
-	return res
 }
 
 // execFanOut ships the subtransactions of a MarkNone transaction

@@ -229,6 +229,16 @@ func (cl *Cluster) RunAt(ctx context.Context, coordIdx int, spec coord.TxnSpec) 
 	return cl.coords[coordIdx].Run(ctx, spec)
 }
 
+// OpenSession opens a multi-shot session through coordinator 0.
+func (cl *Cluster) OpenSession(spec coord.SessionSpec) (*coord.Session, error) {
+	return cl.coords[0].OpenSession(spec)
+}
+
+// OpenSessionAt opens a multi-shot session through a specific coordinator.
+func (cl *Cluster) OpenSessionAt(coordIdx int, spec coord.SessionSpec) (*coord.Session, error) {
+	return cl.coords[coordIdx].OpenSession(spec)
+}
+
 // RunLocal executes a local transaction directly at site i, outside every
 // global protocol (site autonomy).
 func (cl *Cluster) RunLocal(ctx context.Context, siteIdx int, fn func(t *txn.Txn) error) error {

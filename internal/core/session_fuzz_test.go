@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"o2pc/internal/coord"
+	"o2pc/internal/proto"
+	"o2pc/internal/storage"
+)
+
+// FuzzSessionScript drives a multi-shot session through an arbitrary
+// byte-scripted round sequence — reads, balanced transfers, mid-session
+// client aborts, doomed votes — and checks the standing oracles after every
+// execution: money conservation, the Section 5 criterion, Theorem 2, and
+// (implicitly) no panics anywhere in the session path.
+//
+// Every write round is a balanced transfer (debit one site, credit the
+// other, same account), so total money is invariant under any mix of
+// commits, aborts, and compensations.
+func FuzzSessionScript(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0x42, 0x07})
+	f.Add([]byte{0x03, 0x03, 0x03, 0x03, 0x04})
+	f.Add([]byte{0x02, 0x00, 0x01, 0x02, 0x05, 0x06})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 16 {
+			script = script[:16]
+		}
+		const accounts = 3
+		const initial = int64(1000)
+		cl := NewCluster(Config{Sites: 2, Record: true})
+		for a := 0; a < accounts; a++ {
+			cl.SeedInt64(acctKey(a), initial)
+		}
+		ctx := context.Background()
+
+		sess, err := cl.OpenSession(coord.SessionSpec{
+			ID: "F1", Protocol: proto.O2PC, Marking: proto.MarkP1,
+		})
+		if err != nil {
+			t.Fatalf("open session: %v", err)
+		}
+		doomed := false
+		aborted := false
+		for i := 0; i < len(script); i++ {
+			b := script[i]
+			switch b % 5 {
+			case 0: // read round at a scripted site
+				_, _ = sess.Round(ctx, []coord.SubtxnSpec{{
+					Site: cl.Site(int(b/5) % 2).Name(),
+					Ops:  []proto.Operation{proto.Read(acctKey(int(b) % accounts))},
+					Comp: proto.CompSemantic,
+				}})
+			case 1: // balanced transfer round across both sites
+				amt := int64(b%7) + 1
+				key := acctKey(int(b/7) % accounts)
+				_, _ = sess.Round(ctx, []coord.SubtxnSpec{
+					{Site: "s0", Ops: []proto.Operation{proto.AddMin(key, -amt, 0)}, Comp: proto.CompSemantic},
+					{Site: "s1", Ops: []proto.Operation{proto.Add(key, amt)}, Comp: proto.CompSemantic},
+				})
+			case 2: // single-site write round
+				_, _ = sess.Round(ctx, []coord.SubtxnSpec{{
+					Site: cl.Site(int(b/5) % 2).Name(),
+					Ops:  []proto.Operation{proto.Add(acctKey(int(b) % accounts), 0)},
+					Comp: proto.CompSemantic,
+				}})
+			case 3: // doom the session's vote at s1
+				if !doomed {
+					cl.DoomAtSite("F1", "s1")
+					doomed = true
+				}
+			case 4: // client abandons the session
+				sess.Abort(ctx)
+				aborted = true
+			}
+			if aborted || sess.State() != coord.SessionActive {
+				break
+			}
+		}
+		res := sess.Commit(ctx)
+		_ = res
+
+		qctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := cl.Quiesce(qctx); err != nil {
+			t.Fatalf("quiesce: %v", err)
+		}
+
+		// Oracle 1: money conservation. Balanced transfers move money
+		// between sites; commits, aborts, and compensations all preserve
+		// the per-account cross-site total.
+		for a := 0; a < accounts; a++ {
+			key := storage.Key(acctKey(a))
+			got := cl.Site(0).ReadInt64(key) + cl.Site(1).ReadInt64(key)
+			if got != 2*initial {
+				t.Fatalf("account %d total = %d, want %d (script %x, outcome %v)",
+					a, got, 2*initial, script, res.Outcome)
+			}
+		}
+		// Oracle 2: the Section 5 criterion over the recorded history.
+		if audit := cl.Audit(); !audit.Correct() {
+			t.Fatalf("Section 5 criterion violated (script %x): effective=%d", script, audit.EffectiveCount)
+		}
+		// Oracle 3: Theorem 2 — no committed reader of compensated state.
+		if vs := cl.CompensationViolations(); len(vs) != 0 {
+			t.Fatalf("Theorem 2 violations (script %x): %+v", script, vs)
+		}
+	})
+}
+
+func acctKey(a int) string {
+	return "acct" + string(rune('a'+a))
+}

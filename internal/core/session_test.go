@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"o2pc/internal/coord"
+	"o2pc/internal/proto"
+	"o2pc/internal/storage"
+)
+
+// openSession is a test helper that fails the test on open errors.
+func openSession(t *testing.T, cl *Cluster, coordIdx int, spec coord.SessionSpec) *coord.Session {
+	t.Helper()
+	sess, err := cl.OpenSessionAt(coordIdx, spec)
+	if err != nil {
+		t.Fatalf("open session: %v", err)
+	}
+	return sess
+}
+
+func TestSessionMultiRoundCommit(t *testing.T) {
+	cl := testCluster(t, Config{Sites: 2})
+	cl.SeedInt64("acct", 100)
+	ctx := context.Background()
+
+	sess := openSession(t, cl, 0, coord.SessionSpec{
+		ID: "S1", Protocol: proto.O2PC, Marking: proto.MarkP1,
+	})
+	// Round 1: read the source balance (shared lock at s0).
+	reads, err := sess.Round(ctx, []coord.SubtxnSpec{
+		{Site: "s0", Ops: []proto.Operation{proto.Read("acct")}, Comp: proto.CompSemantic},
+	})
+	if err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if got := storage.MustDecodeInt64(reads["s0"]["acct"]); got != 100 {
+		t.Fatalf("round 1 read = %d, want 100", got)
+	}
+	// Round 2: debit at s0 — upgrades the round-1 shared lock to exclusive.
+	if _, err := sess.Round(ctx, []coord.SubtxnSpec{
+		{Site: "s0", Ops: []proto.Operation{proto.AddMin("acct", -30, 0)}, Comp: proto.CompSemantic},
+	}); err != nil {
+		t.Fatalf("round 2: %v", err)
+	}
+	// Round 3: credit at s1 — the session's site set grows mid-flight.
+	if _, err := sess.Round(ctx, []coord.SubtxnSpec{
+		{Site: "s1", Ops: []proto.Operation{proto.Add("acct", 30)}, Comp: proto.CompSemantic},
+	}); err != nil {
+		t.Fatalf("round 3: %v", err)
+	}
+
+	res := sess.Commit(ctx)
+	if !res.Committed() {
+		t.Fatalf("session did not commit: %+v err=%v", res, res.Err)
+	}
+	if sess.State() != coord.SessionCommitted {
+		t.Fatalf("state = %v, want committed", sess.State())
+	}
+	if got := cl.Site(0).ReadInt64("acct"); got != 70 {
+		t.Errorf("s0 acct = %d, want 70", got)
+	}
+	if got := cl.Site(1).ReadInt64("acct"); got != 130 {
+		t.Errorf("s1 acct = %d, want 130", got)
+	}
+	if audit := cl.Audit(); !audit.Correct() {
+		t.Errorf("Section 5 criterion violated: %+v", audit)
+	}
+}
+
+func TestSessionVoteAbortCompensates(t *testing.T) {
+	cl := testCluster(t, Config{Sites: 2})
+	cl.SeedInt64("acct", 100)
+	ctx := context.Background()
+
+	cl.DoomAtSite("S2", "s1")
+	sess := openSession(t, cl, 0, coord.SessionSpec{
+		ID: "S2", Protocol: proto.O2PC, Marking: proto.MarkP1,
+	})
+	if _, err := sess.Round(ctx, []coord.SubtxnSpec{
+		{Site: "s0", Ops: []proto.Operation{proto.AddMin("acct", -30, 0)}, Comp: proto.CompSemantic},
+	}); err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if _, err := sess.Round(ctx, []coord.SubtxnSpec{
+		{Site: "s1", Ops: []proto.Operation{proto.Add("acct", 30)}, Comp: proto.CompSemantic},
+	}); err != nil {
+		t.Fatalf("round 2: %v", err)
+	}
+
+	res := sess.Commit(ctx)
+	if res.Committed() {
+		t.Fatalf("doomed session committed: %+v", res)
+	}
+	if res.Outcome != coord.AbortedVote {
+		t.Fatalf("outcome = %v, want aborted-vote", res.Outcome)
+	}
+	if err := cl.Quiesce(ctxWithTimeout(t)); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	// Money conservation after the multi-round abort: both rounds undone.
+	if got := cl.Site(0).ReadInt64("acct"); got != 100 {
+		t.Errorf("s0 acct = %d, want 100 after compensation", got)
+	}
+	if got := cl.Site(1).ReadInt64("acct"); got != 100 {
+		t.Errorf("s1 acct = %d, want 100 after rollback", got)
+	}
+	if vs := cl.CompensationViolations(); len(vs) != 0 {
+		t.Errorf("Theorem 2 violations: %+v", vs)
+	}
+}
+
+func TestSessionClientAbort(t *testing.T) {
+	cl := testCluster(t, Config{Sites: 2})
+	cl.SeedInt64("acct", 100)
+	ctx := context.Background()
+
+	sess := openSession(t, cl, 0, coord.SessionSpec{
+		ID: "S3", Protocol: proto.O2PC, Marking: proto.MarkP1,
+	})
+	if _, err := sess.Round(ctx, []coord.SubtxnSpec{
+		{Site: "s0", Ops: []proto.Operation{proto.Add("acct", 7)}, Comp: proto.CompSemantic},
+	}); err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	res := sess.Abort(ctx)
+	if res.Outcome != coord.AbortedClient {
+		t.Fatalf("outcome = %v, want aborted-client", res.Outcome)
+	}
+	if err := cl.Quiesce(ctxWithTimeout(t)); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	if got := cl.Site(0).ReadInt64("acct"); got != 100 {
+		t.Errorf("s0 acct = %d, want 100 after client abort", got)
+	}
+	// Rounds after settling are rejected; Commit just reports the result.
+	if _, err := sess.Round(ctx, []coord.SubtxnSpec{
+		{Site: "s0", Ops: []proto.Operation{proto.Add("acct", 1)}, Comp: proto.CompSemantic},
+	}); err == nil {
+		t.Errorf("round on aborted session succeeded")
+	}
+	if res := sess.Commit(ctx); res.Outcome != coord.AbortedClient {
+		t.Errorf("commit after abort = %v, want aborted-client", res.Outcome)
+	}
+}
+
+// TestSessionReadsExposedThenAborts is the multi-shot property test of
+// ISSUE 6: a session that reads exposed-but-undecided data via R1
+// admission, whose global decision is ABORT, must leave every account
+// conserved — money conservation per round, not just per transaction.
+//
+// Construction: Ta (O2PC) exposes x=105 at s0 (its coordinator crashes
+// after the votes, so the abort decision is delayed); session Sb then
+// reads x at s0 in round 1 — an R1-admitted read of exposed, undecided
+// data — and runs a two-round transfer that is doomed at s1. Both
+// transactions abort; compensation must restore every balance.
+func TestSessionReadsExposedThenAborts(t *testing.T) {
+	cl := testCluster(t, Config{Sites: 2, Coordinators: 2})
+	cl.SeedInt64("x", 100)
+	cl.SeedInt64("b", 500)
+	ctx := context.Background()
+
+	cl.Coordinator(0).SetCrashInjector(func(id string, phase coord.CrashPhase) bool {
+		return id == "Ta" && phase == coord.CrashAfterVotes
+	})
+	ra := cl.Run(ctx, coord.TxnSpec{
+		ID: "Ta", Protocol: proto.O2PC, Marking: proto.MarkP1,
+		Subtxns: []coord.SubtxnSpec{
+			{Site: "s0", Ops: []proto.Operation{proto.Add("x", 5)}, Comp: proto.CompSemantic},
+		},
+	})
+	if ra.Committed() {
+		t.Fatalf("Ta committed despite crash injector: %+v", ra)
+	}
+
+	// Ta is now exposed-undecided at s0 (locally committed, locks released,
+	// no decision). The session starts on the other coordinator.
+	cl.DoomAtSite("Sb", "s1")
+	sess := openSession(t, cl, 1, coord.SessionSpec{
+		ID: "Sb", Protocol: proto.O2PC, Marking: proto.MarkP1,
+	})
+	reads, err := sess.Round(ctx, []coord.SubtxnSpec{
+		{Site: "s0", Ops: []proto.Operation{proto.Read("x")}, Comp: proto.CompSemantic},
+	})
+	if err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if got := storage.MustDecodeInt64(reads["s0"]["x"]); got != 105 {
+		t.Fatalf("round 1 read x = %d, want the exposed 105", got)
+	}
+	if _, err := sess.Round(ctx, []coord.SubtxnSpec{
+		{Site: "s0", Ops: []proto.Operation{proto.AddMin("b", -50, 0)}, Comp: proto.CompSemantic},
+	}); err != nil {
+		t.Fatalf("round 2: %v", err)
+	}
+	if _, err := sess.Round(ctx, []coord.SubtxnSpec{
+		{Site: "s1", Ops: []proto.Operation{proto.Add("b", 50)}, Comp: proto.CompSemantic},
+	}); err != nil {
+		t.Fatalf("round 3: %v", err)
+	}
+	rb := sess.Commit(ctx)
+	if rb.Committed() {
+		t.Fatalf("doomed session committed: %+v", rb)
+	}
+
+	// Ta's coordinator recovers and presumes abort; s0 compensates.
+	if err := cl.RecoverCoordinator(ctx, 0); err != nil {
+		t.Fatalf("recover coordinator: %v", err)
+	}
+	if err := cl.Quiesce(ctxWithTimeout(t)); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+
+	// Money conservation across both aborts, account by account.
+	if got := cl.Site(0).ReadInt64("x"); got != 100 {
+		t.Errorf("s0 x = %d, want 100", got)
+	}
+	if got := cl.Site(1).ReadInt64("x"); got != 100 {
+		t.Errorf("s1 x = %d, want 100", got)
+	}
+	if got := cl.Site(0).ReadInt64("b"); got != 500 {
+		t.Errorf("s0 b = %d, want 500", got)
+	}
+	if got := cl.Site(1).ReadInt64("b"); got != 500 {
+		t.Errorf("s1 b = %d, want 500", got)
+	}
+	if vs := cl.CompensationViolations(); len(vs) != 0 {
+		t.Errorf("Theorem 2 violations: %+v", vs)
+	}
+	if audit := cl.Audit(); !audit.Correct() {
+		t.Errorf("Section 5 criterion violated: effective=%d", audit.EffectiveCount)
+	}
+}

@@ -198,6 +198,12 @@ type ExecRequest struct {
 	// admitted; both piggyback the R1 compatibility check.
 	TransMarks []string
 	Visited    bool
+	// Round is the session round index for multi-shot transactions: 0 for
+	// the classic one-shot shape, >= 1 when the request continues a
+	// transaction already open at the site (the site re-runs the R1
+	// admission check against its current marking state and appends the
+	// round's operations to the open subtransaction).
+	Round int
 }
 
 // ExecReply reports subtransaction execution.

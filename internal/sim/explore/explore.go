@@ -106,6 +106,14 @@ type Config struct {
 	// WALGroupWindow overrides the decorator's default window when set.
 	WALGroupCommit bool
 	WALGroupWindow time.Duration
+	// MultiShot runs every transfer as a multi-shot session instead of a
+	// one-shot spec: round 1 reads the source account, round 2 debits it,
+	// round 3 credits the destination — with SessionThink of seed-jittered
+	// think time before rounds 2 and 3 (default 500µs, applied only when
+	// MultiShot is set). Sessions hold their locks across think times, so
+	// this schedule stretches lock footprints and R1 re-admission windows.
+	MultiShot    bool
+	SessionThink time.Duration
 	// Faults is the failure schedule.
 	Faults Faults
 }
@@ -143,6 +151,9 @@ func withDefaults(cfg Config) Config {
 	}
 	if cfg.LockTimeout == 0 {
 		cfg.LockTimeout = 5 * time.Millisecond
+	}
+	if cfg.MultiShot && cfg.SessionThink == 0 {
+		cfg.SessionThink = 500 * time.Microsecond
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -215,6 +226,11 @@ func Run(cfg Config) *Result {
 		spec     coord.TxnSpec
 		doom     string
 		coordIdx int
+		// rounds and think are the multi-shot session shape: per-round
+		// subtransaction batches and the seed-jittered think time that
+		// precedes every round after the first. Empty for one-shot jobs.
+		rounds [][]coord.SubtxnSpec
+		think  time.Duration
 	}
 	jobs := make([]job, cfg.Txns)
 	for i := range jobs {
@@ -242,10 +258,48 @@ func Run(cfg Config) *Result {
 			},
 			coordIdx: rng.Intn(cfg.Coordinators),
 		}
+		if cfg.MultiShot {
+			j.rounds = [][]coord.SubtxnSpec{
+				{{Site: siteName(from), Ops: []proto.Operation{proto.Read(acct)}, Comp: proto.CompSemantic}},
+				{{Site: siteName(from), Ops: []proto.Operation{proto.AddMin(acct, -amount, 0)}, Comp: proto.CompSemantic}},
+				{{Site: siteName(to), Ops: []proto.Operation{proto.Add(acct, amount)}, Comp: proto.CompSemantic}},
+			}
+			j.think = cfg.SessionThink/2 + time.Duration(rng.Int63n(int64(cfg.SessionThink)+1))
+		}
 		if cfg.Faults.DoomRate > 0 && rng.Float64() < cfg.Faults.DoomRate {
 			j.doom = siteName([]int{from, to}[rng.Intn(2)])
 		}
 		jobs[i] = j
+	}
+
+	// runJob executes one precomputed job — as a one-shot transaction or,
+	// under MultiShot, as a session of rounds with think time between them —
+	// and reports whether it committed.
+	runJob := func(ctx context.Context, j job) bool {
+		if j.doom != "" {
+			cl.DoomAtSite(j.spec.ID, j.doom)
+		}
+		if !cfg.MultiShot {
+			return cl.RunAt(ctx, j.coordIdx, j.spec).Committed()
+		}
+		sess, err := cl.OpenSessionAt(j.coordIdx, coord.SessionSpec{
+			ID:             j.spec.ID,
+			Protocol:       j.spec.Protocol,
+			Marking:        cfg.Marking,
+			MarkingRetries: 5,
+		})
+		if err != nil {
+			return false
+		}
+		for r, round := range j.rounds {
+			if r > 0 && clock.Sleep(ctx, j.think) != nil {
+				return sess.Abort(ctx).Committed()
+			}
+			if _, err := sess.Round(ctx, round); err != nil {
+				break
+			}
+		}
+		return sess.Commit(ctx).Committed()
 	}
 
 	ctx, cancel := clock.WithTimeout(context.Background(), 5*time.Minute)
@@ -263,12 +317,7 @@ func Run(cfg Config) *Result {
 				return
 			}
 			for i := c; i < len(jobs); i += cfg.Clients {
-				j := jobs[i]
-				if j.doom != "" {
-					cl.DoomAtSite(j.spec.ID, j.doom)
-				}
-				res := cl.RunAt(ctx, j.coordIdx, j.spec)
-				if res.Committed() {
+				if runJob(ctx, jobs[i]) {
 					committed.Add(1)
 				} else {
 					aborted.Add(1)
@@ -529,6 +578,12 @@ func shrinkCandidates(c Config) []Config {
 	if c.Faults.DoomRate > 0 {
 		d := c
 		d.Faults.DoomRate = 0
+		out = append(out, d)
+	}
+	if c.MultiShot {
+		d := c
+		d.MultiShot = false
+		d.SessionThink = 0
 		out = append(out, d)
 	}
 	return out

@@ -41,6 +41,17 @@ func matrix() []struct {
 			SiteCrashCycles:  2,
 			PartitionCycles:  1,
 		}}},
+		// Multi-shot sessions under the fault classes that stress them most:
+		// sites crashing while sessions hold open subtransactions across
+		// think times, the coordinator dying between rounds, and slow links
+		// stretching every round's RPC exchange.
+		{"multishot-site-crash", Config{Marking: proto.MarkP1, MultiShot: true,
+			Faults: Faults{SiteCrashCycles: 2, DoomRate: 0.15}}},
+		{"multishot-coord-crash", Config{Marking: proto.MarkP1, MultiShot: true,
+			Faults: Faults{CoordCrashCycles: 2, DoomRate: 0.15}}},
+		{"multishot-delay", Config{Marking: proto.MarkP2, MultiShot: true,
+			MaxLatency: 4 * time.Millisecond,
+			Faults:     Faults{DropProb: 0.03, DoomRate: 0.2}}},
 	}
 }
 
@@ -220,6 +231,61 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestExplorerTraceGoldenMultiShot is the determinism contract over the
+// multi-shot session workload with site crashes in the schedule: the same
+// (seed, faults, workload config) must serialize byte-identical JSONL event
+// logs — session.open and session.round events, think-time jitter, crash
+// recovery and all. This is the replayability guarantee for the hostile
+// multi-shot matrix entries.
+func TestExplorerTraceGoldenMultiShot(t *testing.T) {
+	cfg := Config{
+		Seed:      11,
+		Marking:   proto.MarkP1,
+		MultiShot: true,
+		Faults: Faults{
+			SiteCrashCycles: 2,
+			DoomRate:        0.15,
+		},
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Failed() {
+		report(t, a)
+	}
+	aj, err := EventsJSONL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := EventsJSONL(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(aj, []byte(`"session.open"`)) {
+		t.Error("no session.open event in trace: multi-shot sessions never engaged")
+	}
+	if !bytes.Contains(aj, []byte(`"session.round"`)) {
+		t.Error("no session.round event in trace")
+	}
+	if !bytes.Equal(aj, bj) {
+		i := 0
+		for i < len(aj) && i < len(bj) && aj[i] == bj[i] {
+			i++
+		}
+		t.Errorf("trace JSONL diverges at byte %d with multi-shot sessions enabled", i)
+	}
+	ah, err := CanonicalJSON(a.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := CanonicalJSON(b.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ah, bh) {
+		t.Error("histories diverge for identical seed with multi-shot sessions enabled")
+	}
 }
 
 // TestExplorerConfigDefaults pins the documented defaults.

@@ -156,6 +156,13 @@ type Stats struct {
 	// PendingGlobal gauges the global subtransactions currently tracked
 	// at this site (executed / prepared / locally committed, undecided).
 	PendingGlobal *metrics.Gauge
+	// ExposureDuration measures the O2PC exposure window per decided
+	// subtransaction: local commit (lock release at the YES vote) to the
+	// decision's arrival. Multi-shot sessions lengthen it only indirectly —
+	// the window opens at the vote, after every round — but a longer
+	// session keeps more concurrent transactions exposed at once, and
+	// experiment E12 reads this histogram to show the distribution.
+	ExposureDuration *metrics.Histogram
 }
 
 func newStats() *Stats {
@@ -177,6 +184,7 @@ func newStats() *Stats {
 		RecoveredExposed:     &metrics.Counter{},
 		ResumedCompensations: &metrics.Counter{},
 		PendingGlobal:        &metrics.Gauge{},
+		ExposureDuration:     metrics.NewHistogram(),
 	}
 }
 
@@ -200,6 +208,7 @@ func (s *Stats) Publish(reg *metrics.Registry, prefix string) {
 	reg.Adopt(prefix+"recovered_exposed_total", s.RecoveredExposed)
 	reg.Adopt(prefix+"resumed_compensations_total", s.ResumedCompensations)
 	reg.Adopt(prefix+"pending_global_txns", s.PendingGlobal)
+	reg.Adopt(prefix+"exposure_duration_ms", s.ExposureDuration)
 }
 
 // pending tracks one global transaction's subtransaction at this site.
@@ -216,6 +225,10 @@ type pending struct {
 	state   pendingState
 	coord   string // coordinator node name, learned from the vote request
 	marks   []string
+	// exposedAt stamps the local commit of an O2PC YES vote; the decision
+	// handler measures the exposure window from it. Zero for recovered
+	// entries, whose original exposure instant did not survive the crash.
+	exposedAt time.Time
 
 	mu      sync.Mutex
 	decided bool // a decision has been (or is being) applied
@@ -445,7 +458,11 @@ func (s *Site) nextSysID() string {
 // witness facts, so unmarking is never delayed behind a vote round.
 func (s *Site) handleExec(ctx context.Context, req proto.ExecRequest) proto.ExecReply {
 	s.stats.Execs.Inc()
-	s.tracer.Emit(s.cfg.Name, trace.EvExecRecv, req.TxnID, "", "")
+	detail := ""
+	if req.Round > 0 {
+		detail = "round=" + strconv.Itoa(req.Round)
+	}
+	s.tracer.Emit(s.cfg.Name, trace.EvExecRecv, req.TxnID, "", detail)
 	reply := s.execLocked(ctx, req)
 	reply.Witnesses = s.drainWitnesses()
 	s.tracer.Emit(s.cfg.Name, trace.EvExecDone, req.TxnID, "", execDetail(reply))
@@ -474,9 +491,14 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 	// write on behalf of a dead transaction.
 	s.mu.Lock()
 	stale := s.resolved[req.TxnID]
+	open := s.pend[req.TxnID]
 	s.mu.Unlock()
 	if stale {
 		return proto.ExecReply{Err: "stale subtransaction: transaction already decided at this site"}
+	}
+	if req.Round > 0 && open != nil {
+		// A session round continuing a subtransaction already open here.
+		return s.execContinue(ctx, open, req)
 	}
 
 	t, err := s.mgr.Begin(req.TxnID, history.KindGlobal, "")
@@ -562,6 +584,95 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 	s.pend[req.TxnID] = &pending{req: req, t: t, state: stateExecuted, marks: merged}
 	s.mu.Unlock()
 	s.stats.PendingGlobal.Inc()
+	return proto.ExecReply{OK: true, Reads: reads, Marks: merged}
+}
+
+// execContinue applies one more session round to a subtransaction already
+// open at this site (multi-shot sessions, req.Round >= 1). The open
+// transaction keeps its data locks across rounds, so earlier rounds' work
+// stays protected through the think-time gaps; the round re-runs the R1
+// admission check against the site's *current* marking state — a session is
+// re-admitted on every round, which is exactly what stresses R1 against
+// data marked while the session was thinking.
+//
+// Failure handling deliberately differs from the one-shot path: the open
+// transaction is NOT rolled back here. A retryable rejection leaves the
+// session intact so the coordinator's retry re-runs the same round against
+// the same open transaction (a local roll-back would void the earlier
+// rounds and the retry would silently restart the session); a fatal
+// rejection or execution failure is reported and the coordinator's abort
+// DECISION rolls the whole session back (applyAbort's stateExecuted path).
+func (s *Site) execContinue(ctx context.Context, p *pending, req proto.ExecRequest) proto.ExecReply {
+	s.lockPending(p)
+	defer p.mu.Unlock()
+	if p.decided {
+		return proto.ExecReply{Err: "stale session round: transaction already decided at this site"}
+	}
+	if p.t == nil {
+		return proto.ExecReply{Err: "session round for a subtransaction recovered from WAL; awaiting decision"}
+	}
+	if p.state != stateExecuted {
+		return proto.ExecReply{Err: fmt.Sprintf("session round %d after the vote round", req.Round)}
+	}
+
+	var merged []string
+	if req.Marking != proto.MarkNone {
+		verdict, m, err := s.checkMarks(ctx, p.t, req)
+		if err != nil {
+			return proto.ExecReply{Err: err.Error()}
+		}
+		// Under early-revalidate the check's shared MarkKey lock is fresh
+		// and must not outlive a rejected round (the session's data locks
+		// stay; the marking-set lock belongs to the admitted window only).
+		hold := s.cfg.CheckStrategy == CheckHold
+		switch verdict {
+		case marking.Admit:
+			// Compatible: the round proceeds below.
+		case marking.Retry:
+			s.stats.RejectsRetry.Inc()
+			if !hold {
+				s.mgr.Locks().Release(p.t.ID(), MarkKey)
+			}
+			return proto.ExecReply{Rejected: true, Reason: "marking: retryable incompatibility"}
+		case marking.Abort:
+			s.stats.RejectsFatal.Inc()
+			if !hold {
+				s.mgr.Locks().Release(p.t.ID(), MarkKey)
+			}
+			return proto.ExecReply{Rejected: true, Fatal: true, Reason: "marking: incompatibility requires abort"}
+		}
+		merged = m
+		if req.Marking == proto.MarkP2 {
+			s.marks.RecordWitness(marking.P2UndoneSeen(merged))
+		} else {
+			s.marks.RecordWitness(merged)
+		}
+		if !hold {
+			s.mgr.Locks().Release(p.t.ID(), MarkKey)
+		}
+	}
+
+	reads, execErr := s.runOps(ctx, p.t, req.Ops)
+	if execErr == nil && req.Marking != proto.MarkNone && s.cfg.CheckStrategy != CheckHold {
+		// Per-round validation, as the round's last action — same compromise
+		// as the one-shot path, scoped to the round.
+		if !s.validateMarks(ctx, p.t.ID(), req.Marking, merged) {
+			s.stats.RevalidateFail.Inc()
+			return proto.ExecReply{Rejected: true, Fatal: true, Reason: "marking validation failed after session round"}
+		}
+	}
+	if execErr != nil {
+		s.stats.ExecFailures.Inc()
+		return proto.ExecReply{Err: execErr.Error()}
+	}
+
+	// The accumulated request is what the vote's exposure record logs and
+	// what recovery-time compensation inverts: it must cover every round's
+	// operations, not just the last one's.
+	p.req.Ops = append(p.req.Ops, req.Ops...)
+	p.req.Round = req.Round
+	p.req.TransMarks = req.TransMarks
+	p.marks = merged
 	return proto.ExecReply{OK: true, Reads: reads, Marks: merged}
 }
 

@@ -64,6 +64,21 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 		return proto.VoteReply{Commit: false, Reason: "site unilaterally aborted", Witnesses: witnesses}
 	}
 
+	// Multi-shot sessions re-validate R1 at the vote. Each round validated
+	// as its own last action, but the think-time gaps between rounds leave
+	// a much longer window in which compensating transactions can mark the
+	// site than a one-shot subtransaction ever sees. The check is
+	// conservative: a failure only converts a YES into a unilateral NO, so
+	// it can cause extra aborts but never admit a dangerous reader.
+	if p.req.Round > 0 && p.req.Marking != proto.MarkNone {
+		if !s.validateMarks(ctx, p.t.ID(), p.req.Marking, p.marks) {
+			s.stats.RevalidateFail.Inc()
+			s.voteNo(ctx, p)
+			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "session revalidation")
+			return proto.VoteReply{Commit: false, Reason: "marking validation failed at vote", Witnesses: witnesses}
+		}
+	}
+
 	// Under the dual protocol P2 the site's mark set tracks transactions
 	// the site is locally-committed with respect to: the mark is written
 	// at the YES vote — inside the voting transaction itself, under an
@@ -141,6 +156,7 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 			return proto.VoteReply{Commit: false, Reason: err.Error(), Witnesses: witnesses}
 		}
 		p.state = stateLocallyCommitted
+		p.exposedAt = s.clock.Now()
 		s.tracer.Emit(s.cfg.Name, trace.EvExposed, req.TxnID, from, "")
 		s.tracer.Emit(s.cfg.Name, trace.EvLocalCommit, req.TxnID, "", "")
 		s.tracer.Emit(s.cfg.Name, trace.EvLockRelease, req.TxnID, "", "")
@@ -222,6 +238,12 @@ func (s *Site) handleDecision(ctx context.Context, d proto.Decision) (proto.Ack,
 	s.lockPending(p)
 	defer p.mu.Unlock()
 	p.decided = true
+	if p.state == stateLocallyCommitted && !p.exposedAt.IsZero() {
+		// The exposure window closes when the decision arrives (commit or
+		// abort — compensation for an abort starts now). Recovered entries
+		// have a zero stamp and are skipped.
+		s.stats.ExposureDuration.ObserveDuration(s.clock.Since(p.exposedAt))
+	}
 
 	// Write-ahead: the decision record lands before the decision's effects.
 	// If the log refuses it, undo the bookkeeping and report the failure —

@@ -70,6 +70,8 @@ const (
 	EvRecoverPending
 	EvRecoverComp
 	EvRecoverMarks
+	EvSessionOpen
+	EvSessionRound
 
 	numEventTypes // sentinel; keep last
 )
@@ -111,6 +113,8 @@ var eventTypeNames = [numEventTypes]string{
 	EvRecoverPending:  "recover.pending",
 	EvRecoverComp:     "recover.comp",
 	EvRecoverMarks:    "recover.marks",
+	EvSessionOpen:     "session.open",
+	EvSessionRound:    "session.round",
 }
 
 // eventTypeByName is the inverse of eventTypeNames, for JSONL decoding.

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// FuzzZipfGenerator hammers the key-skew machinery with hostile parameters:
+// s -> 1 from above (where rand.NewZipf refuses), s <= 1, infinite and NaN
+// s, hot-set size 1, hot sets larger than the keyspace, and empty or
+// negative keyspaces. Every drawn key must land inside the effective
+// keyspace and every draw sequence must be seed-deterministic.
+func FuzzZipfGenerator(f *testing.F) {
+	f.Add(1.2, 64, 8, 0.5, int64(1))
+	f.Add(1.0, 16, 1, 0.9, int64(2))          // s == 1: NewZipf returns nil
+	f.Add(math.Nextafter(1, 2), 16, 0, 0.0, int64(3)) // s -> 1 from above
+	f.Add(math.Inf(1), 8, 4, 0.5, int64(4))   // infinite skew
+	f.Add(0.0, 0, 0, 0.0, int64(0))           // empty keyspace, zero seed
+	f.Add(2.5, -7, 99, 1.5, int64(-1))        // negative keyspace, hot > keys
+	f.Add(1.5, 1, 1, 0.5, int64(5))           // keyspace of one, hot set of one
+	f.Fuzz(func(t *testing.T, s float64, keys, hot int, hotProb float64, seed int64) {
+		cfg := Config{
+			Seed:        seed,
+			KeysPerSite: keys,
+			HotKeys:     hot,
+			HotProb:     hotProb,
+			ZipfS:       s,
+			ReadFrac:    0.3,
+			AbortProb:   0.2,
+			Rounds:      3,
+		}
+		eff := cfg.withDefaults()
+		sites := []string{"s0", "s1"}
+		ga := NewGenerator(cfg, sites)
+		gb := NewGenerator(cfg, sites)
+
+		checkKey := func(key string) {
+			i, err := strconv.Atoi(key[1:])
+			if err != nil || i < 0 || i >= eff.KeysPerSite {
+				t.Fatalf("key %q outside effective keyspace [0,%d)", key, eff.KeysPerSite)
+			}
+		}
+		for n := 0; n < 25; n++ {
+			spec, doom := ga.Next()
+			specB, doomB := gb.Next()
+			if doom != doomB || len(spec.Subtxns) != len(specB.Subtxns) {
+				t.Fatalf("draw %d: one-shot generators diverged", n)
+			}
+			for _, st := range spec.Subtxns {
+				for _, op := range st.Ops {
+					checkKey(op.Key)
+				}
+			}
+		}
+		for n := 0; n < 10; n++ {
+			script := ga.NextSession()
+			scriptB := gb.NextSession()
+			if script.ID != scriptB.ID || script.DoomSite != scriptB.DoomSite ||
+				len(script.Rounds) != len(scriptB.Rounds) {
+				t.Fatalf("draw %d: session generators diverged", n)
+			}
+			for _, round := range script.Rounds {
+				for _, st := range round {
+					for _, op := range st.Ops {
+						checkKey(op.Key)
+					}
+				}
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ package workload
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"o2pc/internal/core"
 	"o2pc/internal/metrics"
 	"o2pc/internal/proto"
+	"o2pc/internal/sim"
 	"o2pc/internal/storage"
 	"o2pc/internal/txn"
 )
@@ -76,27 +78,58 @@ type Config struct {
 	// SeedValue is the initial value of every key (large enough that
 	// AddMin never fires spuriously).
 	SeedValue int64
+
+	// Rounds, when > 1, switches clients to multi-shot sessions: each
+	// "transaction" is a session of that many read/write rounds against the
+	// cluster, held open across think times, then driven through the
+	// ordinary commit point. Rounds <= 1 keeps the classic one-shot shape.
+	Rounds int
+	// ThinkTime is the client think time before each session round.
+	ThinkTime time.Duration
+	// BurstSize and BurstGap model flash-crowd arrival: after every
+	// BurstSize transactions (or sessions) a client pauses BurstGap, so
+	// clients slam the cluster in synchronized waves. BurstSize=0 disables
+	// bursting (smooth arrivals).
+	BurstSize int
+	BurstGap  time.Duration
+	// StragglerFrac is the fraction of sessions that are long-tail
+	// stragglers: their think times are multiplied by StragglerFactor
+	// (default 8), stretching how long their locks and marking-set entries
+	// sit under everyone else's feet.
+	StragglerFrac   float64
+	StragglerFactor int
+	// AnalyticsFrac is the fraction of sessions that are read-mostly
+	// analytics scans (every operation a read), mixed in with the OLTP
+	// writers drawn from ReadFrac.
+	AnalyticsFrac float64
 }
 
-// withDefaults fills zero fields.
+// withDefaults fills zero fields and clamps hostile values (negative
+// counts would panic the RNG) so fuzzed configs are safe to run.
 func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
-	if c.Clients == 0 {
+	if c.Clients <= 0 {
 		c.Clients = 8
 	}
-	if c.TxnsPerClient == 0 {
+	if c.TxnsPerClient <= 0 {
 		c.TxnsPerClient = 50
 	}
-	if c.SitesPerTxn == 0 {
+	if c.SitesPerTxn <= 0 {
 		c.SitesPerTxn = 2
 	}
-	if c.OpsPerSite == 0 {
+	if c.OpsPerSite <= 0 {
 		c.OpsPerSite = 2
 	}
-	if c.KeysPerSite == 0 {
+	if c.KeysPerSite <= 0 {
 		c.KeysPerSite = 1024
+	}
+	if c.HotKeys < 0 {
+		c.HotKeys = 0
+	}
+	if c.HotKeys > c.KeysPerSite {
+		c.HotKeys = c.KeysPerSite
 	}
 	if c.Protocol == 0 {
 		c.Protocol = proto.O2PC
@@ -106,6 +139,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SeedValue == 0 {
 		c.SeedValue = 1 << 40
+	}
+	if c.Rounds < 0 {
+		c.Rounds = 0
+	}
+	if c.StragglerFactor <= 0 {
+		c.StragglerFactor = 8
 	}
 	return c
 }
@@ -133,6 +172,9 @@ type Report struct {
 	// LocalLatency summarizes local-transaction latency (ms), when local
 	// load was enabled.
 	LocalLatency metrics.Summary
+	// Exposure summarizes O2PC exposure windows across sites (ms): local
+	// commit to decision arrival, per decided subtransaction (E12).
+	Exposure metrics.Summary
 
 	Deadlocks     int64
 	Compensations int64
@@ -157,7 +199,10 @@ type keyPicker struct {
 
 func newKeyPicker(cfg Config, rng *rand.Rand) *keyPicker {
 	kp := &keyPicker{cfg: cfg, rng: rng}
-	if cfg.ZipfS > 1 {
+	// s must be finite and > 1 for a well-defined Zipf; s <= 1 (including
+	// s -> 1 from above failing NewZipf's check) falls back to the hot-set
+	// model. An infinite s would make NewZipf's internals NaN out.
+	if cfg.ZipfS > 1 && !math.IsInf(cfg.ZipfS, 1) {
 		kp.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.KeysPerSite-1))
 	}
 	return kp
@@ -165,7 +210,14 @@ func newKeyPicker(cfg Config, rng *rand.Rand) *keyPicker {
 
 func (kp *keyPicker) pick() int {
 	if kp.zipf != nil {
-		return int(kp.zipf.Uint64())
+		i := int(kp.zipf.Uint64())
+		// rand.Zipf can overshoot imax when s is within a few ulps of 1:
+		// the rejection test suffers catastrophic cancellation in 1-s.
+		// Clamp into the keyspace rather than index out of range.
+		if i >= kp.cfg.KeysPerSite {
+			i = kp.cfg.KeysPerSite - 1
+		}
+		return i
 	}
 	if kp.cfg.HotKeys > 0 && kp.rng.Float64() < kp.cfg.HotProb {
 		return kp.rng.Intn(kp.cfg.HotKeys)
@@ -274,6 +326,89 @@ func (g *Generator) Next() (coord.TxnSpec, string) {
 	return spec, doomSite
 }
 
+// SessionScript is one multi-shot session drawn from the generator: the
+// per-round subtransaction batches, the think time preceding each round,
+// and — when the session is doomed — the site that must vote NO. The whole
+// script is drawn up front from the seeded RNG, so (seed, config) fixes the
+// session population regardless of how clients interleave at runtime.
+type SessionScript struct {
+	ID     string
+	Rounds [][]coord.SubtxnSpec
+	// Think is the pre-round think time, one entry per round.
+	Think []time.Duration
+	// DoomSite, when non-empty, is the site scripted to vote NO.
+	DoomSite string
+	// Analytics marks a read-mostly scan session (every operation a read).
+	Analytics bool
+	// Straggler marks a long-tail session with stretched think times.
+	Straggler bool
+}
+
+// NextSession produces the next multi-shot session script. The session
+// visits SitesPerTxn distinct sites; each of Rounds rounds targets one of
+// them round-robin with OpsPerSite operations, so sites revisited in later
+// rounds exercise the continuation (R1 re-admission) path at the site.
+func (g *Generator) NextSession() SessionScript {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	script := SessionScript{ID: "w" + strconv.Itoa(g.n)}
+
+	rounds := g.cfg.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	k := g.cfg.SitesPerTxn
+	if k > len(g.sites) {
+		k = len(g.sites)
+	}
+	for i := 0; i < len(g.sites); i++ {
+		j := g.rng.Intn(i + 1)
+		g.perm[i] = g.perm[j]
+		g.perm[j] = i
+	}
+	perm := g.perm[:k]
+
+	script.Analytics = g.cfg.AnalyticsFrac > 0 && g.rng.Float64() < g.cfg.AnalyticsFrac
+	script.Straggler = g.cfg.StragglerFrac > 0 && g.rng.Float64() < g.cfg.StragglerFrac
+	think := g.cfg.ThinkTime
+	if script.Straggler {
+		think *= time.Duration(g.cfg.StragglerFactor)
+	}
+
+	wrote := false
+	for r := 0; r < rounds; r++ {
+		site := g.sites[perm[r%k]]
+		ops := make([]proto.Operation, 0, g.cfg.OpsPerSite)
+		for j := 0; j < g.cfg.OpsPerSite; j++ {
+			key := g.keys[g.picker.pick()]
+			if script.Analytics || g.rng.Float64() < g.cfg.ReadFrac {
+				ops = append(ops, proto.Read(key))
+			} else {
+				ops = append(ops, proto.Add(key, 1))
+				wrote = true
+			}
+		}
+		comp := g.cfg.Comp
+		if g.cfg.RealActionFrac > 0 && g.rng.Float64() < g.cfg.RealActionFrac {
+			comp = proto.CompNone
+		}
+		script.Rounds = append(script.Rounds, []coord.SubtxnSpec{{Site: site, Ops: ops, Comp: comp}})
+		script.Think = append(script.Think, think)
+	}
+	if !wrote && !script.Analytics && g.cfg.ReadFrac < 1 && !g.cfg.AllowReadOnly {
+		// Guarantee at least one write per OLTP session so aborts exercise
+		// compensation; analytics scans stay genuinely read-only.
+		last := script.Rounds[rounds-1][0].Ops
+		last[len(last)-1] = proto.Add(last[len(last)-1].Key, 1)
+	}
+
+	if g.cfg.AbortProb > 0 && g.rng.Float64() < g.cfg.AbortProb {
+		script.DoomSite = g.sites[perm[g.rng.Intn(k)]]
+	}
+	return script
+}
+
 // Run seeds the cluster, drives the configured load, and reports. All
 // timing flows through the cluster's clock and every driver goroutine is
 // spawned through it, so a workload over a virtual clock is fully
@@ -306,26 +441,42 @@ func Run(ctx context.Context, cl *core.Cluster, cfg Config) Report {
 			fn()
 		})
 	}
+	// burstPause stalls the client between arrival waves: after every
+	// BurstSize transactions all clients sleep BurstGap together (same
+	// schedule, same clock), so load arrives as synchronized flash crowds.
+	burstPause := func(ctx context.Context, i int) {
+		if cfg.BurstSize > 0 && cfg.BurstGap > 0 && (i+1)%cfg.BurstSize == 0 {
+			_ = clock.Sleep(ctx, cfg.BurstGap)
+		}
+	}
+	record := func(res coord.Result) {
+		markRetries.Add(int64(res.MarkRetries))
+		if res.Committed() {
+			committed.Inc()
+			latency.ObserveDuration(res.Latency)
+		} else {
+			aborted.Inc()
+		}
+	}
 	for c := 0; c < cfg.Clients; c++ {
 		client := c
 		spawn(func() {
 			nCoords := len(cl.Coordinators())
 			for i := 0; i < cfg.TxnsPerClient; i++ {
-				spec, doomSite := gen.Next()
-				if doomSite != "" {
-					cl.DoomAtSite(spec.ID, doomSite)
-				}
-				res := cl.RunAt(ctx, client%nCoords, spec)
-				markRetries.Add(int64(res.MarkRetries))
-				if res.Committed() {
-					committed.Inc()
-					latency.ObserveDuration(res.Latency)
+				if cfg.Rounds > 1 {
+					script := gen.NextSession()
+					record(runSession(ctx, cl, clock, client%nCoords, cfg, script))
 				} else {
-					aborted.Inc()
+					spec, doomSite := gen.Next()
+					if doomSite != "" {
+						cl.DoomAtSite(spec.ID, doomSite)
+					}
+					record(cl.RunAt(ctx, client%nCoords, spec))
 				}
 				if ctx.Err() != nil {
 					return
 				}
+				burstPause(ctx, i)
 			}
 		})
 	}
@@ -369,6 +520,34 @@ func Run(ctx context.Context, cl *core.Cluster, cfg Config) Report {
 		markRetries.Value(), latency, localLatency)
 }
 
+// runSession drives one multi-shot session script: open, think + round per
+// entry, then the commit point. A round failure settles the session inside
+// Round, so Commit afterwards just reports the stored abort.
+func runSession(ctx context.Context, cl *core.Cluster, clock sim.Clock,
+	coordIdx int, cfg Config, script SessionScript) coord.Result {
+
+	if script.DoomSite != "" {
+		cl.DoomAtSite(script.ID, script.DoomSite)
+	}
+	sess, err := cl.OpenSessionAt(coordIdx, coord.SessionSpec{
+		ID: script.ID, Protocol: cfg.Protocol, Marking: cfg.Marking,
+	})
+	if err != nil {
+		return coord.Result{ID: script.ID, Outcome: coord.AbortedCoordinator, Err: err}
+	}
+	for r, round := range script.Rounds {
+		if script.Think[r] > 0 {
+			if clock.Sleep(ctx, script.Think[r]) != nil {
+				return sess.Abort(ctx)
+			}
+		}
+		if _, err := sess.Round(ctx, round); err != nil {
+			break
+		}
+	}
+	return sess.Commit(ctx)
+}
+
 func buildReport(cl *core.Cluster, cfg Config, elapsed time.Duration,
 	committed, aborted, markRetries int64, latency, localLatency *metrics.Histogram) Report {
 
@@ -390,12 +569,14 @@ func buildReport(cl *core.Cluster, cfg Config, elapsed time.Duration,
 
 	holdX := metrics.NewHistogram()
 	waits := metrics.NewHistogram()
+	exposure := metrics.NewHistogram()
 	for _, s := range cl.Sites() {
 		ls := s.Manager().Locks().Stats()
 		mergeHistogram(holdX, ls.HoldTimeX)
 		mergeHistogram(waits, ls.WaitTime)
 		r.Deadlocks += ls.Deadlocks.Value()
 		st := s.Stats()
+		mergeHistogram(exposure, st.ExposureDuration)
 		r.Compensations += st.Compensations.Value()
 		r.Rollbacks += st.Rollbacks.Value()
 		r.RejectsRetry += st.RejectsRetry.Value()
@@ -403,6 +584,7 @@ func buildReport(cl *core.Cluster, cfg Config, elapsed time.Duration,
 	}
 	r.LockHoldX = holdX.Snapshot()
 	r.LockWait = waits.Snapshot()
+	r.Exposure = exposure.Snapshot()
 	return r
 }
 
