@@ -213,6 +213,7 @@ func measureBlocking(protocol proto.Protocol, outage time.Duration) time.Duratio
 	start := time.Now()
 	done := make(chan time.Duration, 1)
 	go func() {
+		//o2pcvet:ignore errflow -- the experiment measures how long the read blocks; its outcome is immaterial
 		_ = cl.RunLocal(bg(), 0, func(t *txn.Txn) error {
 			_, err := t.ReadInt64(bg(), "x")
 			return err
@@ -220,6 +221,7 @@ func measureBlocking(protocol proto.Protocol, outage time.Duration) time.Duratio
 		done <- time.Since(start)
 	}()
 	time.Sleep(outage)
+	//o2pcvet:ignore errflow -- bench harness: a failed recovery shows up as an unterminated wait in the measurement
 	_ = cl.RecoverCoordinator(bg(), 0)
 	wait := <-done
 	quiesce(cl)

@@ -132,6 +132,7 @@ func (e *env) dumpHistory(cl *core.Cluster, name string) {
 func quiesce(cl *core.Cluster) {
 	ctx, cancel := context.WithTimeout(bg(), 30*time.Second)
 	defer cancel()
+	//o2pcvet:ignore errflow -- best-effort drain bounded by the timeout; the next experiment re-seeds regardless
 	_ = cl.Quiesce(ctx)
 }
 
@@ -177,6 +178,7 @@ func dangerousScenario(marking proto.MarkProtocol, seed int64) (*core.Cluster, c
 		},
 	})
 
+	//o2pcvet:ignore errflow -- bench harness: the scenario's assertions observe the recovered state directly
 	_ = cl.RecoverCoordinator(bg(), 0)
 	quiesce(cl)
 	return cl, reader

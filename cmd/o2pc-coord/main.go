@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -104,6 +105,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("open wal: %w", err)
 		}
+		//o2pcvet:ignore errflow -- process-exit close of a read-side handle; appends were already synced
 		defer fl.Close()
 		cfg.Log = fl
 	}
@@ -116,7 +118,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	defer ln.Close()
 	srv := rpc.NewServer(*name, c.Handle)
-	go srv.Serve(ln)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(stdout, "o2pc-coord: serve:", err)
+		}
+	}()
 	fmt.Fprintf(stdout, "coordinator %s serving on %s\n", *name, ln.Addr())
 
 	switch {

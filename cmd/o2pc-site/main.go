@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"maps"
 	"net"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -77,6 +79,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("o2pc-site: open wal: %v", err)
 		}
+		//o2pcvet:ignore errflow -- process-exit close; every append the protocol relies on was synced when it was logged
 		defer fl.Close()
 		cfg.Log = fl
 	}
@@ -92,8 +95,10 @@ func main() {
 		log.Printf("recovered: %d redone, %d undone, %d in doubt",
 			len(res.Redone), len(res.Undone), len(res.InDoubt))
 	}
-	for key, val := range seeds {
-		s.SeedInt64(storage.Key(key), val)
+	// Seed in sorted key order: SeedInt64 appends to the WAL, and the log
+	// must not depend on map iteration order.
+	for _, key := range slices.Sorted(maps.Keys(seeds)) {
+		s.SeedInt64(storage.Key(key), seeds[key])
 	}
 
 	ln, err := net.Listen("tcp", *listen)

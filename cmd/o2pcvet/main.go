@@ -1,21 +1,34 @@
 // Command o2pcvet is the repository's multichecker: it runs the
 // internal/analyzers suite (walltime, walorder, lockheld, exhaustive,
-// randdet) over the named package patterns and exits non-zero if any
-// diagnostic is reported. CI runs it as `go run ./cmd/o2pcvet ./...`; see
-// DESIGN.md §8 for what each pass enforces and why.
+// randdet, maporder, errflow, lockorder, goleak) over the named package
+// patterns and exits non-zero if any diagnostic is reported. CI runs it as
+// `go run ./cmd/o2pcvet ./...`; see DESIGN.md §8 and §13 for what each
+// pass enforces and why.
 //
 // Findings can be suppressed line-by-line with a justified directive:
 //
 //	//o2pcvet:ignore walltime -- reason the wall clock is correct here
 //
 // placed on the offending line or the line above it.
+//
+// For machine consumption, -json prints the findings as a sorted JSON
+// array of {analyzer, file, line, col, message} objects with repo-relative
+// file paths. A baseline workflow supports ratcheting: -baseline FILE
+// suppresses findings whose (analyzer, file, message) triple appears in
+// FILE (line numbers are deliberately ignored so unrelated edits don't
+// invalidate the baseline), and -update-baseline rewrites FILE with the
+// current findings. The checked-in o2pcvet.baseline.json is empty and must
+// stay empty: new findings are fixed or annotated with a reasoned
+// directive, never baselined away.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"o2pc/internal/analyzers"
@@ -26,12 +39,25 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the machine-readable shape of one diagnostic. File is
+// relative to the -C directory when the diagnostic lies under it.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("o2pcvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "directory to resolve package patterns from")
 	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
+	asJSON := fs.Bool("json", false, "print findings as a JSON array instead of text")
+	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline JSON file")
+	update := fs.Bool("update-baseline", false, "rewrite the -baseline file with the current findings and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,6 +85,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		suite = picked
 	}
+	if *update && *baseline == "" {
+		fmt.Fprintln(stderr, "o2pcvet: -update-baseline requires -baseline")
+		return 2
+	}
 
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -74,12 +104,131 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "o2pcvet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+
+	findings := relativize(diags, *dir)
+	if *baseline != "" && !*update {
+		old, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "o2pcvet: %v\n", err)
+			return 2
+		}
+		findings = filterBaselined(findings, old)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "o2pcvet: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+	if *update {
+		if err := writeBaseline(*baseline, findings); err != nil {
+			fmt.Fprintf(stderr, "o2pcvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "o2pcvet: wrote %d finding(s) to %s\n", len(findings), *baseline)
+		return 0
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []jsonFinding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "o2pcvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "o2pcvet: %d finding(s) across %d package(s)\n",
+			len(findings), countTargets(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// relativize converts framework diagnostics to the JSON shape, rewriting
+// file paths under dir as dir-relative so baselines and artifacts are
+// stable across checkouts. Run already sorted and deduplicated the input.
+func relativize(diags []framework.Diagnostic, dir string) []jsonFinding {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = ""
+	}
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if abs != "" {
+			if rel, err := filepath.Rel(abs, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// baselineKey identifies a finding for baseline matching. Line and column
+// are excluded on purpose: a baseline entry keeps suppressing its finding
+// as surrounding code moves, and disappears from -update-baseline output
+// once the finding is actually fixed.
+func baselineKey(f jsonFinding) string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
+func readBaseline(path string) ([]jsonFinding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var out []jsonFinding
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return out, nil
+}
+
+func writeBaseline(path string, findings []jsonFinding) error {
+	if findings == nil {
+		findings = []jsonFinding{}
+	}
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func filterBaselined(findings, baseline []jsonFinding) []jsonFinding {
+	if len(baseline) == 0 {
+		return findings
+	}
+	known := make(map[string]bool, len(baseline))
+	for _, f := range baseline {
+		known[baselineKey(f)] = true
+	}
+	var out []jsonFinding
+	for _, f := range findings {
+		if !known[baselineKey(f)] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// countTargets counts the packages the patterns named directly, excluding
+// dependencies loaded only for cross-package facts.
+func countTargets(pkgs []*framework.Package) int {
+	n := 0
+	for _, p := range pkgs {
+		if !p.DepOnly {
+			n++
+		}
+	}
+	return n
 }

@@ -43,15 +43,27 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) 
 		loaded: make(map[string]*framework.Package),
 	}
 	var targets []*framework.Package
+	target := make(map[string]bool, len(paths))
 	for _, path := range paths {
 		pkg, err := l.load(path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
 		targets = append(targets, pkg)
+		target[path] = true
 	}
 
-	diags, err := framework.Run(targets, []*framework.Analyzer{a})
+	// The loader's recursion finishes dependencies before their importers,
+	// so l.order is dependency order — what Run needs to compute facts for
+	// fixture dependencies before the target packages consult them.
+	all := make([]*framework.Package, 0, len(l.order))
+	for _, path := range l.order {
+		pkg := l.loaded[path]
+		pkg.DepOnly = !target[path]
+		all = append(all, pkg)
+	}
+
+	diags, err := framework.Run(all, []*framework.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -74,6 +86,7 @@ type loader struct {
 	fset   *token.FileSet
 	std    types.Importer
 	loaded map[string]*framework.Package
+	order  []string // import paths in completion (dependency) order
 	stack  []string
 }
 
@@ -154,6 +167,7 @@ func (l *loader) load(path string) (*framework.Package, error) {
 		TypesInfo:  info,
 	}
 	l.loaded[path] = pkg
+	l.order = append(l.order, path)
 	return pkg, nil
 }
 

@@ -1,0 +1,231 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"o2pc/internal/analyzers/framework"
+)
+
+// Errflow tracks error results that originate in the protocol-critical
+// layers — wal appends/syncs, lock-manager admission, rpc delivery, and
+// the virtual clock — through the call graph, and reports every point
+// where such an error is discarded: a blank assignment (`_ = call`), a
+// bare expression statement, or a defer/go whose result vanishes.
+//
+// The paper's guarantees assume these errors are observed. Theorem 2's
+// semantic atomicity holds only if a failed Append aborts the transaction
+// rather than exposing an unlogged write; a swallowed lock error breaks
+// admission; a dropped rpc error desynchronizes coordinator and
+// participant state. Propagation is interprocedural via package facts:
+// each package exports the set of its error-returning functions that
+// transitively surface a layer error, so a discard of `txn.Abort`'s
+// result is flagged even though the wal call is three frames down.
+//
+// Deliberate discards carry an "//o2pcvet:ignore errflow -- reason"
+// directive, which keeps every exemption self-documenting.
+var Errflow = &framework.Analyzer{
+	Name: "errflow",
+	Doc: "errors originating in the wal/lock/rpc/clock layer must be " +
+		"handled or propagated, never silently discarded",
+	Facts: errflowFacts,
+	Run:   runErrflow,
+}
+
+// errflowBasePkg reports whether every error-returning function of the
+// package is an error source by definition. These are the layers whose
+// failures the protocol proofs reason about.
+func errflowBasePkg(path string) bool {
+	return pathEndsWith(path, "internal/wal") ||
+		pathEndsWith(path, "internal/lock") ||
+		pathEndsWith(path, "internal/rpc") ||
+		pathEndsWith(path, "internal/sim")
+}
+
+// errflowFacts computes the package's propagator set: error-returning
+// declared functions whose bodies (transitively, via an intra-package
+// fixpoint and imported facts) call an error source. Base packages export
+// all their error-returning declarations.
+func errflowFacts(pass *framework.Pass) (any, error) {
+	local := make(map[string]bool)
+	if errflowBasePkg(pass.Pkg.Path()) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn := declFunc(pass.TypesInfo, fd); fn != nil && returnsError(fn) {
+					local[funcKey(fn)] = true
+				}
+			}
+		}
+		return sortedKeys(local), nil
+	}
+
+	fs := newFactSet(pass)
+	for changed := true; changed; {
+		changed = false
+		for _, f := range pass.Files {
+			if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn := declFunc(pass.TypesInfo, fd)
+				if fn == nil || !returnsError(fn) || local[funcKey(fn)] {
+					continue
+				}
+				found := false
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if found {
+						return false
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if errflowSourceFunc(pass, fs, local, calleeFunc(pass.TypesInfo, call)) {
+						found = true
+					}
+					return !found
+				})
+				if found {
+					local[funcKey(fn)] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return sortedKeys(local), nil
+}
+
+// errflowSourceFunc reports whether fn's error result carries a layer
+// error: a base-package function, an intra-package propagator discovered
+// so far (local), or a propagator recorded in an imported package's fact.
+func errflowSourceFunc(pass *framework.Pass, fs *factSet, local map[string]bool, fn *types.Func) bool {
+	if fn == nil || !returnsError(fn) {
+		return false
+	}
+	if errflowBasePkg(funcPkgPath(fn)) {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg() == pass.Pkg {
+		return local[funcKey(fn)]
+	}
+	return fs.has(fn)
+}
+
+func runErrflow(pass *framework.Pass) error {
+	fs := newFactSet(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				errflowAssign(pass, fs, s)
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					errflowUnchecked(pass, fs, call, "unchecked call")
+				}
+			case *ast.DeferStmt:
+				errflowUnchecked(pass, fs, s.Call, "deferred call")
+			case *ast.GoStmt:
+				errflowUnchecked(pass, fs, s.Call, "go statement")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errflowAssign flags blank identifiers that receive a source call's
+// error result, covering `_ = call`, `v, _ := call`, and parallel
+// assignments.
+func errflowAssign(pass *framework.Pass, fs *factSet, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Multi-value call: match each blank against its result slot.
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok || !errflowSource(pass, fs, call) {
+			return
+		}
+		tuple, ok := pass.TypesInfo.Types[call].Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(s.Lhs) {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				errflowReport(pass, call, "blank assignment")
+				return
+			}
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if !isBlank(lhs) || i >= len(s.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr)
+		if !ok || !errflowSource(pass, fs, call) {
+			continue
+		}
+		if t, ok := pass.TypesInfo.Types[call].Type.(*types.Tuple); ok {
+			if t.Len() == 0 || !isErrorType(t.At(t.Len()-1).Type()) {
+				continue
+			}
+		} else if !isErrorType(pass.TypesInfo.Types[call].Type) {
+			continue
+		}
+		errflowReport(pass, call, "blank assignment")
+	}
+}
+
+// errflowUnchecked flags statements that invoke a source call and never
+// bind its error result.
+func errflowUnchecked(pass *framework.Pass, fs *factSet, call *ast.CallExpr, how string) {
+	if errflowSource(pass, fs, call) {
+		errflowReport(pass, call, how)
+	}
+}
+
+func errflowSource(pass *framework.Pass, fs *factSet, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !returnsError(fn) {
+		return false
+	}
+	return errflowBasePkg(funcPkgPath(fn)) || fs.has(fn)
+}
+
+func errflowReport(pass *framework.Pass, call *ast.CallExpr, how string) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	pass.Reportf(call.Pos(),
+		"%s discards the error from %s, which originates in the wal/lock/rpc/clock layer: "+
+			"the protocol's write-ahead and admission guarantees assume it is observed; "+
+			"handle or propagate it, or annotate //o2pcvet:ignore errflow -- reason",
+		how, describeFunc(fn))
+}
+
+// describeFunc renders a function as "pkgname.Key" for diagnostics.
+func describeFunc(fn *types.Func) string {
+	if fn == nil {
+		return "call"
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + funcKey(fn)
+	}
+	return funcKey(fn)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

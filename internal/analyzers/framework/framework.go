@@ -11,6 +11,7 @@
 package framework
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -28,6 +29,21 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// Facts, when set, computes the package-level fact this analyzer
+	// exports to packages that import it (exported-function summaries,
+	// acquisition edges, ...). It runs for every loaded package —
+	// dependencies included — in dependency order, before Run sees any
+	// importer, so a pass can resolve a cross-package call through
+	// Pass.ImportFact. The returned value must survive a JSON round-trip:
+	// the store serializes it on export and deserializes on import,
+	// mirroring x/tools facts (position-free, process-independent), which
+	// keeps facts honest — no smuggled AST pointers or type objects.
+	Facts func(*Pass) (any, error)
+	// Finish, when set, runs once after every package has been analyzed,
+	// with access to the full fact store. Whole-program findings (lock
+	// acquisition cycles) are reported here; ignore directives apply to
+	// Finish diagnostics exactly as to Run diagnostics.
+	Finish func(*Finish) error
 }
 
 // Diagnostic is one finding, attributed to an analyzer and a position.
@@ -50,6 +66,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	store *factStore
 }
 
 // Reportf records a diagnostic at pos.
@@ -61,15 +78,97 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ImportFact decodes the fact this analyzer exported for the package with
+// the given import path into out (a pointer), reporting whether one was
+// found. The current package's own fact is available too: Facts runs
+// before Run on each package.
+func (p *Pass) ImportFact(path string, out any) bool {
+	if p.store == nil {
+		return false
+	}
+	return p.store.decode(p.Analyzer.Name, path, out)
+}
+
+// Finish is the whole-program view handed to Analyzer.Finish after the
+// last package: every loaded package plus the complete fact store.
+type Finish struct {
+	Analyzer *Analyzer
+	// Pkgs holds every loaded package in dependency order, dep-only
+	// packages included.
+	Pkgs []*Package
+
+	diags *[]Diagnostic
+	store *factStore
+}
+
+// Fact decodes the named package's fact for this analyzer into out.
+func (f *Finish) Fact(path string, out any) bool {
+	return f.store.decode(f.Analyzer.Name, path, out)
+}
+
+// Reportf records a whole-program diagnostic at an explicit position
+// (facts carry file/line, not token.Pos, across the serialization
+// boundary).
+func (f *Finish) Reportf(pos token.Position, format string, args ...any) {
+	*f.diags = append(*f.diags, Diagnostic{
+		Analyzer: f.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// factStore holds each analyzer's per-package facts as serialized JSON.
+// Facts cross package boundaries only through this encoding, which is what
+// guarantees they are position- and process-independent.
+type factStore struct {
+	facts map[factKey]json.RawMessage
+}
+
+type factKey struct{ analyzer, pkg string }
+
+func newFactStore() *factStore {
+	return &factStore{facts: make(map[factKey]json.RawMessage)}
+}
+
+func (s *factStore) encode(analyzer, pkg string, v any) error {
+	if v == nil {
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("fact for %s in %s: %w", analyzer, pkg, err)
+	}
+	s.facts[factKey{analyzer, pkg}] = b
+	return nil
+}
+
+func (s *factStore) decode(analyzer, pkg string, out any) bool {
+	b, ok := s.facts[factKey{analyzer, pkg}]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(b, out) == nil
+}
+
 // Run applies each analyzer to each package and returns the surviving
-// diagnostics sorted by position. Findings on lines carrying an
-// "//o2pcvet:ignore <name> -- reason" directive (same line or the line
-// above) are suppressed; the directive requires a reason so every
-// exemption is self-documenting.
+// diagnostics sorted by position and deduplicated, so repeated runs over
+// the same tree are byte-identical (the baseline workflow diffs them).
+// Packages must be in dependency order (Load guarantees it): each
+// analyzer's Facts hook runs on every package — dep-only ones included —
+// before its Run reports on the targets, and Finish hooks see the complete
+// store afterwards. Findings on lines carrying an "//o2pcvet:ignore
+// <name> -- reason" directive (same line or the line above) are
+// suppressed; the directive requires a reason so every exemption is
+// self-documenting.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	store := newFactStore()
+	allIgnores := make(map[ignoreKey]bool)
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg)
+		for k := range ignores {
+			allIgnores[k] = true
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -78,6 +177,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				diags:     &diags,
+				store:     store,
+			}
+			if a.Facts != nil {
+				fact, err := a.Facts(pass)
+				if err != nil {
+					return nil, fmt.Errorf("%s: facts: %s: %w", a.Name, pkg.ImportPath, err)
+				}
+				if err := store.encode(a.Name, pkg.Types.Path(), fact); err != nil {
+					return nil, err
+				}
+			}
+			if pkg.DepOnly || a.Run == nil {
+				continue
 			}
 			before := len(diags)
 			if err := a.Run(pass); err != nil {
@@ -85,6 +197,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 			diags = filterIgnored(diags, before, ignores)
 		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		before := len(diags)
+		fin := &Finish{Analyzer: a, Pkgs: pkgs, diags: &diags, store: store}
+		if err := a.Finish(fin); err != nil {
+			return nil, fmt.Errorf("%s: finish: %w", a.Name, err)
+		}
+		diags = filterIgnored(diags, before, allIgnores)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -102,7 +225,27 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Message < b.Message
 	})
-	return diags, nil
+	return dedup(diags), nil
+}
+
+// dedup drops exact repeats from a sorted diagnostic list. Two analyzer
+// mechanisms can legitimately land on the same coordinate with the same
+// message (an intra-package walk and a fact-driven Finish, or the same
+// helper invoked from two files of a package); the baseline diff must see
+// one finding, not a count that shifts with analysis internals.
+func dedup(diags []Diagnostic) []Diagnostic {
+	if len(diags) < 2 {
+		return diags
+	}
+	out := diags[:1]
+	for _, d := range diags[1:] {
+		last := out[len(out)-1]
+		if d.Analyzer == last.Analyzer && d.Pos == last.Pos && d.Message == last.Message {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 var ignoreRe = regexp.MustCompile(`^//o2pcvet:ignore\s+([\w,]+)\s+--\s+\S`)

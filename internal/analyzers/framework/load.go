@@ -21,6 +21,11 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+	// DepOnly marks a package loaded only because a target imports it.
+	// Run computes facts for dep-only packages but reports no diagnostics
+	// on them — mirroring how x/tools applies analyzers to dependencies
+	// for their facts alone.
+	DepOnly bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -36,9 +41,10 @@ type listedPackage struct {
 
 // Load enumerates the packages matching patterns (relative to dir, as the
 // go command would resolve them), type-checks every non-standard-library
-// package from source in dependency order, and returns the packages that
-// matched the patterns directly (dependencies are type-checked but not
-// returned for analysis).
+// package from source in dependency order, and returns all of them in that
+// order. Packages that were loaded only as dependencies of a pattern match
+// carry DepOnly; Run analyzes them for cross-package facts but suppresses
+// their diagnostics.
 //
 // Standard-library imports resolve through go/importer's default (gc
 // export data via the build cache), which works offline; module-internal
@@ -60,7 +66,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return std.Import(path)
 	})
 
-	var targets []*Package
+	var out []*Package
 	for _, lp := range listed {
 		if lp.Standard || len(lp.GoFiles) == 0 {
 			continue
@@ -89,13 +95,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			Files:      files,
 			Types:      tpkg,
 			TypesInfo:  info,
+			DepOnly:    lp.DepOnly,
 		}
 		loaded[lp.ImportPath] = pkg
-		if !lp.DepOnly {
-			targets = append(targets, pkg)
-		}
+		out = append(out, pkg)
 	}
-	return targets, nil
+	return out, nil
 }
 
 // goList shells out to `go list -deps -json`, which emits dependencies in

@@ -1,0 +1,177 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"o2pc/internal/analyzers/framework"
+)
+
+// Goleak enforces the repository's goroutine-lifecycle discipline: every
+// goroutine spawned through the clock (sim.Clock.Go and its
+// implementations) must be joinable or cancellable — bound to a
+// sync.WaitGroup or to a context (in practice the site's epoch context,
+// which SetCrashed cancels). Recovery drains depend on this: a crash
+// must be able to stop every background loop the up-period started, or
+// the virtual-time scheduler counts a runnable goroutine that never
+// parks and the deterministic replay wedges.
+//
+// A spawn is accepted when its function literal references a
+// context.Context or sync.WaitGroup value, or when it names a function
+// whose package fact records it as bound (the fact carries boundness
+// across package boundaries for named spawn targets). sim.Group.Go is
+// exempt: the group joins its goroutines by construction.
+var Goleak = &framework.Analyzer{
+	Name: "goleak",
+	Doc: "goroutines spawned via clock.Go must be joined (WaitGroup) or " +
+		"bound to a cancellable context",
+	Facts: goleakFacts,
+	Run:   runGoleak,
+}
+
+// goleakFacts exports the set of declared functions that are
+// lifecycle-bound: their bodies reference a context.Context or
+// sync.WaitGroup value.
+func goleakFacts(pass *framework.Pass) (any, error) {
+	local := make(map[string]bool)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := declFunc(pass.TypesInfo, fd)
+			if fn == nil {
+				continue
+			}
+			if goleakBoundBody(pass, fd.Body) {
+				local[funcKey(fn)] = true
+			}
+		}
+	}
+	return sortedKeys(local), nil
+}
+
+// goleakBoundBody reports whether a function body holds a lifecycle
+// handle: an identifier (local, parameter, or field selector) typed
+// context.Context or sync.WaitGroup. Call results
+// (context.Background()) deliberately do not count — a background
+// context cancels nothing — and neither does calling a function that
+// manages its own contexts internally: a callee's private timeout does
+// not make the spawned goroutine cancellable from outside.
+func goleakBoundBody(pass *framework.Pass, body *ast.BlockStmt) bool {
+	bound := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bound {
+			return false
+		}
+		if x, ok := n.(*ast.Ident); ok {
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[x]
+			}
+			if v, ok := obj.(*types.Var); ok && isLifecycleType(v.Type()) {
+				bound = true
+			}
+		}
+		return !bound
+	})
+	return bound
+}
+
+// isLifecycleType recognizes context.Context and (pointers to)
+// sync.WaitGroup.
+func isLifecycleType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "context" && name == "Context") ||
+		(pkg == "sync" && name == "WaitGroup")
+}
+
+func runGoleak(pass *framework.Pass) error {
+	fs := newFactSet(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isClockGo(pass.TypesInfo, call) || len(call.Args) != 1 {
+				return true
+			}
+			switch arg := ast.Unparen(call.Args[0]).(type) {
+			case *ast.FuncLit:
+				if !goleakBoundBody(pass, arg.Body) {
+					pass.Reportf(call.Pos(),
+						"goroutine spawned via clock.Go is neither joined nor cancellable: "+
+							"the literal references no sync.WaitGroup or context.Context, so a crash "+
+							"cannot drain it and deterministic replay can wedge; bind it to the site "+
+							"epoch or a sim.Group, or annotate //o2pcvet:ignore goleak -- reason")
+				}
+			default:
+				fn := spawnTarget(pass.TypesInfo, call.Args[0])
+				if fn == nil {
+					pass.Reportf(call.Pos(),
+						"goroutine spawned via clock.Go from a function value the analysis cannot "+
+							"resolve: prove it joinable or cancellable, or annotate "+
+							"//o2pcvet:ignore goleak -- reason")
+					return true
+				}
+				if !fs.has(fn) {
+					pass.Reportf(call.Pos(),
+						"goroutine %s spawned via clock.Go is neither joined nor cancellable: "+
+							"it references no sync.WaitGroup or context.Context (a Background context "+
+							"does not count — nothing cancels it), so crash recovery cannot drain it; "+
+							"bind it to the site epoch or a sim.Group, or annotate "+
+							"//o2pcvet:ignore goleak -- reason",
+						describeFunc(fn))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isClockGo matches spawn calls on the clock vocabulary: the Clock
+// interface and its implementations, but not Group (whose Wait joins).
+func isClockGo(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Go" || !pathEndsWith(funcPkgPath(fn), "internal/sim") {
+		return false
+	}
+	named := recvNamed(fn)
+	if named == nil {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Clock", "VirtualClock", "realClock":
+		return true
+	}
+	return false
+}
+
+// spawnTarget resolves a spawn argument naming a function or method
+// value (s.resolverLoop, flushLoop) to its *types.Func.
+func spawnTarget(info *types.Info, arg ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"o2pc/internal/analyzers"
+	"o2pc/internal/analyzers/analysistest"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Lockorder,
+		"lockorder/internal/lock",
+		"lockorder/a",
+	)
+}

@@ -1,0 +1,40 @@
+package a
+
+import (
+	"errflow/internal/txn"
+	"errflow/internal/wal"
+)
+
+func discards(l *wal.FileLog, t *txn.Txn) {
+	defer l.Close() // want `deferred call discards the error from wal\.FileLog\.Close`
+
+	_, _ = l.Append(wal.Record{})    // want `blank assignment discards the error from wal\.FileLog\.Append`
+	seq, _ := l.Append(wal.Record{}) // want `blank assignment discards the error from wal\.FileLog\.Append`
+	_ = seq
+
+	_ = l.Sync() // want `blank assignment discards the error from wal\.FileLog\.Sync`
+	l.Sync()     // want `unchecked call discards the error from wal\.FileLog\.Sync`
+	go l.Sync()  // want `go statement discards the error from wal\.FileLog\.Sync`
+
+	// Abort's error carries a wal failure through the txn package's fact.
+	_ = t.Abort() // want `blank assignment discards the error from txn\.Txn\.Abort`
+
+	_ = t.Abort() //o2pcvet:ignore errflow -- fixture: deliberate discard under test
+}
+
+func handled(l *wal.FileLog) error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	seq, err := l.Append(wal.Record{})
+	_ = seq
+	return err
+}
+
+func localErr() error { return nil }
+
+func notASource() {
+	// localErr touches no protocol layer; discarding it is vet's business,
+	// not errflow's.
+	_ = localErr()
+}

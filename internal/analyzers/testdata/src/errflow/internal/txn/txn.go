@@ -1,0 +1,16 @@
+// Package txn is an errflow fixture dependency: Abort propagates a wal
+// error, so the package fact marks it a source for importers.
+package txn
+
+import "errflow/internal/wal"
+
+type Txn struct {
+	log *wal.FileLog
+}
+
+func (t *Txn) Abort() error {
+	return t.log.Sync()
+}
+
+// Describe returns no error and touches no layer: not a source.
+func (t *Txn) Describe() string { return "txn" }

@@ -1,0 +1,15 @@
+// Package wal is a miniature of the real internal/wal for the errflow
+// fixture: every error-returning function here is a base source.
+package wal
+
+type Record struct {
+	TxnID string
+}
+
+type FileLog struct{}
+
+func (l *FileLog) Append(rec Record) (uint64, error) { return 0, nil }
+
+func (l *FileLog) Sync() error { return nil }
+
+func (l *FileLog) Close() error { return nil }

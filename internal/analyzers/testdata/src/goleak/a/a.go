@@ -1,0 +1,53 @@
+package a
+
+import (
+	"context"
+	"sync"
+
+	"goleak/internal/sim"
+	"goleak/internal/worker"
+)
+
+type svc struct {
+	epoch context.Context
+	clock sim.Clock
+}
+
+func (s *svc) boundLoop() { <-s.epoch.Done() }
+
+func (s *svc) freeLoop() {
+	for {
+	}
+}
+
+func spawns(ctx context.Context, c sim.Clock, s *svc, w *worker.Worker) {
+	c.Go(func() { <-ctx.Done() })
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	c.Go(func() { defer wg.Done() })
+	wg.Wait()
+
+	c.Go(func() { // want `neither joined nor cancellable`
+		for {
+		}
+	})
+
+	c.Go(s.boundLoop)
+	c.Go(s.freeLoop) // want `goroutine a\.svc\.freeLoop spawned via clock\.Go is neither joined nor cancellable`
+
+	c.Go(w.Run)
+	c.Go(w.Spin) // want `goroutine worker\.Worker\.Spin spawned via clock\.Go is neither joined nor cancellable`
+
+	fn := s.freeLoop
+	c.Go(fn) // want `function value the analysis cannot resolve`
+
+	g := sim.NewGroup(c)
+	g.Go(func() {
+		for {
+		}
+	})
+	g.Wait()
+
+	c.Go(s.freeLoop) //o2pcvet:ignore goleak -- fixture: deliberate leak under test
+}

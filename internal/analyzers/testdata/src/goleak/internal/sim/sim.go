@@ -1,0 +1,39 @@
+// Package sim is a miniature of the real clock vocabulary for the
+// goleak fixture.
+package sim
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type Clock interface {
+	Go(fn func())
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type VirtualClock struct{}
+
+func (c *VirtualClock) Go(fn func()) { go fn() }
+
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+// Group joins its goroutines on Wait; spawning through it is always
+// legal.
+type Group struct {
+	clock Clock
+	wg    sync.WaitGroup
+}
+
+func NewGroup(c Clock) *Group { return &Group{clock: c} }
+
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	g.clock.Go(func() {
+		defer g.wg.Done()
+		fn()
+	})
+}
+
+func (g *Group) Wait() { g.wg.Wait() }

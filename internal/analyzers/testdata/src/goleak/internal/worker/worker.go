@@ -1,0 +1,22 @@
+// Package worker is a goleak fixture dependency: Run is lifecycle-bound
+// (the package fact records it), Spin is not.
+package worker
+
+import "context"
+
+type Worker struct {
+	ctx context.Context
+}
+
+func New(ctx context.Context) *Worker { return &Worker{ctx: ctx} }
+
+// Run blocks on the worker's context: a crash can cancel it.
+func (w *Worker) Run() {
+	<-w.ctx.Done()
+}
+
+// Spin consults no lifecycle handle.
+func (w *Worker) Spin() {
+	for {
+	}
+}

@@ -1,0 +1,85 @@
+package a
+
+import (
+	"maps"
+	"slices"
+	"sort"
+
+	"maporder/internal/helper"
+	"maporder/internal/wal"
+)
+
+func direct(l *wal.FileLog, m map[string]int) {
+	for k := range m {
+		_, _ = l.Append(wal.Record{Key: k}) // want `wal\.FileLog\.Append called inside range over map m`
+	}
+}
+
+func collected(l *wal.FileLog, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		_, _ = l.Append(wal.Record{Key: k}) // want `called inside range over map-ordered slice keys`
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		_, _ = l.Append(wal.Record{Key: k})
+	}
+}
+
+func sortedIdiom(l *wal.FileLog, m map[string]int) {
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		_, _ = l.Append(wal.Record{Key: k})
+	}
+}
+
+func collectKeepsOrder(l *wal.FileLog, m map[string]int) {
+	ks := slices.Collect(maps.Keys(m))
+	for _, k := range ks {
+		_, _ = l.Append(wal.Record{Key: k}) // want `called inside range over map-ordered slice ks`
+	}
+}
+
+func taintedArg(l *wal.FileLog, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	_ = l.WriteCheckpoint(keys) // want `argument keys carries map-iteration order into wal\.FileLog\.WriteCheckpoint`
+}
+
+func sortedArg(l *wal.FileLog, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	_ = l.WriteCheckpoint(keys)
+}
+
+func crossPackage(l *wal.FileLog, m map[string]wal.Record) {
+	for _, rec := range m {
+		_ = helper.Forward(l, rec) // want `helper\.Forward called inside range over map m`
+	}
+}
+
+func logAll(l *wal.FileLog, keys []string) {
+	for _, k := range keys {
+		_, _ = l.Append(wal.Record{Key: k})
+	}
+}
+
+func viaLocalHelper(l *wal.FileLog, m map[string]int) {
+	for k := range m {
+		logAll(l, []string{k}) // want `a\.logAll called inside range over map m`
+	}
+}
+
+func annotated(l *wal.FileLog, m map[string]int) {
+	for k := range m {
+		//o2pcvet:ignore maporder -- fixture: order-insensitive aggregate under test
+		_, _ = l.Append(wal.Record{Key: k})
+	}
+}

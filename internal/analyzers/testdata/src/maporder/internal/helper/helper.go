@@ -1,0 +1,10 @@
+// Package helper is a maporder fixture dependency: Forward reaches the
+// wal, so the package fact marks it a sink for importers.
+package helper
+
+import "maporder/internal/wal"
+
+func Forward(l *wal.FileLog, rec wal.Record) error {
+	_, err := l.Append(rec)
+	return err
+}

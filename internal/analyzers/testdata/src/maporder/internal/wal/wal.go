@@ -1,0 +1,11 @@
+// Package wal is a miniature of the real internal/wal for the maporder
+// fixture: Append and WriteCheckpoint are determinism sinks.
+package wal
+
+type Record struct{ Key string }
+
+type FileLog struct{}
+
+func (l *FileLog) Append(rec Record) (uint64, error) { return 0, nil }
+
+func (l *FileLog) WriteCheckpoint(keys []string) error { return nil }

@@ -7,6 +7,7 @@ package analyzers
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 	"strings"
 
 	"o2pc/internal/analyzers/framework"
@@ -20,6 +21,10 @@ func All() []*framework.Analyzer {
 		Lockheld,
 		Exhaustive,
 		Randdet,
+		Maporder,
+		Errflow,
+		Lockorder,
+		Goleak,
 	}
 }
 
@@ -86,4 +91,74 @@ func recvNamed(fn *types.Func) *types.Named {
 // isTestFile reports whether the file at pos is a _test.go file.
 func isTestFile(filename string) bool {
 	return strings.HasSuffix(filename, "_test.go")
+}
+
+// funcKey is the serialization-stable identity of a function inside its
+// package, used as the key of membership facts: "Name" for package
+// functions, "Type.Name" for methods (pointer receivers normalized away).
+func funcKey(fn *types.Func) string {
+	if named := recvNamed(fn); named != nil {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// declFunc resolves a FuncDecl to the *types.Func it declares.
+func declFunc(info *types.Info, fd *ast.FuncDecl) *types.Func {
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// returnsError reports whether fn's last result is the error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// factSet answers membership queries against a per-package []string fact
+// (sorted function keys), caching the decoded set by import path. The
+// analyzers that summarize functions cross-package (errflow propagators,
+// maporder sinks, goleak context-bound spawn targets) all query through
+// this shape.
+type factSet struct {
+	pass  *framework.Pass
+	cache map[string]map[string]bool
+}
+
+func newFactSet(pass *framework.Pass) *factSet {
+	return &factSet{pass: pass, cache: make(map[string]map[string]bool)}
+}
+
+// has reports whether fn is a member of its own package's fact.
+func (fs *factSet) has(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	set, ok := fs.cache[path]
+	if !ok {
+		var keys []string
+		if fs.pass.ImportFact(path, &keys) {
+			set = make(map[string]bool, len(keys))
+			for _, k := range keys {
+				set[k] = true
+			}
+		}
+		fs.cache[path] = set
+	}
+	return set[funcKey(fn)]
+}
+
+// sortedKeys flattens a membership set into the serialized fact shape.
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

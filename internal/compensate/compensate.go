@@ -248,20 +248,20 @@ func runOnce(ctx context.Context, mgr *txn.Manager, ctID string, forward Forward
 	if err != nil {
 		return err
 	}
+	// errors.Join keeps the primary failure first (errors.Is still
+	// classifies it for the retry loop) while surfacing an abort that
+	// could not release its locks instead of swallowing it.
 	if err := plan(ctx, t, forward); err != nil {
-		_ = t.Abort("")
-		return err
+		return errors.Join(err, t.Abort(""))
 	}
 	if opts.EnsureWriteCoverage {
 		if err := ensureCoverage(ctx, t, forward); err != nil {
-			_ = t.Abort("")
-			return err
+			return errors.Join(err, t.Abort(""))
 		}
 	}
 	if opts.Finalize != nil {
 		if err := opts.Finalize(ctx, t); err != nil {
-			_ = t.Abort("")
-			return err
+			return errors.Join(err, t.Abort(""))
 		}
 	}
 	return t.Commit()

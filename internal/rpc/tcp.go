@@ -166,10 +166,15 @@ func (c *TCPClient) Call(ctx context.Context, from, to string, req any) (any, er
 	}
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	if dl, ok := ctx.Deadline(); ok {
-		_ = tc.conn.SetDeadline(dl)
-	} else {
-		_ = tc.conn.SetDeadline(zeroTime)
+	dl := zeroTime
+	if d, ok := ctx.Deadline(); ok {
+		dl = d
+	}
+	if err := tc.conn.SetDeadline(dl); err != nil {
+		// A connection that cannot accept a deadline is already broken;
+		// retire it so the next call redials instead of hanging forever.
+		c.drop(to, tc)
+		return nil, fmt.Errorf("%w: set deadline for %s (%v)", ErrUnreachable, to, err)
 	}
 	if err := tc.enc.Encode(&envelope{From: from, Body: req}); err != nil {
 		c.drop(to, tc)

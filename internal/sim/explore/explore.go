@@ -357,6 +357,7 @@ func Run(cfg Config) *Result {
 					return
 				}
 				cl.CrashCoordinator(target)
+				//o2pcvet:ignore errflow -- downtime sleep on a dead context just shortens the outage; recovery below runs regardless
 				_ = clock.Sleep(ctx, downtime)
 				// Always bring it back, even on a dead context: the final
 				// recovery pass needs a live coordinator.
@@ -382,6 +383,7 @@ func Run(cfg Config) *Result {
 				}
 				target := i % cfg.Sites
 				cl.CrashSite(target)
+				//o2pcvet:ignore errflow -- downtime sleep on a dead context just shortens the outage; the restart below runs regardless
 				_ = clock.Sleep(ctx, downtime)
 				// Always restart, even on a dead context: the oracles read
 				// every site's post-recovery state.
@@ -404,6 +406,7 @@ func Run(cfg Config) *Result {
 				}
 				target := siteName(i % cfg.Sites)
 				cl.Network().SetOneWayPartition("c0", target, true)
+				//o2pcvet:ignore errflow -- a dead context just shortens the partition window; it must be healed below either way
 				_ = clock.Sleep(ctx, span)
 				cl.Network().SetOneWayPartition("c0", target, false)
 			}

@@ -321,6 +321,7 @@ func (c *VirtualClock) exit() {
 func (c *VirtualClock) Join(wait func(), done func() bool) {
 	_ = wait
 	for !done() {
+		//o2pcvet:ignore errflow -- Background never expires, so this virtual-time poll interval cannot fail
 		_ = c.Sleep(context.Background(), joinPoll)
 	}
 }

@@ -516,6 +516,7 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 	if req.Marking != proto.MarkNone {
 		verdict, m, err := s.checkMarks(ctx, t, req)
 		if err != nil {
+			//o2pcvet:ignore errflow -- the reply carries the primary error; this abort logged nothing yet (no writes executed)
 			_ = t.Abort("")
 			return proto.ExecReply{Err: err.Error()}
 		}
@@ -524,10 +525,12 @@ func (s *Site) execLocked(ctx context.Context, req proto.ExecRequest) proto.Exec
 			// Compatible: execution proceeds below.
 		case marking.Retry:
 			s.stats.RejectsRetry.Inc()
+			//o2pcvet:ignore errflow -- the reply carries the rejection; the write-free abort only releases locks
 			_ = t.Abort("")
 			return proto.ExecReply{Rejected: true, Reason: "marking: retryable incompatibility"}
 		case marking.Abort:
 			s.stats.RejectsFatal.Inc()
+			//o2pcvet:ignore errflow -- the reply carries the rejection; the write-free abort only releases locks
 			_ = t.Abort("")
 			return proto.ExecReply{Rejected: true, Fatal: true, Reason: "marking: incompatibility requires abort"}
 		}
@@ -779,8 +782,10 @@ func (s *Site) rollbackAsCompensation(ctx context.Context, t *txn.Txn, mark prot
 	if mark != proto.MarkNone && hadWrites {
 		// A log failure leaves the mark applied in memory (conservative);
 		// the Abort append below would surface the same broken log.
+		//o2pcvet:ignore errflow -- see above: conservative in-memory mark; the same broken log fails the abort append
 		_ = s.marks.MarkUndone(t.ID())
 	}
+	//o2pcvet:ignore errflow -- decision-application is fire-and-forget: a failed undo leaves the txn pending and the resolver retries
 	_ = t.Abort(ctID)
 	s.stats.Rollbacks.Inc()
 	s.tracer.Emit(s.cfg.Name, trace.EvCompEnd, t.ID(), "", "rollback")
@@ -800,6 +805,7 @@ func (s *Site) rollbackAsCompensation(ctx context.Context, t *txn.Txn, mark prot
 // introduce serialization-graph edges for a transaction the rest of the
 // system already aborted.
 func (s *Site) rollbackUnexposed(t *txn.Txn) {
+	//o2pcvet:ignore errflow -- nothing was exposed and no one awaits this txn; a failed undo append surfaces at the next Sync
 	_ = t.Abort("")
 	s.stats.Rollbacks.Inc()
 	if rec := s.cfg.Recorder; rec != nil {
@@ -862,6 +868,7 @@ func (s *Site) tryWriteMark(ctx context.Context, forward string, add bool, set *
 // plain Unlock carries no wake reservation the scheduler could account.
 func (s *Site) lockPending(p *pending) {
 	for !p.mu.TryLock() {
+		//o2pcvet:ignore errflow -- Background never expires, so this virtual-time poll interval cannot fail
 		_ = s.clock.Sleep(context.Background(), 50*time.Microsecond)
 	}
 }

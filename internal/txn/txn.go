@@ -567,6 +567,7 @@ func (m *Manager) RunLocal(ctx context.Context, id string, maxRetries int, fn fu
 			}
 			return nil
 		}
+		//o2pcvet:ignore errflow -- the caller gets fn's error; a failed undo append surfaces at the next Sync on the shared log
 		_ = t.Abort("")
 		if m.rec != nil {
 			m.rec.SetFate(id, history.FateAborted)

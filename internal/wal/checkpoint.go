@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"os"
 	"sort"
 
@@ -194,7 +195,9 @@ func Compact(path string, store *storage.Store) (*FileLog, error) {
 		return nil, err
 	}
 	records, err := old.Records()
-	old.Close()
+	if cerr := old.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -207,13 +210,13 @@ func Compact(path string, store *storage.Store) (*FileLog, error) {
 	for _, rec := range carry {
 		rec.LSN = 0
 		if _, err := nl.Append(rec); err != nil {
-			nl.Close()
+			err = errors.Join(err, nl.Close())
 			os.Remove(tmp)
 			return nil, err
 		}
 	}
 	if _, err := WriteCheckpoint(nl, store); err != nil {
-		nl.Close()
+		err = errors.Join(err, nl.Close())
 		os.Remove(tmp)
 		return nil, err
 	}

@@ -149,6 +149,7 @@ func (g *GroupCommitLog) Sync() error {
 	}
 	if !g.armed {
 		g.armed = true
+		//o2pcvet:ignore goleak -- one-shot flusher: it exits after a single bounded window, and Close flushes the pending batch synchronously
 		g.clock.Go(g.flusherOnce)
 	}
 	g.mu.Unlock()
@@ -160,6 +161,7 @@ func (g *GroupCommitLog) Sync() error {
 // a time; it disarms itself while holding the mutex so a caller arriving
 // after the batch is taken arms a fresh one.
 func (g *GroupCommitLog) flusherOnce() {
+	//o2pcvet:ignore errflow -- Background never expires, so the window sleep cannot fail
 	_ = g.clock.Sleep(context.Background(), g.window)
 	g.mu.Lock()
 	g.armed = false

@@ -446,6 +446,7 @@ func Run(ctx context.Context, cl *core.Cluster, cfg Config) Report {
 	// schedule, same clock), so load arrives as synchronized flash crowds.
 	burstPause := func(ctx context.Context, i int) {
 		if cfg.BurstSize > 0 && cfg.BurstGap > 0 && (i+1)%cfg.BurstSize == 0 {
+			//o2pcvet:ignore errflow -- a dead context just skips the burst gap; the client loop checks ctx itself
 			_ = clock.Sleep(ctx, cfg.BurstGap)
 		}
 	}
@@ -513,6 +514,7 @@ func Run(ctx context.Context, cl *core.Cluster, cfg Config) Report {
 
 	// Allow outstanding compensations to settle before collecting stats.
 	qctx, cancel := clock.WithTimeout(context.Background(), 10*time.Second)
+	//o2pcvet:ignore errflow -- best-effort settling bounded by the timeout; the report reflects whatever state was reached
 	_ = cl.Quiesce(qctx)
 	cancel()
 
