@@ -36,13 +36,16 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"o2pc/internal/coord"
 	"o2pc/internal/metrics"
+	"o2pc/internal/ops"
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
 	"o2pc/internal/sim"
@@ -63,7 +66,9 @@ func (a addrList) Set(v string) error {
 }
 
 func main() {
-	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		log.Fatalf("o2pc-coord: %v", err)
 	}
 }
@@ -87,6 +92,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	tracePath := fs.String("trace", "", "write the protocol event log as JSONL to this file on exit")
 	chromePath := fs.String("trace-chrome", "", "write the protocol event log as Chrome trace-event JSON (Perfetto-loadable) to this file on exit")
 	metricsPath := fs.String("metrics", "", "write coordinator metrics in Prometheus text form to this file on exit")
+	opsAddr := fs.String("ops-addr", "", "serve the operations HTTP plane (metrics, health, pprof, trace) on this address")
 	sites := addrList{}
 	fs.Var(sites, "site", "site address as name=host:port (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -96,7 +102,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	proto.RegisterGob()
 
 	var tracer *trace.Tracer
-	if *tracePath != "" || *chromePath != "" {
+	if *tracePath != "" || *chromePath != "" || *opsAddr != "" {
 		tracer = trace.New(sim.Real(), trace.DefaultNodeCapacity)
 	}
 	cfg := coord.Config{Name: *name, Tracer: tracer}
@@ -124,6 +130,36 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}()
 	fmt.Fprintf(stdout, "coordinator %s serving on %s\n", *name, ln.Addr())
+
+	if *opsAddr != "" {
+		opsSrv := ops.NewServer(ops.Config{
+			Node:     *name,
+			Registry: metrics.NewRegistry(),
+			Collect:  func(r *metrics.Registry) { c.Stats().Publish(r, "o2pc_coord_") },
+			Health:   c.Health,
+			Ready:    c.Ready,
+			Tracer:   tracer,
+			Vars: map[string]any{
+				"name":     *name,
+				"listen":   *listen,
+				"sites":    map[string]string(sites),
+				"protocol": *protocolName,
+				"marking":  *markingName,
+			},
+			Sample: true,
+		})
+		bound, err := opsSrv.Start(*opsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "coordinator %s ops plane on http://%s\n", *name, bound)
+		defer func() {
+			sctx, cancel := sim.Real().WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			//o2pcvet:ignore errflow -- process-exit drain; a failed ops shutdown must not mask the run's result
+			_ = opsSrv.Shutdown(sctx)
+		}()
+	}
 
 	switch {
 	case *demo > 0:

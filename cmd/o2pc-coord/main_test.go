@@ -97,6 +97,24 @@ func TestRunPaths(t *testing.T) {
 			wantOut:   []string{"serving on"},
 		},
 		{
+			name: "ops plane with phase metrics",
+			args: func(s0, s1 string) []string {
+				return []string{
+					"-listen", "127.0.0.1:0", "-site", s0, "-site", s1,
+					"-txn", "s0:addmin:acct:-40:0 / s1:add:acct:40", "-marking", "p1",
+					"-ops-addr", "127.0.0.1:0",
+					"-metrics", filepath.Join(dir, "txn.metrics"),
+				}
+			},
+			wantOut: []string{"committed", "ops plane on http://"},
+			metrics: []string{
+				"# TYPE o2pc_coord_phase_vote_decision_ms summary",
+				"o2pc_coord_phase_decision_ack_ms_count 1",
+				`o2pc_coord_phase_prepare_vote_ms{site="s0",quantile="0.5"}`,
+				`o2pc_coord_phase_prepare_vote_ms{site="s1",quantile="0.5"}`,
+			},
+		},
+		{
 			name: "bad txn spec",
 			args: func(s0, s1 string) []string {
 				return []string{"-listen", "127.0.0.1:0", "-site", s0, "-txn", "s0:frobnicate:k"}

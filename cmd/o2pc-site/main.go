@@ -9,24 +9,38 @@
 //	o2pc-coord -name c0 -listen 127.0.0.1:7001 \
 //	    -site s0=127.0.0.1:7101 -site s1=127.0.0.1:7102 \
 //	    -txn "s0:addmin:acct:-40:0 / s1:add:acct:40" -protocol o2pc -marking p1
+//
+// With -ops-addr the site also serves the live operations plane
+// (Prometheus /metrics, /healthz, /readyz, /debug/pprof, /trace/recent);
+// /healthz tracks the site's crash/recover epoch, so a scraper watching
+// it sees 503 while -recover replays the WAL. SIGINT/SIGTERM shut both
+// servers down gracefully.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"maps"
 	"net"
 	"os"
+	"os/signal"
 	"slices"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
+	"o2pc/internal/metrics"
+	"o2pc/internal/ops"
 	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
+	"o2pc/internal/sim"
 	"o2pc/internal/site"
 	"o2pc/internal/storage"
+	"o2pc/internal/trace"
 	"o2pc/internal/wal"
 )
 
@@ -61,15 +75,30 @@ func (s seedList) Set(v string) error {
 }
 
 func main() {
-	name := flag.String("name", "s0", "site node name")
-	listen := flag.String("listen", "127.0.0.1:7101", "listen address")
-	walPath := flag.String("wal", "", "write-ahead log file (default: in-memory)")
-	recover := flag.Bool("recover", false, "recover state from the WAL before serving")
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "o2pc-site:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entrypoint: it serves until ctx is cancelled (the
+// signal handler in main), then shuts both servers down gracefully.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("o2pc-site", flag.ContinueOnError)
+	name := fs.String("name", "s0", "site node name")
+	listen := fs.String("listen", "127.0.0.1:7101", "listen address")
+	walPath := fs.String("wal", "", "write-ahead log file (default: in-memory)")
+	recover := fs.Bool("recover", false, "recover state from the WAL before serving")
+	opsAddr := fs.String("ops-addr", "", "serve the operations HTTP plane (metrics, health, pprof, trace) on this address")
 	coords := addrList{}
-	flag.Var(coords, "coord", "coordinator address as name=host:port (repeatable)")
+	fs.Var(coords, "coord", "coordinator address as name=host:port (repeatable)")
 	seeds := seedList{}
-	flag.Var(seeds, "seed", "initial integer value as key=value (repeatable)")
-	flag.Parse()
+	fs.Var(seeds, "seed", "initial integer value as key=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	proto.RegisterGob()
 
@@ -77,20 +106,56 @@ func main() {
 	if *walPath != "" {
 		fl, err := wal.OpenFileLog(*walPath)
 		if err != nil {
-			log.Fatalf("o2pc-site: open wal: %v", err)
+			return fmt.Errorf("open wal: %w", err)
 		}
 		//o2pcvet:ignore errflow -- process-exit close; every append the protocol relies on was synced when it was logged
 		defer fl.Close()
 		cfg.Log = fl
 	}
+	var tracer *trace.Tracer
+	if *opsAddr != "" {
+		// The ops plane's /trace/recent tails this ring.
+		tracer = trace.New(sim.Real(), trace.DefaultNodeCapacity)
+		cfg.Tracer = tracer
+	}
 	s := site.NewSite(cfg)
 	if len(coords) > 0 {
 		s.SetCaller(rpc.NewTCPClient(coords))
 	}
-	if *recover {
-		res, err := s.Recover(context.Background())
+
+	// Start the ops plane before recovery: /healthz reports 503
+	// (recovering) while the WAL replays, exactly the window an operator
+	// watches on a restarting site.
+	var opsSrv *ops.Server
+	if *opsAddr != "" {
+		reg := metrics.NewRegistry()
+		opsSrv = ops.NewServer(ops.Config{
+			Node:     *name,
+			Registry: reg,
+			Collect:  func(r *metrics.Registry) { s.Stats().Publish(r, "o2pc_site_") },
+			Health:   s.Health,
+			Ready:    s.Ready,
+			Tracer:   tracer,
+			Vars: map[string]any{
+				"name":   *name,
+				"listen": *listen,
+				"wal":    walOrMemory(*walPath),
+				"coords": map[string]string(coords),
+				"seeds":  map[string]int64(seeds),
+			},
+			Sample: true,
+		})
+		bound, err := opsSrv.Start(*opsAddr)
 		if err != nil {
-			log.Fatalf("o2pc-site: recover: %v", err)
+			return err
+		}
+		fmt.Fprintf(stdout, "site %s ops plane on http://%s\n", *name, bound)
+	}
+
+	if *recover {
+		res, err := s.Recover(ctx)
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
 		}
 		log.Printf("recovered: %d redone, %d undone, %d in doubt",
 			len(res.Redone), len(res.Undone), len(res.InDoubt))
@@ -103,14 +168,29 @@ func main() {
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("o2pc-site: listen: %v", err)
+		return fmt.Errorf("listen: %w", err)
 	}
-	log.Printf("site %s serving on %s (wal=%s)", *name, ln.Addr(), walOrMemory(*walPath))
+	fmt.Fprintf(stdout, "site %s serving on %s (wal=%s)\n", *name, ln.Addr(), walOrMemory(*walPath))
 	srv := rpc.NewServer(*name, s.Handle)
-	if err := srv.Serve(ln); err != nil {
-		fmt.Fprintln(os.Stderr, "o2pc-site:", err)
-		os.Exit(1)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting protocol traffic, then drain
+		// the ops plane so a final scrape can finish.
+		err = srv.Close()
+		<-done
+	case err = <-done:
 	}
+	if opsSrv != nil {
+		sctx, cancel := sim.Real().WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if serr := opsSrv.Shutdown(sctx); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 func walOrMemory(p string) string {

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe stdout sink for run().
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var opsAddrRe = regexp.MustCompile(`ops plane on http://(\S+)`)
+
+// TestRunServesOpsPlane boots the site binary's run() with an ephemeral
+// ops address, scrapes the live endpoints, and shuts down via context
+// cancel — the SIGTERM path.
+func TestRunServesOpsPlane(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-name", "s9", "-listen", "127.0.0.1:0",
+			"-ops-addr", "127.0.0.1:0", "-seed", "acct=500",
+		}, &out)
+	}()
+
+	var opsAddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for opsAddr == "" {
+		if m := opsAddrRe.FindStringSubmatch(out.String()); m != nil {
+			opsAddr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ops address never printed; stdout:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	fetch := func(path string) (int, string) {
+		resp, err := http.Get("http://" + opsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := fetch("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, _ := fetch("/readyz"); code != 200 {
+		t.Fatalf("readyz: %d", code)
+	}
+	code, body := fetch("/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"o2pc_site_execs_total",
+		`o2pc_site_exposure_duration_ms{outcome="commit",quantile="0.5"}`,
+		"o2pc_site_compensation_duration_ms",
+		"o2pc_site_readmit_rejects_total",
+		"ops_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if code, body := fetch("/debug/vars"); code != 200 || !strings.Contains(body, `"node": "s9"`) {
+		t.Fatalf("vars: %d %s", code, body)
+	}
+	if code, _ := fetch("/trace/recent"); code != 200 {
+		t.Fatalf("trace/recent: %d", code)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil on graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("run did not return after cancel")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out syncBuffer
+	err := run(context.Background(), []string{"-seed", "acct"}, &out)
+	if err == nil {
+		t.Fatalf("malformed -seed accepted")
+	}
+	if !strings.Contains(fmt.Sprint(err), "key=int") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -10,6 +10,8 @@
 //	o2pc-trace -format lanes run.jsonl       # per-node lane view
 //	o2pc-trace -format chrome run.jsonl      # convert to Chrome trace JSON
 //	o2pc-trace -format jsonl -txn T7 ...     # re-emit the filtered JSONL
+//	o2pc-trace stats run.jsonl               # per-phase latency percentiles
+//	o2pc-trace stats -per-txn run.jsonl      # plus each txn's spans
 //
 // With no file argument the trace is read from stdin. Virtual-time traces
 // print offsets relative to the first (filtered) event, so deterministic
@@ -37,6 +39,9 @@ func main() {
 // run is the whole command, factored for tests: flags from args, trace
 // from stdin when no file operand, rendering to stdout.
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "stats" {
+		return runStats(args[1:], stdin, stdout)
+	}
 	fs := flag.NewFlagSet("o2pc-trace", flag.ContinueOnError)
 	txn := fs.String("txn", "", "keep only this transaction's events")
 	node := fs.String("node", "", "keep only this node's events")

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"o2pc/internal/metrics"
+	"o2pc/internal/trace"
+)
+
+// runStats is the "stats" subcommand: it pairs protocol events into
+// per-phase spans and prints latency percentiles.
+//
+// The spans mirror the live phase_* metrics of the cluster binaries, so a
+// trace captured from a run can be cross-checked against what the ops
+// plane reported:
+//
+//	prepare->vote    votereq.send -> vote.recv, paired per (txn, site)
+//	                 at the coordinator (the per-site vote round trip)
+//	vote->decision   first votereq.send -> decision.reached per txn
+//	                 (the coordinator's collect window)
+//	exposure         exposed -> decision.recv, paired per (txn, site) at
+//	                 the site (the paper's exposure window: local commit
+//	                 at the YES vote until the decision lands)
+func runStats(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("o2pc-trace stats", flag.ContinueOnError)
+	txn := fs.String("txn", "", "keep only this transaction's events")
+	perTxn := fs.Bool("per-txn", false, "also print each transaction's individual spans")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("at most one trace file, got %d", fs.NArg())
+	}
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := trace.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+	if *txn != "" {
+		if events, err = filter(events, *txn, "", ""); err != nil {
+			return err
+		}
+	}
+	st := computeSpans(events)
+	return writeStats(stdout, st, *perTxn)
+}
+
+// txnSite keys a span by transaction and participant.
+type txnSite struct{ txn, site string }
+
+// spanStats aggregates the paired spans of one trace.
+type spanStats struct {
+	prepVote     map[string]*metrics.Histogram // site -> vote RTT (ms)
+	prepVoteAll  *metrics.Histogram
+	voteDecision *metrics.Histogram
+	exposure     map[string]*metrics.Histogram // site -> exposure window (ms)
+	exposureAll  *metrics.Histogram
+
+	perTxn map[string]*txnSpans
+}
+
+// txnSpans records one transaction's individual spans for the -per-txn
+// listing.
+type txnSpans struct {
+	voteDecision float64
+	hasDecision  bool
+	sites        map[string]*siteSpans
+}
+
+type siteSpans struct {
+	prepVote, exposure float64
+	hasPrep, hasExp    bool
+}
+
+func (s *spanStats) txnEntry(txn string) *txnSpans {
+	t, ok := s.perTxn[txn]
+	if !ok {
+		t = &txnSpans{sites: make(map[string]*siteSpans)}
+		s.perTxn[txn] = t
+	}
+	return t
+}
+
+func (t *txnSpans) siteEntry(site string) *siteSpans {
+	ss, ok := t.sites[site]
+	if !ok {
+		ss = &siteSpans{}
+		t.sites[site] = ss
+	}
+	return ss
+}
+
+// computeSpans pairs the trace's events into spans. Pairing consumes the
+// opening event, so a session's re-vote after an R1 retry starts a fresh
+// span instead of stretching the first one.
+func computeSpans(events []trace.Event) *spanStats {
+	st := &spanStats{
+		prepVote:     make(map[string]*metrics.Histogram),
+		prepVoteAll:  metrics.NewHistogram(),
+		voteDecision: metrics.NewHistogram(),
+		exposure:     make(map[string]*metrics.Histogram),
+		exposureAll:  metrics.NewHistogram(),
+		perTxn:       make(map[string]*txnSpans),
+	}
+	hist := func(m map[string]*metrics.Histogram, site string) *metrics.Histogram {
+		h, ok := m[site]
+		if !ok {
+			h = metrics.NewHistogram()
+			m[site] = h
+		}
+		return h
+	}
+	ms := func(delta int64) float64 { return float64(delta) / 1e6 }
+
+	reqAt := make(map[txnSite]int64)     // votereq.send awaiting its vote.recv
+	exposedAt := make(map[txnSite]int64) // exposed awaiting its decision.recv
+	firstSend := make(map[string]int64)  // txn -> earliest votereq.send
+	decidedAt := make(map[string]int64)  // txn -> earliest decision.reached
+
+	for _, e := range events {
+		switch e.Type {
+		case trace.EvVoteReqSend:
+			k := txnSite{e.Txn, e.Peer}
+			if _, open := reqAt[k]; !open {
+				reqAt[k] = e.T
+			}
+			if t0, ok := firstSend[e.Txn]; !ok || e.T < t0 {
+				firstSend[e.Txn] = e.T
+			}
+		case trace.EvVoteRecv:
+			k := txnSite{e.Txn, e.Peer}
+			if t0, open := reqAt[k]; open {
+				delete(reqAt, k)
+				v := ms(e.T - t0)
+				hist(st.prepVote, e.Peer).Observe(v)
+				st.prepVoteAll.Observe(v)
+				sp := st.txnEntry(e.Txn).siteEntry(e.Peer)
+				sp.prepVote, sp.hasPrep = v, true
+			}
+		case trace.EvDecisionReached:
+			if _, ok := decidedAt[e.Txn]; !ok {
+				decidedAt[e.Txn] = e.T
+			}
+		case trace.EvExposed:
+			k := txnSite{e.Txn, e.Node}
+			if _, open := exposedAt[k]; !open {
+				exposedAt[k] = e.T
+			}
+		case trace.EvDecisionRecv:
+			k := txnSite{e.Txn, e.Node}
+			if t0, open := exposedAt[k]; open {
+				delete(exposedAt, k)
+				v := ms(e.T - t0)
+				hist(st.exposure, e.Node).Observe(v)
+				st.exposureAll.Observe(v)
+				sp := st.txnEntry(e.Txn).siteEntry(e.Node)
+				sp.exposure, sp.hasExp = v, true
+			}
+		//o2pcvet:ignore exhaustive -- span pairing is a filter: every other event type carries no commit-phase boundary
+		default:
+		}
+	}
+	for txn, t1 := range decidedAt {
+		t0, ok := firstSend[txn]
+		if !ok {
+			continue
+		}
+		v := ms(t1 - t0)
+		st.voteDecision.Observe(v)
+		te := st.txnEntry(txn)
+		te.voteDecision, te.hasDecision = v, true
+	}
+	return st
+}
+
+// writeStats renders the aggregate tables (and the per-txn listing when
+// asked). All iteration is over sorted keys, so the same trace always
+// renders the same bytes.
+func writeStats(w io.Writer, st *spanStats, perTxn bool) error {
+	row := func(label string, h *metrics.Histogram) error {
+		_, err := fmt.Fprintf(w, "  %-5s %6d %8.3f %8.3f %8.3f %8.3f\n",
+			label, h.Count(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max())
+		return err
+	}
+	table := func(title string, bySite map[string]*metrics.Histogram, all *metrics.Histogram) error {
+		if _, err := fmt.Fprintf(w, "%s:\n  %-5s %6s %8s %8s %8s %8s\n",
+			title, "site", "count", "p50ms", "p90ms", "p99ms", "maxms"); err != nil {
+			return err
+		}
+		sites := make([]string, 0, len(bySite))
+		for s := range bySite {
+			sites = append(sites, s)
+		}
+		sort.Strings(sites)
+		for _, s := range sites {
+			if err := row(s, bySite[s]); err != nil {
+				return err
+			}
+		}
+		return row("all", all)
+	}
+
+	if st.prepVoteAll.Count() == 0 && st.voteDecision.Count() == 0 && st.exposureAll.Count() == 0 {
+		_, err := fmt.Fprintln(w, "(no commit-phase spans in trace)")
+		return err
+	}
+	if err := table("prepare->vote (votereq.send -> vote.recv)", st.prepVote, st.prepVoteAll); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "vote->decision (first votereq.send -> decision.reached):\n"); err != nil {
+		return err
+	}
+	if err := row("all", st.voteDecision); err != nil {
+		return err
+	}
+	if err := table("exposure window (exposed -> decision.recv)", st.exposure, st.exposureAll); err != nil {
+		return err
+	}
+
+	if !perTxn {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "per-txn (ms):"); err != nil {
+		return err
+	}
+	txns := make([]string, 0, len(st.perTxn))
+	for txn := range st.perTxn {
+		txns = append(txns, txn)
+	}
+	sort.Strings(txns)
+	for _, txn := range txns {
+		te := st.perTxn[txn]
+		if te.hasDecision {
+			if _, err := fmt.Fprintf(w, "  %s: vote->decision=%.3f\n", txn, te.voteDecision); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "  %s:\n", txn); err != nil {
+				return err
+			}
+		}
+		sites := make([]string, 0, len(te.sites))
+		for s := range te.sites {
+			sites = append(sites, s)
+		}
+		sort.Strings(sites)
+		for _, s := range sites {
+			sp := te.sites[s]
+			line := "    " + s + ":"
+			if sp.hasPrep {
+				line += fmt.Sprintf(" prepare->vote=%.3f", sp.prepVote)
+			}
+			if sp.hasExp {
+				line += fmt.Sprintf(" exposure=%.3f", sp.exposure)
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package ops stands in for the live operations HTTP plane, allowlisted
+// because its runtime sampler and uptime reporting are meaningful only in
+// wall time. No finding is expected here; the non-allowlisted sibling
+// fixture (walltime/a) proves the same calls still fail elsewhere.
+package ops
+
+import (
+	"context"
+	"time"
+)
+
+func Sample() time.Time { return time.Now() }
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+func Tick(stop <-chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	select {
+	case <-stop:
+	case <-t.C:
+	}
+}
+
+func ShutdownCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, 3*time.Second)
+}

@@ -52,10 +52,16 @@ var walltimeBanned = map[string]map[string]string{
 //     wall time, and nothing replays them under the explorer.
 //   - cmd/o2pc-bench measures real elapsed time by definition — its whole
 //     output is wall-clock throughput and latency tables.
+//   - internal/ops is the live operations HTTP plane: its runtime
+//     sampler (goroutine/heap gauges), uptime reporting, and graceful
+//     shutdown run against the real process and are meaningful only in
+//     wall time. Protocol metrics are still observed via sim.Clock in
+//     coord/site; nothing deterministic imports ops.
 func walltimeAllowed(path string) bool {
 	return pathEndsWith(path, "internal/sim") ||
 		pathHasSegment(path, "examples") ||
-		pathEndsWith(path, "cmd/o2pc-bench")
+		pathEndsWith(path, "cmd/o2pc-bench") ||
+		pathEndsWith(path, "internal/ops")
 }
 
 func runWalltime(pass *framework.Pass) error {

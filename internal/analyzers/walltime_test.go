@@ -13,5 +13,6 @@ func TestWalltime(t *testing.T) {
 		"walltime/internal/sim",
 		"walltime/examples/demo",
 		"walltime/cmd/o2pc-bench",
+		"walltime/internal/ops",
 	)
 }

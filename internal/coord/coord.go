@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -137,6 +138,19 @@ type Stats struct {
 	InFlight      *metrics.Gauge
 	Latency       *metrics.Histogram // ms, all outcomes
 	CommitLatency *metrics.Histogram // ms, committed only
+
+	// Per-phase spans of the commit round (all ms). PhaseCollect is the
+	// coordinator's collect window — first VOTE-REQ sent until the last
+	// vote (or first NO) is in, i.e. vote→decision; PhaseDeliver is
+	// decision logged until every participant acked (decision→ack).
+	PhaseCollect *metrics.Histogram
+	PhaseDeliver *metrics.Histogram
+
+	// voteRTT holds one histogram per participant measuring the
+	// prepare→vote round trip (VOTE-REQ send to vote reply receipt).
+	// Sites appear lazily as they first vote, so access is guarded.
+	mu      sync.Mutex
+	voteRTT map[string]*metrics.Histogram
 }
 
 func newStats() *Stats {
@@ -148,11 +162,42 @@ func newStats() *Stats {
 		InFlight:       &metrics.Gauge{},
 		Latency:        metrics.NewHistogram(),
 		CommitLatency:  metrics.NewHistogram(),
+		PhaseCollect:   metrics.NewHistogram(),
+		PhaseDeliver:   metrics.NewHistogram(),
+		voteRTT:        make(map[string]*metrics.Histogram),
 	}
 }
 
+// VoteRTT returns the prepare→vote round-trip histogram for one site,
+// creating it on first use.
+func (s *Stats) VoteRTT(site string) *metrics.Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.voteRTT[site]
+	if !ok {
+		h = metrics.NewHistogram()
+		s.voteRTT[site] = h
+	}
+	return h
+}
+
+// voteRTTSites returns the sites with a vote-RTT histogram, sorted so
+// Publish output stays deterministic.
+func (s *Stats) voteRTTSites() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sites := make([]string, 0, len(s.voteRTT))
+	for site := range s.voteRTT {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	return sites
+}
+
 // Publish adopts every instrument into reg under prefixed Prometheus-style
-// names, for text exposition via Registry.WriteText.
+// names, for text exposition via Registry.WriteText. Per-site vote-RTT
+// histograms appear lazily, so live scrapers should re-Publish on each
+// collection (Adopt replaces, making this idempotent).
 func (s *Stats) Publish(reg *metrics.Registry, prefix string) {
 	reg.Adopt(prefix+"commits_total", s.Commits)
 	reg.Adopt(prefix+"aborts_total", s.Aborts)
@@ -161,6 +206,14 @@ func (s *Stats) Publish(reg *metrics.Registry, prefix string) {
 	reg.Adopt(prefix+"inflight_txns", s.InFlight)
 	reg.Adopt(prefix+"latency_ms", s.Latency)
 	reg.Adopt(prefix+"commit_latency_ms", s.CommitLatency)
+	reg.Adopt(prefix+"phase_vote_decision_ms", s.PhaseCollect)
+	reg.Adopt(prefix+"phase_decision_ack_ms", s.PhaseDeliver)
+	reg.SetHelp(prefix+"phase_vote_decision_ms", "coordinator collect window: first VOTE-REQ sent to decision reached")
+	reg.SetHelp(prefix+"phase_decision_ack_ms", "decision logged to last participant ack")
+	reg.SetHelp(prefix+"phase_prepare_vote_ms", "per-site VOTE-REQ send to vote reply receipt")
+	for _, site := range s.voteRTTSites() {
+		reg.Adopt(prefix+metrics.Label("phase_prepare_vote_ms", "site", site), s.VoteRTT(site))
+	}
 }
 
 // decided tracks a logged decision and its undelivered participants.
@@ -287,6 +340,28 @@ func (c *Coordinator) Crashed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.crashed
+}
+
+// Health reports whether the coordinator can make progress: nil when up,
+// ErrCrashed while crashed. The ops server's /healthz maps nil to 200.
+func (c *Coordinator) Health() error {
+	if c.Crashed() {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Ready extends Health with a decision-log probe: a coordinator whose WAL
+// cannot sync must not be offered traffic (it would crash on the first
+// decision). The ops server's /readyz maps nil to 200.
+func (c *Coordinator) Ready() error {
+	if err := c.Health(); err != nil {
+		return err
+	}
+	if err := c.log.Sync(); err != nil {
+		return fmt.Errorf("coord: decision log not writable: %w", err)
+	}
+	return nil
 }
 
 // Handle implements rpc.Handler for the coordinator node (Resolve

@@ -322,12 +322,15 @@ func (c *Coordinator) collectVotes(ctx context.Context, id string, sites []strin
 	votes := make(map[string]bool, len(sites))
 	readOnly := make(map[string]bool)
 	var mu sync.Mutex
+	collectStart := c.clock.Now()
 	g := sim.NewGroup(c.clock)
 	for _, site := range sites {
 		site := site
 		g.Go(func() {
 			c.tracer.Emit(c.cfg.Name, trace.EvVoteReqSend, id, site, "")
+			sent := c.clock.Now()
 			raw, err := c.caller.Call(ctx, c.cfg.Name, site, proto.VoteRequest{TxnID: id})
+			c.stats.VoteRTT(site).ObserveDuration(c.clock.Since(sent))
 			commit, ro := false, false
 			if err == nil {
 				if reply, ok := raw.(proto.VoteReply); ok {
@@ -347,6 +350,7 @@ func (c *Coordinator) collectVotes(ctx context.Context, id string, sites []strin
 		})
 	}
 	g.Wait()
+	c.stats.PhaseCollect.ObserveDuration(c.clock.Since(collectStart))
 	return votes, readOnly
 }
 
@@ -441,6 +445,7 @@ func (c *Coordinator) deliverDecision(ctx context.Context, id string, d *decided
 	// order influences which link RNG draws first.
 	sort.Strings(sites)
 
+	deliverStart := c.clock.Now()
 	g := sim.NewGroup(c.clock)
 	for _, site := range sites {
 		site := site
@@ -449,6 +454,9 @@ func (c *Coordinator) deliverDecision(ctx context.Context, id string, d *decided
 		})
 	}
 	g.Wait()
+	if len(sites) > 0 {
+		c.stats.PhaseDeliver.ObserveDuration(c.clock.Since(deliverStart))
+	}
 
 	// Once every participant has acked an abort, the marked-site set is
 	// final and the UDUM1 board can start looking for completion.

@@ -244,6 +244,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -252,7 +253,18 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
 	}
+}
+
+// SetHelp attaches a help string to a metric, emitted by WriteText as a
+// "# HELP" line before the metric's samples. The name may carry a label
+// block (it is stripped — help is per metric family, not per series).
+func (r *Registry) SetHelp(name, help string) {
+	base, _ := splitLabels(name)
+	r.mu.Lock()
+	r.help[sanitizeMetricName(base)] = help
+	r.mu.Unlock()
 }
 
 // Counter returns the counter with the given name, creating it on first use.
@@ -386,65 +398,273 @@ func sanitizeMetricName(name string) string {
 	return b.String()
 }
 
+// sanitizeLabelName maps a name onto the Prometheus label-name charset
+// [a-zA-Z0-9_] (no colon, which is reserved for metric names).
+func sanitizeLabelName(name string) string {
+	return strings.ReplaceAll(sanitizeMetricName(name), ":", "_")
+}
+
+// labelPair is one parsed key="value" label, with value held unescaped.
+type labelPair struct {
+	key, value string
+}
+
+// Label renders a metric name with attached label pairs, suitable for
+// Registry registration and Adopt: Label("rtt_ms", "site", "s0") yields
+// `rtt_ms{site="s0"}`. WriteText recognizes the label block and escapes
+// the values per the Prometheus text format instead of mangling the
+// braces through name sanitization. Pairs must come as key, value, ...;
+// an odd count panics.
+func Label(base string, pairs ...string) string {
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("metrics: Label(%q): odd label arguments %d", base, len(pairs)))
+	}
+	ps := make([]labelPair, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		ps = append(ps, labelPair{pairs[i], pairs[i+1]})
+	}
+	return base + renderLabels(ps)
+}
+
+// escapeLabelValue escapes a raw label value per the Prometheus text
+// exposition format: backslash, double quote, and line feed.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string per the Prometheus text exposition
+// format: backslash and line feed (quotes stay literal on HELP lines).
+func escapeHelp(h string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(h, `\`, `\\`), "\n", `\n`)
+}
+
+// renderLabels renders pairs as a `{k="v",...}` block with values escaped,
+// or "" when there are no pairs.
+func renderLabels(pairs []labelPair) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(p.key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitLabels splits a registry name into its base metric name and raw
+// label block: `m{a="b"}` → ("m", `a="b"`). A name without a well-formed
+// trailing block comes back with labels == "".
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") || i+1 > len(name)-1 {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// parseLabels parses a raw label block (`k="v",k2="v2"`, values possibly
+// containing \\, \", and \n escapes) into unescaped pairs. ok is false on
+// any malformed input, in which case the caller should fall back to
+// treating the whole registry name as an unlabeled metric name.
+func parseLabels(s string) (pairs []labelPair, ok bool) {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, false
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		var val strings.Builder
+		closed := false
+		i := 0
+		for i < len(rest) {
+			switch c := rest[i]; c {
+			case '\\':
+				if i+1 >= len(rest) {
+					return nil, false
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, false
+				}
+				i += 2
+			case '"':
+				closed = true
+				i++
+			default:
+				val.WriteByte(c)
+				i++
+			}
+			if closed {
+				break
+			}
+		}
+		if !closed {
+			return nil, false
+		}
+		pairs = append(pairs, labelPair{key, val.String()})
+		s = rest[i:]
+		if len(s) > 0 {
+			if s[0] != ',' || len(s) == 1 {
+				return nil, false
+			}
+			s = s[1:]
+		}
+	}
+	return pairs, true
+}
+
+// normalizeName canonicalizes a registry name for exposition: the base is
+// sanitized to the metric-name charset and label values are re-escaped.
+// A name whose label block does not parse is sanitized wholesale (the
+// pre-label legacy behavior, which mangles braces into underscores).
+func normalizeName(name string) (base string, pairs []labelPair) {
+	rawBase, rawLabels := splitLabels(name)
+	if rawLabels == "" {
+		return sanitizeMetricName(name), nil
+	}
+	pairs, ok := parseLabels(rawLabels)
+	if !ok {
+		return sanitizeMetricName(name), nil
+	}
+	return sanitizeMetricName(rawBase), pairs
+}
+
+// textSample is one exposition line's worth of snapshot, grouped by base
+// metric family for TYPE/HELP emission.
+type textSample struct {
+	base   string
+	labels string // canonical rendered block, "" when unlabeled
+	value  int64
+	h      *Histogram
+}
+
+func sortSamples(s []textSample) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].base != s[j].base {
+			return s[i].base < s[j].base
+		}
+		return s[i].labels < s[j].labels
+	})
+}
+
 // WriteText renders every registered metric in the Prometheus text
 // exposition format, in deterministic sorted order: counters and gauges as
 // single samples, histograms as a quantile summary with _sum and _count.
+// Names built with Label keep their label block (values escaped per the
+// format); HELP lines appear for families registered via SetHelp, with
+// backslash and newline escaped.
 func (r *Registry) WriteText(w io.Writer) error {
-	type histEntry struct {
-		name string
-		h    *Histogram
-	}
 	r.mu.Lock()
-	counters := make(map[string]int64, len(r.counters))
+	counters := make([]textSample, 0, len(r.counters))
 	for n, c := range r.counters {
-		counters[sanitizeMetricName(n)] = c.Value()
+		base, pairs := normalizeName(n)
+		counters = append(counters, textSample{base: base, labels: renderLabels(pairs), value: c.Value()})
 	}
-	gauges := make(map[string]int64, len(r.gauges))
+	gauges := make([]textSample, 0, len(r.gauges))
 	for n, g := range r.gauges {
-		gauges[sanitizeMetricName(n)] = g.Value()
+		base, pairs := normalizeName(n)
+		gauges = append(gauges, textSample{base: base, labels: renderLabels(pairs), value: g.Value()})
 	}
-	hists := make([]histEntry, 0, len(r.histograms))
+	hists := make([]textSample, 0, len(r.histograms))
 	for n, h := range r.histograms {
-		hists = append(hists, histEntry{sanitizeMetricName(n), h})
+		base, pairs := normalizeName(n)
+		hists = append(hists, textSample{base: base, labels: renderLabels(pairs), h: h})
+	}
+	help := make(map[string]string, len(r.help))
+	for base, h := range r.help {
+		help[base] = h
 	}
 	r.mu.Unlock()
 
-	for _, name := range sortedKeys(counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name]); err != nil {
-			return err
+	head := func(base, kind string) error {
+		if h, ok := help[base]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, escapeHelp(h)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+
+	for _, kind := range []struct {
+		name    string
+		samples []textSample
+	}{{"counter", counters}, {"gauge", gauges}} {
+		sortSamples(kind.samples)
+		prevBase := ""
+		for _, e := range kind.samples {
+			if e.base != prevBase {
+				if err := head(e.base, kind.name); err != nil {
+					return err
+				}
+				prevBase = e.base
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", e.base, e.labels, e.value); err != nil {
+				return err
+			}
 		}
 	}
-	for _, name := range sortedKeys(gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[name]); err != nil {
-			return err
-		}
-	}
-	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	sortSamples(hists)
+	prevBase := ""
 	for _, e := range hists {
-		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", e.name); err != nil {
-			return err
+		if e.base != prevBase {
+			if err := head(e.base, "summary"); err != nil {
+				return err
+			}
+			prevBase = e.base
 		}
 		for _, q := range []struct {
 			label string
 			q     float64
 		}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}} {
-			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", e.name, q.label, e.h.Quantile(q.q)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", e.base, withQuantile(e.labels, q.label), e.h.Quantile(q.q)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", e.name, e.h.Sum(), e.name, e.h.Count()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n",
+			e.base, e.labels, e.h.Sum(), e.base, e.labels, e.h.Count()); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// sortedKeys returns the map's keys in ascending order.
-func sortedKeys(m map[string]int64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// withQuantile merges a quantile label into an already-rendered label
+// block: ("", "0.5") → `{quantile="0.5"}`; (`{site="s0"}`, "0.5") →
+// `{site="s0",quantile="0.5"}`.
+func withQuantile(labels, q string) string {
+	if labels == "" {
+		return `{quantile="` + q + `"}`
 	}
-	sort.Strings(keys)
-	return keys
+	return labels[:len(labels)-1] + `,quantile="` + q + `"}`
 }

@@ -317,6 +317,178 @@ latency_ms_count 2
 	}
 }
 
+func TestLabelRendersEscapedBlock(t *testing.T) {
+	cases := []struct {
+		base  string
+		pairs []string
+		want  string
+	}{
+		{"rtt_ms", []string{"site", "s0"}, `rtt_ms{site="s0"}`},
+		{"rtt_ms", []string{"site", "s0", "outcome", "commit"}, `rtt_ms{site="s0",outcome="commit"}`},
+		{"m", []string{"k", `a"b`}, `m{k="a\"b"}`},
+		{"m", []string{"k", `a\b`}, `m{k="a\\b"}`},
+		{"m", []string{"k", "a\nb"}, `m{k="a\nb"}`},
+		{"m", nil, "m"},
+	}
+	for _, c := range cases {
+		if got := Label(c.base, c.pairs...); got != c.want {
+			t.Errorf("Label(%q, %v) = %q, want %q", c.base, c.pairs, got, c.want)
+		}
+	}
+}
+
+func TestLabelOddPairsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Label with odd pairs did not panic")
+		}
+	}()
+	Label("m", "k")
+}
+
+func TestWriteTextLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("req_total", "site", "s1")).Add(2)
+	r.Counter(Label("req_total", "site", "s0")).Add(5)
+	r.Counter(Label("req_total", "site", `we"ird\sí`+"\n")).Inc()
+	h := r.Histogram(Label("rtt_ms", "site", "s0"))
+	h.Observe(4)
+	r.SetHelp("req_total", "requests per site")
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP req_total requests per site
+# TYPE req_total counter
+req_total{site="s0"} 5
+req_total{site="s1"} 2
+req_total{site="we\"ird\\sí\n"} 1
+# TYPE rtt_ms summary
+rtt_ms{site="s0",quantile="0.5"} 4
+rtt_ms{site="s0",quantile="0.9"} 4
+rtt_ms{site="s0",quantile="0.99"} 4
+rtt_ms_sum{site="s0"} 4
+rtt_ms_count{site="s0"} 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("WriteText mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteTextHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.SetHelp("c", "line one\nback\\slash")
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP c line one\\nback\\\\slash\n# TYPE c counter\nc 1\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("help escaping:\ngot:  %q\nwant: %q", got, want)
+	}
+}
+
+func TestWriteTextMalformedLabelBlockFallsBack(t *testing.T) {
+	// A brace-bearing name whose block does not parse as k="v" pairs is
+	// sanitized wholesale, the pre-label behavior.
+	r := NewRegistry()
+	r.Counter(`m{oops}`).Inc()
+	r.Counter(`m{k="bad\qescape"}`).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"m_oops_ 1", "m_k__bad_qescape__ 1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("fallback sample %q missing from:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestParseLabelsRoundTrip(t *testing.T) {
+	raw := `site="s0",k="a\"b\\c\nd"`
+	pairs, ok := parseLabels(raw)
+	if !ok {
+		t.Fatalf("parseLabels(%q) failed", raw)
+	}
+	if len(pairs) != 2 || pairs[0] != (labelPair{"site", "s0"}) || pairs[1] != (labelPair{"k", "a\"b\\c\nd"}) {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	if got := renderLabels(pairs); got != "{"+raw+"}" {
+		t.Fatalf("round trip = %q, want %q", got, "{"+raw+"}")
+	}
+	for _, bad := range []string{`k`, `k=`, `k="v`, `k="v",`, `k="a\zb"`, `="v"`} {
+		if _, ok := parseLabels(bad); ok {
+			t.Errorf("parseLabels(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestWriteTextConcurrentWithObserve races live scrapes against observers
+// on every instrument kind; run under -race this pins that a scrape while
+// the cluster is hot is safe.
+func TestWriteTextConcurrentWithObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(Label("ops_total", "site", "s0"))
+	g := r.Gauge("inflight")
+	h := r.Histogram(Label("rtt_ms", "site", "s0"))
+	r.SetHelp("rtt_ms", "round trip")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(int64(i - 2))
+				h.Observe(float64(j % 17))
+				// New series appearing mid-scrape must also be safe.
+				r.Counter(Label("late_total", "w", string(rune('a'+i)))).Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), `ops_total{site="s0"}`) {
+			t.Fatalf("scrape missing series:\n%s", sb.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHistogramQuantilePins pins arbitrary-p interpolation behavior the
+// loadgen live table relies on.
+func TestHistogramQuantilePins(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	cases := map[float64]float64{
+		0:    1,
+		0.5:  5.5,
+		0.75: 7.75,
+		0.9:  9.1,
+		0.99: 9.91,
+		1:    10,
+	}
+	for q, want := range cases {
+		if got := h.Quantile(q); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
 func TestSanitizeMetricName(t *testing.T) {
 	cases := map[string]string{
 		"plain":        "plain",

@@ -225,6 +225,77 @@ func TestTCPRemoteError(t *testing.T) {
 	}
 }
 
+// TestTCPConcurrentCallsNotSerialized pins the per-call connection
+// property: a call whose handler is blocked must not stall other calls to
+// the same peer. With a single shared connection, a subtransaction stuck
+// in a lock wait at a site would block the lock holder's own vote traffic
+// and turn every lock conflict into a timeout convoy.
+func TestTCPConcurrentCallsNotSerialized(t *testing.T) {
+	type req = tcpReq
+	release := make(chan struct{})
+	srv := NewServer("b", func(ctx context.Context, from string, m any) (any, error) {
+		if m.(req).Msg == "slow" {
+			<-release
+		}
+		return tcpResp{Msg: "ok"}, nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client := NewTCPClient(map[string]string{"b": ln.Addr().String()})
+	defer client.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := client.Call(context.Background(), "a", "b", req{Msg: "slow"})
+		slowDone <- err
+	}()
+
+	// The fast call must complete while the slow handler is still parked.
+	fastCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := client.Call(fastCtx, "a", "b", req{Msg: "fast"}); err != nil {
+		t.Fatalf("fast call blocked behind slow one: %v", err)
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow call: %v", err)
+	}
+}
+
+// TestTCPPoolReuse checks that finished calls park their connections for
+// reuse instead of dialling per call.
+func TestTCPPoolReuse(t *testing.T) {
+	type req = tcpReq
+	srv := NewServer("b", func(ctx context.Context, from string, m any) (any, error) {
+		return tcpResp{Msg: "ok"}, nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client := NewTCPClient(map[string]string{"b": ln.Addr().String()})
+	defer client.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := client.Call(context.Background(), "a", "b", req{Msg: "x"}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	client.mu.Lock()
+	idle, open := len(client.idle["b"]), len(client.open)
+	client.mu.Unlock()
+	if idle != 1 || open != 1 {
+		t.Fatalf("after sequential calls: %d idle, %d open conns, want 1 and 1", idle, open)
+	}
+}
+
 func TestTCPUnknownNode(t *testing.T) {
 	client := NewTCPClient(map[string]string{})
 	if _, err := client.Call(context.Background(), "a", "nope", ping{}); !errors.Is(err, ErrUnknownNode) {

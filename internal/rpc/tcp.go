@@ -107,14 +107,26 @@ func (s *Server) Close() error {
 }
 
 // TCPClient is a Caller that maps node names to TCP addresses.
+//
+// Each in-flight call owns a whole connection, drawn from a per-peer idle
+// pool (up to maxIdlePerPeer kept warm) and dialled fresh beyond that.
+// A single shared connection would serialize every call to a peer behind
+// the slowest one — with the server handling each connection's requests
+// sequentially, one subtransaction blocked in a lock wait at a site would
+// stall the lock holder's own vote and decision traffic to that site on
+// the client side, turning every lock conflict into a timeout convoy.
 type TCPClient struct {
 	mu    sync.Mutex
 	addrs map[string]string
-	conns map[string]*tcpConn
+	idle  map[string][]*tcpConn
+	open  map[*tcpConn]bool // every live conn, pooled or checked out
 }
 
+// maxIdlePerPeer bounds the warm connections kept per peer; calls beyond
+// that dial and close ephemeral connections instead of growing the pool.
+const maxIdlePerPeer = 16
+
 type tcpConn struct {
-	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
@@ -126,16 +138,21 @@ func NewTCPClient(addrs map[string]string) *TCPClient {
 	for k, v := range addrs {
 		cp[k] = v
 	}
-	return &TCPClient{addrs: cp, conns: make(map[string]*tcpConn)}
+	return &TCPClient{addrs: cp, idle: make(map[string][]*tcpConn), open: make(map[*tcpConn]bool)}
 }
 
-func (c *TCPClient) conn(to string) (*tcpConn, error) {
+// checkout returns a connection to "to" for this call's exclusive use:
+// the most recently parked idle one, else a fresh dial.
+func (c *TCPClient) checkout(to string) (*tcpConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if tc, ok := c.conns[to]; ok {
+	if pool := c.idle[to]; len(pool) > 0 {
+		tc := pool[len(pool)-1]
+		c.idle[to] = pool[:len(pool)-1]
+		c.mu.Unlock()
 		return tc, nil
 	}
 	addr, ok := c.addrs[to]
+	c.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
@@ -144,15 +161,33 @@ func (c *TCPClient) conn(to string) (*tcpConn, error) {
 		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
 	}
 	tc := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	c.conns[to] = tc
+	c.mu.Lock()
+	if c.open == nil { // Closed while dialling: refuse to leak the conn
+		c.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s (client closed)", ErrUnreachable, to)
+	}
+	c.open[tc] = true
+	c.mu.Unlock()
 	return tc, nil
 }
 
-func (c *TCPClient) drop(to string, tc *tcpConn) {
+// checkin parks a healthy connection back in to's idle pool, or closes it
+// when the pool is full or the client is closed.
+func (c *TCPClient) checkin(to string, tc *tcpConn) {
 	c.mu.Lock()
-	if c.conns[to] == tc {
-		delete(c.conns, to)
+	if c.open != nil && c.open[tc] && len(c.idle[to]) < maxIdlePerPeer {
+		c.idle[to] = append(c.idle[to], tc)
+		c.mu.Unlock()
+		return
 	}
+	c.mu.Unlock()
+	c.drop(tc)
+}
+
+func (c *TCPClient) drop(tc *tcpConn) {
+	c.mu.Lock()
+	delete(c.open, tc)
 	c.mu.Unlock()
 	tc.conn.Close()
 }
@@ -160,44 +195,44 @@ func (c *TCPClient) drop(to string, tc *tcpConn) {
 // Call implements Caller over TCP. Transport failures surface as
 // ErrUnreachable so that protocol-level retry logic is transport-agnostic.
 func (c *TCPClient) Call(ctx context.Context, from, to string, req any) (any, error) {
-	tc, err := c.conn(to)
+	tc, err := c.checkout(to)
 	if err != nil {
 		return nil, err
 	}
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
 	dl := zeroTime
 	if d, ok := ctx.Deadline(); ok {
 		dl = d
 	}
 	if err := tc.conn.SetDeadline(dl); err != nil {
-		// A connection that cannot accept a deadline is already broken;
-		// retire it so the next call redials instead of hanging forever.
-		c.drop(to, tc)
+		c.drop(tc)
 		return nil, fmt.Errorf("%w: set deadline for %s (%v)", ErrUnreachable, to, err)
 	}
 	if err := tc.enc.Encode(&envelope{From: from, Body: req}); err != nil {
-		c.drop(to, tc)
+		c.drop(tc)
 		return nil, fmt.Errorf("%w: send to %s (%v)", ErrUnreachable, to, err)
 	}
 	var reply replyEnvelope
 	if err := tc.dec.Decode(&reply); err != nil {
-		c.drop(to, tc)
+		c.drop(tc)
 		return nil, fmt.Errorf("%w: recv from %s (%v)", ErrUnreachable, to, err)
 	}
+	c.checkin(to, tc)
 	if reply.Err != "" {
 		return nil, fmt.Errorf("rpc: remote error from %s: %s", to, reply.Err)
 	}
 	return reply.Body, nil
 }
 
-// Close closes all pooled connections.
+// Close closes every connection, idle or in flight, and stops the client
+// from pooling or dialling new ones.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for to, tc := range c.conns {
+	open := c.open
+	c.open = nil
+	c.idle = nil
+	c.mu.Unlock()
+	for tc := range open {
 		tc.conn.Close()
-		delete(c.conns, to)
 	}
 	return nil
 }

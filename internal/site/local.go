@@ -108,6 +108,21 @@ func (s *Site) SeedInt64(key storage.Key, v int64) {
 func (s *Site) Recover(ctx context.Context) (wal.RecoverResult, error) {
 	s.tracer.Emit(s.cfg.Name, trace.EvRecover, "", "", "")
 
+	// Health reports ErrRecovering until the site reopens for traffic —
+	// the ops server's /healthz shows 503 for exactly this window. The
+	// flag is cleared where crashed is (the reopen below), not by defer:
+	// the post-reopen compensation re-runs happen on a healthy site.
+	s.mu.Lock()
+	s.recovering = true
+	s.mu.Unlock()
+	defer func() {
+		// Error paths leave crashed as-is but must drop the recovering
+		// flag so Health falls back to reporting the crash.
+		s.mu.Lock()
+		s.recovering = false
+		s.mu.Unlock()
+	}()
+
 	// Drain handlers that were mid-flight when the crash hit: a real crash
 	// kills the process's threads, and by restart time they are gone. The
 	// in-process analogue is waiting for them to return (they observe the
@@ -246,6 +261,7 @@ func (s *Site) Recover(ctx context.Context) (wal.RecoverResult, error) {
 	s.mu.Lock()
 	s.epoch, s.epochCancel = context.WithCancel(context.Background())
 	s.crashed = false
+	s.recovering = false
 	s.mu.Unlock()
 	s.stats.Recoveries.Inc()
 	s.armResolver()

@@ -163,6 +163,19 @@ type Stats struct {
 	// session keeps more concurrent transactions exposed at once, and
 	// experiment E12 reads this histogram to show the distribution.
 	ExposureDuration *metrics.Histogram
+	// ExposureCommit and ExposureAbort split ExposureDuration by decision
+	// outcome: a committed window closed harmlessly, an aborted one is
+	// exactly the interval during which removable effects leaked and a
+	// compensation became necessary (the paper's Section 5 criterion).
+	ExposureCommit *metrics.Histogram
+	ExposureAbort  *metrics.Histogram
+	// CompensationDuration measures each compensating transaction CTik
+	// from start to installed, in ms (retries included).
+	CompensationDuration *metrics.Histogram
+	// ReadmitRejects counts rule R1 re-admission refusals: continuation
+	// rounds and session re-votes turned away because the transaction's
+	// marking state is no longer compatible with the site.
+	ReadmitRejects *metrics.Counter
 }
 
 func newStats() *Stats {
@@ -185,6 +198,10 @@ func newStats() *Stats {
 		ResumedCompensations: &metrics.Counter{},
 		PendingGlobal:        &metrics.Gauge{},
 		ExposureDuration:     metrics.NewHistogram(),
+		ExposureCommit:       metrics.NewHistogram(),
+		ExposureAbort:        metrics.NewHistogram(),
+		CompensationDuration: metrics.NewHistogram(),
+		ReadmitRejects:       &metrics.Counter{},
 	}
 }
 
@@ -209,6 +226,13 @@ func (s *Stats) Publish(reg *metrics.Registry, prefix string) {
 	reg.Adopt(prefix+"resumed_compensations_total", s.ResumedCompensations)
 	reg.Adopt(prefix+"pending_global_txns", s.PendingGlobal)
 	reg.Adopt(prefix+"exposure_duration_ms", s.ExposureDuration)
+	reg.Adopt(prefix+metrics.Label("exposure_duration_ms", "outcome", "commit"), s.ExposureCommit)
+	reg.Adopt(prefix+metrics.Label("exposure_duration_ms", "outcome", "abort"), s.ExposureAbort)
+	reg.Adopt(prefix+"compensation_duration_ms", s.CompensationDuration)
+	reg.Adopt(prefix+"readmit_rejects_total", s.ReadmitRejects)
+	reg.SetHelp(prefix+"exposure_duration_ms", "O2PC exposure window: local commit at YES vote to decision arrival; the unlabeled series aggregates both outcomes, abort windows required compensation")
+	reg.SetHelp(prefix+"compensation_duration_ms", "compensating transaction CTik start to installed, retries included")
+	reg.SetHelp(prefix+"readmit_rejects_total", "rule R1 re-admission refusals on continuation rounds and re-votes")
 }
 
 // pending tracks one global transaction's subtransaction at this site.
@@ -262,6 +286,7 @@ type Site struct {
 	localSeq   uint64
 	sysSeq     uint64
 	crashed    bool
+	recovering bool // Recover is rebuilding state from the WAL
 	inflight   int  // protocol handlers currently running (drained by Recover)
 	resolverOn bool // the site-wide decision-inquiry scanner is running
 
@@ -415,6 +440,43 @@ func (s *Site) upCtx() context.Context {
 
 // ErrCrashed is returned by handlers while the site is crashed.
 var ErrCrashed = errors.New("site: crashed")
+
+// ErrRecovering is reported by Health while Recover is rebuilding the
+// site's state from the WAL.
+var ErrRecovering = errors.New("site: recovering")
+
+// Health reports whether the site can serve protocol messages: nil when
+// up, ErrCrashed while crashed, ErrRecovering while Recover is replaying
+// the WAL. The ops server's /healthz maps nil to 200 and an error to 503,
+// so a scraper watches the crash/recover epoch directly.
+func (s *Site) Health() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.recovering:
+		// Recovery marks the site crashed while it rebuilds; report the
+		// more specific condition.
+		return ErrRecovering
+	case s.crashed:
+		return ErrCrashed
+	default:
+		return nil
+	}
+}
+
+// Ready extends Health with a WAL probe: a site whose log cannot sync
+// must not take traffic — every vote and decision is write-ahead logged,
+// so an unwritable WAL turns every request into an error. The ops
+// server's /readyz maps nil to 200.
+func (s *Site) Ready() error {
+	if err := s.Health(); err != nil {
+		return err
+	}
+	if err := s.mgr.Log().Sync(); err != nil {
+		return fmt.Errorf("site %s: wal not writable: %w", s.cfg.Name, err)
+	}
+	return nil
+}
 
 // Handle implements rpc.Handler: the site's protocol message dispatcher.
 // Handlers register as in-flight so Recover can wait for them to drain —
@@ -633,12 +695,14 @@ func (s *Site) execContinue(ctx context.Context, p *pending, req proto.ExecReque
 			// Compatible: the round proceeds below.
 		case marking.Retry:
 			s.stats.RejectsRetry.Inc()
+			s.stats.ReadmitRejects.Inc()
 			if !hold {
 				s.mgr.Locks().Release(p.t.ID(), MarkKey)
 			}
 			return proto.ExecReply{Rejected: true, Reason: "marking: retryable incompatibility"}
 		case marking.Abort:
 			s.stats.RejectsFatal.Inc()
+			s.stats.ReadmitRejects.Inc()
 			if !hold {
 				s.mgr.Locks().Release(p.t.ID(), MarkKey)
 			}
@@ -661,6 +725,7 @@ func (s *Site) execContinue(ctx context.Context, p *pending, req proto.ExecReque
 		// as the one-shot path, scoped to the round.
 		if !s.validateMarks(ctx, p.t.ID(), req.Marking, merged) {
 			s.stats.RevalidateFail.Inc()
+			s.stats.ReadmitRejects.Inc()
 			return proto.ExecReply{Rejected: true, Fatal: true, Reason: "marking validation failed after session round"}
 		}
 	}

@@ -73,6 +73,7 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 	if p.req.Round > 0 && p.req.Marking != proto.MarkNone {
 		if !s.validateMarks(ctx, p.t.ID(), p.req.Marking, p.marks) {
 			s.stats.RevalidateFail.Inc()
+			s.stats.ReadmitRejects.Inc()
 			s.voteNo(ctx, p)
 			s.tracer.Emit(s.cfg.Name, trace.EvVoteNo, req.TxnID, from, "session revalidation")
 			return proto.VoteReply{Commit: false, Reason: "marking validation failed at vote", Witnesses: witnesses}
@@ -241,8 +242,16 @@ func (s *Site) handleDecision(ctx context.Context, d proto.Decision) (proto.Ack,
 	if p.state == stateLocallyCommitted && !p.exposedAt.IsZero() {
 		// The exposure window closes when the decision arrives (commit or
 		// abort — compensation for an abort starts now). Recovered entries
-		// have a zero stamp and are skipped.
-		s.stats.ExposureDuration.ObserveDuration(s.clock.Since(p.exposedAt))
+		// have a zero stamp and are skipped. The per-outcome split feeds
+		// the ops plane: an aborted window is the interval during which
+		// effects leaked to other transactions and must be compensated.
+		window := s.clock.Since(p.exposedAt)
+		s.stats.ExposureDuration.ObserveDuration(window)
+		if d.Commit {
+			s.stats.ExposureCommit.ObserveDuration(window)
+		} else {
+			s.stats.ExposureAbort.ObserveDuration(window)
+		}
 	}
 
 	// Write-ahead: the decision record lands before the decision's effects.
@@ -365,6 +374,15 @@ func (s *Site) applyAbort(ctx context.Context, p *pending) {
 // the run retries until it succeeds.
 func (s *Site) compensateExposed(ctx context.Context, p *pending) {
 	s.stats.Compensations.Inc()
+	compStart := s.clock.Now()
+	defer func() {
+		if ctx.Err() == nil {
+			// Only completed compensations count toward the duration
+			// histogram; a crash-interrupted run is resumed (and measured)
+			// by recovery.
+			s.stats.CompensationDuration.ObserveDuration(s.clock.Since(compStart))
+		}
+	}()
 	plan, err := compensate.PlanFor(p.req.Comp, p.req.Compensator, s.cfg.Compensators)
 	if err != nil {
 		// Unreachable for well-formed requests: CompNone subtransactions

@@ -251,6 +251,27 @@ func (tr *Tracer) Events() []Event {
 	return out
 }
 
+// Drain atomically returns every retained event (ordered like Events)
+// and empties the rings. Per-node sequence numbers and drop counts carry
+// on, so interleaved Emit calls are never double-reported or lost: an
+// event is returned by exactly one Drain (or a final Events call). The
+// ops server's /trace/recent?drain=1 live tail is built on this.
+func (tr *Tracer) Drain() []Event {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	var out []Event
+	for _, r := range tr.rings {
+		out = append(out, r.events()...)
+		r.start = 0
+		r.n = 0
+	}
+	tr.mu.Unlock()
+	SortEvents(out)
+	return out
+}
+
 // Dropped reports, per node, how many events the ring discarded.
 func (tr *Tracer) Dropped() map[string]uint64 {
 	if tr == nil {

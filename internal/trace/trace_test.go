@@ -67,6 +67,33 @@ func TestEmitAndOrder(t *testing.T) {
 	}
 }
 
+func TestDrainEmptiesWithoutLosingSequence(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Drain() != nil {
+		t.Fatalf("nil tracer drained data")
+	}
+	tr := New(sim.NewVirtualClock(), 4)
+	tr.Emit("s0", EvVoteYes, "T1", "", "")
+	tr.Emit("s0", EvVoteNo, "T2", "", "")
+	first := tr.Drain()
+	if len(first) != 2 || first[0].Seq != 1 || first[1].Seq != 2 {
+		t.Fatalf("first drain = %+v", first)
+	}
+	if ev := tr.Events(); len(ev) != 0 {
+		t.Fatalf("drain left %d events behind", len(ev))
+	}
+	// Sequence numbering continues: an event is reported exactly once and
+	// the node-local order across drains stays total.
+	tr.Emit("s0", EvExposed, "T3", "", "")
+	second := tr.Drain()
+	if len(second) != 1 || second[0].Seq != 3 || second[0].Type != EvExposed {
+		t.Fatalf("second drain = %+v", second)
+	}
+	if len(tr.Drain()) != 0 {
+		t.Fatalf("third drain not empty")
+	}
+}
+
 func TestRingDropsOldest(t *testing.T) {
 	tr := New(sim.Real(), 4)
 	for i := 0; i < 10; i++ {
