@@ -93,6 +93,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	chromePath := fs.String("trace-chrome", "", "write the protocol event log as Chrome trace-event JSON (Perfetto-loadable) to this file on exit")
 	metricsPath := fs.String("metrics", "", "write coordinator metrics in Prometheus text form to this file on exit")
 	opsAddr := fs.String("ops-addr", "", "serve the operations HTTP plane (metrics, health, pprof, trace) on this address")
+	idlePerPeer := fs.Int("rpc-idle-per-peer", 0, "warm TCP connections kept per peer (0 = default 16, negative disables pooling)")
+	batchWindow := fs.Duration("rpc-batch-window", 0, "coalesce outbound votes/decisions per site into one envelope per window (0 disables)")
+	batchMax := fs.Int("rpc-batch-max", 0, "messages per coalesced envelope (0 = default 64)")
+	execWorkers := fs.Int("exec-workers", 0, "bounded worker pool for exec/vote fan-out (0 = goroutine per site per phase)")
 	sites := addrList{}
 	fs.Var(sites, "site", "site address as name=host:port (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -105,7 +109,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *tracePath != "" || *chromePath != "" || *opsAddr != "" {
 		tracer = trace.New(sim.Real(), trace.DefaultNodeCapacity)
 	}
-	cfg := coord.Config{Name: *name, Tracer: tracer}
+	cfg := coord.Config{Name: *name, Tracer: tracer, ExecWorkers: *execWorkers}
 	if *walPath != "" {
 		fl, err := wal.OpenFileLog(*walPath)
 		if err != nil {
@@ -115,8 +119,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		defer fl.Close()
 		cfg.Log = fl
 	}
-	client := rpc.NewTCPClient(sites)
-	c := coord.New(cfg, client)
+	client := rpc.NewTCPClientConfig(sites, rpc.TCPClientConfig{MaxIdlePerPeer: *idlePerPeer})
+	var caller rpc.Caller = client
+	var coal *rpc.Coalescer
+	if *batchWindow > 0 {
+		// Per-peer message coalescing: votes and decisions to one site ride
+		// shared envelopes (the sites' servers always unwrap them).
+		coal = rpc.NewCoalescer(client, rpc.CoalesceConfig{
+			Window:   *batchWindow,
+			MaxBatch: *batchMax,
+			Tracer:   tracer,
+		})
+		caller = coal
+	}
+	c := coord.New(cfg, caller)
+	defer c.Close()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -135,10 +152,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		opsSrv := ops.NewServer(ops.Config{
 			Node:     *name,
 			Registry: metrics.NewRegistry(),
-			Collect:  func(r *metrics.Registry) { c.Stats().Publish(r, "o2pc_coord_") },
-			Health:   c.Health,
-			Ready:    c.Ready,
-			Tracer:   tracer,
+			Collect: func(r *metrics.Registry) {
+				c.Stats().Publish(r, "o2pc_coord_")
+				if coal != nil {
+					coal.Stats().Publish(r, "o2pc_coord_")
+				}
+			},
+			Health: c.Health,
+			Ready:  c.Ready,
+			Tracer: tracer,
 			Vars: map[string]any{
 				"name":     *name,
 				"listen":   *listen,

@@ -200,6 +200,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	tableInterval := fs.Duration("table", time.Second, "live table print interval (0 disables)")
 	outPath := fs.String("out", "", "write a BENCH-style summary JSON to this file")
 	opsAddr := fs.String("ops-addr", "", "serve the loadgen's own operations HTTP plane on this address (also scraped as target \"self\")")
+	idlePerPeer := fs.Int("rpc-idle-per-peer", 0, "warm TCP connections kept per peer (0 = default 16, negative disables pooling)")
+	batchWindow := fs.Duration("rpc-batch-window", 0, "coalesce outbound votes/decisions per site into one envelope per window (0 disables)")
+	batchMax := fs.Int("rpc-batch-max", 0, "messages per coalesced envelope (0 = default 64)")
+	execWorkers := fs.Int("exec-workers", 0, "bounded worker pool for exec/vote fan-out (0 = goroutine per site per phase)")
 	sites := addrList{}
 	fs.Var(sites, "site", "site address as name=host:port (repeatable)")
 	scrapes := addrList{}
@@ -247,11 +251,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *opsAddr != "" {
 		tracer = trace.New(clock, trace.DefaultNodeCapacity)
 	}
+	client := rpc.NewTCPClientConfig(sites, rpc.TCPClientConfig{MaxIdlePerPeer: *idlePerPeer})
+	var caller rpc.Caller = client
+	var coal *rpc.Coalescer
+	if *batchWindow > 0 {
+		// Per-peer message coalescing: the workload coordinator's votes and
+		// decisions to one site ride shared envelopes.
+		coal = rpc.NewCoalescer(client, rpc.CoalesceConfig{
+			Window:   *batchWindow,
+			MaxBatch: *batchMax,
+			Tracer:   tracer,
+		})
+		caller = coal
+	}
 	c := coord.New(coord.Config{
-		Name:     *name,
-		IDPrefix: idPrefix,
-		Tracer:   tracer,
-	}, rpc.NewTCPClient(sites))
+		Name:        *name,
+		IDPrefix:    idPrefix,
+		Tracer:      tracer,
+		ExecWorkers: *execWorkers,
+	}, caller)
+	defer c.Close()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -286,10 +305,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		opsSrv := ops.NewServer(ops.Config{
 			Node:     *name,
 			Registry: metrics.NewRegistry(),
-			Collect:  func(r *metrics.Registry) { c.Stats().Publish(r, "o2pc_coord_") },
-			Health:   c.Health,
-			Ready:    c.Ready,
-			Tracer:   tracer,
+			Collect: func(r *metrics.Registry) {
+				c.Stats().Publish(r, "o2pc_coord_")
+				if coal != nil {
+					coal.Stats().Publish(r, "o2pc_coord_")
+				}
+			},
+			Health: c.Health,
+			Ready:  c.Ready,
+			Tracer: tracer,
 			Vars: map[string]any{
 				"name":    *name,
 				"listen":  *listen,

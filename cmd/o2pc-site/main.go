@@ -92,6 +92,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	walPath := fs.String("wal", "", "write-ahead log file (default: in-memory)")
 	recover := fs.Bool("recover", false, "recover state from the WAL before serving")
 	opsAddr := fs.String("ops-addr", "", "serve the operations HTTP plane (metrics, health, pprof, trace) on this address")
+	idlePerPeer := fs.Int("rpc-idle-per-peer", 0, "warm TCP connections kept per peer (0 = default 16, negative disables pooling)")
 	coords := addrList{}
 	fs.Var(coords, "coord", "coordinator address as name=host:port (repeatable)")
 	seeds := seedList{}
@@ -120,7 +121,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	s := site.NewSite(cfg)
 	if len(coords) > 0 {
-		s.SetCaller(rpc.NewTCPClient(coords))
+		s.SetCaller(rpc.NewTCPClientConfig(coords, rpc.TCPClientConfig{MaxIdlePerPeer: *idlePerPeer}))
 	}
 
 	// Start the ops plane before recovery: /healthz reports 503
@@ -171,7 +172,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("listen: %w", err)
 	}
 	fmt.Fprintf(stdout, "site %s serving on %s (wal=%s)\n", *name, ln.Addr(), walOrMemory(*walPath))
-	srv := rpc.NewServer(*name, s.Handle)
+	// BatchHandler lets coalescing coordinators ship proto.Batch envelopes;
+	// unbatched traffic passes through untouched, so wrapping is always on.
+	srv := rpc.NewServer(*name, rpc.BatchHandler(s.Handle, nil))
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 

@@ -1,3 +1,3 @@
 module o2pc
 
-go 1.22
+go 1.23

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"maporder/internal/helper"
+	"maporder/internal/rpc"
 	"maporder/internal/wal"
 )
 
@@ -82,4 +83,30 @@ func annotated(l *wal.FileLog, m map[string]int) {
 		//o2pcvet:ignore maporder -- fixture: order-insensitive aggregate under test
 		_, _ = l.Append(wal.Record{Key: k})
 	}
+}
+
+// batchFanout is the per-peer coalescing shape: flushing one envelope
+// per peer by ranging the bucket map ships envelopes in map order.
+func batchFanout(c *rpc.Caller, buckets map[string][]wal.Record) {
+	for peer := range buckets {
+		_ = c.Call(peer, buckets[peer]) // want `rpc\.Caller\.Call called inside range over map buckets`
+	}
+}
+
+// batchFanoutSorted flushes peers in sorted order: clean.
+func batchFanoutSorted(c *rpc.Caller, buckets map[string][]wal.Record) {
+	for _, peer := range slices.Sorted(maps.Keys(buckets)) {
+		_ = c.Call(peer, buckets[peer])
+	}
+}
+
+// batchPayloadTainted builds one envelope's contents by ranging a map:
+// the payload itself carries map order onto the wire even though the
+// Call sits outside any range.
+func batchPayloadTainted(c *rpc.Caller, waiters map[string]wal.Record) {
+	var msgs []wal.Record
+	for _, w := range waiters {
+		msgs = append(msgs, w)
+	}
+	_ = c.Call("s0", msgs) // want `argument msgs carries map-iteration order into rpc\.Caller\.Call`
 }

@@ -1,0 +1,8 @@
+// Package rpc is a miniature of the real internal/rpc for the maporder
+// fixture: Call puts its payload on the wire, so both the call's position
+// (inside a map range) and its arguments' taint matter.
+package rpc
+
+type Caller struct{}
+
+func (c *Caller) Call(peer string, body any) error { return nil }

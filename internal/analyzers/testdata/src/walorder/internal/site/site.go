@@ -138,3 +138,32 @@ func (s *Site) continueRoundLogged(k storage.Key, v storage.Value) {
 func (s *Site) continueRoundUnlogged(k storage.Key, v storage.Value) {
 	s.store.Put(k, v, "S1") // want `storage\.Store\.Put is not dominated by a wal append`
 }
+
+// batchApplyLogged mirrors the coalesced-envelope fan-out on the
+// participant: each item in the batch logs before its write lands, so
+// a crash mid-batch replays the logged prefix.
+func (s *Site) batchApplyLogged(items []storage.Record) {
+	for _, it := range items {
+		_, _ = s.log.Append(wal.Record{})
+		s.store.Restore(it, "batch")
+	}
+}
+
+// batchApplyUnlogged applies a whole envelope with no appends: every
+// item's write is invisible to recovery.
+func (s *Site) batchApplyUnlogged(items []storage.Record) {
+	for _, it := range items {
+		s.store.Restore(it, "batch") // want `storage\.Store\.Restore is not dominated by a wal append`
+	}
+}
+
+// batchHeaderLogOnly logs once for the envelope header but not per
+// item — the append before the loop dominates every iteration, which
+// is the analyzer's (sound for replay: the header record carries the
+// batch) accepted shape.
+func (s *Site) batchHeaderLogOnly(items []storage.Record) {
+	_, _ = s.log.Append(wal.Record{TxnID: "batch"})
+	for _, it := range items {
+		s.store.Restore(it, "batch")
+	}
+}

@@ -257,6 +257,19 @@ type Config struct {
 	// Marked transactions always execute sequentially: rule R1 threads the
 	// accumulating transmark state from site to site.
 	ParallelExec bool
+	// ExecWorkers, when positive, runs the coordinator's per-site fan-out
+	// for the execution and vote phases on a bounded pool of that many
+	// reusable workers instead of a fresh goroutine per site per phase. At
+	// high concurrency the per-phase spawns dominate the profile via
+	// goroutine stack growth; pooled workers keep their stacks. Only those
+	// two phases qualify: their site handlers are bounded by the lock
+	// timeout, so a worker is never parked indefinitely. Decision delivery
+	// stays spawn-per-site — it retries until acked and can block
+	// unboundedly (crashed site, compensation waiting on another pending
+	// decision's locks), which on a bounded pool would let stuck
+	// deliveries starve or deadlock the ones that would unstick them.
+	// Zero keeps the spawn-per-phase behavior everywhere.
+	ExecWorkers int
 	// Clock supplies the coordinator's notion of time (retry delays,
 	// latency measurement, background delivery). Nil defaults to the real
 	// clock.
@@ -275,6 +288,7 @@ type Coordinator struct {
 	stats  *Stats
 	clock  sim.Clock
 	tracer *trace.Tracer
+	pool   *sim.Pool // nil unless Config.ExecWorkers > 0
 
 	mu      sync.Mutex
 	seq     uint64
@@ -301,6 +315,10 @@ func New(cfg Config, caller rpc.Caller) *Coordinator {
 		log = wal.NewMemoryLog()
 	}
 	log = trace.WrapLog(log, cfg.Tracer, cfg.Name)
+	var pool *sim.Pool
+	if cfg.ExecWorkers > 0 {
+		pool = sim.NewPool(sim.OrReal(cfg.Clock), cfg.ExecWorkers)
+	}
 	return &Coordinator{
 		cfg:     cfg,
 		caller:  caller,
@@ -309,6 +327,7 @@ func New(cfg Config, caller rpc.Caller) *Coordinator {
 		stats:   newStats(),
 		clock:   sim.OrReal(cfg.Clock),
 		tracer:  cfg.Tracer,
+		pool:    pool,
 		decided: make(map[string]*decided),
 		started: make(map[string][]string),
 	}
@@ -316,6 +335,15 @@ func New(cfg Config, caller rpc.Caller) *Coordinator {
 
 // Name returns the coordinator's node name.
 func (c *Coordinator) Name() string { return c.cfg.Name }
+
+// Close releases the coordinator's worker pool (a no-op without
+// ExecWorkers). In-flight fan-outs finish; pooled work submitted after
+// Close degrades to plain goroutines.
+func (c *Coordinator) Close() {
+	if c.pool != nil {
+		c.pool.Close()
+	}
+}
 
 // Stats returns the coordinator's counters.
 func (c *Coordinator) Stats() *Stats { return c.stats }

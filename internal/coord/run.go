@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"o2pc/internal/history"
 	"o2pc/internal/proto"
@@ -54,9 +53,14 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 	if rec := c.cfg.Recorder; rec != nil {
 		rec.Declare(id, history.KindGlobal, "")
 	}
+	// The spec's site list and its joined form are needed several times
+	// (started bookkeeping, BEGIN record, trace, abort paths); compute each
+	// once. Every consumer treats the slice as read-only.
+	sites := execSites(spec)
+	sitesAux := joinSites(sites)
 	c.mu.Lock()
 	crashed := c.crashed
-	c.started[id] = execSites(spec)
+	c.started[id] = sites
 	c.mu.Unlock()
 	if crashed {
 		res.Outcome = AbortedCoordinator
@@ -64,14 +68,14 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 		return res
 	}
 	c.tracer.Emit(c.cfg.Name, trace.EvTxnBegin, id, "",
-		spec.Protocol.String()+"/"+spec.Marking.String()+" sites="+joinSites(execSites(spec)))
+		spec.Protocol.String()+"/"+spec.Marking.String()+" sites="+sitesAux)
 	// Write-ahead: without a durable BEGIN, recovery could not presume
 	// abort for this transaction — so an unloggable BEGIN aborts the run
 	// before any subtransaction ships.
 	if _, err := c.log.Append(wal.Record{
 		Type:  wal.RecBegin,
 		TxnID: id,
-		Aux:   joinSites(execSites(spec)) + "|" + spec.Marking.String(),
+		Aux:   sitesAux + "|" + spec.Marking.String(),
 	}); err != nil {
 		res.Outcome = AbortedCoordinator
 		res.Err = fmt.Errorf("coord: logging begin for %s: %w", id, err)
@@ -94,10 +98,10 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 			if res.Outcome == 0 {
 				res.Outcome = AbortedExec
 			}
-			c.decide(ctx, id, false, execSites(spec), spec)
+			c.decide(ctx, id, false, sites, spec)
 			return res
 		}
-		executed = execSites(spec)
+		executed = sites
 	} else {
 		var transmarks []string
 		visited := false
@@ -149,19 +153,14 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 // Shared by the one-shot Run path and Session.Commit.
 func (c *Coordinator) finishCommit(ctx context.Context, id string, executed []string, spec TxnSpec, res *Result) {
 	// ---- Vote phase: VOTE-REQ to every participant in parallel.
-	votes, readOnly := c.collectVotes(ctx, id, executed)
-	allYes := true
-	for _, v := range votes {
-		if !v {
-			allYes = false
-		}
-	}
+	allYes, readOnly := c.collectVotes(ctx, id, executed)
 	// Read-only participants have left the protocol; decisions go only to
-	// the rest.
-	if len(readOnly) > 0 {
+	// the rest. The filtered list is a fresh slice: executed may alias the
+	// run's shared site list (also held by c.started for recovery).
+	if readOnly != nil {
 		var rest []string
-		for _, s := range executed {
-			if !readOnly[s] {
+		for i, s := range executed {
+			if !readOnly[i] {
 				rest = append(rest, s)
 			}
 		}
@@ -231,7 +230,7 @@ func (c *Coordinator) execFanOut(ctx context.Context, id string, spec TxnSpec, r
 	g := sim.NewGroup(c.clock)
 	for ci, ch := range chains {
 		ci, ch := ci, ch
-		g.Go(func() {
+		c.pool.Spawn(g, func() {
 			out := &outs[ci]
 			for k, st := range ch.subs {
 				req := proto.ExecRequest{
@@ -315,43 +314,55 @@ func (c *Coordinator) execWithRetry(ctx context.Context, id, site string, req pr
 }
 
 // collectVotes runs the vote round in parallel, feeding witness deltas to
-// the board. Unreachable participants count as NO votes. The second return
-// lists participants that answered READ-ONLY: they have left the protocol
-// and receive no decision.
-func (c *Coordinator) collectVotes(ctx context.Context, id string, sites []string) (map[string]bool, map[string]bool) {
-	votes := make(map[string]bool, len(sites))
-	readOnly := make(map[string]bool)
-	var mu sync.Mutex
+// the board. Unreachable participants count as NO votes. It returns
+// whether every participant voted YES, plus — only when some participant
+// answered READ-ONLY — a slice aligned with sites marking those that have
+// left the protocol and receive no decision (nil when none did, the
+// common case; the vote phase used to allocate two maps and lock a mutex
+// per vote here, which showed up in the contended profile).
+func (c *Coordinator) collectVotes(ctx context.Context, id string, sites []string) (bool, []bool) {
+	yes := make([]bool, len(sites))
+	ro := make([]bool, len(sites))
 	collectStart := c.clock.Now()
-	g := sim.NewGroup(c.clock)
-	for _, site := range sites {
-		site := site
-		g.Go(func() {
-			c.tracer.Emit(c.cfg.Name, trace.EvVoteReqSend, id, site, "")
-			sent := c.clock.Now()
-			raw, err := c.caller.Call(ctx, c.cfg.Name, site, proto.VoteRequest{TxnID: id})
-			c.stats.VoteRTT(site).ObserveDuration(c.clock.Since(sent))
-			commit, ro := false, false
-			if err == nil {
-				if reply, ok := raw.(proto.VoteReply); ok {
-					commit, ro = reply.Commit, reply.ReadOnly
-					for _, w := range reply.Witnesses {
-						c.board.AddWitness(w.Forward, w.Site)
-					}
+	vote := func(i int, site string) {
+		c.tracer.Emit(c.cfg.Name, trace.EvVoteReqSend, id, site, "")
+		sent := c.clock.Now()
+		raw, err := c.caller.Call(ctx, c.cfg.Name, site, proto.VoteRequest{TxnID: id})
+		c.stats.VoteRTT(site).ObserveDuration(c.clock.Since(sent))
+		commit, readOnly := false, false
+		if err == nil {
+			if reply, ok := raw.(proto.VoteReply); ok {
+				commit, readOnly = reply.Commit, reply.ReadOnly
+				for _, w := range reply.Witnesses {
+					c.board.AddWitness(w.Forward, w.Site)
 				}
 			}
-			c.tracer.Emit(c.cfg.Name, trace.EvVoteRecv, id, site, voteDetail(commit, ro, err))
-			mu.Lock()
-			votes[site] = commit
-			if ro {
-				readOnly[site] = true
-			}
-			mu.Unlock()
-		})
+		}
+		c.tracer.Emit(c.cfg.Name, trace.EvVoteRecv, id, site, voteDetail(commit, readOnly, err))
+		// Each task owns its index; no lock needed.
+		yes[i], ro[i] = commit, readOnly
+	}
+	// Fan out all but the first site, which runs inline: this goroutine
+	// would only park in Wait, so it may as well carry one vote itself.
+	g := sim.NewGroup(c.clock)
+	for i := 1; i < len(sites); i++ {
+		i, site := i, sites[i]
+		c.pool.Spawn(g, func() { vote(i, site) })
+	}
+	if len(sites) > 0 {
+		vote(0, sites[0])
 	}
 	g.Wait()
 	c.stats.PhaseCollect.ObserveDuration(c.clock.Since(collectStart))
-	return votes, readOnly
+	allYes, anyRO := true, false
+	for i := range sites {
+		allYes = allYes && yes[i]
+		anyRO = anyRO || ro[i]
+	}
+	if !anyRO {
+		ro = nil
+	}
+	return allYes, ro
 }
 
 // decide logs the decision, registers abort bookkeeping, and delivers the
@@ -446,6 +457,13 @@ func (c *Coordinator) deliverDecision(ctx context.Context, id string, d *decided
 	sort.Strings(sites)
 
 	deliverStart := c.clock.Now()
+	// Deliberately NOT pooled: a delivery retries until the site acks, so
+	// it can block unboundedly — on a crashed site, or on the site's abort
+	// compensation waiting for a lock that only ANOTHER pending decision
+	// releases. Routing deliveries through the bounded pool lets blocked
+	// ones exhaust the workers and deadlock the decisions that would
+	// unblock them; the pool covers only the exec and vote phases, whose
+	// site handlers are bounded by the lock timeout.
 	g := sim.NewGroup(c.clock)
 	for _, site := range sites {
 		site := site
@@ -602,6 +620,9 @@ func (c *Coordinator) Recover(ctx context.Context) error {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	// Recovery re-delivery spawns directly, like deliverDecision's own
+	// per-site sends: deliveries can block unboundedly and must not share
+	// a bounded pool (see Config.ExecWorkers).
 	g := sim.NewGroup(c.clock)
 	for _, id := range ids {
 		id, d := id, toDeliver[id]
@@ -635,14 +656,21 @@ func voteDetail(commit, readOnly bool, err error) string {
 }
 
 func joinSites(sites []string) string {
-	out := ""
+	if len(sites) == 0 {
+		return ""
+	}
+	n := len(sites) - 1
+	for _, s := range sites {
+		n += len(s)
+	}
+	b := make([]byte, 0, n)
 	for i, s := range sites {
 		if i > 0 {
-			out += ","
+			b = append(b, ',')
 		}
-		out += s
+		b = append(b, s...)
 	}
-	return out
+	return string(b)
 }
 
 func splitSites(aux string) []string {

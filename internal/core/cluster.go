@@ -80,6 +80,19 @@ type Config struct {
 	// default: parallel chains give up the sequential path's site-order
 	// lock acquisition, which matters under high contention.
 	ParallelExec bool
+	// ExecWorkers, when positive, runs each coordinator's per-site fan-out
+	// on a bounded pool of reusable workers instead of goroutine-per-site
+	// per phase (see coord.Config.ExecWorkers). Zero keeps plain spawning.
+	ExecWorkers int
+	// CoalesceRPC batches coordinator→site VOTE-REQs and DECISIONs per
+	// destination site into single envelopes, fanned back out at the site
+	// (see rpc.Coalescer). Off by default: the per-message-type census of
+	// experiment E6 counts envelopes, not their contents, so census-exact
+	// runs must leave this off. CoalesceWindow and CoalesceMaxBatch tune
+	// the batching; zero selects the rpc package defaults.
+	CoalesceRPC      bool
+	CoalesceWindow   time.Duration
+	CoalesceMaxBatch int
 	// Clock drives every timer in the cluster — network latency, lock
 	// timeouts, retry backoffs, resolver periods. Nil defaults to the real
 	// clock; pass a sim.VirtualClock for deterministic simulation.
@@ -94,13 +107,14 @@ type Config struct {
 
 // Cluster is a complete in-process multidatabase.
 type Cluster struct {
-	cfg      Config
-	clock    sim.Clock
-	network  *rpc.Network
-	sites    []*site.Site
-	coords   []*coord.Coordinator
-	recorder *history.Recorder
-	board    *marking.Board
+	cfg       Config
+	clock     sim.Clock
+	network   *rpc.Network
+	sites     []*site.Site
+	coords    []*coord.Coordinator
+	recorder  *history.Recorder
+	board     *marking.Board
+	coalescer *rpc.Coalescer // nil unless CoalesceRPC
 
 	doomed doomedSet
 }
@@ -152,8 +166,24 @@ func NewCluster(cfg Config) *Cluster {
 		})
 		s.SetCaller(cl.network)
 		s.SetVoteAbortInjector(cl.doomed.injectorFor(name))
-		cl.network.Register(name, s.Handle)
+		handler := s.Handle
+		if cfg.CoalesceRPC {
+			handler = rpc.BatchHandler(handler, clock)
+		}
+		cl.network.Register(name, handler)
 		cl.sites = append(cl.sites, s)
+	}
+	// All coordinators share one coalescer: its queues are per (from, to)
+	// pair, so traffic from distinct coordinators never mixes.
+	var coordCaller rpc.Caller = cl.network
+	if cfg.CoalesceRPC {
+		cl.coalescer = rpc.NewCoalescer(cl.network, rpc.CoalesceConfig{
+			Window:   cfg.CoalesceWindow,
+			MaxBatch: cfg.CoalesceMaxBatch,
+			Clock:    clock,
+			Tracer:   cfg.Tracer,
+		})
+		coordCaller = cl.coalescer
 	}
 	for i := 0; i < cfg.Coordinators; i++ {
 		name := fmt.Sprintf("c%d", i)
@@ -163,9 +193,10 @@ func NewCluster(cfg Config) *Cluster {
 			Recorder:     cl.recorder,
 			Board:        cl.board,
 			ParallelExec: cfg.ParallelExec,
+			ExecWorkers:  cfg.ExecWorkers,
 			Clock:        clock,
 			Tracer:       cfg.Tracer,
-		}, cl.network)
+		}, coordCaller)
 		cl.network.Register(name, c.Handle)
 		cl.coords = append(cl.coords, c)
 	}
@@ -184,6 +215,19 @@ func prefixFor(i int) string {
 // Network exposes the simulated transport (failure injection, message
 // census).
 func (cl *Cluster) Network() *rpc.Network { return cl.network }
+
+// Coalescer exposes the RPC coalescer (nil unless CoalesceRPC is on).
+func (cl *Cluster) Coalescer() *rpc.Coalescer { return cl.coalescer }
+
+// Close releases cluster resources held by long-lived goroutines (the
+// coordinators' worker pools). Safe to skip for short-lived test
+// clusters — parked workers die with the process — but benchmarks that
+// build many clusters should Close each one.
+func (cl *Cluster) Close() {
+	for _, c := range cl.coords {
+		c.Close()
+	}
+}
 
 // Clock returns the cluster's clock (the real clock unless a virtual one
 // was configured).

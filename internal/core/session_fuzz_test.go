@@ -64,7 +64,7 @@ func FuzzSessionScript(f *testing.F) {
 			case 2: // single-site write round
 				_, _ = sess.Round(ctx, []coord.SubtxnSpec{{
 					Site: cl.Site(int(b/5) % 2).Name(),
-					Ops:  []proto.Operation{proto.Add(acctKey(int(b) % accounts), 0)},
+					Ops:  []proto.Operation{proto.Add(acctKey(int(b)%accounts), 0)},
 					Comp: proto.CompSemantic,
 				}})
 			case 3: // doom the session's vote at s1

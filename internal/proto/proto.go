@@ -323,4 +323,6 @@ func RegisterGob() {
 	gob.Register(Ack{})
 	gob.Register(ResolveRequest{})
 	gob.Register(ResolveReply{})
+	gob.Register(Batch{})
+	gob.Register(BatchReply{})
 }

@@ -1,0 +1,527 @@
+package proto
+
+// The hand-rolled binary wire codec for the TCP transport (DESIGN.md §15).
+//
+// encoding/gob pays per-message reflection and type-descriptor traffic on
+// every envelope; the protocol vocabulary is eight small fixed structs, so
+// a positional codec — one type tag byte, then each field in declaration
+// order as a varint or length-prefixed run of bytes — beats it by an order
+// of magnitude and allocates nothing beyond the payload itself.
+//
+// Encoding rules (the whole spec):
+//
+//   - uint8 enums (Protocol, MarkProtocol, OpKind, CompMode) and bools are
+//     one byte;
+//   - int64 and int fields are zigzag varints (binary.AppendVarint);
+//   - strings and []byte are a uvarint byte length followed by the bytes;
+//   - slices and maps are a uvarint element count followed by the elements
+//     (map entries in sorted key order, so encoding is deterministic);
+//   - zero-length slices, maps and []byte decode as nil — exactly what a
+//     gob round trip produces, which keeps the two codecs equivalent
+//     (FuzzWireCodec pins this).
+//
+// The codec is versioned as a unit: WireVersion is carried in the frame
+// header by the transport (rpc/tcp.go), not per message, and any change to
+// a message layout must bump it. Decoding never trusts a length prefix
+// beyond the remaining input, so a torn or hostile payload fails with an
+// error instead of an over-allocation or panic.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// WireVersion identifies this codec generation. The TCP transport sends it
+// in every frame header and refuses mismatches loudly (rpc.ErrWireVersion),
+// so an old peer and a new peer never half-understand each other.
+const WireVersion = 1
+
+// Wire type tags, one per message in the protocol vocabulary. Tag values
+// are part of the wire format; append only.
+const (
+	wtExecRequest byte = iota + 1
+	wtExecReply
+	wtVoteRequest
+	wtVoteReply
+	wtDecision
+	wtAck
+	wtResolveRequest
+	wtResolveReply
+	wtBatch
+	wtBatchReply
+)
+
+// ErrUnknownWireType reports a message outside the protocol vocabulary
+// (the transport falls back to gob for those) or an unknown tag byte on
+// decode.
+var ErrUnknownWireType = errors.New("proto: message type outside the wire vocabulary")
+
+// errTruncated reports input that ends mid-field.
+var errTruncated = errors.New("proto: truncated wire message")
+
+// Batch carries several protocol messages from one sender to one peer in a
+// single envelope — the per-peer message coalescing mirror of WAL group
+// commit (rpc.Coalescer builds these, rpc.BatchHandler fans them back out
+// server-side, in order, so per-peer FIFO delivery is preserved).
+type Batch struct {
+	Msgs []any
+}
+
+// BatchReply answers a Batch: Items[i] answers Msgs[i].
+type BatchReply struct {
+	Items []BatchItem
+}
+
+// BatchItem is one reply inside a BatchReply. Err carries a handler
+// error's text ("" for success); Body is the reply message (nil when the
+// handler returned none).
+type BatchItem struct {
+	Err  string
+	Body any
+}
+
+// AppendMessage appends the binary encoding of msg (a tag byte followed by
+// the fields) to buf and returns the extended slice. Messages outside the
+// protocol vocabulary return ErrUnknownWireType.
+func AppendMessage(buf []byte, msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case ExecRequest:
+		return appendExecRequest(buf, &m), nil
+	case *ExecRequest:
+		return appendExecRequest(buf, m), nil
+	case ExecReply:
+		return appendExecReply(buf, &m), nil
+	case *ExecReply:
+		return appendExecReply(buf, m), nil
+	case VoteRequest:
+		return appendString(append(buf, wtVoteRequest), m.TxnID), nil
+	case *VoteRequest:
+		return appendString(append(buf, wtVoteRequest), m.TxnID), nil
+	case VoteReply:
+		return appendVoteReply(buf, &m), nil
+	case *VoteReply:
+		return appendVoteReply(buf, m), nil
+	case Decision:
+		return appendDecision(buf, &m), nil
+	case *Decision:
+		return appendDecision(buf, m), nil
+	case Ack:
+		return appendBool(appendString(append(buf, wtAck), m.TxnID), m.Marked), nil
+	case *Ack:
+		return appendBool(appendString(append(buf, wtAck), m.TxnID), m.Marked), nil
+	case ResolveRequest:
+		return appendString(append(buf, wtResolveRequest), m.TxnID), nil
+	case *ResolveRequest:
+		return appendString(append(buf, wtResolveRequest), m.TxnID), nil
+	case ResolveReply:
+		return appendBool(appendBool(append(buf, wtResolveReply), m.Known), m.Commit), nil
+	case *ResolveReply:
+		return appendBool(appendBool(append(buf, wtResolveReply), m.Known), m.Commit), nil
+	case Batch:
+		return appendBatch(buf, &m)
+	case *Batch:
+		return appendBatch(buf, m)
+	case BatchReply:
+		return appendBatchReply(buf, &m)
+	case *BatchReply:
+		return appendBatchReply(buf, m)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownWireType, msg)
+	}
+}
+
+// DecodeMessage decodes one message produced by AppendMessage. The whole
+// input must be consumed: trailing bytes are a framing error.
+func DecodeMessage(data []byte) (any, error) {
+	r := &wireReader{b: data}
+	msg, err := decodeAny(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("proto: %d trailing bytes after wire message", len(data)-r.off)
+	}
+	return msg, nil
+}
+
+func appendExecRequest(buf []byte, m *ExecRequest) []byte {
+	buf = append(buf, wtExecRequest)
+	buf = appendString(buf, m.TxnID)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Ops)))
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		buf = append(buf, byte(op.Kind))
+		buf = appendString(buf, op.Key)
+		buf = appendBytes(buf, op.Value)
+		buf = binary.AppendVarint(buf, op.Delta)
+		buf = binary.AppendVarint(buf, op.Min)
+		buf = appendBool(buf, op.HasMin)
+	}
+	buf = append(buf, byte(m.Comp))
+	buf = appendString(buf, m.Compensator)
+	buf = append(buf, byte(m.Protocol), byte(m.Marking))
+	buf = appendStrings(buf, m.TransMarks)
+	buf = appendBool(buf, m.Visited)
+	buf = binary.AppendVarint(buf, int64(m.Round))
+	return buf
+}
+
+func decodeExecRequest(r *wireReader) ExecRequest {
+	var m ExecRequest
+	m.TxnID = r.str()
+	if n := r.count(); n > 0 {
+		m.Ops = make([]Operation, n)
+		for i := range m.Ops {
+			op := &m.Ops[i]
+			op.Kind = OpKind(r.byte())
+			op.Key = r.str()
+			op.Value = r.bytes()
+			op.Delta = r.varint()
+			op.Min = r.varint()
+			op.HasMin = r.bool()
+		}
+	}
+	m.Comp = CompMode(r.byte())
+	m.Compensator = r.str()
+	m.Protocol = Protocol(r.byte())
+	m.Marking = MarkProtocol(r.byte())
+	m.TransMarks = r.strs()
+	m.Visited = r.bool()
+	m.Round = int(r.varint())
+	return m
+}
+
+func appendExecReply(buf []byte, m *ExecReply) []byte {
+	buf = append(buf, wtExecReply)
+	buf = appendBool(buf, m.OK)
+	buf = appendBool(buf, m.Rejected)
+	buf = appendBool(buf, m.Fatal)
+	buf = appendString(buf, m.Reason)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Reads)))
+	if len(m.Reads) > 0 {
+		keys := make([]string, 0, len(m.Reads))
+		for k := range m.Reads {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			buf = appendString(buf, k)
+			buf = appendBytes(buf, m.Reads[k])
+		}
+	}
+	buf = appendStrings(buf, m.Marks)
+	buf = appendWitnesses(buf, m.Witnesses)
+	buf = appendString(buf, m.Err)
+	return buf
+}
+
+func decodeExecReply(r *wireReader) ExecReply {
+	var m ExecReply
+	m.OK = r.bool()
+	m.Rejected = r.bool()
+	m.Fatal = r.bool()
+	m.Reason = r.str()
+	if n := r.count(); n > 0 {
+		m.Reads = make(map[string][]byte, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			k := r.str()
+			m.Reads[k] = r.bytes()
+		}
+	}
+	m.Marks = r.strs()
+	m.Witnesses = decodeWitnesses(r)
+	m.Err = r.str()
+	return m
+}
+
+func appendVoteReply(buf []byte, m *VoteReply) []byte {
+	buf = append(buf, wtVoteReply)
+	buf = appendBool(buf, m.Commit)
+	buf = appendBool(buf, m.ReadOnly)
+	buf = appendString(buf, m.Reason)
+	return appendWitnesses(buf, m.Witnesses)
+}
+
+func appendDecision(buf []byte, m *Decision) []byte {
+	buf = append(buf, wtDecision)
+	buf = appendString(buf, m.TxnID)
+	buf = appendBool(buf, m.Commit)
+	return appendStrings(buf, m.Unmarks)
+}
+
+func appendBatch(buf []byte, m *Batch) ([]byte, error) {
+	buf = append(buf, wtBatch)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Msgs)))
+	var err error
+	for _, inner := range m.Msgs {
+		if buf, err = AppendMessage(buf, inner); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendBatchReply(buf []byte, m *BatchReply) ([]byte, error) {
+	buf = append(buf, wtBatchReply)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Items)))
+	var err error
+	for _, it := range m.Items {
+		buf = appendString(buf, it.Err)
+		if it.Body == nil {
+			buf = append(buf, 0) // nil-body tag
+			continue
+		}
+		if buf, err = AppendMessage(buf, it.Body); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendWitnesses(buf []byte, ws []WitnessDelta) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ws)))
+	for i := range ws {
+		buf = appendString(buf, ws[i].Forward)
+		buf = appendString(buf, ws[i].Site)
+	}
+	return buf
+}
+
+func decodeWitnesses(r *wireReader) []WitnessDelta {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	ws := make([]WitnessDelta, n)
+	for i := range ws {
+		ws[i].Forward = r.str()
+		ws[i].Site = r.str()
+	}
+	return ws
+}
+
+// decodeAny reads one tagged message from r.
+func decodeAny(r *wireReader) (any, error) {
+	tag := r.byte()
+	if r.err != nil {
+		return nil, r.err
+	}
+	var msg any
+	switch tag {
+	case wtExecRequest:
+		msg = decodeExecRequest(r)
+	case wtExecReply:
+		msg = decodeExecReply(r)
+	case wtVoteRequest:
+		msg = VoteRequest{TxnID: r.str()}
+	case wtVoteReply:
+		var m VoteReply
+		m.Commit = r.bool()
+		m.ReadOnly = r.bool()
+		m.Reason = r.str()
+		m.Witnesses = decodeWitnesses(r)
+		msg = m
+	case wtDecision:
+		var m Decision
+		m.TxnID = r.str()
+		m.Commit = r.bool()
+		m.Unmarks = r.strs()
+		msg = m
+	case wtAck:
+		msg = Ack{TxnID: r.str(), Marked: r.bool()}
+	case wtResolveRequest:
+		msg = ResolveRequest{TxnID: r.str()}
+	case wtResolveReply:
+		msg = ResolveReply{Known: r.bool(), Commit: r.bool()}
+	case wtBatch:
+		n := r.count()
+		var m Batch
+		if n > 0 {
+			m.Msgs = make([]any, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				inner, err := decodeAny(r)
+				if err != nil {
+					return nil, err
+				}
+				m.Msgs = append(m.Msgs, inner)
+			}
+		}
+		msg = m
+	case wtBatchReply:
+		n := r.count()
+		var m BatchReply
+		if n > 0 {
+			m.Items = make([]BatchItem, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				var it BatchItem
+				it.Err = r.str()
+				if r.err == nil && r.off < len(r.b) && r.b[r.off] == 0 {
+					r.off++ // nil-body tag
+				} else {
+					body, err := decodeAny(r)
+					if err != nil {
+						return nil, err
+					}
+					it.Body = body
+				}
+				m.Items = append(m.Items, it)
+			}
+		}
+		msg = m
+	default:
+		return nil, fmt.Errorf("%w: tag %d", ErrUnknownWireType, tag)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return msg, nil
+}
+
+// ---- primitive encoders ----
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, p []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p)))
+	return append(buf, p...)
+}
+
+func appendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func appendStrings(buf []byte, ss []string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		buf = appendString(buf, s)
+	}
+	return buf
+}
+
+// wireReader is a sticky-error positional decoder: the first malformed
+// field poisons it and every later read returns a zero value, so decoders
+// stay straight-line and check r.err once.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = errTruncated
+	}
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) bool() bool { return r.byte() != 0 }
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a length prefix, bounding it by the bytes actually left so a
+// hostile prefix cannot drive a huge allocation.
+func (r *wireReader) count() int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.b)-r.off) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.b)-r.off {
+		r.fail()
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *wireReader) str() string {
+	n := r.count()
+	if n == 0 {
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// bytes reads a length-prefixed []byte; zero length decodes as nil (the
+// gob-equivalence rule). The bytes are copied out of the input buffer so
+// decoded messages never alias a reused read buffer.
+func (r *wireReader) bytes() []byte {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	p := r.take(n)
+	if p == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, p)
+	return out
+}
+
+func (r *wireReader) strs() []string {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.str())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}

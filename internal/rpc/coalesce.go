@@ -1,0 +1,317 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"o2pc/internal/metrics"
+	"o2pc/internal/proto"
+	"o2pc/internal/sim"
+	"o2pc/internal/trace"
+)
+
+// Per-peer message coalescing: the wire-side mirror of WAL group commit.
+//
+// Within one clock tick a coordinator addresses the same site many times —
+// a VOTE-REQ per in-flight transaction, a DECISION per decided one. Each
+// such call is a full envelope (and, over TCP, a syscall pair) on its own
+// pooled connection. The Coalescer decorator batches the calls instead:
+// callers enqueue per destination peer, a per-peer flusher (armed on
+// demand, driven by the configured Clock so virtual-time runs stay
+// deterministic) ships the accumulated messages as a single proto.Batch,
+// the server fans them back out through BatchHandler, and the replies
+// (votes, ACKs) ride back coalesced in the matching BatchReply.
+//
+// Ordering: coalescing changes the envelope shape, not the concurrency
+// semantics. The decorated transports never ordered independent calls to
+// one peer (the in-process Network draws a latency per message; TCP runs
+// each call on its own pooled connection), so envelopes ship concurrently
+// and BatchHandler handles a batch's items concurrently — exactly as the
+// same calls would have been delivered unbatched. What IS guaranteed is
+// request/reply matching (each caller gets the reply to its own message)
+// and therefore per-sender order: a caller that issues its calls
+// sequentially observes them handled sequentially, because each Call
+// blocks until its reply lands (TestCoalescerFIFOPerPeer pins this under
+// -race). Serializing envelopes or their items would be STRONGER than the
+// baseline and deadlocks: a DECISION whose handling blocks on another
+// in-flight transaction's lock would wedge the very envelope carrying
+// that transaction's DECISION.
+
+// Coalescing defaults, used when the corresponding CoalesceConfig fields
+// are zero.
+const (
+	// DefaultCoalesceWindow is how long a flusher waits to accumulate a
+	// batch before shipping it.
+	DefaultCoalesceWindow = 200 * time.Microsecond
+	// DefaultCoalesceMaxBatch caps the messages per envelope.
+	DefaultCoalesceMaxBatch = 64
+)
+
+// CoalesceConfig parameterizes NewCoalescer.
+type CoalesceConfig struct {
+	// Window bounds how long a queued message waits for companions before
+	// its batch ships. Zero selects DefaultCoalesceWindow.
+	Window time.Duration
+	// MaxBatch caps the messages per envelope; a fuller queue ships in
+	// several consecutive batches. Zero selects DefaultCoalesceMaxBatch.
+	MaxBatch int
+	// Clock drives the flusher windows. Under a sim.VirtualClock the whole
+	// batching dance runs in virtual time and stays deterministic; nil
+	// selects the real clock.
+	Clock sim.Clock
+	// Tracer, when set, records an rpc.batch event per shipped envelope
+	// (node = sender, other = peer, detail = batch size).
+	Tracer *trace.Tracer
+}
+
+// CoalesceStats exposes the decorator's instruments for adoption into a
+// metrics.Registry.
+type CoalesceStats struct {
+	// Batches counts shipped envelopes.
+	Batches *metrics.Counter
+	// BatchSize records the number of messages coalesced per envelope.
+	BatchSize *metrics.Histogram
+}
+
+// Publish adopts the instruments into reg under prefixed names.
+func (s CoalesceStats) Publish(reg *metrics.Registry, prefix string) {
+	reg.Adopt(prefix+"rpc_batches_total", s.Batches)
+	reg.Adopt(prefix+"rpc_batch_size", s.BatchSize)
+}
+
+// callResult is one batched call's outcome.
+type callResult struct {
+	body any
+	err  error
+}
+
+// callWaiter is one caller parked in Call awaiting its batch's reply.
+type callWaiter struct {
+	ctx  context.Context
+	msg  any
+	done chan callResult // buffered(1); receives the fan-out outcome
+	// claim is the clock's wake-up reservation, installed by the flusher
+	// immediately before the send on done and consumed by the woken caller
+	// (the wal.GroupCommitLog discipline).
+	claim func()
+}
+
+// peerBatch is the queue and flusher state for one (from, to) pair.
+type peerBatch struct {
+	from, to string
+	waiters  []*callWaiter
+	armed    bool
+}
+
+// Coalescer is a Caller decorator that batches coalescable messages
+// (VOTE-REQs, DECISIONs — and their replies implicitly) per destination
+// peer. Everything else passes straight through to the inner transport.
+type Coalescer struct {
+	inner    Caller
+	clock    sim.Clock
+	window   time.Duration
+	maxBatch int
+	tracer   *trace.Tracer
+
+	mu    sync.Mutex
+	peers map[linkKey]*peerBatch
+
+	batches   metrics.Counter
+	batchSize *metrics.Histogram
+}
+
+// NewCoalescer wraps inner with per-peer message coalescing. The peer's
+// handler must be wrapped in BatchHandler (core.Cluster and the cmd/
+// binaries do this whenever coalescing can be enabled).
+func NewCoalescer(inner Caller, cfg CoalesceConfig) *Coalescer {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultCoalesceWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultCoalesceMaxBatch
+	}
+	return &Coalescer{
+		inner:     inner,
+		clock:     sim.OrReal(cfg.Clock),
+		window:    cfg.Window,
+		maxBatch:  cfg.MaxBatch,
+		tracer:    cfg.Tracer,
+		peers:     make(map[linkKey]*peerBatch),
+		batchSize: metrics.NewHistogram(),
+	}
+}
+
+// Stats returns the decorator's instruments.
+func (c *Coalescer) Stats() CoalesceStats {
+	return CoalesceStats{Batches: &c.batches, BatchSize: c.batchSize}
+}
+
+// coalescable reports whether msg rides a batch envelope. Only the
+// second-phase fan-out messages qualify: VOTE-REQs and DECISIONs are what
+// a coordinator sends to one site many times per tick. ExecRequests carry
+// the bulk payload and open the per-transaction conversation — delaying
+// them a window buys nothing — and resolve inquiries are rare by design.
+func coalescable(msg any) bool {
+	switch msg.(type) {
+	case proto.VoteRequest, *proto.VoteRequest, proto.Decision, *proto.Decision, proto.Ack, *proto.Ack:
+		return true
+	default:
+		return false
+	}
+}
+
+// Call implements Caller: coalescable messages are queued for their peer's
+// next envelope; everything else passes through.
+func (c *Coalescer) Call(ctx context.Context, from, to string, req any) (any, error) {
+	if !coalescable(req) {
+		return c.inner.Call(ctx, from, to, req)
+	}
+	w := &callWaiter{ctx: ctx, msg: req, done: make(chan callResult, 1)}
+	c.mu.Lock()
+	key := linkKey{from, to}
+	pb := c.peers[key]
+	if pb == nil {
+		pb = &peerBatch{from: from, to: to}
+		c.peers[key] = pb
+	}
+	pb.waiters = append(pb.waiters, w)
+	if !pb.armed {
+		pb.armed = true
+		//o2pcvet:ignore goleak -- the flusher disarms and exits as soon as a window finds its peer queue empty
+		c.clock.Go(func() { c.flusherLoop(pb) })
+	}
+	c.mu.Unlock()
+	return c.await(w)
+}
+
+// flusherLoop drains one peer's queue every window until a window closes
+// on an empty queue. Each envelope ships on its own goroutine: the loop
+// must never block inside a flush, because the in-process transport runs
+// the peer's handler on the shipping goroutine, and a handler can block
+// on state (a compensation lock, say) that only a LATER envelope's
+// message releases. The flusher's only job is pacing.
+func (c *Coalescer) flusherLoop(pb *peerBatch) {
+	for {
+		//o2pcvet:ignore errflow -- Background never expires, so the window sleep cannot fail
+		_ = c.clock.Sleep(context.Background(), c.window)
+		c.mu.Lock()
+		if len(pb.waiters) == 0 {
+			pb.armed = false
+			c.mu.Unlock()
+			return
+		}
+		all := pb.waiters
+		pb.waiters = nil
+		c.mu.Unlock()
+		for len(all) > 0 {
+			batch := all
+			if len(batch) > c.maxBatch {
+				batch = batch[:c.maxBatch]
+			}
+			all = all[len(batch):]
+			//o2pcvet:ignore goleak -- the shipping goroutine exits as soon as the inner call returns and the waiters are released
+			c.clock.Go(func() { c.flush(pb, batch) })
+		}
+	}
+}
+
+// flush ships one envelope and fans its replies back to the waiters.
+func (c *Coalescer) flush(pb *peerBatch, batch []*callWaiter) {
+	msgs := make([]any, len(batch))
+	for i, w := range batch {
+		msgs[i] = w.msg
+	}
+	c.batches.Inc()
+	c.batchSize.Observe(float64(len(batch)))
+	c.tracer.Emit(pb.from, trace.EvRPCBatch, "", pb.to, strconv.Itoa(len(batch)))
+	// The envelope rides under the first waiter's context: waiters queue
+	// in arrival order, so the oldest call's deadline is the tightest one.
+	raw, err := c.inner.Call(batch[0].ctx, pb.from, pb.to, proto.Batch{Msgs: msgs})
+	if err != nil {
+		c.release(batch, func(int) callResult { return callResult{err: err} })
+		return
+	}
+	reply, ok := raw.(proto.BatchReply)
+	if !ok || len(reply.Items) != len(batch) {
+		err := fmt.Errorf("%w: peer %s answered batch of %d with %T", ErrDecode, pb.to, len(batch), raw)
+		c.release(batch, func(int) callResult { return callResult{err: err} })
+		return
+	}
+	c.release(batch, func(i int) callResult {
+		if e := reply.Items[i].Err; e != "" {
+			return callResult{err: fmt.Errorf("rpc: remote error from %s: %s", pb.to, e)}
+		}
+		return callResult{body: reply.Items[i].Body}
+	})
+}
+
+// release hands each waiter its result, pairing every send with a
+// PrepareWake reservation so virtual time cannot advance between the send
+// and the waiter resuming.
+func (c *Coalescer) release(batch []*callWaiter, result func(int) callResult) {
+	for i, w := range batch {
+		w.claim = c.clock.PrepareWake()
+		w.done <- result(i)
+	}
+}
+
+// await blocks the caller until its batch's reply is fanned out, following
+// the group-commit wait discipline: try the channel first, then park under
+// BlockOn so a virtual clock knows the goroutine waits on a non-clock
+// hand-off.
+func (c *Coalescer) await(w *callWaiter) (any, error) {
+	var res callResult
+	select {
+	case res = <-w.done:
+		if w.claim != nil {
+			w.claim()
+		}
+		return res.body, res.err
+	default:
+	}
+	c.clock.BlockOn(context.Background(), func() func() {
+		res = <-w.done
+		return w.claim
+	})
+	if w.claim != nil {
+		w.claim()
+	}
+	return res.body, res.err
+}
+
+// BatchHandler wraps a node handler so proto.Batch envelopes fan back out
+// server-side: each inner message is handled on its own goroutine — the
+// same concurrency the transport would have given the calls unbatched,
+// and necessary for liveness, since one message's handler may block on
+// state another message in the same envelope releases — and the replies
+// ride back index-matched as one BatchReply. Spawns go through clock
+// (nil selects the real clock) so virtual-time runs stay deterministic.
+// Non-batch messages pass straight through, so wrapping is always safe.
+func BatchHandler(h Handler, clock sim.Clock) Handler {
+	clock = sim.OrReal(clock)
+	return func(ctx context.Context, from string, req any) (any, error) {
+		b, ok := req.(proto.Batch)
+		if !ok {
+			return h(ctx, from, req)
+		}
+		items := make([]proto.BatchItem, len(b.Msgs))
+		g := sim.NewGroup(clock)
+		for i, m := range b.Msgs {
+			i, m := i, m
+			g.Go(func() {
+				body, err := h(ctx, from, m)
+				items[i] = proto.BatchItem{Body: body}
+				if err != nil {
+					items[i].Err = err.Error()
+				}
+			})
+		}
+		g.Wait()
+		return proto.BatchReply{Items: items}, nil
+	}
+}
+
+var _ Caller = (*Coalescer)(nil)

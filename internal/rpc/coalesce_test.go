@@ -1,0 +1,329 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"o2pc/internal/proto"
+	"o2pc/internal/sim"
+	"o2pc/internal/trace"
+)
+
+// callerFunc adapts a function to the Caller interface for tests.
+type callerFunc func(ctx context.Context, from, to string, req any) (any, error)
+
+func (f callerFunc) Call(ctx context.Context, from, to string, req any) (any, error) {
+	return f(ctx, from, to, req)
+}
+
+// TestCoalescerBatchesPerPeer checks the core contract under a virtual
+// clock: calls to the same peer inside one window ship as a single
+// proto.Batch, calls to different peers ship separately, and every caller
+// gets back exactly its own reply (index-matched through the BatchReply).
+func TestCoalescerBatchesPerPeer(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	var mu sync.Mutex
+	batches := make(map[string][]int) // peer -> per-envelope sizes
+	inner := callerFunc(func(ctx context.Context, from, to string, req any) (any, error) {
+		b := req.(proto.Batch)
+		mu.Lock()
+		batches[to] = append(batches[to], len(b.Msgs))
+		mu.Unlock()
+		items := make([]proto.BatchItem, len(b.Msgs))
+		for i, m := range b.Msgs {
+			v := m.(proto.VoteRequest)
+			items[i] = proto.BatchItem{Body: proto.VoteReply{Commit: true, Reason: v.TxnID + "@" + to}}
+		}
+		return proto.BatchReply{Items: items}, nil
+	})
+	co := NewCoalescer(inner, CoalesceConfig{Window: 100 * time.Microsecond, Clock: clock})
+
+	const K = 8
+	replies := make([]string, 2*K)
+	grp := sim.NewGroup(clock)
+	for i := 0; i < 2*K; i++ {
+		i := i
+		to := "s0"
+		if i >= K {
+			to = "s1"
+		}
+		grp.Go(func() {
+			_ = clock.Sleep(context.Background(), time.Duration(i+1)*time.Microsecond)
+			raw, err := co.Call(context.Background(), "c0", to, proto.VoteRequest{TxnID: fmt.Sprintf("T%d", i)})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			replies[i] = raw.(proto.VoteReply).Reason
+		})
+	}
+	grp.Wait()
+
+	// All 2K callers arrive within 16µs; each peer's 100µs window must
+	// cover its K callers in one envelope.
+	for _, peer := range []string{"s0", "s1"} {
+		if len(batches[peer]) != 1 || batches[peer][0] != K {
+			t.Fatalf("peer %s envelopes = %v, want one of %d", peer, batches[peer], K)
+		}
+	}
+	for i, r := range replies {
+		to := "s0"
+		if i >= K {
+			to = "s1"
+		}
+		if want := fmt.Sprintf("T%d@%s", i, to); r != want {
+			t.Fatalf("reply %d = %q, want %q (cross-delivered?)", i, r, want)
+		}
+	}
+	if got := co.Stats().Batches.Value(); got != 2 {
+		t.Fatalf("batches counter = %d, want 2", got)
+	}
+}
+
+// TestCoalescerDeterministic runs the same schedule twice under virtual
+// clocks and requires identical envelopes, virtual elapsed time, and
+// rpc.batch trace events — the property that keeps explorer same-seed
+// golden traces byte-identical with coalescing enabled.
+func TestCoalescerDeterministic(t *testing.T) {
+	type outcome struct {
+		sizes   []int
+		elapsed time.Duration
+		events  string
+	}
+	run := func() outcome {
+		clock := sim.NewVirtualClock()
+		tr := trace.New(clock, 0)
+		var mu sync.Mutex
+		var sizes []int
+		inner := callerFunc(func(ctx context.Context, from, to string, req any) (any, error) {
+			b := req.(proto.Batch)
+			mu.Lock()
+			sizes = append(sizes, len(b.Msgs))
+			mu.Unlock()
+			return proto.BatchReply{Items: make([]proto.BatchItem, len(b.Msgs))}, nil
+		})
+		co := NewCoalescer(inner, CoalesceConfig{Window: 50 * time.Microsecond, MaxBatch: 7, Clock: clock, Tracer: tr})
+		grp := sim.NewGroup(clock)
+		for i := 0; i < 20; i++ {
+			i := i
+			grp.Go(func() {
+				_ = clock.Sleep(context.Background(), time.Duration(i%5)*10*time.Microsecond)
+				if _, err := co.Call(context.Background(), "c0", "s0", proto.Decision{TxnID: fmt.Sprintf("T%d", i), Commit: true}); err != nil {
+					t.Errorf("call: %v", err)
+				}
+			})
+		}
+		grp.Wait()
+		var sb strings.Builder
+		for _, e := range tr.Events() {
+			fmt.Fprintf(&sb, "%d %s %s->%s %s\n", e.T, e.Type, e.Node, e.Peer, e.Detail)
+		}
+		return outcome{sizes: sizes, elapsed: clock.Elapsed(), events: sb.String()}
+	}
+	a, b := run(), run()
+	if a.elapsed != b.elapsed || fmt.Sprint(a.sizes) != fmt.Sprint(b.sizes) || a.events != b.events {
+		t.Fatalf("runs differ:\n%+v\nvs\n%+v", a, b)
+	}
+	// MaxBatch must cap envelopes.
+	total := 0
+	for _, s := range a.sizes {
+		if s > 7 {
+			t.Fatalf("envelope of %d exceeds MaxBatch 7 (sizes %v)", s, a.sizes)
+		}
+		total += s
+	}
+	if total != 20 {
+		t.Fatalf("envelopes carried %d messages, want 20 (sizes %v)", total, a.sizes)
+	}
+	if !strings.Contains(a.events, "rpc.batch") {
+		t.Fatalf("no rpc.batch trace events:\n%s", a.events)
+	}
+}
+
+// TestCoalescerFIFOPerPeer is the ordering pin (run under -race -count=5
+// in CI): many senders issue sequenced decisions to the same peers through
+// one coalescer over the real clock, and the batch fan-out must deliver
+// every sender's messages to each peer in send order — coalescing may
+// conflate, it may never reorder.
+func TestCoalescerFIFOPerPeer(t *testing.T) {
+	type arrival struct{ from, txn string }
+	var mu sync.Mutex
+	delivered := make(map[string][]arrival) // peer -> arrivals in handler order
+	inner := callerFunc(func(ctx context.Context, from, to string, req any) (any, error) {
+		// One BatchHandler-wrapped handler per call, closing over the peer
+		// name so one recorder can attribute arrivals across both peers.
+		h := BatchHandler(func(ctx context.Context, f string, m any) (any, error) {
+			d := m.(proto.Decision)
+			mu.Lock()
+			delivered[to] = append(delivered[to], arrival{from: f, txn: d.TxnID})
+			mu.Unlock()
+			return proto.Ack{TxnID: d.TxnID}, nil
+		}, nil)
+		return h(ctx, from, req)
+	})
+	co := NewCoalescer(inner, CoalesceConfig{Window: 50 * time.Microsecond, MaxBatch: 5})
+
+	const senders, peers, seq = 6, 2, 40
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		for p := 0; p < peers; p++ {
+			s, p := s, p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				from, to := fmt.Sprintf("c%d", s), fmt.Sprintf("s%d", p)
+				for i := 0; i < seq; i++ {
+					// Site carries the peer name so the shared handler can
+					// attribute the arrival; TxnID carries the sequence.
+					raw, err := co.Call(context.Background(), from, to,
+						proto.Decision{TxnID: fmt.Sprintf("%s-%04d", from, i), Commit: true})
+					if err != nil {
+						t.Errorf("%s->%s seq %d: %v", from, to, i, err)
+						return
+					}
+					if ack := raw.(proto.Ack); ack.TxnID != fmt.Sprintf("%s-%04d", from, i) {
+						t.Errorf("%s->%s seq %d: ack for %q (cross-delivered reply)", from, to, i, ack.TxnID)
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	for p := 0; p < peers; p++ {
+		peer := fmt.Sprintf("s%d", p)
+		last := make(map[string]string)
+		n := 0
+		for _, a := range delivered[peer] {
+			if prev, ok := last[a.from]; ok && a.txn <= prev {
+				t.Fatalf("peer %s: %s delivered %q after %q", peer, a.from, a.txn, prev)
+			}
+			last[a.from] = a.txn
+			n++
+		}
+		if n != senders*seq {
+			t.Fatalf("peer %s received %d messages, want %d", peer, n, senders*seq)
+		}
+	}
+}
+
+// TestCoalescerPassThroughAndErrors checks the edges: non-coalescable
+// messages bypass batching entirely, a remote per-item error reaches
+// exactly its own caller, and an envelope-level transport error fans out
+// to every waiter in the batch.
+func TestCoalescerPassThroughAndErrors(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	var sawExec atomic.Bool
+	boom := errors.New("link down")
+	failEnvelopes := atomic.Bool{}
+	inner := callerFunc(func(ctx context.Context, from, to string, req any) (any, error) {
+		if _, ok := req.(proto.ExecRequest); ok {
+			sawExec.Store(true)
+			return proto.ExecReply{OK: true}, nil
+		}
+		if failEnvelopes.Load() {
+			return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, boom)
+		}
+		b := req.(proto.Batch)
+		items := make([]proto.BatchItem, len(b.Msgs))
+		for i, m := range b.Msgs {
+			if m.(proto.VoteRequest).TxnID == "TBAD" {
+				items[i] = proto.BatchItem{Err: "no such txn"}
+				continue
+			}
+			items[i] = proto.BatchItem{Body: proto.VoteReply{Commit: true}}
+		}
+		return proto.BatchReply{Items: items}, nil
+	})
+	co := NewCoalescer(inner, CoalesceConfig{Window: 20 * time.Microsecond, Clock: clock})
+
+	// Pass-through: an ExecRequest reaches inner directly, un-batched.
+	if _, err := co.Call(context.Background(), "c0", "s0", proto.ExecRequest{TxnID: "T1"}); err != nil || !sawExec.Load() {
+		t.Fatalf("exec pass-through: err=%v sawExec=%v", err, sawExec.Load())
+	}
+
+	// Per-item error: TBAD's caller fails, its batchmate succeeds.
+	errs := make([]error, 2)
+	grp := sim.NewGroup(clock)
+	for i, id := range []string{"TGOOD", "TBAD"} {
+		i, id := i, id
+		grp.Go(func() {
+			_, errs[i] = co.Call(context.Background(), "c0", "s0", proto.VoteRequest{TxnID: id})
+		})
+	}
+	grp.Wait()
+	if errs[0] != nil {
+		t.Fatalf("TGOOD: %v", errs[0])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "no such txn") {
+		t.Fatalf("TBAD err = %v, want the remote per-item error", errs[1])
+	}
+
+	// Envelope-level failure: every waiter in the batch sees the error.
+	failEnvelopes.Store(true)
+	grp = sim.NewGroup(clock)
+	for i := range errs {
+		i := i
+		grp.Go(func() {
+			_, errs[i] = co.Call(context.Background(), "c0", "s0", proto.VoteRequest{TxnID: fmt.Sprintf("T%d", i)})
+		})
+	}
+	grp.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("waiter %d: err = %v, want ErrUnreachable fan-out", i, err)
+		}
+	}
+}
+
+// TestBatchHandlerOverTCP closes the loop end to end: a Coalescer in front
+// of a real TCPClient, a BatchHandler-wrapped server behind it, proto.Batch
+// crossing the wire through the binary codec.
+func TestBatchHandlerOverTCP(t *testing.T) {
+	srv := NewServer("s0", BatchHandler(func(ctx context.Context, from string, m any) (any, error) {
+		v := m.(proto.VoteRequest)
+		return proto.VoteReply{Commit: true, Reason: v.TxnID}, nil
+	}, nil))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	client := NewTCPClient(map[string]string{"s0": ln.Addr().String()})
+	defer client.Close()
+	co := NewCoalescer(client, CoalesceConfig{Window: 200 * time.Microsecond})
+
+	const K = 12
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			raw, err := co.Call(ctx, "c0", "s0", proto.VoteRequest{TxnID: fmt.Sprintf("T%d", i)})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if r := raw.(proto.VoteReply); r.Reason != fmt.Sprintf("T%d", i) {
+				t.Errorf("call %d got reply for %q", i, r.Reason)
+			}
+		}()
+	}
+	wg.Wait()
+	if co.Stats().Batches.Value() >= K {
+		t.Fatalf("batches = %d for %d calls: nothing coalesced", co.Stats().Batches.Value(), K)
+	}
+}

@@ -1,29 +1,18 @@
 package rpc
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
 
-// The TCP transport frames each RPC as a gob-encoded envelope pair on a
+// The TCP transport frames each RPC as a binary frame pair (frame.go) on a
 // fresh or pooled connection. It exists for the cmd/ multi-process
 // deployment; simulations use Network.
-
-// envelope is the on-wire request frame.
-type envelope struct {
-	From string
-	Body any
-}
-
-// replyEnvelope is the on-wire response frame.
-type replyEnvelope struct {
-	Err  string
-	Body any
-}
 
 // Server serves a node's handler over TCP.
 type Server struct {
@@ -73,22 +62,60 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var inBuf, outBuf []byte
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		kind, payload, err := readFrame(br, inBuf)
+		if err != nil {
+			// A version mismatch or corrupt frame gets a typed decode-error
+			// frame before the close, so the peer learns why instead of
+			// seeing a silent hangup; a plain EOF/conn error gets nothing
+			// (there is no one left to tell).
+			if errors.Is(err, ErrWireVersion) || errors.Is(err, ErrDecode) {
+				s.replyDecodeErr(bw, err)
+			}
 			return
 		}
-		resp, err := s.handler(context.Background(), env.From, env.Body)
-		out := replyEnvelope{Body: resp}
-		if err != nil {
-			out.Err = err.Error()
+		inBuf = payload[:0]
+		if kind != frameRequest {
+			s.replyDecodeErr(bw, fmt.Errorf("%w: unexpected frame kind %d", ErrDecode, kind))
+			return
 		}
-		if err := enc.Encode(&out); err != nil {
+		from, body, err := decodeRequestPayload(payload)
+		if err != nil {
+			s.replyDecodeErr(bw, err)
+			return
+		}
+		resp, err := s.handler(context.Background(), from, body)
+		errText := ""
+		if err != nil {
+			errText = err.Error()
+		}
+		out, err := appendReplyFrame(outBuf[:0], errText, resp)
+		if err != nil {
+			// The handler produced a reply the codec cannot ship; report it
+			// as a remote error rather than killing the stream.
+			//o2pcvet:ignore errflow -- a nil-body error frame always encodes; the error path cannot recurse
+			out, _ = appendReplyFrame(outBuf[:0], "rpc: unencodable reply: "+err.Error(), nil)
+		}
+		outBuf = out[:0]
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
+}
+
+// replyDecodeErr best-effort sends the typed decode-error frame; the
+// caller closes the connection either way (the stream lost framing).
+func (s *Server) replyDecodeErr(bw *bufio.Writer, err error) {
+	//o2pcvet:ignore errflow -- best-effort courtesy frame on an already-broken conn; the close follows regardless
+	_, _ = bw.Write(appendDecodeErrFrame(nil, err.Error()))
+	//o2pcvet:ignore errflow -- see above
+	_ = bw.Flush()
 }
 
 // Close stops the server and closes active connections.
@@ -109,36 +136,62 @@ func (s *Server) Close() error {
 // TCPClient is a Caller that maps node names to TCP addresses.
 //
 // Each in-flight call owns a whole connection, drawn from a per-peer idle
-// pool (up to maxIdlePerPeer kept warm) and dialled fresh beyond that.
-// A single shared connection would serialize every call to a peer behind
-// the slowest one — with the server handling each connection's requests
+// pool (up to maxIdle kept warm) and dialled fresh beyond that. A single
+// shared connection would serialize every call to a peer behind the
+// slowest one — with the server handling each connection's requests
 // sequentially, one subtransaction blocked in a lock wait at a site would
 // stall the lock holder's own vote and decision traffic to that site on
 // the client side, turning every lock conflict into a timeout convoy.
 type TCPClient struct {
-	mu    sync.Mutex
-	addrs map[string]string
-	idle  map[string][]*tcpConn
-	open  map[*tcpConn]bool // every live conn, pooled or checked out
+	mu      sync.Mutex
+	addrs   map[string]string
+	idle    map[string][]*tcpConn
+	open    map[*tcpConn]bool // every live conn, pooled or checked out
+	maxIdle int
 }
 
-// maxIdlePerPeer bounds the warm connections kept per peer; calls beyond
-// that dial and close ephemeral connections instead of growing the pool.
-const maxIdlePerPeer = 16
+// DefaultMaxIdlePerPeer bounds the warm connections kept per peer unless
+// TCPClientConfig overrides it; calls beyond the bound dial and close
+// ephemeral connections instead of growing the pool.
+const DefaultMaxIdlePerPeer = 16
+
+// TCPClientConfig tunes a TCPClient.
+type TCPClientConfig struct {
+	// MaxIdlePerPeer bounds the warm connections kept per peer. Zero
+	// selects DefaultMaxIdlePerPeer; negative disables pooling entirely
+	// (every call dials).
+	MaxIdlePerPeer int
+}
 
 type tcpConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	// buf is the conn's scratch encode/read buffer; the conn is owned by
+	// one call at a time, so reuse is race-free.
+	buf []byte
 }
 
-// NewTCPClient returns a client over the given node -> "host:port" map.
+// NewTCPClient returns a client over the given node -> "host:port" map
+// with default tuning.
 func NewTCPClient(addrs map[string]string) *TCPClient {
+	return NewTCPClientConfig(addrs, TCPClientConfig{})
+}
+
+// NewTCPClientConfig returns a client with explicit tuning.
+func NewTCPClientConfig(addrs map[string]string, cfg TCPClientConfig) *TCPClient {
 	cp := make(map[string]string, len(addrs))
 	for k, v := range addrs {
 		cp[k] = v
 	}
-	return &TCPClient{addrs: cp, idle: make(map[string][]*tcpConn), open: make(map[*tcpConn]bool)}
+	maxIdle := cfg.MaxIdlePerPeer
+	if maxIdle == 0 {
+		maxIdle = DefaultMaxIdlePerPeer
+	}
+	if maxIdle < 0 {
+		maxIdle = 0
+	}
+	return &TCPClient{addrs: cp, idle: make(map[string][]*tcpConn), open: make(map[*tcpConn]bool), maxIdle: maxIdle}
 }
 
 // checkout returns a connection to "to" for this call's exclusive use:
@@ -160,7 +213,7 @@ func (c *TCPClient) checkout(to string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
 	}
-	tc := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	tc := &tcpConn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
 	c.mu.Lock()
 	if c.open == nil { // Closed while dialling: refuse to leak the conn
 		c.mu.Unlock()
@@ -176,7 +229,7 @@ func (c *TCPClient) checkout(to string) (*tcpConn, error) {
 // when the pool is full or the client is closed.
 func (c *TCPClient) checkin(to string, tc *tcpConn) {
 	c.mu.Lock()
-	if c.open != nil && c.open[tc] && len(c.idle[to]) < maxIdlePerPeer {
+	if c.open != nil && c.open[tc] && len(c.idle[to]) < c.maxIdle {
 		c.idle[to] = append(c.idle[to], tc)
 		c.mu.Unlock()
 		return
@@ -193,7 +246,9 @@ func (c *TCPClient) drop(tc *tcpConn) {
 }
 
 // Call implements Caller over TCP. Transport failures surface as
-// ErrUnreachable so that protocol-level retry logic is transport-agnostic.
+// ErrUnreachable so that protocol-level retry logic is transport-agnostic;
+// frame-level failures (version mismatch, torn frame, server decode-error
+// notice) additionally match ErrWireVersion/ErrDecode for diagnosis.
 func (c *TCPClient) Call(ctx context.Context, from, to string, req any) (any, error) {
 	tc, err := c.checkout(to)
 	if err != nil {
@@ -207,20 +262,49 @@ func (c *TCPClient) Call(ctx context.Context, from, to string, req any) (any, er
 		c.drop(tc)
 		return nil, fmt.Errorf("%w: set deadline for %s (%v)", ErrUnreachable, to, err)
 	}
-	if err := tc.enc.Encode(&envelope{From: from, Body: req}); err != nil {
+	out, err := appendRequestFrame(tc.buf[:0], from, req)
+	if err != nil {
+		c.checkin(to, tc) // the conn is fine; the message was not
+		return nil, err
+	}
+	tc.buf = out[:0]
+	if _, err := tc.bw.Write(out); err != nil {
 		c.drop(tc)
 		return nil, fmt.Errorf("%w: send to %s (%v)", ErrUnreachable, to, err)
 	}
-	var reply replyEnvelope
-	if err := tc.dec.Decode(&reply); err != nil {
+	if err := tc.bw.Flush(); err != nil {
 		c.drop(tc)
+		return nil, fmt.Errorf("%w: send to %s (%v)", ErrUnreachable, to, err)
+	}
+	kind, payload, err := readFrame(tc.br, nil)
+	if err != nil {
+		c.drop(tc)
+		if errors.Is(err, ErrWireVersion) || errors.Is(err, ErrDecode) {
+			return nil, fmt.Errorf("%w: recv from %s: %w", ErrUnreachable, to, err)
+		}
 		return nil, fmt.Errorf("%w: recv from %s (%v)", ErrUnreachable, to, err)
 	}
-	c.checkin(to, tc)
-	if reply.Err != "" {
-		return nil, fmt.Errorf("rpc: remote error from %s: %s", to, reply.Err)
+	switch kind {
+	case frameReply:
+	case frameDecodeErr:
+		// The server refused our frame with a typed notice and is closing
+		// the conn; surface its reason verbatim.
+		c.drop(tc)
+		return nil, fmt.Errorf("%w: peer %s rejected frame: %s", ErrDecode, to, string(payload))
+	default:
+		c.drop(tc)
+		return nil, fmt.Errorf("%w: unexpected frame kind %d from %s", ErrDecode, kind, to)
 	}
-	return reply.Body, nil
+	errText, body, err := decodeReplyPayload(payload)
+	if err != nil {
+		c.drop(tc)
+		return nil, fmt.Errorf("%w: reply from %s: %w", ErrUnreachable, to, err)
+	}
+	c.checkin(to, tc)
+	if errText != "" {
+		return nil, fmt.Errorf("rpc: remote error from %s: %s", to, errText)
+	}
+	return body, nil
 }
 
 // Close closes every connection, idle or in flight, and stops the client

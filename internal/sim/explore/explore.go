@@ -106,6 +106,16 @@ type Config struct {
 	// WALGroupWindow overrides the decorator's default window when set.
 	WALGroupCommit bool
 	WALGroupWindow time.Duration
+	// ExecWorkers runs the coordinators' per-site fan-out on bounded
+	// worker pools (see coord.Config.ExecWorkers); CoalesceRPC batches
+	// coordinator→site VOTE-REQs and DECISIONs per peer into envelopes
+	// (see core.Config.CoalesceRPC), with CoalesceWindow overriding the
+	// batching window when set. Both run entirely in virtual time, so the
+	// determinism contract — same seed, byte-identical trace — holds with
+	// them enabled (pinned by TestExplorerTraceGoldenFastPath).
+	ExecWorkers    int
+	CoalesceRPC    bool
+	CoalesceWindow time.Duration
 	// MultiShot runs every transfer as a multi-shot session instead of a
 	// one-shot spec: round 1 reads the source account, round 2 debits it,
 	// round 3 credits the destination — with SessionThink of seed-jittered
@@ -207,6 +217,9 @@ func Run(cfg Config) *Result {
 		LockTimeout:    cfg.LockTimeout,
 		WALGroupCommit: cfg.WALGroupCommit,
 		WALGroupWindow: cfg.WALGroupWindow,
+		ExecWorkers:    cfg.ExecWorkers,
+		CoalesceRPC:    cfg.CoalesceRPC,
+		CoalesceWindow: cfg.CoalesceWindow,
 		Network: rpc.Config{
 			MinLatency: cfg.MinLatency,
 			MaxLatency: cfg.MaxLatency,
@@ -495,6 +508,7 @@ func Run(cfg Config) *Result {
 		res.fail("outcome count mismatch: %d committed + %d aborted != %d txns",
 			res.Committed, res.Aborted, cfg.Txns)
 	}
+	cl.Close()
 	return res
 }
 

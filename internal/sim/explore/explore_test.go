@@ -288,6 +288,59 @@ func TestExplorerTraceGoldenMultiShot(t *testing.T) {
 	}
 }
 
+// TestExplorerTraceGoldenFastPath is the determinism contract over the
+// PR9 fast path: with the coordinator worker pool AND per-peer RPC
+// coalescing enabled — both running entirely in virtual time — the same
+// (seed, faults) must still serialize byte-identical JSONL event logs,
+// rpc.batch events included. This is what licenses turning the fast path
+// on in production workloads without losing replayability.
+func TestExplorerTraceGoldenFastPath(t *testing.T) {
+	cfg := Config{
+		Seed:        13,
+		Marking:     proto.MarkP1,
+		ExecWorkers: 4,
+		CoalesceRPC: true,
+		Faults: Faults{
+			DropProb: 0.03,
+			DoomRate: 0.15,
+		},
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Failed() {
+		report(t, a)
+	}
+	aj, err := EventsJSONL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := EventsJSONL(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(aj, []byte(`"rpc.batch"`)) {
+		t.Error("no rpc.batch event in trace: coalescing never engaged")
+	}
+	if !bytes.Equal(aj, bj) {
+		i := 0
+		for i < len(aj) && i < len(bj) && aj[i] == bj[i] {
+			i++
+		}
+		t.Errorf("trace JSONL diverges at byte %d with the fast path enabled", i)
+	}
+	ah, err := CanonicalJSON(a.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := CanonicalJSON(b.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ah, bh) {
+		t.Error("histories diverge for identical seed with the fast path enabled")
+	}
+}
+
 // TestExplorerConfigDefaults pins the documented defaults.
 func TestExplorerConfigDefaults(t *testing.T) {
 	cfg := withDefaults(Config{})

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool is a bounded worker pool for protocol fan-out. The per-phase
+// pattern everywhere in the commit path is "spawn one goroutine per
+// site, join" — correct, but at high concurrency the spawns dominate the
+// profile: every goroutine starts on a small stack and grows it through
+// the WAL/lock call chain (runtime newstack/copystack), then dies. A Pool
+// keeps at most size long-lived workers whose stacks stay grown, and runs
+// the same closures on them.
+//
+// Determinism: workers are tracked goroutines (spawned via Clock.Go), park
+// under BlockOn, and are woken through PrepareWake claim tokens, so under
+// a VirtualClock dispatch follows the same baton discipline as direct
+// spawning — idle workers are reused LIFO and overflow tasks queue FIFO,
+// both orders functions of the submission schedule alone. Same-seed runs
+// with a pool produce byte-identical traces (pinned by the explorer golden
+// test with ExecWorkers enabled). Under the real clock the workers park in
+// a plain channel receive instead: the claim discipline exists only for
+// virtual time, and allocating its closures per park showed up in the
+// contended allocation profile.
+//
+// Submission never blocks: a saturated pool queues the task for the next
+// free worker. Tasks that park for long stretches occupy their worker for
+// the duration, so size pools generously relative to worst-case
+// simultaneous blockers; the commit path's joins still complete because
+// queued tasks run as soon as any worker frees. Work that can block
+// UNBOUNDEDLY (decision delivery retrying against a crashed site) must not
+// be pooled at all — see coord.Config.ExecWorkers.
+type Pool struct {
+	clock Clock
+	size  int
+	real  bool // clock is the real clock: skip the baton discipline
+
+	mu      sync.Mutex
+	idle    []*poolWorker // parked workers, woken LIFO
+	queue   []poolTask    // overflow tasks, run FIFO
+	spawned int
+	closed  bool
+}
+
+// poolTask is one unit of pooled work: fn, optionally joined to a Group
+// (entered by the submitter, exited by the worker). A zero task (nil fn)
+// shuts the receiving worker down.
+type poolTask struct {
+	g  *Group
+	fn func()
+}
+
+// run executes the task, releasing its Group membership even on panic.
+func (t poolTask) run() {
+	if t.g != nil {
+		defer t.g.exit()
+	}
+	t.fn()
+}
+
+// poolWorker is one parked worker awaiting a task.
+type poolWorker struct {
+	task chan poolTask // buffered(1)
+	// claim is the submitter's PrepareWake reservation, installed before
+	// the send on task and consumed by the worker's BlockOn (virtual
+	// clock only).
+	claim func()
+}
+
+// NewPool returns a pool of at most size workers drawing time from clock
+// (nil defaults to the real clock). Workers spawn lazily on demand and
+// live until Close.
+func NewPool(clock Clock, size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	clock = OrReal(clock)
+	_, real := clock.(realClock)
+	return &Pool{clock: clock, size: size, real: real}
+}
+
+// Size reports the worker bound.
+func (p *Pool) Size() int { return p.size }
+
+// Go runs fn on a pool worker as a member of g, exactly like g.Go(fn)
+// but without the per-call goroutine: g.Wait still joins it, and fn still
+// counts against g for the virtual clock's completion predicate. The
+// fallback g.Go path is what a nil Pool gives — see Spawn.
+func (p *Pool) Go(g *Group, fn func()) {
+	g.enter()
+	p.submit(poolTask{g: g, fn: fn})
+}
+
+// Run executes task on a pool worker: an idle worker if one is parked, a
+// fresh worker while under the size bound, else the FIFO overflow queue.
+// It never blocks the caller.
+func (p *Pool) Run(task func()) {
+	p.submit(poolTask{fn: task})
+}
+
+func (p *Pool) submit(t poolTask) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		w := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		if !p.real {
+			w.claim = p.clock.PrepareWake()
+		}
+		w.task <- t
+		return
+	}
+	if p.closed {
+		// Closed pools degrade to plain spawning so late stragglers (a
+		// retry goroutine racing teardown) still run rather than queue
+		// forever.
+		p.mu.Unlock()
+		//o2pcvet:ignore goleak -- the task is the caller's own closure; it runs to completion exactly as it would have on the caller's goroutine
+		p.clock.Go(t.run)
+		return
+	}
+	if p.spawned < p.size {
+		p.spawned++
+		p.mu.Unlock()
+		//o2pcvet:ignore goleak -- workers park until Close; every Pool owner closes it on teardown
+		p.clock.Go(func() { p.worker(t) })
+		return
+	}
+	p.queue = append(p.queue, t)
+	p.mu.Unlock()
+}
+
+// worker runs task, then drains the overflow queue, then parks awaiting
+// the next hand-off; a zero hand-off (Close) ends it.
+func (p *Pool) worker(task poolTask) {
+	for {
+		task.run()
+		p.mu.Lock()
+		if len(p.queue) > 0 {
+			task = p.queue[0]
+			p.queue[0] = poolTask{}
+			p.queue = p.queue[1:]
+			p.mu.Unlock()
+			continue
+		}
+		if p.closed {
+			p.spawned--
+			p.mu.Unlock()
+			return
+		}
+		w := &poolWorker{task: make(chan poolTask, 1)}
+		p.idle = append(p.idle, w)
+		p.mu.Unlock()
+		var next poolTask
+		if p.real {
+			next = <-w.task
+		} else {
+			p.clock.BlockOn(context.Background(), func() func() {
+				next = <-w.task
+				return w.claim
+			})
+		}
+		if next.fn == nil {
+			p.mu.Lock()
+			p.spawned--
+			p.mu.Unlock()
+			return
+		}
+		task = next
+	}
+}
+
+// Close shuts the pool down: parked workers exit now, busy workers exit
+// after finishing their current task (and any queued overflow). Close is
+// idempotent; tasks submitted after it run as plain spawned goroutines.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, w := range idle {
+		if !p.real {
+			w.claim = p.clock.PrepareWake()
+		}
+		w.task <- poolTask{}
+	}
+}
+
+// Spawn is the polymorphic entry the commit path uses: pool the work when
+// a Pool is configured, fall back to a per-task goroutine otherwise. It
+// keeps call sites free of nil checks.
+func (p *Pool) Spawn(g *Group, fn func()) {
+	if p == nil {
+		g.Go(fn)
+		return
+	}
+	p.Go(g, fn)
+}

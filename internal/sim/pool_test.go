@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEverythingWithinBound checks the basic contract under the
+// real clock: every submitted task runs exactly once, concurrency never
+// exceeds the bound, and Group.Wait joins pooled members.
+func TestPoolRunsEverythingWithinBound(t *testing.T) {
+	const size, tasks = 4, 200
+	p := NewPool(nil, size)
+	defer p.Close()
+	var running, peak, done atomic.Int64
+	g := NewGroup(nil)
+	for i := 0; i < tasks; i++ {
+		p.Go(g, func() {
+			n := running.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			running.Add(-1)
+			done.Add(1)
+		})
+	}
+	g.Wait()
+	if done.Load() != tasks {
+		t.Fatalf("done = %d, want %d", done.Load(), tasks)
+	}
+	if peak.Load() > size {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", peak.Load(), size)
+	}
+}
+
+// TestPoolDeterministicUnderVirtualClock runs the same schedule twice on
+// virtual clocks and requires an identical execution order and elapsed
+// time — the property that lets the commit path adopt pooling without
+// perturbing explorer golden traces.
+func TestPoolDeterministicUnderVirtualClock(t *testing.T) {
+	run := func() (string, time.Duration) {
+		clock := NewVirtualClock()
+		p := NewPool(clock, 3)
+		var mu sync.Mutex
+		var order []string
+		g := NewGroup(clock)
+		for i := 0; i < 12; i++ {
+			i := i
+			p.Go(g, func() {
+				// Stagger in virtual time so workers park and wake between
+				// tasks, exercising the hand-off path, not just the queue.
+				_ = clock.Sleep(context.Background(), time.Duration(i%4+1)*10*time.Microsecond)
+				mu.Lock()
+				order = append(order, fmt.Sprintf("t%d", i))
+				mu.Unlock()
+			})
+		}
+		g.Wait()
+		p.Close()
+		return fmt.Sprint(order), clock.Elapsed()
+	}
+	o1, e1 := run()
+	o2, e2 := run()
+	if o1 != o2 || e1 != e2 {
+		t.Fatalf("runs differ:\n%s (%v)\nvs\n%s (%v)", o1, e1, o2, e2)
+	}
+}
+
+// TestPoolWorkerReuse checks that the pool actually reuses workers: no
+// more distinct goroutines serve the tasks than the pool size.
+func TestPoolWorkerReuse(t *testing.T) {
+	clock := NewVirtualClock()
+	p := NewPool(clock, 2)
+	workers := make(map[string]int) // goroutine id -> tasks served
+	var mu sync.Mutex
+	g := NewGroup(clock)
+	for i := 0; i < 40; i++ {
+		p.Go(g, func() {
+			id := goroutineID()
+			mu.Lock()
+			workers[id]++
+			mu.Unlock()
+		})
+	}
+	g.Wait()
+	p.Close()
+	if len(workers) > 2 {
+		t.Fatalf("%d distinct workers served tasks, want <= pool size 2", len(workers))
+	}
+	total := 0
+	for _, n := range workers {
+		total += n
+	}
+	if total != 40 {
+		t.Fatalf("tasks served = %d, want 40", total)
+	}
+}
+
+// TestPoolCloseThenRun checks that a closed pool still runs stragglers
+// (degraded to plain goroutines) instead of stranding them.
+func TestPoolCloseThenRun(t *testing.T) {
+	clock := NewVirtualClock()
+	p := NewPool(clock, 2)
+	g := NewGroup(clock)
+	var ran atomic.Bool
+	p.Go(g, func() {})
+	g.Wait()
+	p.Close()
+	g2 := NewGroup(clock)
+	p.Go(g2, func() { ran.Store(true) })
+	g2.Wait()
+	if !ran.Load() {
+		t.Fatal("task after Close never ran")
+	}
+}
+
+// TestPoolSpawnNilFallsBack checks the nil-pool convenience path.
+func TestPoolSpawnNilFallsBack(t *testing.T) {
+	var p *Pool
+	g := NewGroup(nil)
+	var ran atomic.Bool
+	p.Spawn(g, func() { ran.Store(true) })
+	g.Wait()
+	if !ran.Load() {
+		t.Fatal("nil-pool Spawn never ran the task")
+	}
+}
+
+// goroutineID extracts the current goroutine's id from its stack header
+// ("goroutine 17 [running]:") — a test-only identity probe.
+func goroutineID() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	fields := strings.Fields(string(buf))
+	if len(fields) < 2 {
+		return string(buf)
+	}
+	return fields[1]
+}

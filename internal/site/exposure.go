@@ -1,6 +1,7 @@
 package site
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 
@@ -15,28 +16,63 @@ import (
 // before-images would erase interleaved committed updates; the paper's
 // semantic atomicity demands the inverse operations instead).
 //
-// The payload is JSON so the wal package stays protocol-agnostic: it frames
-// Aux as an opaque string and only this package interprets it.
+// The payload is opaque to the wal package (it frames Aux as a string and
+// only this package interprets it). It used to be JSON, which made the
+// exposure record the single hottest allocation site in the contended
+// benchmark; it is now the protocol's binary codec behind a one-byte
+// magic. Decode still accepts the JSON form so WALs written by older
+// builds replay.
 type exposure struct {
 	Coord string            `json:"coord"`
 	Req   proto.ExecRequest `json:"req"`
 }
 
-// encodeExposure serializes e for the RecExposed Aux field.
+// exposureMagic tags the binary Aux encoding. It deliberately cannot
+// collide with the legacy form: JSON objects start with '{' (0x7B).
+const exposureMagic = 0xEB
+
+// encodeExposure serializes e for the RecExposed Aux field: magic byte,
+// uvarint-length-prefixed coordinator name, then the request through the
+// proto wire codec.
 func encodeExposure(e exposure) string {
-	b, err := json.Marshal(e)
+	buf := make([]byte, 0, 64+len(e.Coord)+len(e.Req.TxnID)+16*len(e.Req.Ops))
+	buf = append(buf, exposureMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Coord)))
+	buf = append(buf, e.Coord...)
+	buf, err := proto.AppendMessage(buf, &e.Req)
 	if err != nil {
-		// ExecRequest is plain data; Marshal cannot fail on it.
+		// ExecRequest is in the wire vocabulary; Append cannot fail on it.
 		panic(fmt.Sprintf("site: encoding exposure for %s: %v", e.Req.TxnID, err))
 	}
-	return string(b)
+	return string(buf)
 }
 
-// decodeExposure parses a RecExposed Aux payload.
+// decodeExposure parses a RecExposed Aux payload, sniffing the leading
+// byte to keep replaying JSON records from pre-binary WALs.
 func decodeExposure(aux string) (exposure, error) {
-	var e exposure
-	if err := json.Unmarshal([]byte(aux), &e); err != nil {
+	if len(aux) == 0 {
+		return exposure{}, fmt.Errorf("site: decoding exposure record: empty payload")
+	}
+	if aux[0] != exposureMagic {
+		var e exposure
+		if err := json.Unmarshal([]byte(aux), &e); err != nil {
+			return exposure{}, fmt.Errorf("site: decoding exposure record: %w", err)
+		}
+		return e, nil
+	}
+	b := []byte(aux[1:])
+	n, used := binary.Uvarint(b)
+	if used <= 0 || uint64(len(b)-used) < n {
+		return exposure{}, fmt.Errorf("site: decoding exposure record: truncated coordinator name")
+	}
+	coord := string(b[used : used+int(n)])
+	msg, err := proto.DecodeMessage(b[used+int(n):])
+	if err != nil {
 		return exposure{}, fmt.Errorf("site: decoding exposure record: %w", err)
 	}
-	return e, nil
+	req, ok := msg.(proto.ExecRequest)
+	if !ok {
+		return exposure{}, fmt.Errorf("site: decoding exposure record: unexpected %T payload", msg)
+	}
+	return exposure{Coord: coord, Req: req}, nil
 }

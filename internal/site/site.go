@@ -180,16 +180,16 @@ type Stats struct {
 
 func newStats() *Stats {
 	return &Stats{
-		Execs:          &metrics.Counter{},
-		RejectsRetry:   &metrics.Counter{},
-		RejectsFatal:   &metrics.Counter{},
-		ExecFailures:   &metrics.Counter{},
-		VotesYes:       &metrics.Counter{},
-		VotesNo:        &metrics.Counter{},
-		Commits:        &metrics.Counter{},
-		Aborts:         &metrics.Counter{},
-		Compensations:  &metrics.Counter{},
-		Rollbacks:      &metrics.Counter{},
+		Execs:                &metrics.Counter{},
+		RejectsRetry:         &metrics.Counter{},
+		RejectsFatal:         &metrics.Counter{},
+		ExecFailures:         &metrics.Counter{},
+		VotesYes:             &metrics.Counter{},
+		VotesNo:              &metrics.Counter{},
+		Commits:              &metrics.Counter{},
+		Aborts:               &metrics.Counter{},
+		Compensations:        &metrics.Counter{},
+		Rollbacks:            &metrics.Counter{},
 		LocalTxns:            &metrics.Counter{},
 		RevalidateFail:       &metrics.Counter{},
 		Recoveries:           &metrics.Counter{},
@@ -357,9 +357,9 @@ func NewSite(cfg Config) *Site {
 	return &Site{
 		epoch:       epoch,
 		epochCancel: epochCancel,
-		cfg:   cfg,
-		clock: clock,
-		mgr:   mgr,
+		cfg:         cfg,
+		clock:       clock,
+		mgr:         mgr,
 		// Marking sets are WAL-backed: every mutation logs a RecMark or
 		// RecUnmark record write-ahead through the same (traced, possibly
 		// group-committed) log as the store, so sitemarks.k survives a

@@ -72,6 +72,7 @@ const (
 	EvRecoverMarks
 	EvSessionOpen
 	EvSessionRound
+	EvRPCBatch
 
 	numEventTypes // sentinel; keep last
 )
@@ -115,6 +116,7 @@ var eventTypeNames = [numEventTypes]string{
 	EvRecoverMarks:    "recover.marks",
 	EvSessionOpen:     "session.open",
 	EvSessionRound:    "session.round",
+	EvRPCBatch:        "rpc.batch",
 }
 
 // eventTypeByName is the inverse of eventTypeNames, for JSONL decoding.

@@ -288,9 +288,9 @@ func (a Analysis) CompensationComplete(forward string) bool {
 // Analyze scans all records and classifies every transaction that appears.
 func Analyze(records []Record) Analysis {
 	a := Analysis{
-		Status:    make(map[string]TxnStatus),
-		Updates:   make(map[string][]Record),
-		Decisions: make(map[string]string),
+		Status:      make(map[string]TxnStatus),
+		Updates:     make(map[string][]Record),
+		Decisions:   make(map[string]string),
 		Exposed:     make(map[string]string),
 		Marks:       make(map[string]map[string]bool),
 		CompForward: make(map[string]string),

@@ -13,12 +13,12 @@ import (
 // keyspace and every draw sequence must be seed-deterministic.
 func FuzzZipfGenerator(f *testing.F) {
 	f.Add(1.2, 64, 8, 0.5, int64(1))
-	f.Add(1.0, 16, 1, 0.9, int64(2))          // s == 1: NewZipf returns nil
+	f.Add(1.0, 16, 1, 0.9, int64(2))                  // s == 1: NewZipf returns nil
 	f.Add(math.Nextafter(1, 2), 16, 0, 0.0, int64(3)) // s -> 1 from above
-	f.Add(math.Inf(1), 8, 4, 0.5, int64(4))   // infinite skew
-	f.Add(0.0, 0, 0, 0.0, int64(0))           // empty keyspace, zero seed
-	f.Add(2.5, -7, 99, 1.5, int64(-1))        // negative keyspace, hot > keys
-	f.Add(1.5, 1, 1, 0.5, int64(5))           // keyspace of one, hot set of one
+	f.Add(math.Inf(1), 8, 4, 0.5, int64(4))           // infinite skew
+	f.Add(0.0, 0, 0, 0.0, int64(0))                   // empty keyspace, zero seed
+	f.Add(2.5, -7, 99, 1.5, int64(-1))                // negative keyspace, hot > keys
+	f.Add(1.5, 1, 1, 0.5, int64(5))                   // keyspace of one, hot set of one
 	f.Fuzz(func(t *testing.T, s float64, keys, hot int, hotProb float64, seed int64) {
 		cfg := Config{
 			Seed:        seed,
