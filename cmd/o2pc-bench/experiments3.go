@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"o2pc/internal/core"
+	"o2pc/internal/proto"
 	"o2pc/internal/rpc"
 	"o2pc/internal/workload"
 )
@@ -155,5 +156,47 @@ func runE13(e *env) {
 		}
 		e.row(label, f0(tps["O2PC+P1"]), pct(p1.CommitRate),
 			d(p1.RejectsRetry), d(p1.RejectsFatal), d(p1.MarkRetries), f0(tps["O2PC"]))
+	}
+}
+
+// runE16 — the decision-durability trade, three ways. The same contended
+// transfer workload runs under 2PC (decision in the coordinator's local
+// WAL; participants hold locks across the decision round trip and block
+// if the coordinator dies), O2PC+P1 (locks released at the local commit;
+// a wrong optimistic guess pays compensation), and Paxos Commit (locks
+// held like 2PC, but the decision is only delivered after a majority of
+// decision-log replicas acks its ballot, so no single crash blocks
+// anyone). The columns surface each protocol's cost lever side by side:
+// the 2PC blocking window (exclusive-lock hold), the O2PC compensation
+// volume, and the Paxos majority-ack latency.
+func runE16(e *env) {
+	e.row("stack", "txn/s", "commit rate", "p99 (ms)", "holdX mean (ms)", "comps", "ballot p50/p99 (ms)")
+	for _, st := range []stack{st2PC, stO2PCP1, stPaxos} {
+		cfg := core.Config{
+			Sites:   4,
+			Network: rpc.Config{MinLatency: 300 * time.Microsecond, MaxLatency: 600 * time.Microsecond, Seed: e.seed},
+		}
+		if st.protocol == proto.Paxos {
+			cfg.Replicas = 3
+		}
+		rep, cl := runLoad(e, cfg, workload.Config{
+			Clients:       8,
+			TxnsPerClient: e.scale(60, 15),
+			SitesPerTxn:   2,
+			KeysPerSite:   512,
+			HotKeys:       32,
+			HotProb:       0.6,
+			ReadFrac:      0.2,
+			AbortProb:     0.05,
+			Protocol:      st.protocol,
+			Marking:       st.marking,
+		})
+		ballot := "-"
+		if l := cl.Leader(0); l != nil {
+			s := l.Stats().BallotMs.Snapshot()
+			ballot = ms(s.P50) + "/" + ms(s.P99)
+		}
+		e.row(st.name, f0(rep.Throughput), pct(rep.CommitRate), ms(rep.Latency.P99),
+			ms(rep.LockHoldX.Mean), d(rep.Compensations), ballot)
 	}
 }

@@ -32,6 +32,7 @@ var (
 	stO2PCP1 = stack{"O2PC+P1", proto.O2PC, proto.MarkP1}
 	stO2PCP2 = stack{"O2PC+P2", proto.O2PC, proto.MarkP2}
 	stSimple = stack{"O2PC+simple", proto.O2PC, proto.MarkSimple}
+	stPaxos  = stack{"Paxos", proto.Paxos, proto.MarkNone}
 )
 
 // cluster builds a core cluster, applying the global commit-path tuning

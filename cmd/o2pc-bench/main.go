@@ -117,6 +117,7 @@ var experiments = []experiment{
 	{"E11", "multi-shot sessions — the abort-rate crossover revisited", runE11},
 	{"E12", "exposure-duration distribution vs session round count", runE12},
 	{"E13", "the marking tax under Zipfian skew and flash-crowd arrivals", runE13},
+	{"E16", "replicated decisions — 2PC blocking vs O2PC compensation vs Paxos majority-ack", runE16},
 	{"A1", "ablation — releasing read locks at VOTE-REQ", runA1},
 	{"A2", "ablation — marking-set lock strategy (Section 6.2)", runA2},
 	{"A3", "ablation — P1 vs the dual protocol P2", runA3},

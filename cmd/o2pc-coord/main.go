@@ -19,6 +19,13 @@
 // With -repeat N the transaction runs N times and a latency summary is
 // printed. Without -txn the coordinator just serves Resolve requests.
 //
+// With -protocol paxos (or an explicit -replog-replicas N) the coordinator
+// replicates every commit decision through Paxos Commit: N in-process
+// acceptor replicas are served over loopback TCP and a DECISION is only
+// delivered once a majority has acked its ballot, so the decision survives
+// the coordinator's own WAL. /readyz on the ops plane then reflects
+// leadership over the replica group.
+//
 // Observability: -trace FILE writes the coordinator's protocol event log
 // as JSONL on exit, -trace-chrome FILE writes the same log as Chrome
 // trace-event JSON (loadable in Perfetto or chrome://tracing), and
@@ -47,6 +54,7 @@ import (
 	"o2pc/internal/metrics"
 	"o2pc/internal/ops"
 	"o2pc/internal/proto"
+	"o2pc/internal/replog"
 	"o2pc/internal/rpc"
 	"o2pc/internal/sim"
 	"o2pc/internal/trace"
@@ -82,7 +90,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	listen := fs.String("listen", "127.0.0.1:7001", "listen address for Resolve inquiries")
 	walPath := fs.String("wal", "", "decision log file (default: in-memory)")
 	txnSpec := fs.String("txn", "", "transaction description (see package docs)")
-	protocolName := fs.String("protocol", "o2pc", "commit protocol: 2pc | o2pc")
+	protocolName := fs.String("protocol", "o2pc", "commit protocol: 2pc | o2pc | paxos")
 	markingName := fs.String("marking", "p1", "marking protocol: none | p1 | p2")
 	repeat := fs.Int("repeat", 1, "run the transaction N times")
 	demo := fs.Int("demo", 0, "run N random transfers of key 'acct' across the sites and report")
@@ -97,6 +105,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	batchWindow := fs.Duration("rpc-batch-window", 0, "coalesce outbound votes/decisions per site into one envelope per window (0 disables)")
 	batchMax := fs.Int("rpc-batch-max", 0, "messages per coalesced envelope (0 = default 64)")
 	execWorkers := fs.Int("exec-workers", 0, "bounded worker pool for exec/vote fan-out (0 = goroutine per site per phase)")
+	replicas := fs.Int("replog-replicas", 0, "run N in-process decision-log replicas and log decisions through Paxos Commit ballots (0 = local WAL; defaults to 3 under -protocol paxos)")
 	sites := addrList{}
 	fs.Var(sites, "site", "site address as name=host:port (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -118,6 +127,56 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		//o2pcvet:ignore errflow -- process-exit close of a read-side handle; appends were already synced
 		defer fl.Close()
 		cfg.Log = fl
+	}
+	if strings.EqualFold(*protocolName, "paxos") && *replicas == 0 {
+		*replicas = 3
+	}
+	var leader *replog.Leader
+	if *replicas > 0 {
+		// The replicated decision log: N acceptor replicas served over
+		// loopback TCP (file-backed next to -wal when set, else in-memory),
+		// with this coordinator as the group's Paxos Commit leader. The
+		// DECISION for every transaction is majority-acked before delivery.
+		repAddrs := map[string]string{}
+		repNames := make([]string, 0, *replicas)
+		for i := 0; i < *replicas; i++ {
+			rcfg := replog.ReplicaConfig{Name: fmt.Sprintf("r%d", i), Tracer: tracer}
+			if *walPath != "" {
+				fl, err := wal.OpenFileLog(fmt.Sprintf("%s.r%d", *walPath, i))
+				if err != nil {
+					return fmt.Errorf("open replica wal: %w", err)
+				}
+				//o2pcvet:ignore errflow -- process-exit close of a read-side handle; appends were already synced
+				defer fl.Close()
+				rcfg.Log = fl
+			}
+			rep, err := replog.NewReplica(rcfg)
+			if err != nil {
+				return fmt.Errorf("replica %s: %w", rcfg.Name, err)
+			}
+			rln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return fmt.Errorf("replica listen: %w", err)
+			}
+			defer rln.Close()
+			rsrv := rpc.NewServer(rep.Name(), rep.Handle)
+			go func() {
+				if err := rsrv.Serve(rln); err != nil && !errors.Is(err, net.ErrClosed) {
+					fmt.Fprintln(stdout, "o2pc-coord: replica serve:", err)
+				}
+			}()
+			repAddrs[rep.Name()] = rln.Addr().String()
+			repNames = append(repNames, rep.Name())
+		}
+		leader = replog.NewLeader(replog.Config{
+			Group:    *name,
+			Replicas: repNames,
+			Caller:   rpc.NewTCPClientConfig(repAddrs, rpc.TCPClientConfig{}),
+			Clock:    sim.Real(),
+			Tracer:   tracer,
+		})
+		cfg.DecisionLog = leader
+		fmt.Fprintf(stdout, "coordinator %s replicating decisions to %d replicas\n", *name, *replicas)
 	}
 	client := rpc.NewTCPClientConfig(sites, rpc.TCPClientConfig{MaxIdlePerPeer: *idlePerPeer})
 	var caller rpc.Caller = client
@@ -157,6 +216,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				if coal != nil {
 					coal.Stats().Publish(r, "o2pc_coord_")
 				}
+				if leader != nil {
+					leader.Stats().Publish(r, "o2pc_coord_replog_")
+				}
 			},
 			Health: c.Health,
 			Ready:  c.Ready,
@@ -167,6 +229,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				"sites":    map[string]string(sites),
 				"protocol": *protocolName,
 				"marking":  *markingName,
+				"replicas": *replicas,
 			},
 			Sample: true,
 		})
@@ -194,11 +257,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return writeArtifacts(c, tracer, *tracePath, *chromePath, *metricsPath)
+	return writeArtifacts(c, leader, tracer, *tracePath, *chromePath, *metricsPath)
 }
 
 // writeArtifacts dumps the trace and metrics files requested by flags.
-func writeArtifacts(c *coord.Coordinator, tracer *trace.Tracer, tracePath, chromePath, metricsPath string) error {
+func writeArtifacts(c *coord.Coordinator, leader *replog.Leader, tracer *trace.Tracer, tracePath, chromePath, metricsPath string) error {
 	writeFile := func(path string, write func(io.Writer) error) error {
 		f, err := os.Create(path)
 		if err != nil {
@@ -225,6 +288,9 @@ func writeArtifacts(c *coord.Coordinator, tracer *trace.Tracer, tracePath, chrom
 	if metricsPath != "" {
 		reg := metrics.NewRegistry()
 		c.Stats().Publish(reg, "o2pc_coord_")
+		if leader != nil {
+			leader.Stats().Publish(reg, "o2pc_coord_replog_")
+		}
 		if err := writeFile(metricsPath, reg.WriteText); err != nil {
 			return fmt.Errorf("write metrics: %w", err)
 		}
@@ -269,8 +335,11 @@ func runTxn(ctx context.Context, stdout io.Writer, c *coord.Coordinator, txnSpec
 }
 
 func protocolOf(name string) proto.Protocol {
-	if strings.EqualFold(name, "2pc") {
+	switch {
+	case strings.EqualFold(name, "2pc"):
 		return proto.TwoPC
+	case strings.EqualFold(name, "paxos"):
+		return proto.Paxos
 	}
 	return proto.O2PC
 }

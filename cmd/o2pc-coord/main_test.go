@@ -115,6 +115,23 @@ func TestRunPaths(t *testing.T) {
 			},
 		},
 		{
+			name: "paxos replicated decisions",
+			args: func(s0, s1 string) []string {
+				return []string{
+					"-listen", "127.0.0.1:0", "-site", s0, "-site", s1,
+					"-txn", "s0:addmin:acct:-40:0 / s1:add:acct:40", "-protocol", "paxos",
+					"-metrics", filepath.Join(dir, "txn.metrics"),
+				}
+			},
+			wantOut: []string{"committed", "replicating decisions to 3 replicas"},
+			metrics: []string{
+				"# TYPE o2pc_coord_replog_ballot_ms summary",
+				"o2pc_coord_replog_leader 1",
+				"o2pc_coord_replog_term 1",
+				"o2pc_coord_replog_majority_acks_total",
+			},
+		},
+		{
 			name: "bad txn spec",
 			args: func(s0, s1 string) []string {
 				return []string{"-listen", "127.0.0.1:0", "-site", s0, "-txn", "s0:frobnicate:k"}

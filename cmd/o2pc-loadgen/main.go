@@ -185,7 +185,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	clients := fs.Int("clients", 4, "concurrent client workers")
 	n := fs.Int("n", 200, "total transactions to issue across all clients (0 = run until -duration)")
 	duration := fs.Duration("duration", 0, "stop issuing new transactions after this long (0 = until -n)")
-	protocolName := fs.String("protocol", "o2pc", "commit protocol: 2pc | o2pc")
+	protocolName := fs.String("protocol", "o2pc", "commit protocol: 2pc | o2pc | paxos")
 	markingName := fs.String("marking", "p1", "marking protocol: none | p1 | p2 | simple")
 	compName := fs.String("comp", "semantic", "compensation mode: semantic | before-image | none")
 	key := fs.String("key", "acct", "account key base the transfers move money between")
@@ -753,8 +753,11 @@ func writeSummaryJSON(path string, tl *tally, scr *scrapeSet, elapsed time.Durat
 }
 
 func protocolOf(name string) proto.Protocol {
-	if strings.EqualFold(name, "2pc") {
+	switch {
+	case strings.EqualFold(name, "2pc"):
 		return proto.TwoPC
+	case strings.EqualFold(name, "paxos"):
+		return proto.Paxos
 	}
 	return proto.O2PC
 }

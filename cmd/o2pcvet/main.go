@@ -1,6 +1,6 @@
 // Command o2pcvet is the repository's multichecker: it runs the
-// internal/analyzers suite (walltime, walorder, lockheld, exhaustive,
-// randdet, maporder, errflow, lockorder, goleak) over the named package
+// internal/analyzers suite (walltime, walorder, ackorder, lockheld,
+// exhaustive, randdet, maporder, errflow, lockorder, goleak) over the named package
 // patterns and exits non-zero if any diagnostic is reported. CI runs it as
 // `go run ./cmd/o2pcvet ./...`; see DESIGN.md §8 and §13 for what each
 // pass enforces and why.

@@ -1,0 +1,280 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"o2pc/internal/analyzers/framework"
+)
+
+// Ackorder enforces decision-durability ordering in the coordinator
+// package: every call to deliverDecision — the DECISION fan-out to the
+// participants — must be dominated, on the same path through the
+// enclosing function, by a call that makes the decision durable first:
+// DecisionLog.Decide, DecisionLog.PresumeAbort, DecisionLog.Snapshot
+// (leader takeover re-reads — and re-proposes — the majority), or
+// Coordinator.adoptPrior (which only returns a deliverable decision that
+// is already logged). Under the replicated log "durable" means
+// majority-acked: announcing a DECISION before the ballot's majority ack
+// would let the decision die with the coordinator after participants
+// acted on it — exactly the blocking window Paxos Commit exists to close.
+//
+// The walk is intraprocedural and path-sensitive like walorder's, with
+// one deliberate difference: function literals inherit the flag at their
+// syntactic position. Recovery's re-delivery fan-out spawns
+// deliverDecision inside per-transaction goroutines after Snapshot has
+// re-read the majority, and that dominance is real — the spawn site is
+// only reachable through the durability call.
+var Ackorder = &framework.Analyzer{
+	Name: "ackorder",
+	Doc: "in internal/coord, deliverDecision must be dominated by a " +
+		"decision-durability call (Decide/PresumeAbort/Snapshot/adoptPrior)",
+	Run: runAckorder,
+}
+
+// ackorderEstablishers are the DecisionLog methods whose return means the
+// decision (or, for Snapshot, every possibly-chosen decision) is durable —
+// synced locally, or majority-acked when the log is replicated. Sync is
+// deliberately absent: it is a durability wait for records already
+// appended, not evidence that this path appended one.
+var ackorderEstablishers = map[string]bool{
+	"Decide": true, "PresumeAbort": true, "Snapshot": true,
+}
+
+func runAckorder(pass *framework.Pass) error {
+	if !pathEndsWith(pass.Pkg.Path(), "internal/coord") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w := &ackWalker{pass: pass}
+					w.block(fn.Body, false)
+				}
+				return false
+			case *ast.FuncLit:
+				w := &ackWalker{pass: pass}
+				w.block(fn.Body, false)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type ackWalker struct {
+	pass *framework.Pass
+}
+
+// block walks stmts threading the acked flag; it returns the exit flag
+// and whether control cannot flow past the block.
+func (w *ackWalker) block(b *ast.BlockStmt, acked bool) (bool, bool) {
+	return w.stmts(b.List, acked)
+}
+
+func (w *ackWalker) stmts(list []ast.Stmt, acked bool) (bool, bool) {
+	for _, stmt := range list {
+		var terminated bool
+		acked, terminated = w.stmt(stmt, acked)
+		if terminated {
+			return acked, true
+		}
+	}
+	return acked, false
+}
+
+func (w *ackWalker) stmt(stmt ast.Stmt, acked bool) (bool, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		acked = w.expr(s.X, acked)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanic(w.pass.TypesInfo, call) {
+			return acked, true
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			acked = w.expr(e, acked)
+		}
+		for _, e := range s.Lhs {
+			acked = w.expr(e, acked)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		acked = w.exprStmtScan(stmt, acked)
+	case *ast.DeferStmt, *ast.GoStmt:
+		var call *ast.CallExpr
+		if d, ok := s.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = s.(*ast.GoStmt).Call
+		}
+		// The literal inherits the flag: a go/defer body is only reachable
+		// through the statements that precede the spawn.
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			w.block(lit.Body, acked)
+		}
+		for _, arg := range call.Args {
+			acked = w.expr(arg, acked)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			acked = w.expr(e, acked)
+		}
+		return acked, true
+	case *ast.BranchStmt:
+		return acked, true
+	case *ast.BlockStmt:
+		return w.block(s, acked)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, acked)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			acked, _ = w.stmt(s.Init, acked)
+		}
+		acked = w.expr(s.Cond, acked)
+		thenExit, thenTerm := w.block(s.Body, acked)
+		elseExit, elseTerm := acked, false
+		if s.Else != nil {
+			elseExit, elseTerm = w.stmt(s.Else, acked)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return acked, true
+		case thenTerm:
+			return elseExit, false
+		case elseTerm:
+			return thenExit, false
+		default:
+			return thenExit && elseExit, false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			acked, _ = w.stmt(s.Init, acked)
+		}
+		if s.Cond != nil {
+			acked = w.expr(s.Cond, acked)
+		}
+		w.block(s.Body, acked)
+		return acked, false
+	case *ast.RangeStmt:
+		acked = w.expr(s.X, acked)
+		w.block(s.Body, acked)
+		return acked, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.clauses(stmt, acked)
+	}
+	return acked, false
+}
+
+func (w *ackWalker) clauses(stmt ast.Stmt, acked bool) (bool, bool) {
+	var bodies [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			acked, _ = w.stmt(s.Init, acked)
+		}
+		if s.Tag != nil {
+			acked = w.expr(s.Tag, acked)
+		}
+		for _, c := range s.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			acked, _ = w.stmt(s.Init, acked)
+		}
+		for _, c := range s.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, acked)
+			}
+			bodies = append(bodies, cc.Body)
+		}
+	}
+	merged := true
+	allTerm := len(bodies) > 0
+	anyLive := false
+	for _, body := range bodies {
+		exit, term := w.stmts(body, acked)
+		if !term {
+			merged = merged && exit
+			allTerm = false
+			anyLive = true
+		}
+	}
+	if !anyLive {
+		merged = acked
+	}
+	return merged, allTerm
+}
+
+func (w *ackWalker) exprStmtScan(stmt ast.Stmt, acked bool) bool {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.block(x.Body, acked)
+			return false
+		case *ast.CallExpr:
+			acked = w.call(x, acked)
+		}
+		return true
+	})
+	return acked
+}
+
+// expr scans one expression in evaluation-ish order for durability calls
+// and decision sends.
+func (w *ackWalker) expr(e ast.Expr, acked bool) bool {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.block(x.Body, acked)
+			return false
+		case *ast.CallExpr:
+			acked = w.call(x, acked)
+		}
+		return true
+	})
+	return acked
+}
+
+func (w *ackWalker) call(call *ast.CallExpr, acked bool) bool {
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	if fn == nil {
+		return acked
+	}
+	if !pathEndsWith(funcPkgPath(fn), "internal/coord") {
+		return acked
+	}
+	named := recvNamed(fn)
+	if named == nil {
+		return acked
+	}
+	switch named.Obj().Name() {
+	case "DecisionLog":
+		if ackorderEstablishers[fn.Name()] {
+			return true
+		}
+	case "Coordinator":
+		switch fn.Name() {
+		case "adoptPrior":
+			// adoptPrior only hands back decisions that are already in the
+			// log (a prior run's or recovery's), so delivery after it is
+			// delivery of a durable decision.
+			return true
+		case "deliverDecision":
+			if !acked {
+				w.pass.Reportf(call.Pos(),
+					"coord.Coordinator.deliverDecision is not dominated by a decision-durability call in this function: "+
+						"a DECISION announced before DecisionLog.Decide/PresumeAbort/Snapshot returns (majority-acked "+
+						"when replicated) can be lost with the coordinator after participants acted on it; "+
+						"log the decision first or adopt the prior decided entry")
+			}
+		}
+	}
+	return acked
+}

@@ -1,0 +1,14 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"o2pc/internal/analyzers"
+	"o2pc/internal/analyzers/analysistest"
+)
+
+func TestAckorder(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Ackorder,
+		"ackorder/internal/coord",
+	)
+}

@@ -10,6 +10,7 @@ import (
 func TestLockorder(t *testing.T) {
 	analysistest.Run(t, "testdata", analyzers.Lockorder,
 		"lockorder/internal/lock",
+		"lockorder/internal/replog",
 		"lockorder/a",
 	)
 }

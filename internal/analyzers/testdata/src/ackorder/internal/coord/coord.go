@@ -1,0 +1,107 @@
+// Package coord is the ackorder fixture's coordinator package: every
+// deliverDecision call must be dominated by a decision-durability call.
+package coord
+
+import "context"
+
+type decided struct {
+	commit  bool
+	pending map[string]bool
+}
+
+// DecisionLog mirrors the real seam: Decide/PresumeAbort/Snapshot make
+// decisions durable; Sync is only a durability wait.
+type DecisionLog interface {
+	Decide(ctx context.Context, id string, commit bool) (bool, error)
+	PresumeAbort(ctx context.Context, id string) (bool, error)
+	Snapshot(ctx context.Context) ([]string, map[string]bool, error)
+	Sync(ctx context.Context) error
+}
+
+type Coordinator struct {
+	dlog DecisionLog
+}
+
+func (c *Coordinator) deliverDecision(ctx context.Context, id string, d *decided) {}
+
+func (c *Coordinator) adoptPrior(id string) (*decided, bool) { return nil, false }
+
+// bareSend announces with no durability at all: the bug class.
+func (c *Coordinator) bareSend(ctx context.Context, id string) {
+	c.deliverDecision(ctx, id, &decided{}) // want `coord\.Coordinator\.deliverDecision is not dominated`
+}
+
+// decideFirst is the canonical decide path: clean.
+func (c *Coordinator) decideFirst(ctx context.Context, id string, commit bool) {
+	chosen, err := c.dlog.Decide(ctx, id, commit)
+	if err != nil {
+		return
+	}
+	c.deliverDecision(ctx, id, &decided{commit: chosen})
+}
+
+// presumeFirst is recovery's presumed-abort path: clean.
+func (c *Coordinator) presumeFirst(ctx context.Context, id string) {
+	chosen, err := c.dlog.PresumeAbort(ctx, id)
+	if err != nil {
+		return
+	}
+	c.deliverDecision(ctx, id, &decided{commit: chosen})
+}
+
+// adopted delivers a prior decision that is already in the log: clean.
+func (c *Coordinator) adopted(ctx context.Context, id string) {
+	if prior, done := c.adoptPrior(id); done {
+		c.deliverDecision(ctx, id, prior)
+	}
+}
+
+// branchMiss decides on only one path: still a violation.
+func (c *Coordinator) branchMiss(ctx context.Context, id string, ok bool) {
+	if ok {
+		_, _ = c.dlog.Decide(ctx, id, true)
+	}
+	c.deliverDecision(ctx, id, &decided{}) // want `coord\.Coordinator\.deliverDecision is not dominated`
+}
+
+// earlyReturn decides on one path and returns on the other: the send is
+// only reachable through the durability call, so it is clean.
+func (c *Coordinator) earlyReturn(ctx context.Context, id string, ok bool) {
+	if !ok {
+		return
+	}
+	_, _ = c.dlog.Decide(ctx, id, true)
+	c.deliverDecision(ctx, id, &decided{})
+}
+
+// syncOnly waits for durability of nothing: Sync does not establish the
+// ordering, so the send is a violation.
+func (c *Coordinator) syncOnly(ctx context.Context, id string) {
+	_ = c.dlog.Sync(ctx)
+	c.deliverDecision(ctx, id, &decided{}) // want `coord\.Coordinator\.deliverDecision is not dominated`
+}
+
+// takeoverRedelivery is recovery's shape: the fan-out goroutines inherit
+// the flag at their spawn site, which is only reachable through Snapshot's
+// majority read. Clean.
+func (c *Coordinator) takeoverRedelivery(ctx context.Context) {
+	_, decisions, err := c.dlog.Snapshot(ctx)
+	if err != nil {
+		return
+	}
+	for id, commit := range decisions {
+		id, d := id, &decided{commit: commit}
+		go func() {
+			c.deliverDecision(ctx, id, d)
+		}()
+	}
+}
+
+// spawnBeforeDurability spawns the send before any durability call: the
+// literal inherits a false flag and reports.
+func (c *Coordinator) spawnBeforeDurability(ctx context.Context, id string) {
+	go func() {
+		c.deliverDecision(ctx, id, &decided{}) // want `coord\.Coordinator\.deliverDecision is not dominated`
+	}()
+	_, _ = c.dlog.Decide(ctx, id, true)
+}

@@ -117,3 +117,40 @@ func sessionMissing(s kinds.SessionState) string {
 	}
 	return ""
 }
+
+// acceptorFull names every acceptor state, including the zero value: clean.
+func acceptorFull(s kinds.AcceptorState) string {
+	switch s {
+	case kinds.StateIdle:
+		return "idle"
+	case kinds.StateBegun:
+		return "begun"
+	case kinds.StateAccepted:
+		return "accepted"
+	}
+	return ""
+}
+
+// acceptorMissing forgets the idle arm — exactly the promise-path bug
+// class in the replica state machine, where an idle (never-begun)
+// transaction must still be answered.
+func acceptorMissing(s kinds.AcceptorState) string {
+	switch s { // want `switch over kinds\.AcceptorState is not exhaustive: missing StateIdle`
+	case kinds.StateBegun:
+		return "begun"
+	case kinds.StateAccepted:
+		return "accepted"
+	}
+	return ""
+}
+
+// acceptorSilent handles only the accepted arm behind an empty default:
+// begun and idle instances vanish silently.
+func acceptorSilent(s kinds.AcceptorState) string {
+	switch s {
+	case kinds.StateAccepted:
+		return "accepted"
+	default: // want `switch over kinds\.AcceptorState has an empty default that silently drops unhandled values \(StateBegun, StateIdle\)`
+	}
+	return ""
+}

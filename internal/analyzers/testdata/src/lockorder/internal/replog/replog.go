@@ -1,0 +1,68 @@
+// Package replog is a miniature of the real replicated decision log for
+// the lockorder fixture: the leader and replica mutexes are distinct lock
+// classes, and the real package's token discipline — leader state flips
+// under its mutex, ballots run with no lock held — means the classes
+// never nest. The fixture pins both that clean shape and the cycle report
+// if someone ever nests them both ways.
+package replog
+
+import "sync"
+
+type Leader struct {
+	mu        sync.Mutex
+	electing  bool
+	proposing map[string]bool
+}
+
+type Replica struct {
+	mu    sync.Mutex
+	terms map[string]uint64
+}
+
+// tokenBallot is the real leader idiom: take the token under the mutex,
+// release, then do the network round with nothing held. No edge between
+// the classes exists on this path.
+func (l *Leader) tokenBallot(id string, round func()) {
+	l.mu.Lock()
+	for l.proposing[id] {
+		l.mu.Unlock()
+		l.mu.Lock()
+	}
+	l.proposing[id] = true
+	l.mu.Unlock()
+
+	round()
+
+	l.mu.Lock()
+	delete(l.proposing, id)
+	l.mu.Unlock()
+}
+
+// admit is the replica idiom: the acceptor state machine runs entirely
+// under the replica's own mutex.
+func (r *Replica) admit(group string, term uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if term < r.terms[group] {
+		return false
+	}
+	r.terms[group] = term
+	return true
+}
+
+// inlineDeliver nests Leader.mu -> Replica.mu; harmless alone, but
+// replicaCallback nests the other way, and the Finish hook reports the
+// cycle at its lexicographically smallest edge — here.
+func inlineDeliver(l *Leader, r *Replica) {
+	l.mu.Lock()
+	r.mu.Lock() // want `lock-order cycle`
+	r.mu.Unlock()
+	l.mu.Unlock()
+}
+
+func replicaCallback(l *Leader, r *Replica) {
+	r.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	r.mu.Unlock()
+}

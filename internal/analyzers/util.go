@@ -1,4 +1,4 @@
-// Package analyzers holds the o2pcvet suite: five static-analysis passes
+// Package analyzers holds the o2pcvet suite: ten static-analysis passes
 // that mechanically enforce the protocol and determinism invariants the
 // paper's guarantees rest on. See DESIGN.md §8 for the mapping from each
 // pass to the property it protects.
@@ -18,6 +18,7 @@ func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		Walltime,
 		Walorder,
+		Ackorder,
 		Lockheld,
 		Exhaustive,
 		Randdet,

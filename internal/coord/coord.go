@@ -238,8 +238,15 @@ type Config struct {
 	// Board aggregates UDUM1 witnesses; share one Board among the
 	// coordinators of a cluster.
 	Board *marking.Board
-	// Log stores decisions durably (defaults to an in-memory WAL).
+	// Log stores decisions durably (defaults to an in-memory WAL). Ignored
+	// when DecisionLog is set.
 	Log wal.Log
+	// DecisionLog overrides the decision-durability layer. Nil selects a
+	// LocalLog over Log — the classic single-coordinator behavior. A
+	// replog.Leader here turns the coordinator into the leader of a Paxos
+	// Commit group: decisions are chosen by a majority of decision-log
+	// replicas before any participant learns them.
+	DecisionLog DecisionLog
 	// DecisionRetry is the delay between decision re-sends to unreachable
 	// participants. Defaults to 2ms.
 	DecisionRetry time.Duration
@@ -284,7 +291,7 @@ type Coordinator struct {
 	cfg    Config
 	caller rpc.Caller
 	board  *marking.Board
-	log    wal.Log
+	dlog   DecisionLog
 	stats  *Stats
 	clock  sim.Clock
 	tracer *trace.Tracer
@@ -310,11 +317,14 @@ func New(cfg Config, caller rpc.Caller) *Coordinator {
 	if board == nil {
 		board = marking.NewBoard()
 	}
-	log := cfg.Log
-	if log == nil {
-		log = wal.NewMemoryLog()
+	dlog := cfg.DecisionLog
+	if dlog == nil {
+		log := cfg.Log
+		if log == nil {
+			log = wal.NewMemoryLog()
+		}
+		dlog = NewLocalLog(cfg.Name, trace.WrapLog(log, cfg.Tracer, cfg.Name))
 	}
-	log = trace.WrapLog(log, cfg.Tracer, cfg.Name)
 	var pool *sim.Pool
 	if cfg.ExecWorkers > 0 {
 		pool = sim.NewPool(sim.OrReal(cfg.Clock), cfg.ExecWorkers)
@@ -323,7 +333,7 @@ func New(cfg Config, caller rpc.Caller) *Coordinator {
 		cfg:     cfg,
 		caller:  caller,
 		board:   board,
-		log:     log,
+		dlog:    dlog,
 		stats:   newStats(),
 		clock:   sim.OrReal(cfg.Clock),
 		tracer:  cfg.Tracer,
@@ -343,6 +353,10 @@ func (c *Coordinator) Close() {
 	if c.pool != nil {
 		c.pool.Close()
 	}
+	// The decision log may hold implementation resources (a replicated
+	// log's bookkeeping); the underlying WAL, if any, stays open — it
+	// belongs to whoever passed it in.
+	_ = c.dlog.Close()
 }
 
 // Stats returns the coordinator's counters.
@@ -381,12 +395,14 @@ func (c *Coordinator) Health() error {
 
 // Ready extends Health with a decision-log probe: a coordinator whose WAL
 // cannot sync must not be offered traffic (it would crash on the first
-// decision). The ops server's /readyz maps nil to 200.
+// decision). With a replicated decision log the probe reports leadership —
+// a deposed or unelected leader is unready — so the ops server's /readyz
+// reflects leader status. Nil maps to 200.
 func (c *Coordinator) Ready() error {
 	if err := c.Health(); err != nil {
 		return err
 	}
-	if err := c.log.Sync(); err != nil {
+	if err := c.dlog.Sync(context.Background()); err != nil {
 		return fmt.Errorf("coord: decision log not writable: %w", err)
 	}
 	return nil

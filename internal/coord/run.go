@@ -9,7 +9,6 @@ import (
 	"o2pc/internal/proto"
 	"o2pc/internal/sim"
 	"o2pc/internal/trace"
-	"o2pc/internal/wal"
 )
 
 // Run executes one global transaction end to end and reports its result.
@@ -71,12 +70,9 @@ func (c *Coordinator) run(ctx context.Context, spec TxnSpec) Result {
 		spec.Protocol.String()+"/"+spec.Marking.String()+" sites="+sitesAux)
 	// Write-ahead: without a durable BEGIN, recovery could not presume
 	// abort for this transaction — so an unloggable BEGIN aborts the run
-	// before any subtransaction ships.
-	if _, err := c.log.Append(wal.Record{
-		Type:  wal.RecBegin,
-		TxnID: id,
-		Aux:   sitesAux + "|" + spec.Marking.String(),
-	}); err != nil {
+	// before any subtransaction ships. (Replicated logs require a majority
+	// of replicas to hold the BEGIN before returning.)
+	if err := c.dlog.Begin(ctx, id, sites, spec.Marking); err != nil {
 		res.Outcome = AbortedCoordinator
 		res.Err = fmt.Errorf("coord: logging begin for %s: %w", id, err)
 		return res
@@ -373,15 +369,41 @@ func (c *Coordinator) collectVotes(ctx context.Context, id string, sites []strin
 // a second, possibly contradictory record would let participants apply
 // divergent outcomes.
 func (c *Coordinator) decide(ctx context.Context, id string, commit bool, executed []string, spec TxnSpec) bool {
+	if prior, done := c.adoptPrior(id, commit, executed); done {
+		if prior == nil {
+			// No participant ever executed: nothing to deliver or log.
+			return commit
+		}
+		if !c.checkCrash(id, CrashAfterDecisionLogged) {
+			c.deliverDecision(ctx, id, prior)
+		}
+		return prior.commit
+	}
+	// Durability happens outside c.mu: a replicated decision log runs a
+	// majority network round here, and the coordinator must keep serving
+	// resolve inquiries (and other runs) meanwhile. The log itself
+	// serializes racing writers and returns the decision that won.
+	chosen, err := c.dlog.Decide(ctx, id, commit)
+	if err != nil {
+		// The decision cannot be made durable, so it must not be announced:
+		// a coordinator that cannot write its log is crashed (participants
+		// fall back to resolve inquiries, and recovery — with a working
+		// log — will presume abort). For a commit intent the caller reports
+		// AbortedCoordinator.
+		c.mu.Lock()
+		c.crashed = true
+		c.mu.Unlock()
+		c.tracer.Emit(c.cfg.Name, trace.EvCrash, id, "", "wal: "+err.Error())
+		return false
+	}
+	commit = chosen
 	c.mu.Lock()
 	if prior, ok := c.decided[id]; ok {
-		// Recovery owns this transaction: its decision is logged, so adopt
-		// it — but still deliver it to this run's participants. Recovery's
-		// own delivery pass may have preceded a late-executing site (the
-		// site acked the decision as unknown before the subtransaction
-		// landed), leaving it holding locks with no decision and no
-		// resolver armed. Decisions are idempotent, so re-sending is safe.
-		commit = prior.commit
+		// A recovery pass decided this transaction while the durability
+		// round was in flight; the decision log already reconciled the two
+		// writes (first-writer-wins locally, consensus when replicated), so
+		// prior.commit == chosen. Merge this run's participants in and
+		// deliver.
 		for _, s := range executed {
 			prior.pending[s] = true
 		}
@@ -389,29 +411,7 @@ func (c *Coordinator) decide(ctx context.Context, id string, commit bool, execut
 		if !c.checkCrash(id, CrashAfterDecisionLogged) {
 			c.deliverDecision(ctx, id, prior)
 		}
-		return commit
-	}
-	if len(executed) == 0 {
-		// No participant ever executed: nothing to deliver.
-		c.decided[id] = &decided{commit: commit, pending: map[string]bool{}}
-		delete(c.started, id)
-		c.mu.Unlock()
-		return commit
-	}
-	_, err := c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: decisionAux(commit)})
-	if err == nil {
-		err = c.log.Sync()
-	}
-	if err != nil {
-		// The decision cannot be made durable, so it must not be announced:
-		// a coordinator that cannot write its log is crashed (participants
-		// fall back to resolve inquiries, and recovery — with a working
-		// log — will presume abort). For a commit intent the caller reports
-		// AbortedCoordinator.
-		c.crashed = true
-		c.mu.Unlock()
-		c.tracer.Emit(c.cfg.Name, trace.EvCrash, id, "", "wal: "+err.Error())
-		return false
+		return prior.commit
 	}
 	c.tracer.Emit(c.cfg.Name, trace.EvDecisionReached, id, "", decisionAux(commit))
 	d := &decided{
@@ -439,6 +439,36 @@ func (c *Coordinator) decide(ctx context.Context, id string, commit bool, execut
 	}
 	c.deliverDecision(ctx, id, d)
 	return commit
+}
+
+// adoptPrior consults the in-memory decided map before any durability
+// work and returns done=true when the caller must not write the log. Two
+// cases end there: the transaction is already decided (a recovery pass
+// presumed abort while the run was in flight — the durable record exists,
+// the run's participants are merged into its pending set, and the prior
+// is returned for immediate delivery), or no participant ever executed
+// (a memory-only entry keeps resolve inquiries answerable; nil, true).
+func (c *Coordinator) adoptPrior(id string, commit bool, executed []string) (*decided, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.decided[id]; ok {
+		// Recovery owns this transaction: its decision is logged, so adopt
+		// it — but still deliver it to this run's participants. Recovery's
+		// own delivery pass may have preceded a late-executing site (the
+		// site acked the decision as unknown before the subtransaction
+		// landed), leaving it holding locks with no decision and no
+		// resolver armed. Decisions are idempotent, so re-sending is safe.
+		for _, s := range executed {
+			prior.pending[s] = true
+		}
+		return prior, true
+	}
+	if len(executed) == 0 {
+		c.decided[id] = &decided{commit: commit, pending: map[string]bool{}}
+		delete(c.started, id)
+		return nil, true
+	}
+	return nil, false
 }
 
 // deliverDecision sends the decision to all pending participants in
@@ -527,29 +557,19 @@ func (c *Coordinator) sendDecisionUntilAcked(ctx context.Context, id, site strin
 // undelivered transactions have their decisions re-sent.
 func (c *Coordinator) Recover(ctx context.Context) error {
 	c.tracer.Emit(c.cfg.Name, trace.EvRecover, "", "", "")
-	records, err := c.log.Records()
+	// With a replicated decision log this is leader takeover: Snapshot
+	// claims a fresh term, reads a majority of replicas, and finishes any
+	// decision that was majority-acked but possibly undelivered — those
+	// come back in decidedLog exactly like locally-logged ones.
+	begunRecs, decidedLog, err := c.dlog.Snapshot(ctx)
 	if err != nil {
 		return err
 	}
-	begun := make(map[string][]string)
-	wasP1 := make(map[string]bool)
-	decidedLog := make(map[string]bool)
-	for _, rec := range records {
-		switch rec.Type {
-		case wal.RecBegin:
-			sites, marking := splitBeginAux(rec.Aux)
-			begun[rec.TxnID] = sites
-			wasP1[rec.TxnID] = marking != "" && marking != proto.MarkNone.String()
-		case wal.RecDecision:
-			decidedLog[rec.TxnID] = rec.Aux == "commit"
-		default:
-			// The coordinator's log holds only BEGIN and DECISION records
-			// (Run and decide are its only writers); anything else means
-			// this is a site's log or a corrupt one, and recovering from it
-			// would presume-abort transactions that were never ours.
-			return fmt.Errorf("coord %s: unexpected %v record (LSN %d) in coordinator log",
-				c.cfg.Name, rec.Type, rec.LSN)
-		}
+	begun := make(map[string][]string, len(begunRecs))
+	wasP1 := make(map[string]bool, len(begunRecs))
+	for _, b := range begunRecs {
+		begun[b.TxnID] = b.Sites
+		wasP1[b.TxnID] = b.Marking != "" && b.Marking != proto.MarkNone.String()
 	}
 
 	c.mu.Lock()
@@ -577,32 +597,48 @@ func (c *Coordinator) Recover(ctx context.Context) error {
 	sort.Strings(presume)
 
 	// Presumed abort for undecided transactions. The decided map — not the
-	// log snapshot read above — is re-checked under the lock: a run that was
-	// in flight across the crash may have decided the transaction since,
-	// and a decision, once made, is final.
+	// log snapshot read above — is re-checked: a run that was in flight
+	// across the crash may have decided the transaction since, and a
+	// decision, once made, is final. The decision log resolves the
+	// remaining race window itself (PresumeAbort returns the decision that
+	// actually took effect), so a run's commit can never be contradicted.
 	for _, id := range presume {
 		c.mu.Lock()
 		if _, ok := c.decided[id]; ok {
 			c.mu.Unlock()
 			continue
 		}
-		if _, err := c.log.Append(wal.Record{Type: wal.RecDecision, TxnID: id, Aux: "abort"}); err != nil {
-			c.mu.Unlock()
+		c.mu.Unlock()
+		chosen, err := c.dlog.PresumeAbort(ctx, id)
+		if err != nil {
 			return fmt.Errorf("coord %s: logging presumed abort for %s: %w", c.cfg.Name, id, err)
 		}
+		c.mu.Lock()
+		if _, ok := c.decided[id]; ok {
+			c.mu.Unlock()
+			continue
+		}
 		c.decided[id] = &decided{
-			commit:     false,
-			trackMarks: wasP1[id],
+			commit:     chosen,
+			trackMarks: !chosen && wasP1[id],
 			pending:    toSet(begun[id]),
 		}
 		delete(c.started, id)
 		c.mu.Unlock()
-		c.tracer.Emit(c.cfg.Name, trace.EvDecisionReached, id, "", "abort presumed")
+		detail := "abort presumed"
+		if chosen {
+			detail = decisionAux(chosen)
+		}
+		c.tracer.Emit(c.cfg.Name, trace.EvDecisionReached, id, "", detail)
 		if rec := c.cfg.Recorder; rec != nil {
-			rec.SetFate(id, history.FateAborted)
+			if chosen {
+				rec.SetFate(id, history.FateCommitted)
+			} else {
+				rec.SetFate(id, history.FateAborted)
+			}
 		}
 	}
-	if err := c.log.Sync(); err != nil {
+	if err := c.dlog.Sync(ctx); err != nil {
 		return fmt.Errorf("coord %s: syncing presumed aborts: %w", c.cfg.Name, err)
 	}
 

@@ -9,7 +9,6 @@ import (
 	"o2pc/internal/history"
 	"o2pc/internal/proto"
 	"o2pc/internal/trace"
-	"o2pc/internal/wal"
 )
 
 // SessionState classifies a multi-shot session's lifecycle.
@@ -112,11 +111,7 @@ func (c *Coordinator) OpenSession(spec SessionSpec) (*Session, error) {
 	c.tracer.Emit(c.cfg.Name, trace.EvTxnBegin, id, "",
 		spec.Protocol.String()+"/"+spec.Marking.String()+" session")
 	c.tracer.Emit(c.cfg.Name, trace.EvSessionOpen, id, "", "")
-	if _, err := c.log.Append(wal.Record{
-		Type:  wal.RecBegin,
-		TxnID: id,
-		Aux:   "|" + spec.Marking.String(),
-	}); err != nil {
+	if err := c.dlog.Begin(context.Background(), id, nil, spec.Marking); err != nil {
 		return nil, fmt.Errorf("coord: logging session begin for %s: %w", id, err)
 	}
 	c.stats.InFlight.Inc()
@@ -176,11 +171,7 @@ func (s *Session) Round(ctx context.Context, subtxns []SubtxnSpec) (map[string]m
 		}
 	}
 	if grew {
-		if _, err := c.log.Append(wal.Record{
-			Type:  wal.RecBegin,
-			TxnID: s.id,
-			Aux:   joinSites(s.executed) + "|" + s.spec.Marking.String(),
-		}); err != nil {
+		if err := c.dlog.Begin(ctx, s.id, s.executed, s.spec.Marking); err != nil {
 			s.settle(Result{ID: s.id, Outcome: AbortedCoordinator,
 				Err: fmt.Errorf("coord: logging session sites for %s: %w", s.id, err)})
 			return nil, s.res.Err

@@ -24,6 +24,7 @@ import (
 	"o2pc/internal/marking"
 	"o2pc/internal/metrics"
 	"o2pc/internal/proto"
+	"o2pc/internal/replog"
 	"o2pc/internal/rpc"
 	"o2pc/internal/sg"
 	"o2pc/internal/sim"
@@ -41,6 +42,12 @@ type Config struct {
 	// Coordinators is the number of coordinator nodes (default 1), named
 	// "c0", "c1", ....
 	Coordinators int
+	// Replicas is the number of decision-log replicas, named "r0", "r1",
+	// .... When positive every coordinator runs Paxos Commit over them (a
+	// replog.Leader replaces the local decision log); zero keeps the
+	// classic single-coordinator log. Use an odd count — a majority must
+	// be reachable for decisions to land.
+	Replicas int
 	// Network configures the simulated transport (latency, loss, seed).
 	Network rpc.Config
 	// Record enables history capture for the Section 5 verifier. Leave it
@@ -112,6 +119,8 @@ type Cluster struct {
 	network   *rpc.Network
 	sites     []*site.Site
 	coords    []*coord.Coordinator
+	replicas  []*replog.Replica // decision-log replicas (empty unless Replicas > 0)
+	leaders   []*replog.Leader  // per-coordinator, parallel to coords (empty unless Replicas > 0)
 	recorder  *history.Recorder
 	board     *marking.Board
 	coalescer *rpc.Coalescer // nil unless CoalesceRPC
@@ -173,6 +182,17 @@ func NewCluster(cfg Config) *Cluster {
 		cl.network.Register(name, handler)
 		cl.sites = append(cl.sites, s)
 	}
+	var replicaNames []string
+	for i := 0; i < cfg.Replicas; i++ {
+		name := fmt.Sprintf("r%d", i)
+		r, err := replog.NewReplica(replog.ReplicaConfig{Name: name, Tracer: cfg.Tracer})
+		if err != nil {
+			panic(fmt.Sprintf("core: fresh replica %s failed to recover: %v", name, err))
+		}
+		cl.network.Register(name, r.Handle)
+		cl.replicas = append(cl.replicas, r)
+		replicaNames = append(replicaNames, name)
+	}
 	// All coordinators share one coalescer: its queues are per (from, to)
 	// pair, so traffic from distinct coordinators never mixes.
 	var coordCaller rpc.Caller = cl.network
@@ -187,6 +207,22 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	for i := 0; i < cfg.Coordinators; i++ {
 		name := fmt.Sprintf("c%d", i)
+		var dlog coord.DecisionLog
+		if cfg.Replicas > 0 {
+			// Replication traffic goes straight to the network: the
+			// coalescer batches coordinator→site protocol rounds, and
+			// folding ballot fan-outs into those envelopes would couple the
+			// majority-ack latency to site traffic.
+			leader := replog.NewLeader(replog.Config{
+				Group:    name,
+				Replicas: replicaNames,
+				Caller:   cl.network,
+				Clock:    clock,
+				Tracer:   cfg.Tracer,
+			})
+			cl.leaders = append(cl.leaders, leader)
+			dlog = leader
+		}
 		c := coord.New(coord.Config{
 			Name:         name,
 			IDPrefix:     prefixFor(i),
@@ -196,6 +232,7 @@ func NewCluster(cfg Config) *Cluster {
 			ExecWorkers:  cfg.ExecWorkers,
 			Clock:        clock,
 			Tracer:       cfg.Tracer,
+			DecisionLog:  dlog,
 		}, coordCaller)
 		cl.network.Register(name, c.Handle)
 		cl.coords = append(cl.coords, c)
@@ -351,6 +388,24 @@ func (cl *Cluster) RecoverCoordinator(ctx context.Context, i int) error {
 	return c.Recover(ctx)
 }
 
+// CrashReplica kills decision-log replica i: it drops its volatile
+// acceptor state and leaves the network. Its WAL survives for Recover.
+func (cl *Cluster) CrashReplica(i int) {
+	r := cl.replicas[i]
+	cl.network.SetDown(r.Name(), true)
+	r.Crash()
+}
+
+// RecoverReplica rebuilds replica i from its WAL and rejoins it.
+func (cl *Cluster) RecoverReplica(i int) error {
+	r := cl.replicas[i]
+	if err := r.Recover(); err != nil {
+		return err
+	}
+	cl.network.SetDown(r.Name(), false)
+	return nil
+}
+
 // CrashSite takes site i off the network and fails its handlers.
 func (cl *Cluster) CrashSite(i int) {
 	s := cl.sites[i]
@@ -379,6 +434,9 @@ func (cl *Cluster) DoomAtSite(txnID, siteName string) {
 func (cl *Cluster) PublishMetrics(reg *metrics.Registry) {
 	for _, c := range cl.coords {
 		c.Stats().Publish(reg, "o2pc_coord_"+c.Name()+"_")
+	}
+	for i, l := range cl.leaders {
+		l.Stats().Publish(reg, "o2pc_coord_"+cl.coords[i].Name()+"_replog_")
 	}
 	for _, s := range cl.sites {
 		s.Stats().Publish(reg, "o2pc_site_"+s.Name()+"_")
@@ -424,10 +482,23 @@ func (cl *Cluster) Quiesce(ctx context.Context) error {
 	}
 }
 
+// Replicas returns the decision-log replicas (empty unless configured).
+func (cl *Cluster) ReplicaNodes() []*replog.Replica { return cl.replicas }
+
+// Leader returns coordinator i's replication leader (nil unless the
+// cluster runs a replicated decision log).
+func (cl *Cluster) Leader(i int) *replog.Leader {
+	if len(cl.leaders) == 0 {
+		return nil
+	}
+	return cl.leaders[i]
+}
+
 // Protocol and marking re-exports so callers of core need not import proto.
 const (
 	TwoPC = proto.TwoPC
 	O2PC  = proto.O2PC
+	Paxos = proto.Paxos
 
 	MarkNone   = proto.MarkNone
 	MarkP1     = proto.MarkP1

@@ -33,6 +33,12 @@ const (
 	// commits and releases all locks immediately; an eventual abort
 	// decision triggers compensation.
 	O2PC
+	// Paxos is Paxos Commit (Gray & Lamport): participants behave exactly
+	// as under 2PC — locks held until the DECISION — but the coordinator's
+	// decision record is replicated to a majority of decision-log replicas
+	// before the DECISION is announced, so no single coordinator crash
+	// blocks a YES-voting participant once a majority of replicas is up.
+	Paxos
 )
 
 // String returns the protocol mnemonic.
@@ -42,6 +48,8 @@ func (p Protocol) String() string {
 		return "2PC"
 	case O2PC:
 		return "O2PC"
+	case Paxos:
+		return "Paxos"
 	default:
 		return fmt.Sprintf("Protocol(%d)", uint8(p))
 	}
@@ -281,6 +289,63 @@ type ResolveReply struct {
 	Commit bool
 }
 
+// RepBegin replicates a coordinator's BEGIN record to one decision-log
+// replica ahead of the first subtransaction: without a majority-durable
+// BEGIN, a takeover leader could not presume abort for the transaction.
+type RepBegin struct {
+	Group   string // leader group the record belongs to (coordinator name)
+	Term    uint64 // leader term proposing the record
+	TxnID   string
+	Sites   []string
+	Marking MarkProtocol
+}
+
+// RepAccept is the Paxos phase-2a message: the leader proposes the
+// decision value for one transaction at its term. A majority of OK
+// replies makes the decision chosen — only then may the DECISION message
+// be sent to participants.
+type RepAccept struct {
+	Group  string
+	Term   uint64
+	TxnID  string
+	Commit bool
+}
+
+// RepReply acknowledges RepBegin or RepAccept. OK reports acceptance;
+// Term returns the replica's current term for the group (on a nack, the
+// term that deposed the sender).
+type RepReply struct {
+	OK   bool
+	Term uint64
+}
+
+// RepNewTerm is the Paxos phase-1a message: a would-be leader claims a
+// term for the whole group (one promise covers every transaction instance,
+// which is strictly more conservative than per-instance ballots).
+type RepNewTerm struct {
+	Group string
+	Term  uint64
+}
+
+// RepTxnState is one transaction's acceptor state, returned in the
+// phase-1b grant so a takeover leader can finish in-flight transactions.
+type RepTxnState struct {
+	TxnID    string
+	Sites    []string
+	Marking  MarkProtocol
+	Accepted bool   // an accepted decision value exists
+	AccTerm  uint64 // term at which the value was accepted
+	Commit   bool   // the accepted value
+}
+
+// RepNewTermReply grants or refuses a term claim; on grant, Txns carries
+// the replica's full acceptor state for the group.
+type RepNewTermReply struct {
+	OK   bool
+	Term uint64
+	Txns []RepTxnState
+}
+
 // TxnIDOf extracts the global transaction id a message belongs to, or ""
 // for replies (which carry none) and unknown types. The transport's
 // tracer uses it to attribute message events to transactions without
@@ -307,6 +372,14 @@ func TxnIDOf(msg any) string {
 		return m.TxnID
 	case *ResolveRequest:
 		return m.TxnID
+	case RepBegin:
+		return m.TxnID
+	case *RepBegin:
+		return m.TxnID
+	case RepAccept:
+		return m.TxnID
+	case *RepAccept:
+		return m.TxnID
 	default:
 		return ""
 	}
@@ -325,4 +398,9 @@ func RegisterGob() {
 	gob.Register(ResolveReply{})
 	gob.Register(Batch{})
 	gob.Register(BatchReply{})
+	gob.Register(RepBegin{})
+	gob.Register(RepAccept{})
+	gob.Register(RepReply{})
+	gob.Register(RepNewTerm{})
+	gob.Register(RepNewTermReply{})
 }

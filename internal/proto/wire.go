@@ -51,6 +51,11 @@ const (
 	wtResolveReply
 	wtBatch
 	wtBatchReply
+	wtRepBegin
+	wtRepAccept
+	wtRepReply
+	wtRepNewTerm
+	wtRepNewTermReply
 )
 
 // ErrUnknownWireType reports a message outside the protocol vocabulary
@@ -127,6 +132,26 @@ func AppendMessage(buf []byte, msg any) ([]byte, error) {
 		return appendBatchReply(buf, &m)
 	case *BatchReply:
 		return appendBatchReply(buf, m)
+	case RepBegin:
+		return appendRepBegin(buf, &m), nil
+	case *RepBegin:
+		return appendRepBegin(buf, m), nil
+	case RepAccept:
+		return appendRepAccept(buf, &m), nil
+	case *RepAccept:
+		return appendRepAccept(buf, m), nil
+	case RepReply:
+		return binary.AppendUvarint(appendBool(append(buf, wtRepReply), m.OK), m.Term), nil
+	case *RepReply:
+		return binary.AppendUvarint(appendBool(append(buf, wtRepReply), m.OK), m.Term), nil
+	case RepNewTerm:
+		return binary.AppendUvarint(appendString(append(buf, wtRepNewTerm), m.Group), m.Term), nil
+	case *RepNewTerm:
+		return binary.AppendUvarint(appendString(append(buf, wtRepNewTerm), m.Group), m.Term), nil
+	case RepNewTermReply:
+		return appendRepNewTermReply(buf, &m), nil
+	case *RepNewTermReply:
+		return appendRepNewTermReply(buf, m), nil
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownWireType, msg)
 	}
@@ -280,6 +305,69 @@ func appendBatchReply(buf []byte, m *BatchReply) ([]byte, error) {
 	return buf, nil
 }
 
+func appendRepBegin(buf []byte, m *RepBegin) []byte {
+	buf = append(buf, wtRepBegin)
+	buf = appendString(buf, m.Group)
+	buf = binary.AppendUvarint(buf, m.Term)
+	buf = appendString(buf, m.TxnID)
+	buf = appendStrings(buf, m.Sites)
+	return append(buf, byte(m.Marking))
+}
+
+func decodeRepBegin(r *wireReader) RepBegin {
+	var m RepBegin
+	m.Group = r.str()
+	m.Term = r.uvarint()
+	m.TxnID = r.str()
+	m.Sites = r.strs()
+	m.Marking = MarkProtocol(r.byte())
+	return m
+}
+
+func appendRepAccept(buf []byte, m *RepAccept) []byte {
+	buf = append(buf, wtRepAccept)
+	buf = appendString(buf, m.Group)
+	buf = binary.AppendUvarint(buf, m.Term)
+	buf = appendString(buf, m.TxnID)
+	return appendBool(buf, m.Commit)
+}
+
+func appendRepNewTermReply(buf []byte, m *RepNewTermReply) []byte {
+	buf = append(buf, wtRepNewTermReply)
+	buf = appendBool(buf, m.OK)
+	buf = binary.AppendUvarint(buf, m.Term)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Txns)))
+	for i := range m.Txns {
+		ts := &m.Txns[i]
+		buf = appendString(buf, ts.TxnID)
+		buf = appendStrings(buf, ts.Sites)
+		buf = append(buf, byte(ts.Marking))
+		buf = appendBool(buf, ts.Accepted)
+		buf = binary.AppendUvarint(buf, ts.AccTerm)
+		buf = appendBool(buf, ts.Commit)
+	}
+	return buf
+}
+
+func decodeRepNewTermReply(r *wireReader) RepNewTermReply {
+	var m RepNewTermReply
+	m.OK = r.bool()
+	m.Term = r.uvarint()
+	if n := r.count(); n > 0 {
+		m.Txns = make([]RepTxnState, n)
+		for i := range m.Txns {
+			ts := &m.Txns[i]
+			ts.TxnID = r.str()
+			ts.Sites = r.strs()
+			ts.Marking = MarkProtocol(r.byte())
+			ts.Accepted = r.bool()
+			ts.AccTerm = r.uvarint()
+			ts.Commit = r.bool()
+		}
+	}
+	return m
+}
+
 func appendWitnesses(buf []byte, ws []WitnessDelta) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(ws)))
 	for i := range ws {
@@ -370,6 +458,21 @@ func decodeAny(r *wireReader) (any, error) {
 			}
 		}
 		msg = m
+	case wtRepBegin:
+		msg = decodeRepBegin(r)
+	case wtRepAccept:
+		var m RepAccept
+		m.Group = r.str()
+		m.Term = r.uvarint()
+		m.TxnID = r.str()
+		m.Commit = r.bool()
+		msg = m
+	case wtRepReply:
+		msg = RepReply{OK: r.bool(), Term: r.uvarint()}
+	case wtRepNewTerm:
+		msg = RepNewTerm{Group: r.str(), Term: r.uvarint()}
+	case wtRepNewTermReply:
+		msg = decodeRepNewTermReply(r)
 	default:
 		return nil, fmt.Errorf("%w: tag %d", ErrUnknownWireType, tag)
 	}

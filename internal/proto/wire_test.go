@@ -59,6 +59,14 @@ func sampleMessages(id, key, s string, val []byte, d1, d2 int64, b1, b2, b3 bool
 	if b1 && b2 {
 		ws = nil
 	}
+	txns := []RepTxnState{
+		{TxnID: id, Sites: marks, Marking: MarkProtocol(n % 4), Accepted: b1,
+			AccTerm: uint64(d1), Commit: b2},
+		{},
+	}
+	if b3 {
+		txns = nil
+	}
 	return []any{
 		ExecRequest{TxnID: id, Ops: ops, Comp: CompMode(n%4 + 1), Compensator: s,
 			Protocol: Protocol(n%2 + 1), Marking: MarkProtocol(n % 4), TransMarks: marks,
@@ -79,6 +87,16 @@ func sampleMessages(id, key, s string, val []byte, d1, d2 int64, b1, b2, b3 bool
 			{Err: "", Body: nil},
 			{Body: Ack{TxnID: id, Marked: b3}},
 		}},
+		RepBegin{Group: s, Term: uint64(d1), TxnID: id, Sites: marks,
+			Marking: MarkProtocol(n % 4)},
+		RepBegin{},
+		RepAccept{Group: s, Term: uint64(d2), TxnID: id, Commit: b1},
+		RepReply{OK: b2, Term: uint64(d1)},
+		RepNewTerm{Group: s, Term: uint64(d2)},
+		RepNewTermReply{OK: b1, Term: uint64(d1), Txns: txns},
+		RepNewTermReply{},
+		Batch{Msgs: []any{RepAccept{Group: s, Term: uint64(d1), TxnID: id, Commit: b2},
+			RepNewTerm{Group: id, Term: uint64(d2)}}},
 	}
 }
 

@@ -116,6 +116,11 @@ const (
 	censusAck
 	censusResolveRequest
 	censusResolveReply
+	censusRepBegin
+	censusRepAccept
+	censusRepReply
+	censusRepNewTerm
+	censusRepNewTermReply
 	censusKinds
 	censusOther = -1
 )
@@ -284,14 +289,19 @@ func (n *Network) count(msg any) {
 // censusNames spells each census kind the way "%T" would a value of the
 // type ("proto.ExecRequest"), the counter-name convention of E6.
 var censusNames = [censusKinds]string{
-	censusExecRequest:    "proto.ExecRequest",
-	censusExecReply:      "proto.ExecReply",
-	censusVoteRequest:    "proto.VoteRequest",
-	censusVoteReply:      "proto.VoteReply",
-	censusDecision:       "proto.Decision",
-	censusAck:            "proto.Ack",
-	censusResolveRequest: "proto.ResolveRequest",
-	censusResolveReply:   "proto.ResolveReply",
+	censusExecRequest:     "proto.ExecRequest",
+	censusExecReply:       "proto.ExecReply",
+	censusVoteRequest:     "proto.VoteRequest",
+	censusVoteReply:       "proto.VoteReply",
+	censusDecision:        "proto.Decision",
+	censusAck:             "proto.Ack",
+	censusResolveRequest:  "proto.ResolveRequest",
+	censusResolveReply:    "proto.ResolveReply",
+	censusRepBegin:        "proto.RepBegin",
+	censusRepAccept:       "proto.RepAccept",
+	censusRepReply:        "proto.RepReply",
+	censusRepNewTerm:      "proto.RepNewTerm",
+	censusRepNewTermReply: "proto.RepNewTermReply",
 }
 
 // msgKind classifies a message into its census slot, or censusOther for
@@ -314,6 +324,16 @@ func msgKind(msg any) int {
 		return censusResolveRequest
 	case proto.ResolveReply, *proto.ResolveReply:
 		return censusResolveReply
+	case proto.RepBegin, *proto.RepBegin:
+		return censusRepBegin
+	case proto.RepAccept, *proto.RepAccept:
+		return censusRepAccept
+	case proto.RepReply, *proto.RepReply:
+		return censusRepReply
+	case proto.RepNewTerm, *proto.RepNewTerm:
+		return censusRepNewTerm
+	case proto.RepNewTermReply, *proto.RepNewTermReply:
+		return censusRepNewTermReply
 	default:
 		return censusOther
 	}

@@ -65,6 +65,17 @@ type Faults struct {
 	SiteCrashCycles   int
 	SiteCrashSpacing  time.Duration
 	SiteCrashDowntime time.Duration
+	// ReplicaCrashCycles crash/recover decision-log replicas this many
+	// times, rotating over the replica group (requires Config.Replicas > 0).
+	// Each cycle crashes one replica — a minority, so Paxos Commit keeps
+	// deciding — unless ReplicaCrashMajority is set, in which case a full
+	// majority goes down at once and in-flight ballots stall until the
+	// replicas recover. ReplicaCrashSpacing separates the cycles and
+	// ReplicaCrashDowntime is how long the replicas stay down.
+	ReplicaCrashCycles   int
+	ReplicaCrashSpacing  time.Duration
+	ReplicaCrashDowntime time.Duration
+	ReplicaCrashMajority bool
 	// DoomRate is the probability that a transaction is doomed to a
 	// unilateral NO vote at one of its sites.
 	DoomRate float64
@@ -90,8 +101,16 @@ type Config struct {
 	// Marking selects the correctness protocol (default P1).
 	Marking proto.MarkProtocol
 	// TwoPCShare is the fraction of transactions run under baseline 2PC
-	// (default 0.2); the rest run O2PC.
+	// (default 0.2); PaxosShare (default 0) is the fraction run under
+	// Paxos Commit; the rest run O2PC. Both draw from one uniform sample
+	// per transaction, so schedules with PaxosShare = 0 are byte-identical
+	// to those generated before the protocol existed.
 	TwoPCShare float64
+	PaxosShare float64
+	// Replicas sizes the replicated decision log (see core.Config.Replicas).
+	// Defaults to 3 when PaxosShare > 0 and stays 0 — classic local WAL
+	// logging — otherwise.
+	Replicas int
 	// MinLatency/MaxLatency bound one-way message delay (defaults 100µs
 	// and 2ms). A nonzero span matters: it spreads timer deadlines so the
 	// virtual clock's (when, seq) order is seed-determined.
@@ -153,6 +172,9 @@ func withDefaults(cfg Config) Config {
 	if cfg.TwoPCShare == 0 {
 		cfg.TwoPCShare = 0.2
 	}
+	if cfg.PaxosShare > 0 && cfg.Replicas == 0 {
+		cfg.Replicas = 3
+	}
 	if cfg.MinLatency == 0 {
 		cfg.MinLatency = 100 * time.Microsecond
 	}
@@ -211,6 +233,7 @@ func Run(cfg Config) *Result {
 	cl := core.NewCluster(core.Config{
 		Sites:          cfg.Sites,
 		Coordinators:   cfg.Coordinators,
+		Replicas:       cfg.Replicas,
 		Record:         true,
 		Clock:          clock,
 		Tracer:         tracer,
@@ -254,9 +277,14 @@ func Run(cfg Config) *Result {
 		}
 		amount := int64(1 + rng.Intn(20))
 		acct := acctKey(rng.Intn(cfg.Accounts))
+		// One uniform draw splits three ways so a PaxosShare of zero
+		// consumes the seed stream exactly as the old two-way draw did.
 		protocol := proto.O2PC
-		if rng.Float64() < cfg.TwoPCShare {
+		switch f := rng.Float64(); {
+		case f < cfg.TwoPCShare:
 			protocol = proto.TwoPC
+		case f < cfg.TwoPCShare+cfg.PaxosShare:
+			protocol = proto.Paxos
 		}
 		j := job{
 			spec: coord.TxnSpec{
@@ -404,6 +432,43 @@ func Run(cfg Config) *Result {
 				recordRecovery(fmt.Sprintf("recover site s%d (cycle %d)", target, i),
 					cl.RecoverSite(rctx, target))
 				rcancel()
+			}
+		})
+	}
+	if n := cfg.Faults.ReplicaCrashCycles; n > 0 && cfg.Replicas > 0 {
+		spacing, downtime := cfg.Faults.ReplicaCrashSpacing, cfg.Faults.ReplicaCrashDowntime
+		if spacing <= 0 {
+			spacing = 4 * time.Millisecond
+		}
+		if downtime <= 0 {
+			downtime = 3 * time.Millisecond
+		}
+		// One replica per cycle is always a minority (Replicas defaults to
+		// 3), so ballots keep reaching quorum; the majority variant takes
+		// out floor(n/2)+1 at once, stalling every in-flight ballot until
+		// the recovery half of the cycle.
+		count := 1
+		if cfg.Faults.ReplicaCrashMajority {
+			count = cfg.Replicas/2 + 1
+		}
+		faults.Go(func() {
+			for i := 0; i < n; i++ {
+				if clock.Sleep(ctx, spacing) != nil {
+					return
+				}
+				for k := 0; k < count; k++ {
+					cl.CrashReplica((i + k) % cfg.Replicas)
+				}
+				//o2pcvet:ignore errflow -- downtime sleep on a dead context just shortens the outage; the restart below runs regardless
+				_ = clock.Sleep(ctx, downtime)
+				// Always restart, even on a dead context: Paxos liveness
+				// needs a majority of replicas back up, and the final
+				// recovery pass depends on it.
+				for k := 0; k < count; k++ {
+					target := (i + k) % cfg.Replicas
+					recordRecovery(fmt.Sprintf("recover replica r%d (cycle %d)", target, i),
+						cl.RecoverReplica(target))
+				}
 			}
 		})
 	}
@@ -590,6 +655,20 @@ func shrinkCandidates(c Config) []Config {
 	if c.Faults.SiteCrashCycles > 0 {
 		d := c
 		d.Faults.SiteCrashCycles = 0
+		out = append(out, d)
+	}
+	if c.Faults.ReplicaCrashCycles > 0 {
+		d := c
+		d.Faults.ReplicaCrashCycles = 0
+		d.Faults.ReplicaCrashMajority = false
+		out = append(out, d)
+	}
+	if c.PaxosShare > 0 {
+		d := c
+		d.PaxosShare = 0
+		d.Replicas = 0
+		d.Faults.ReplicaCrashCycles = 0
+		d.Faults.ReplicaCrashMajority = false
 		out = append(out, d)
 	}
 	if c.Faults.DoomRate > 0 {

@@ -52,6 +52,20 @@ func matrix() []struct {
 		{"multishot-delay", Config{Marking: proto.MarkP2, MultiShot: true,
 			MaxLatency: 4 * time.Millisecond,
 			Faults:     Faults{DropProb: 0.03, DoomRate: 0.2}}},
+		// Paxos Commit entries: every transaction's decision goes through
+		// the replicated log, under the fault classes that distinguish it
+		// from a local WAL — leader (coordinator) crashes mid-ballot,
+		// minority replica loss (ballots keep reaching quorum), and
+		// majority replica loss (ballots stall until recovery).
+		{"paxos-clean", Config{Marking: proto.MarkP1, PaxosShare: 1}},
+		{"paxos-mixed", Config{Marking: proto.MarkP1, PaxosShare: 0.4,
+			Faults: Faults{DropProb: 0.03, DoomRate: 0.15}}},
+		{"paxos-leader-crash", Config{Marking: proto.MarkP1, PaxosShare: 1,
+			Faults: Faults{CoordCrashCycles: 2, DoomRate: 0.15}}},
+		{"paxos-replica-minority", Config{Marking: proto.MarkP1, PaxosShare: 1,
+			Faults: Faults{ReplicaCrashCycles: 2}}},
+		{"paxos-replica-majority", Config{Marking: proto.MarkP1, PaxosShare: 1,
+			Faults: Faults{ReplicaCrashCycles: 2, ReplicaCrashMajority: true}}},
 	}
 }
 
@@ -192,7 +206,13 @@ func TestExplorerSeedReplay(t *testing.T) {
 	if *simSeed == 0 {
 		t.Skip("pass -sim.seed=N to replay a seed")
 	}
-	cfg := matrix()[len(matrix())-1].cfg // the "everything" schedule
+	var cfg Config
+	for _, entry := range matrix() {
+		if entry.name == "everything" {
+			cfg = entry.cfg
+			break
+		}
+	}
 	cfg.Seed = *simSeed
 	res := Run(cfg)
 	t.Logf("replay:\n%s", Trace(res))
@@ -338,6 +358,104 @@ func TestExplorerTraceGoldenFastPath(t *testing.T) {
 	}
 	if !bytes.Equal(ah, bh) {
 		t.Error("histories diverge for identical seed with the fast path enabled")
+	}
+}
+
+// TestExplorerTraceGoldenPaxos is the determinism contract over the
+// replicated decision log: with every transaction's commit decision
+// going through Paxos Commit ballots — leader election, replica accepts,
+// majority acks, all in virtual time — two runs of the same seed must
+// still serialize byte-identical JSONL event logs, replog.begin and
+// replog.accept events included. This is what lets a failing Paxos seed
+// be replayed and shrunk like any other.
+func TestExplorerTraceGoldenPaxos(t *testing.T) {
+	cfg := Config{
+		Seed:       11,
+		Marking:    proto.MarkP1,
+		PaxosShare: 1,
+		Faults: Faults{
+			DropProb:           0.03,
+			DoomRate:           0.15,
+			ReplicaCrashCycles: 1,
+		},
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Failed() {
+		report(t, a)
+	}
+	aj, err := EventsJSONL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := EventsJSONL(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(aj, []byte(`"replog.begin"`)) {
+		t.Error("no replog.begin event in trace: the replicated log never engaged")
+	}
+	if !bytes.Contains(aj, []byte(`"replog.accept"`)) {
+		t.Error("no replog.accept event in trace: no decision ballot ran")
+	}
+	if !bytes.Equal(aj, bj) {
+		i := 0
+		for i < len(aj) && i < len(bj) && aj[i] == bj[i] {
+			i++
+		}
+		t.Errorf("trace JSONL diverges at byte %d with Paxos Commit enabled", i)
+	}
+	ah, err := CanonicalJSON(a.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := CanonicalJSON(b.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ah, bh) {
+		t.Error("histories diverge for identical seed with Paxos Commit enabled")
+	}
+}
+
+// TestExplorerPaxosLeaderTakeover pins the non-blocking property the
+// replicated log buys: the coordinator (the Paxos Commit leader) crashes
+// mid-run — including between a decision reaching a replica majority and
+// its delivery to the sites — and recovery must finish every in-flight
+// transaction by reading the replica majority, never leaving a
+// YES-voting participant blocked. The recovering leader's majority read
+// shows up as replog.takeover grants at a term above 1; the marking-
+// hygiene and conservation oracles then prove no participant stayed in
+// doubt. CI runs this under -race -count=5.
+func TestExplorerPaxosLeaderTakeover(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := Config{
+			Seed:       seed,
+			Marking:    proto.MarkP1,
+			PaxosShare: 1,
+			Faults: Faults{
+				CoordCrashCycles: 2,
+				DoomRate:         0.15,
+			},
+		}
+		res := Run(cfg)
+		if res.Failed() {
+			report(t, res)
+		}
+		if res.Committed == 0 {
+			t.Errorf("seed %d: degenerate run, nothing committed", seed)
+		}
+		takeover := false
+		for _, ev := range res.Events {
+			if ev.Type.String() == "replog.takeover" && strings.Contains(ev.Detail, "grant term=") &&
+				!strings.Contains(ev.Detail, "grant term=1 ") && ev.Detail != "grant term=1" {
+				takeover = true
+				break
+			}
+		}
+		if !takeover {
+			t.Errorf("seed %d: no post-crash takeover grant (term > 1) in trace", seed)
+		}
 	}
 }
 

@@ -120,7 +120,11 @@ func (s *Site) handleVote(ctx context.Context, from string, req proto.VoteReques
 		return proto.VoteReply{Commit: true, ReadOnly: true, Witnesses: witnesses}
 	}
 
-	holdLocks := p.req.Protocol == proto.TwoPC || p.req.Comp == proto.CompNone
+	// Paxos Commit participants behave exactly like 2PC participants at
+	// the sites (Gray & Lamport): what the replicated decision log removes
+	// is the wait-on-a-dead-coordinator, not the prepared state.
+	holdLocks := p.req.Protocol == proto.TwoPC || p.req.Protocol == proto.Paxos ||
+		p.req.Comp == proto.CompNone
 	if holdLocks {
 		if err := p.t.Prepare(from); err != nil {
 			s.voteNo(ctx, p)

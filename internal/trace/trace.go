@@ -73,6 +73,9 @@ const (
 	EvSessionOpen
 	EvSessionRound
 	EvRPCBatch
+	EvRepBegin
+	EvRepAccept
+	EvRepTakeover
 
 	numEventTypes // sentinel; keep last
 )
@@ -117,6 +120,9 @@ var eventTypeNames = [numEventTypes]string{
 	EvSessionOpen:     "session.open",
 	EvSessionRound:    "session.round",
 	EvRPCBatch:        "rpc.batch",
+	EvRepBegin:        "replog.begin",
+	EvRepAccept:       "replog.accept",
+	EvRepTakeover:     "replog.takeover",
 }
 
 // eventTypeByName is the inverse of eventTypeNames, for JSONL decoding.

@@ -138,7 +138,8 @@ func CarryRecords(records []Record) []Record {
 			// never carry.
 			continue
 		case RecBegin, RecUpdate, RecCommit, RecAbort, RecPrepared,
-			RecDecision, RecCompBegin, RecCompEnd, RecExposed:
+			RecDecision, RecCompBegin, RecCompEnd, RecExposed,
+			RecTerm, RecAccept:
 		}
 		if carry[rec.TxnID] {
 			out = append(out, rec)

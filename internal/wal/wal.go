@@ -59,6 +59,16 @@ const (
 	RecMark
 	// RecUnmark records the removal of a transaction from a marking set.
 	RecUnmark
+	// RecTerm records a decision-log replica's promised term for one
+	// coordinator group (Aux "group|term"). A replica nacks every ballot
+	// below its promised term, so the record must be durable before the
+	// promise is answered.
+	RecTerm
+	// RecAccept records a decision value accepted by a decision-log replica
+	// at a ballot (Aux "commit|term" or "abort|term" for the transaction in
+	// TxnID). Durable before the accept is acked: a majority of these
+	// records IS the replicated decision.
+	RecAccept
 )
 
 // Marking-set labels carried in the Aux field of RecMark/RecUnmark records.
@@ -97,6 +107,10 @@ func (t RecordType) String() string {
 		return "MARK"
 	case RecUnmark:
 		return "UNMARK"
+	case RecTerm:
+		return "TERM"
+	case RecAccept:
+		return "ACCEPT"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -331,6 +345,9 @@ func Analyze(records []Record) Analysis {
 		case RecCheckpoint:
 			// Checkpoint brackets carry no transaction state; Recover
 			// consumes them via lastCheckpoint before analysis.
+		case RecTerm, RecAccept:
+			// Replication acceptor state (internal/replog) is rebuilt by the
+			// replica itself; it carries no local-transaction status.
 		}
 	}
 	return a
